@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_bench_figNN`` regenerates one paper figure inside the timed
+region, then writes the figure's chart + data table to
+``benchmarks/results/<figid>.txt`` (and ``.csv``) so the series the paper
+reports are preserved as artefacts of the benchmark run, not just timing
+numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure():
+    """Persist an :class:`ExperimentResult` under ``benchmarks/results``."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.exp_id}.txt").write_text(result.report() + "\n")
+        (RESULTS_DIR / f"{result.exp_id}.csv").write_text(result.to_csv() + "\n")
+        return result
+
+    return _record

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of individual threshold-querying sessions.
+
+These time single ``decide`` calls at the paper's canonical operating
+points (sparse ``x << t``, hard ``x ~ t``, dense ``x >> t``) so
+performance regressions in the algorithm kernels are visible
+independently of the figure sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Abns,
+    ExponentialIncrease,
+    OracleBins,
+    ProbabilisticAbns,
+    TwoTBins,
+)
+from repro.group_testing.model import OnePlusModel, TwoPlusModel
+from repro.group_testing.population import Population
+from repro.mac import CsmaBaseline, SequentialOrdering
+
+N, T = 256, 24
+OPERATING_POINTS = {"sparse": 2, "critical": 24, "dense": 200}
+
+ALGOS = {
+    "2tBins": lambda x: TwoTBins(),
+    "ExpIncrease": lambda x: ExponentialIncrease(),
+    "ABNS2t": lambda x: Abns(p0_multiple=2.0),
+    "ProbABNS": lambda x: ProbabilisticAbns(),
+    "Oracle": lambda x: OracleBins(x),
+}
+
+
+@pytest.mark.parametrize("regime", sorted(OPERATING_POINTS))
+@pytest.mark.parametrize("algo_name", sorted(ALGOS))
+def test_bench_decide(benchmark, algo_name, regime):
+    x = OPERATING_POINTS[regime]
+    pop = Population.from_count(N, x, np.random.default_rng(0))
+    factory = ALGOS[algo_name]
+    counter = {"i": 0}
+
+    def session():
+        counter["i"] += 1
+        model = OnePlusModel(pop, np.random.default_rng(counter["i"]))
+        return factory(x).decide(
+            model, T, np.random.default_rng(counter["i"] + 1)
+        )
+
+    result = benchmark(session)
+    assert result.decision == pop.truth(T)
+
+
+@pytest.mark.parametrize("regime", sorted(OPERATING_POINTS))
+def test_bench_decide_two_plus(benchmark, regime):
+    x = OPERATING_POINTS[regime]
+    pop = Population.from_count(N, x, np.random.default_rng(0))
+    counter = {"i": 0}
+
+    def session():
+        counter["i"] += 1
+        model = TwoPlusModel(pop, np.random.default_rng(counter["i"]))
+        return TwoTBins().decide(
+            model, T, np.random.default_rng(counter["i"] + 1)
+        )
+
+    result = benchmark(session)
+    assert result.decision == pop.truth(T)
+
+
+@pytest.mark.parametrize("baseline_name", ["CSMA", "Sequential"])
+def test_bench_baselines(benchmark, baseline_name):
+    pop = Population.from_count(N, 64, np.random.default_rng(0))
+    baseline = (
+        CsmaBaseline() if baseline_name == "CSMA" else SequentialOrdering()
+    )
+    counter = {"i": 0}
+
+    def session():
+        counter["i"] += 1
+        return baseline.decide(pop, T, np.random.default_rng(counter["i"]))
+
+    result = benchmark(session)
+    assert result.decision

@@ -1,0 +1,79 @@
+"""Benchmarks for the extension experiments and the counting baseline.
+
+* ``ext_latency`` / ``ext_interference`` -- the future-work experiments,
+  regenerated and persisted like the paper figures.
+* counting-vs-threshold -- the quantitative version of the paper's
+  motivation (Sec III): answering ``x >= t`` directly is much cheaper
+  than identifying positives until the answer is known.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counting import AdaptiveSplittingCounter
+from repro.core.two_t_bins import TwoTBins
+from repro.experiments import ext_interference, ext_latency
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+def _one(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_bench_ext_latency(benchmark, record_figure):
+    result = _one(benchmark, lambda: ext_latency.run(runs=20, seed=1))
+    record_figure(result)
+    tcast = result.get_series("tcast/backcast")
+    seq = result.get_series("Sequential")
+    csma = result.get_series("CSMA")
+    assert tcast.y_at(0) < seq.y_at(0)
+    n = result.parameters["participants"]
+    assert tcast.y_at(n) < csma.y_at(n) * 1.5
+
+
+def test_bench_ext_interference(benchmark, record_figure):
+    result = _one(
+        benchmark,
+        lambda: ext_interference.run(runs=25, seed=2, rates=(0.0, 2.0, 6.0)),
+    )
+    record_figure(result)
+    note = next(n for n in result.notes if "false positives" in n)
+    assert note.split(":")[1].strip().split()[0] == "0"
+
+
+def test_bench_counting_vs_threshold(benchmark):
+    """Mean cost of full counting vs tcast threshold querying."""
+    n, t, x = 256, 24, 20
+
+    def sweep():
+        count_costs, tcast_costs = [], []
+        for s in range(40):
+            pop = Population.from_count(n, x, np.random.default_rng(s))
+            model = OnePlusModel(pop, np.random.default_rng(s + 1))
+            AdaptiveSplittingCounter().count(model, np.random.default_rng(s + 2))
+            count_costs.append(model.queries_used)
+            model2 = OnePlusModel(pop, np.random.default_rng(s + 1))
+            TwoTBins().decide(model2, t, np.random.default_rng(s + 2))
+            tcast_costs.append(model2.queries_used)
+        return float(np.mean(count_costs)), float(np.mean(tcast_costs))
+
+    counting, tcast = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["mean_queries"] = {
+        "counting": counting,
+        "tcast": tcast,
+    }
+    assert tcast < counting
+
+
+def test_bench_ext_scaling(benchmark, record_figure):
+    from repro.experiments import ext_scaling
+
+    result = _one(
+        benchmark, lambda: ext_scaling.run(runs=60, seed=1, ns=(32, 128, 512))
+    )
+    record_figure(result)
+    two = result.get_series("2tBins")
+    seq = result.get_series("Sequential")
+    assert two.y_at(512) < seq.y_at(512)

@@ -1,0 +1,136 @@
+"""Figure-regeneration benchmarks: one per table/figure in the paper.
+
+Each benchmark times one full regeneration of the figure's series at a
+reduced (but statistically meaningful) run count, records the series as a
+text/CSV artefact under ``benchmarks/results/``, and asserts the figure's
+headline shape so a regression in *correctness* fails the benchmark run,
+not only a regression in speed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    fig01_one_plus,
+    fig02_two_plus,
+    fig03_threshold_sweep,
+    fig04_testbed,
+    fig05_abns,
+    fig06_prob_abns,
+    fig07_prob_abns_vs_csma,
+    fig09_accuracy,
+    fig10_repeats,
+    fig11_distributions,
+)
+
+#: Run counts tuned so the whole figure suite stays in benchmark budget.
+RUNS_FAST = 80
+RUNS_TESTBED = 12
+RUNS_ACCURACY = 200
+
+
+def _one(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_bench_fig01_one_plus(benchmark, record_figure):
+    result = _one(benchmark, lambda: fig01_one_plus.run(runs=RUNS_FAST, seed=1))
+    record_figure(result)
+    t, n = result.parameters["t"], result.parameters["n"]
+    two, exp = result.get_series("2tBins"), result.get_series("ExpIncrease")
+    csma = result.get_series("CSMA")
+    assert exp.y_at(0) < two.y_at(0)
+    assert exp.y_at(n) > two.y_at(n)
+    assert csma.y_at(n) > 4 * two.y_at(n)
+
+
+def test_bench_fig02_two_plus(benchmark, record_figure):
+    result = _one(benchmark, lambda: fig02_two_plus.run(runs=RUNS_FAST, seed=2))
+    record_figure(result)
+    t = result.parameters["t"]
+    one = result.get_series("2tBins 1+")
+    two = result.get_series("2tBins 2+")
+    assert two.y_at(t - 1) < one.y_at(t - 1)
+
+
+def test_bench_fig03_threshold_sweep(benchmark, record_figure):
+    result = _one(
+        benchmark, lambda: fig03_threshold_sweep.run(runs=RUNS_FAST, seed=3)
+    )
+    record_figure(result)
+    x = result.parameters["x"]
+    s = result.get_series("2tBins 1+")
+    peak_t = s.xs[int(np.argmax(s.ys))]
+    assert x / 2 <= peak_t <= 4 * x
+
+
+def test_bench_fig04_testbed(benchmark, record_figure):
+    result = _one(benchmark, lambda: fig04_testbed.run(runs=RUNS_TESTBED, seed=4))
+    record_figure(result)
+    fp_note = next(n for n in result.notes if "false-positive" in n)
+    assert "0" in fp_note.split(":")[1]
+
+
+def test_bench_fig05_abns(benchmark, record_figure):
+    result = _one(benchmark, lambda: fig05_abns.run(runs=RUNS_FAST, seed=5))
+    record_figure(result)
+    assert result.get_series("ABNS(p0=t)").y_at(0) < result.get_series(
+        "2tBins"
+    ).y_at(0)
+
+
+def test_bench_fig06_prob_abns(benchmark, record_figure):
+    result = _one(benchmark, lambda: fig06_prob_abns.run(runs=RUNS_FAST, seed=6))
+    record_figure(result)
+    assert result.get_series("ProbABNS").y_at(0) < result.get_series(
+        "ABNS(p0=2t)"
+    ).y_at(0)
+
+
+def test_bench_fig07_prob_abns_vs_csma(benchmark, record_figure):
+    result = _one(
+        benchmark, lambda: fig07_prob_abns_vs_csma.run(runs=RUNS_FAST, seed=7)
+    )
+    record_figure(result)
+    n = result.parameters["n"]
+    assert result.get_series("ProbABNS").y_at(n) < result.get_series(
+        "CSMA"
+    ).y_at(n) / 2
+
+
+def test_bench_fig09_accuracy(benchmark, record_figure):
+    result = _one(
+        benchmark, lambda: fig09_accuracy.run(runs=RUNS_ACCURACY, seed=9)
+    )
+    record_figure(result)
+    r9 = result.get_series("r=9")
+    assert r9.y_at(64.0) > 0.9
+
+
+def test_bench_fig10_repeats(benchmark, record_figure):
+    result = _one(benchmark, lambda: fig10_repeats.run(runs=150, seed=10))
+    record_figure(result)
+    s = result.get_series("Eq10 (delta=0.05)")
+    assert s.ys[0] > s.ys[-1]
+
+
+def test_bench_fig11_distributions(benchmark, record_figure):
+    result = _one(
+        benchmark, lambda: fig11_distributions.run(runs=20_000, seed=11)
+    )
+    record_figure(result)
+    assert abs(sum(result.get_series("d=16").ys) - 1.0) < 1e-9
+
+
+def test_bench_fig08_gap(benchmark, record_figure):
+    from repro.experiments import fig08_gap
+
+    result = _one(benchmark, lambda: fig08_gap.run())
+    record_figure(result)
+    eps = result.get_series("eps = (q2-q1)/2").ys
+    assert all(a <= b for a, b in zip(eps, eps[1:]))

@@ -1,0 +1,43 @@
+"""Micro-benchmarks of the serial control plane."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.motes.serial import FrameDecoder, SerialTestbedController, encode_frame
+from repro.motes.testbed import Testbed, TestbedConfig
+
+
+def test_bench_frame_encode_decode(benchmark):
+    """Round-trip 1000 mixed-content frames through the codec."""
+    rng = np.random.default_rng(0)
+    payloads = [
+        bytes(rng.integers(0, 256, size=int(rng.integers(1, 64))).tolist())
+        for _ in range(1000)
+    ]
+
+    def round_trip():
+        out = []
+        decoder = FrameDecoder(out.append)
+        for p in payloads:
+            decoder.feed(encode_frame(p))
+        return out
+
+    decoded = benchmark(round_trip)
+    assert decoded == payloads
+
+
+def test_bench_serial_query_lifecycle(benchmark):
+    """configure + reboot + query, all over the wire, per session."""
+    counter = {"i": 0}
+
+    def session():
+        counter["i"] += 1
+        tb = Testbed(TestbedConfig(num_participants=12, seed=counter["i"]))
+        laptop = SerialTestbedController(tb)
+        laptop.configure_positives([0, 2, 4, 6])
+        laptop.reboot()
+        return laptop.query(3)
+
+    response = benchmark(session)
+    assert response.decision

@@ -1,0 +1,78 @@
+"""Substrate micro-benchmarks: DES kernel, channel, backcast exchange.
+
+These isolate the packet-level emulation's hot paths.  A full backcast
+bin query is ~15 simulator events; the Fig 4 suite issues hundreds of
+thousands of them, so the per-exchange cost matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TwoTBins
+from repro.motes.testbed import Testbed, TestbedConfig
+from repro.sim.kernel import Simulator
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    """Schedule+fire 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_backcast_exchange(benchmark):
+    """One full announce/poll/HACK exchange on a 12-mote testbed."""
+    tb = Testbed(TestbedConfig(num_participants=12, seed=0))
+    tb.configure_positives([0, 3, 7])
+    members = list(range(12))
+
+    def exchange():
+        return tb.initiator_app.query_bin(members)
+
+    obs = benchmark(exchange)
+    assert not obs.silent
+
+
+def test_bench_full_testbed_session(benchmark):
+    """A complete 2tBins session (build + configure + run) on 12 motes."""
+    counter = {"i": 0}
+
+    def session():
+        counter["i"] += 1
+        tb = Testbed(TestbedConfig(num_participants=12, seed=counter["i"]))
+        tb.configure_positives([1, 4, 6, 9])
+        return tb.run_threshold_query(TwoTBins(), 4)
+
+    run = benchmark(session)
+    assert run.result.decision
+
+
+def test_bench_pollcast_session(benchmark):
+    """A complete 2tBins session over pollcast (CCA-based RCD)."""
+    counter = {"i": 0}
+
+    def session():
+        counter["i"] += 1
+        tb = Testbed(
+            TestbedConfig(
+                num_participants=12, seed=counter["i"], primitive="pollcast"
+            )
+        )
+        tb.configure_positives([1, 4, 6, 9])
+        return tb.run_threshold_query(TwoTBins(), 4)
+
+    run = benchmark(session)
+    assert run.result.decision

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Constant-cost monitoring with the Sec VI probabilistic model.
+
+A perimeter-surveillance deployment knows from history that the number
+of detecting nodes is bimodal: either a few false positives (quiet mode)
+or a mass detection (activity mode).  The probabilistic scheme answers
+the threshold question in O(1) queries -- independent of n, x and t --
+by sizing a repeated sampled probe from the Chernoff bound (Eq 10).
+
+The script reproduces the paper's worked example (n=128, mu1=16,
+mu2=96: 19 repeats at delta=1%, 12 at delta=5%) and then streams a day
+of events through the scheme, reporting measured accuracy vs the bound.
+
+Run:  python examples/bimodal_monitoring.py
+"""
+
+import numpy as np
+
+from repro import BimodalSpec, OnePlusModel, ProbabilisticThreshold, analyze_separation
+from repro.workloads.bimodal import BimodalWorkload
+
+
+def main() -> None:
+    n = 128
+    spec = BimodalSpec(n=n, mu1=16.0, sigma1=0.0, mu2=96.0, sigma2=0.0)
+    analysis = analyze_separation(spec)
+    print("paper's worked example (n=128, mu1=16, mu2=96):")
+    print(f"  gap-optimal sampling bins b = {analysis.bins:.1f}")
+    print(f"  mode non-empty probabilities q1={analysis.q1:.3f}, "
+          f"q2={analysis.q2:.3f}, eps={analysis.eps:.3f}")
+    for delta in (0.01, 0.05):
+        print(f"  delta={delta:.0%}: Eq 10 gives r = {analysis.repeats(delta)} "
+              "repeats")
+    print("  (paper: 19 and 12)\n")
+
+    # A realistic monitored deployment with mode spread.
+    spec = BimodalSpec(
+        n=n, mu1=4.0, sigma1=3.0, mu2=80.0, sigma2=10.0, weight1=0.9
+    )
+    delta = 0.05
+    scheme = ProbabilisticThreshold(spec, delta=delta)
+    print(
+        f"deployment model: quiet ~ N({spec.mu1:g},{spec.sigma1:g}^2), "
+        f"activity ~ N({spec.mu2:g},{spec.sigma2:g}^2), 90% quiet"
+    )
+    print(
+        f"scheme: r = {scheme.repeats} probes per event "
+        f"(target failure {delta:.0%}), cost independent of n/x/t\n"
+    )
+
+    workload = BimodalWorkload(spec)
+    events = 2000
+    correct = 0
+    queries = 0
+    rng = np.random.default_rng(5)
+    for _ in range(events):
+        population, draw = workload.draw_population(rng)
+        model = OnePlusModel(population, rng)
+        decision = scheme.decide_detailed(model, threshold=n // 2, rng=rng)
+        queries += decision.result.queries
+        if decision.result.decision == draw.activity:
+            correct += 1
+    print(f"streamed {events} events: accuracy {correct / events:.1%} "
+          f"(bound: >= {1 - delta:.0%}), "
+          f"mean cost {queries / events:.1f} queries/event")
+    print("an exact algorithm would pay its full cost on *every* event; "
+          "the probabilistic scheme's cost never grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Intruder classification by per-class threshold queries (Sec II-C).
+
+The paper names classification as a prime tcast use case: "querying of
+the neighborhood for classification of an intruder (say as a soldier,
+car, or tank) by counting the detections in the neighborhood."  Each
+class is a separate predicate with its own detection signature --
+heavier intruders trip more sensors -- and the initiator runs one
+threshold query per class on the *same* deployment, over the emulated
+mote testbed.
+
+Run:  python examples/intruder_classification.py
+"""
+
+import numpy as np
+
+from repro import Testbed, TestbedConfig, TwoTBins
+
+#: Class signature: (predicate id, detection probability per neighbour,
+#: confirmation threshold).  A tank shakes many geophones; a soldier few.
+CLASSES = {
+    "soldier": (0, 0.25, 3),
+    "car": (1, 0.55, 7),
+    "tank": (2, 0.90, 12),
+}
+
+
+def deploy_event(tb: Testbed, actual: str, rng: np.random.Generator) -> None:
+    """Configure per-class detections for one intrusion event.
+
+    Every class predicate gets configured: the actual intruder's class
+    signature fires at its own rate, the other classes only via confusion
+    (a tank also trips the 'car' detectors, etc. -- modelled by scaling
+    the detection rate by signature similarity).
+    """
+    n = tb.num_participants
+    rates = {name: sig[1] for name, sig in CLASSES.items()}
+    actual_rate = rates[actual]
+    for name, (pred_id, rate, _t) in CLASSES.items():
+        # Confusion: a class detector fires at most at its own rate, and
+        # only to the extent the actual intruder matches the signature.
+        effective = min(rate, actual_rate) if name != actual else rate
+        detections = [i for i in range(n) if rng.random() < effective]
+        tb.configure_positives(detections, predicate_id=pred_id)
+
+
+def classify(tb: Testbed) -> tuple[str, int]:
+    """Run one threshold query per class, heaviest first; the first class
+    whose threshold confirms wins (heavier classes need more detections,
+    so they are the most specific test)."""
+    total_queries = 0
+    for name in ("tank", "car", "soldier"):
+        pred_id, _rate, t = CLASSES[name]
+        run = tb.run_threshold_query(TwoTBins(), t, predicate_id=pred_id)
+        total_queries += run.result.queries
+        if run.result.decision:
+            return name, total_queries
+    return "false alarm", total_queries
+
+
+def main() -> None:
+    participants = 16
+    rng = np.random.default_rng(7)
+    print(
+        f"deployment: {participants} motes; classes and confirmation "
+        "thresholds:"
+    )
+    for name, (pred, rate, t) in CLASSES.items():
+        print(f"  {name:<8} predicate={pred} detection rate={rate:.0%} t={t}")
+    print()
+
+    events = 30
+    confusion: dict[str, dict[str, int]] = {
+        c: {k: 0 for k in [*CLASSES, "false alarm"]} for c in CLASSES
+    }
+    total_queries = 0
+    for i in range(events):
+        actual = list(CLASSES)[i % len(CLASSES)]
+        tb = Testbed(TestbedConfig(num_participants=participants, seed=100 + i))
+        deploy_event(tb, actual, rng)
+        verdict, queries = classify(tb)
+        confusion[actual][verdict] += 1
+        total_queries += queries
+
+    print(f"{events} events classified in {total_queries} on-air queries "
+          f"({total_queries / events:.1f}/event)")
+    print("\nconfusion matrix (rows = actual, columns = classified):")
+    cols = [*CLASSES, "false alarm"]
+    print("  " + " ".join(f"{c:>12}" for c in ["actual\\out", *cols]))
+    for actual, row in confusion.items():
+        cells = " ".join(f"{row[c]:>12}" for c in cols)
+        print("  " + f"{actual:>12} " + cells)
+    correct = sum(confusion[c][c] for c in CLASSES)
+    print(f"\naccuracy: {correct}/{events} "
+          f"({correct / events:.0%}) -- confusions stay within adjacent "
+          "classes because signatures overlap (a tank also trips car "
+          "detectors), exactly the count-based classification the paper "
+          "describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Intrusion detection: the paper's motivating application (Sec I).
+
+A field of sensor nodes watches for intruders.  When a node detects
+something, it becomes the *initiator* and runs a threshold query over
+its singlehop neighbourhood: at least ``t`` corroborating detections
+mean a real event (notify the basestation); fewer mean a false alarm
+(log and move on).  The script simulates both event kinds and shows why
+tcast fits: real events (many positives) and false alarms (almost none)
+are both resolved in a handful of queries, while the hard x ~ t middle
+is rare.
+
+Run:  python examples/intrusion_detection.py
+"""
+
+import numpy as np
+
+from repro import OnePlusModel, ProbabilisticAbns, TwoTBins
+from repro.group_testing.population import Population
+from repro.mac import CsmaBaseline, SequentialOrdering
+from repro.workloads.scenarios import IntrusionField
+
+
+def confirm_event(population: Population, threshold: int, seed: int) -> dict:
+    """Run the confirmation protocols an initiator could choose from."""
+    out = {}
+    for name, make in {
+        "tcast/2tBins": lambda: TwoTBins(),
+        "tcast/ProbABNS": lambda: ProbabilisticAbns(),
+    }.items():
+        model = OnePlusModel(population, np.random.default_rng(seed))
+        result = make().decide(model, threshold, np.random.default_rng(seed + 1))
+        out[name] = (result.decision, result.queries)
+    for name, baseline in {
+        "CSMA": CsmaBaseline(),
+        "Sequential": SequentialOrdering(),
+    }.items():
+        result = baseline.decide(
+            population, threshold, np.random.default_rng(seed + 2)
+        )
+        out[name] = (result.decision, result.queries)
+    return out
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    field = IntrusionField(
+        num_nodes=150,
+        field_size=100.0,
+        sensing_range=22.0,
+        false_positive_rate=0.015,
+        rng=rng,
+    )
+    threshold = 6
+    print(
+        f"deployment: {field.num_nodes} nodes over 100x100 m, "
+        f"sensing range 22 m, confirmation threshold t={threshold}\n"
+    )
+
+    for label, has_intruder in [("REAL INTRUSION", True), ("FALSE ALARM", False)]:
+        scenario = field.event(rng, intruder=has_intruder)
+        print(
+            f"--- {label}: x={scenario.x} detections "
+            f"({len(scenario.true_detections)} true, "
+            f"{len(scenario.false_detections)} spurious) ---"
+        )
+        costs = confirm_event(scenario.population, threshold, seed=100)
+        truth = scenario.population.truth(threshold)
+        for name, (decision, queries) in costs.items():
+            verdict = "CONFIRMED" if decision else "dismissed"
+            ok = "" if decision == truth else "  <-- WRONG"
+            print(f"  {name:<16} {verdict:<10} in {queries:4d} slots{ok}")
+        print()
+
+    # Aggregate cost over a day of mostly-false alarms.
+    events = 200
+    tcast_total = csma_total = seq_total = 0
+    for i in range(events):
+        scenario = field.event(rng, intruder=(rng.random() < 0.05))
+        costs = confirm_event(scenario.population, threshold, seed=1000 + i)
+        tcast_total += costs["tcast/ProbABNS"][1]
+        csma_total += costs["CSMA"][1]
+        seq_total += costs["Sequential"][1]
+    print(
+        f"over {events} events (5% real): "
+        f"tcast={tcast_total} slots, CSMA={csma_total}, "
+        f"sequential={seq_total}"
+    )
+    print(f"tcast saves {1 - tcast_total / seq_total:.0%} vs sequential")
+    if tcast_total <= csma_total:
+        print(f"tcast saves {1 - tcast_total / csma_total:.0%} vs CSMA")
+    else:
+        print(
+            f"CSMA is {tcast_total / csma_total - 1:.0%} cheaper here -- "
+            "expected: with mostly-quiet events x << t, which is CSMA's "
+            "good regime (Sec IV-C); unlike CSMA, tcast's verdicts are "
+            "certified, and its advantage reverses sharply once x > t."
+        )
+
+
+if __name__ == "__main__":
+    main()

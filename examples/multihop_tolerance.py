@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""tcast under interfering traffic: the paper's multihop claim (Sec III-B).
+
+The paper argues that backcast-based tcast survives in multihop networks
+because interference from neighbouring regions can only *suppress* a
+hardware acknowledgement (a false negative), never *fabricate* one (no
+false positives).  This script attaches an interference source to the
+emulated testbed, sweeps its traffic rate, and measures the error
+asymmetry directly -- the experiment the paper deferred to the Kansei
+testbed.
+
+Run:  python examples/multihop_tolerance.py
+"""
+
+from repro.ext.multihop import InterferenceStudy
+from repro.viz.ascii import render_table
+
+
+def main() -> None:
+    participants, threshold = 12, 4
+    study = InterferenceStudy(
+        participants=participants, threshold=threshold, seed=11
+    )
+    rates = [0.0, 0.02, 0.05, 0.1, 0.25, 0.5]
+    print(
+        f"testbed: {participants} participants, t={threshold}, 2tBins over "
+        "backcast; a neighbouring-region interferer injects data frames "
+        "at increasing rates\n"
+    )
+
+    rows = []
+    runs = 60
+    for rate in rates:
+        result = study.run_rate(rate, runs=runs)
+        rows.append(
+            [
+                rate,
+                result.frames_injected,
+                f"{result.false_negative_rate:.1%}",
+                result.false_positives,
+                result.mean_queries,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "frames/ms",
+                "injected",
+                "false-neg rate",
+                "false-pos",
+                "mean queries",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nthe asymmetry the paper predicts: false negatives rise with the "
+        "interference rate (a collided HACK fails to latch), while false "
+        "positives stay at zero at every rate -- only a decoded hardware "
+        "ACK with the poll's sequence number counts as 'non-empty', and "
+        "interference cannot forge one."
+    )
+
+
+if __name__ == "__main__":
+    main()

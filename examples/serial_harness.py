@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Driving the testbed over its serial control plane (Sec IV-D).
+
+The paper's laptop talks to every mote over a serial port: configure the
+predicate, reboot, stimulate a query on the initiator, read the verdict
+back.  This script runs that exact lifecycle through the byte-level
+protocol (SLIP framing + checksum + command codes) rather than the
+Python API -- every verb below crosses the emulated wire twice.
+
+Run:  python examples/serial_harness.py
+"""
+
+import numpy as np
+
+from repro.motes.serial import SerialTestbedController, encode_frame
+from repro.motes.testbed import Testbed, TestbedConfig
+
+
+def main() -> None:
+    participants = 12
+    tb = Testbed(TestbedConfig(num_participants=participants, seed=21))
+    laptop = SerialTestbedController(tb)
+
+    # A peek at the wire format itself.
+    frame = encode_frame(bytes([0x03, 4, 0, 0]))  # QUERY t=4, 2tBins, pred 0
+    print(f"a QUERY command on the wire: {frame.hex(' ')}  "
+          f"({len(frame)} bytes incl. framing + checksum)\n")
+
+    rng = np.random.default_rng(3)
+    print(f"{participants}-mote testbed; running the paper's lifecycle "
+          "(configure -> reboot -> query -> collect) over serial:\n")
+    print(f"{'x':>3} {'t':>3} {'verdict':>10} {'queries':>8}")
+    for trial in range(6):
+        x = int(rng.integers(0, participants + 1))
+        t = int(rng.integers(1, 7))
+        positives = (
+            [int(p) for p in rng.choice(participants, size=x, replace=False)]
+            if x
+            else []
+        )
+        laptop.configure_positives(positives)
+        laptop.reboot()
+        response = laptop.query(t)
+        verdict = "x >= t" if response.decision else "x < t"
+        check = "ok" if response.decision == (x >= t) else "WRONG"
+        print(f"{x:>3} {t:>3} {verdict:>10} {response.queries:>8}   [{check}]")
+
+    print("\nall verdicts round-tripped through SLIP frames with additive "
+          "checksums -- the same control plane the paper's TinyOS motes "
+          "expose to the laptop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""tcast: singlehop collaborative feedback primitives for threshold
+querying in wireless sensor networks.
+
+A from-scratch reproduction of Demirbas, Tasci, Gunes & Rudra (IPPS 2011):
+the tcast threshold-querying algorithm family (2tBins, Exponential
+Increase, ABNS, probabilistic ABNS, the bimodal probabilistic scheme),
+the CSMA / sequential-ordering baselines, the receiver-side collision
+detection primitives (pollcast, backcast), and a packet-level emulation
+of the TelosB/CC2420 mote testbed -- plus a harness regenerating every
+figure in the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import OnePlusModel, Population, TwoTBins
+
+    rng = np.random.default_rng(0)
+    population = Population.from_count(size=128, x=20, rng=rng)
+    model = OnePlusModel(population, rng)
+    result = TwoTBins().decide(model, threshold=16, rng=rng)
+    print(result.summary())   # 'x >= t' in a few dozen queries
+"""
+
+from repro.api import ALGORITHMS, make_algorithm, threshold_query
+from repro.analytic import (
+    BimodalSpec,
+    SeparationAnalysis,
+    analyze_separation,
+    lower_bound_queries,
+    upper_bound_queries,
+)
+from repro.core import (
+    Abns,
+    AbnsBinPolicy,
+    AdaptiveSplittingCounter,
+    IntervalQuery,
+    ExponentialIncrease,
+    FourFoldIncrease,
+    OracleBins,
+    PauseAndContinue,
+    ProbabilisticAbns,
+    ProbabilisticThreshold,
+    RoundRecord,
+    ThresholdAlgorithm,
+    ThresholdResult,
+    TwoTBins,
+)
+from repro.group_testing import (
+    BinObservation,
+    KPlusModel,
+    ObservationKind,
+    OnePlusModel,
+    Population,
+    TwoPlusModel,
+)
+from repro.mac import CsmaBaseline, CsmaConfig, SequentialOrdering
+from repro.motes import Testbed, TestbedConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "Abns",
+    "AbnsBinPolicy",
+    "AdaptiveSplittingCounter",
+    "BimodalSpec",
+    "BinObservation",
+    "CsmaBaseline",
+    "CsmaConfig",
+    "ExponentialIncrease",
+    "FourFoldIncrease",
+    "IntervalQuery",
+    "KPlusModel",
+    "ObservationKind",
+    "OnePlusModel",
+    "OracleBins",
+    "PauseAndContinue",
+    "Population",
+    "ProbabilisticAbns",
+    "ProbabilisticThreshold",
+    "RoundRecord",
+    "SeparationAnalysis",
+    "SequentialOrdering",
+    "Testbed",
+    "TestbedConfig",
+    "ThresholdAlgorithm",
+    "ThresholdResult",
+    "TwoPlusModel",
+    "TwoTBins",
+    "analyze_separation",
+    "make_algorithm",
+    "threshold_query",
+    "lower_bound_queries",
+    "upper_bound_queries",
+    "__version__",
+]

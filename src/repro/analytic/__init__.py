@@ -1,0 +1,74 @@
+"""Closed-form results from the paper.
+
+* :mod:`repro.analytic.bins` -- Eq 2 (elimination yield ``g(b)``),
+  Eq 4 (optimal bin count ``b = p + 1``), Eq 5 (expected empty bins) and
+  Eq 6 (the ``p`` estimator), plus the Sec V-C oracle bin formula.
+* :mod:`repro.analytic.bounds` -- the ``2t log(N/2t)`` upper bound and the
+  ``Ω(t log(N/t)/log t)`` lower bound on query counts (Sec II-A/IV-A).
+* :mod:`repro.analytic.chernoff` -- Eq 9/10 repeat-count calculations for
+  the probabilistic model.
+* :mod:`repro.analytic.bimodal` -- bimodal-separation quantities of Sec VI
+  (``t_l``, ``t_r``, the silent-probability gap, ``m1``, ``m2``, ``Δ``).
+* :mod:`repro.analytic.cost_model` -- a mean-field average-case cost model
+  for 2tBins (beyond the paper, validated against its simulations).
+* :mod:`repro.analytic.sequential_model` -- the exact expected slot cost
+  of the sequential-ordering baseline (hypergeometric survival sum).
+"""
+
+from repro.analytic.bimodal import BimodalSpec, SeparationAnalysis, analyze_separation
+from repro.analytic.bins import (
+    elimination_yield,
+    estimate_positives,
+    expected_empty_bins,
+    optimal_bins,
+    oracle_bins,
+    prob_bin_empty,
+)
+from repro.analytic.bounds import (
+    lower_bound_queries,
+    upper_bound_queries,
+    worst_case_rounds,
+)
+from repro.analytic.cost_model import (
+    anchor_cost_all_negative,
+    anchor_cost_all_positive,
+    expected_queries_2tbins,
+    expected_rounds_2tbins,
+)
+from repro.analytic.sequential_model import (
+    anchor_all_negative,
+    anchor_order_statistic,
+    expected_slots_sequential,
+)
+from repro.analytic.chernoff import (
+    failure_probability,
+    hoeffding_repeats,
+    optimal_sampling_bins,
+    paper_repeats,
+)
+
+__all__ = [
+    "BimodalSpec",
+    "anchor_all_negative",
+    "anchor_cost_all_negative",
+    "anchor_cost_all_positive",
+    "anchor_order_statistic",
+    "expected_slots_sequential",
+    "expected_queries_2tbins",
+    "expected_rounds_2tbins",
+    "SeparationAnalysis",
+    "analyze_separation",
+    "elimination_yield",
+    "estimate_positives",
+    "expected_empty_bins",
+    "failure_probability",
+    "hoeffding_repeats",
+    "lower_bound_queries",
+    "optimal_bins",
+    "optimal_sampling_bins",
+    "oracle_bins",
+    "paper_repeats",
+    "prob_bin_empty",
+    "upper_bound_queries",
+    "worst_case_rounds",
+]

@@ -1,0 +1,158 @@
+"""Bin-count mathematics (Sec V-A of the paper).
+
+All functions here are pure and vectorisation-friendly: scalar arguments in,
+scalar floats out, no randomness.  They are the analytical backbone of the
+ABNS algorithm and the oracle baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def prob_bin_empty(b: float, p: float) -> float:
+    """Probability that one particular bin out of ``b`` is empty.
+
+    With ``p`` positive nodes each landing in a uniformly random bin,
+    a given bin receives no positive node with probability
+    ``(1 - 1/b)**p`` (the factor inside Eq 2).
+
+    Args:
+        b: Number of bins (``>= 1``).
+        p: Number (or estimate) of positive nodes (``>= 0``).
+
+    Returns:
+        The empty probability in ``[0, 1]``.
+
+    Raises:
+        ValueError: If ``b < 1`` or ``p < 0``.
+    """
+    if b < 1:
+        raise ValueError(f"bin count must be >= 1, got {b}")
+    if p < 0:
+        raise ValueError(f"positive count must be >= 0, got {p}")
+    if b == 1:
+        return 1.0 if p == 0 else 0.0
+    return (1.0 - 1.0 / b) ** p
+
+
+def elimination_yield(b: float, p: float, n: float) -> float:
+    """Expected nodes eliminated by one bin query -- ``g(b)`` of Eq 2.
+
+    ``g(b) = (1 - 1/b)^p * n / b``: the probability the queried bin is
+    empty times its expected size.  ABNS maximises this quantity.
+
+    Args:
+        b: Number of bins (``>= 1``).
+        p: Estimated positive count.
+        n: Remaining candidate population size.
+
+    Returns:
+        Expected eliminated-node count for a single query.
+    """
+    if n < 0:
+        raise ValueError(f"population must be >= 0, got {n}")
+    return prob_bin_empty(b, p) * (n / b)
+
+
+def optimal_bins(p: float) -> int:
+    """Optimal bin count for elimination, Eq 4: ``b = p + 1``.
+
+    Derived by setting ``dg/db = 0``; independent of ``n`` and ``t``.
+    Only meaningful while ``p < t`` (the elimination regime) -- see
+    :func:`oracle_bins` for the confirmation regime.
+
+    Args:
+        p: Estimated positive count (``>= 0``).
+
+    Returns:
+        ``round(p) + 1``, at least 1.
+    """
+    if p < 0:
+        raise ValueError(f"positive estimate must be >= 0, got {p}")
+    return max(1, int(round(p)) + 1)
+
+
+def expected_empty_bins(b: float, p: float) -> float:
+    """Expected number of empty bins in a round, Eq 5.
+
+    ``e_expected = (1 - 1/b)^p * b``.
+    """
+    if b < 1:
+        raise ValueError(f"bin count must be >= 1, got {b}")
+    return prob_bin_empty(b, p) * b
+
+def estimate_positives(
+    empty_bins: float,
+    b: int,
+    *,
+    max_estimate: float = math.inf,
+) -> float:
+    """Invert Eq 5 to estimate ``p`` from an observed empty-bin count (Eq 6).
+
+    ``p = (log e_real - log b) / log(1 - 1/b)``.
+
+    The raw formula is singular when ``empty_bins == 0`` (suggests
+    ``p = inf``) and degenerate when ``b == 1``.  Following DESIGN.md we
+    guard both: an observation of zero empty bins is replaced by 0.5
+    (half a bin), and ``b == 1`` returns 0 for an empty observation or
+    ``max_estimate``-clamped infinity otherwise.
+
+    Args:
+        empty_bins: Observed number of empty bins, in ``[0, b]``.
+        b: Number of bins queried.
+        max_estimate: Upper clamp for the returned estimate (callers pass
+            the remaining candidate count).
+
+    Returns:
+        A non-negative estimate of the number of positive nodes, clamped
+        to ``[0, max_estimate]``.
+
+    Raises:
+        ValueError: If ``empty_bins`` is outside ``[0, b]`` or ``b < 1``.
+    """
+    if b < 1:
+        raise ValueError(f"bin count must be >= 1, got {b}")
+    if not 0 <= empty_bins <= b:
+        raise ValueError(f"empty_bins must be in [0, {b}], got {empty_bins}")
+    if b == 1:
+        return 0.0 if empty_bins >= 1 else min(max_estimate, float(b))
+    e_real = max(float(empty_bins), 0.5)
+    estimate = (math.log(e_real) - math.log(b)) / math.log(1.0 - 1.0 / b)
+    return float(min(max(estimate, 0.0), max_estimate))
+
+
+def oracle_bins(x: int, t: int, n: int) -> int:
+    """Oracle bin count given perfect knowledge of ``x`` (Sec V-C).
+
+    The paper interpolates three anchor points::
+
+        b = x + 1                      if x <= t/2   (elimination regime)
+        b = 3x - t                     if t/2 < x <= t (hard region ~ 2t)
+        b = t * (1 + (n - x)/(n - t + 1))  if x > t  (confirmation regime)
+
+    Args:
+        x: True positive count.
+        t: Threshold.
+        n: Population size.
+
+    Returns:
+        The oracle's bin count for the first round, at least 1.
+
+    Raises:
+        ValueError: On non-positive ``t``/``n``, ``x`` outside ``[0, n]``,
+            or ``t > n`` (the query is then trivially false anyway).
+    """
+    if t < 1:
+        raise ValueError(f"threshold must be >= 1, got {t}")
+    if n < 1:
+        raise ValueError(f"population must be >= 1, got {n}")
+    if not 0 <= x <= n:
+        raise ValueError(f"x must be in [0, {n}], got {x}")
+    if x <= t / 2:
+        b = x + 1
+    elif x <= t:
+        b = 3 * x - t
+    else:
+        b = t * (1.0 + (n - x) / (n - t + 1.0))
+    return max(1, int(round(b)))

@@ -1,0 +1,126 @@
+"""Repeat-count analysis for the probabilistic model (Eqs 9-10, Sec VI).
+
+The probabilistic querying scheme repeats a single sampled-bin probe ``r``
+times and thresholds the observed count of non-empty probes at the midpoint
+``(m1 + m2) / 2``.  The paper bounds the failure probability with an
+additive Chernoff inequality and inverts it (Eq 10) to size ``r``::
+
+    r >= 2 * ln(1/delta) / (eps * ln(2e))
+
+with ``eps = gap / 2`` where ``gap`` is the difference between the
+non-empty probabilities of the two modes.  The worked example in the paper
+(``n=128, mu1=16, mu2=96``: 19 repeats at ``delta=1%``, 12 at ``delta=5%``)
+is reproduced exactly by :func:`paper_repeats` with the gap-optimal
+sampling-bin size of :func:`optimal_sampling_bins` -- see
+``tests/analytic/test_chernoff.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def optimal_sampling_bins(t_l: float, t_r: float) -> float:
+    """Sampling-bin count maximising mode separation.
+
+    Each node joins the probe bin with probability ``1/b``; the bin is
+    silent with probability ``s**x`` where ``s = 1 - 1/b``.  The gap
+    ``s**t_l - s**t_r`` is maximised at ``s* = (t_l / t_r)^(1/(t_r - t_l))``
+    (set the derivative to zero), giving ``b = 1 / (1 - s*)``.
+
+    Args:
+        t_l: Left boundary (``mu1 + 2*sigma1``); must be ``> 0`` and
+            ``< t_r``.
+        t_r: Right boundary (``mu2 - 2*sigma2``).
+
+    Returns:
+        The real-valued optimal bin count (``> 1``).
+
+    Raises:
+        ValueError: If boundaries are not ``0 < t_l < t_r``.
+    """
+    if not 0 < t_l < t_r:
+        raise ValueError(f"need 0 < t_l < t_r, got t_l={t_l}, t_r={t_r}")
+    s_star = (t_l / t_r) ** (1.0 / (t_r - t_l))
+    return 1.0 / (1.0 - s_star)
+
+
+def mode_nonempty_probs(b: float, t_l: float, t_r: float) -> tuple[float, float]:
+    """Per-probe non-empty probabilities ``(q1, q2)`` for the two modes.
+
+    ``q1 = 1 - (1 - 1/b)^t_l`` (Eq 7a, tight at ``x = t_l``) and
+    ``q2 = 1 - (1 - 1/b)^t_r`` (Eq 7b, tight at ``x = t_r``).
+    """
+    if b <= 1:
+        raise ValueError(f"sampling-bin count must be > 1, got {b}")
+    s = 1.0 - 1.0 / b
+    return 1.0 - s**t_l, 1.0 - s**t_r
+
+
+def separation_gap(b: float, t_l: float, t_r: float) -> float:
+    """Half-gap tolerance ``eps = (q2 - q1) / 2`` available to the decision."""
+    q1, q2 = mode_nonempty_probs(b, t_l, t_r)
+    return (q2 - q1) / 2.0
+
+
+def failure_probability(eps: float, r: int) -> float:
+    """Paper's Eq 9 failure bound: ``exp(-eps * r / 2)``.
+
+    Args:
+        eps: Tolerated deviation of the non-empty fraction (``> 0``).
+        r: Number of repeats (``>= 1``).
+
+    Returns:
+        The one-sided failure-probability bound.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    if r < 1:
+        raise ValueError(f"repeats must be >= 1, got {r}")
+    return math.exp(-eps * r / 2.0)
+
+
+def paper_repeats(delta: float, eps: float) -> int:
+    """Eq 10: repeats for overall failure probability ``delta``.
+
+    ``r = 2 * ln(1/delta) / (eps * ln(2e))``, rounded to the nearest
+    integer.  Nearest (not ceiling) rounding is what reproduces both of the
+    paper's worked numbers (``n=128, mu1=16, mu2=96``: the raw values are
+    18.68 and 12.15 and the paper reports 19 and 12).
+
+    Args:
+        delta: Target overall failure probability in ``(0, 1)``.
+        eps: Half-gap tolerance from :func:`separation_gap` (``> 0``).
+
+    Returns:
+        The Eq 10 repeat count (at least 1).
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    if eps <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    r = 2.0 * math.log(1.0 / delta) / (eps * math.log(2.0 * math.e))
+    return max(1, round(r))
+
+
+def hoeffding_repeats(delta: float, eps: float) -> int:
+    """Textbook two-sided Hoeffding sizing, for comparison with Eq 10.
+
+    ``P(|X̄ - q| >= eps) <= 2 exp(-2 eps^2 r)`` gives
+    ``r >= ln(2/delta) / (2 eps^2)``.  This is the rigorous bound for
+    bounded i.i.d. indicators; the paper's Eq 10 is looser in ``eps`` but
+    tighter for moderate gaps.  The ablation benchmark contrasts the two.
+
+    Args:
+        delta: Target overall failure probability in ``(0, 1)``.
+        eps: Half-gap tolerance (``> 0``).
+
+    Returns:
+        The smallest integer ``r`` satisfying the bound (at least 1).
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    if eps <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    r = math.log(2.0 / delta) / (2.0 * eps * eps)
+    return max(1, math.ceil(r))

@@ -1,0 +1,105 @@
+"""High-level convenience API.
+
+For exploratory use the full machinery (population, model, algorithm,
+separate RNG streams) is overkill; :func:`threshold_query` wires it all
+from a few scalars, and :func:`make_algorithm` gives name-based access to
+the algorithm family (used by the examples and benchmark harness too).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.abns import Abns, ProbabilisticAbns
+from repro.core.exponential import ExponentialIncrease
+from repro.core.oracle import OracleBins
+from repro.core.result import ThresholdResult
+from repro.core.two_t_bins import TwoTBins
+from repro.core.variations import FourFoldIncrease, PauseAndContinue
+from repro.group_testing.model import OnePlusModel, QueryModel, TwoPlusModel
+from repro.group_testing.population import Population
+
+#: Algorithm registry: name -> factory taking the true ``x`` (used only
+#: by the oracle; every other factory ignores it).
+ALGORITHMS: Dict[str, Callable[[Optional[int]], object]] = {
+    "2tbins": lambda x: TwoTBins(),
+    "exponential": lambda x: ExponentialIncrease(),
+    "abns-t": lambda x: Abns(p0_multiple=1.0),
+    "abns-2t": lambda x: Abns(p0_multiple=2.0),
+    "prob-abns": lambda x: ProbabilisticAbns(),
+    "pause-and-continue": lambda x: PauseAndContinue(),
+    "four-fold": lambda x: FourFoldIncrease(),
+    "oracle": lambda x: OracleBins(x if x is not None else 0),
+}
+
+
+def make_algorithm(name: str, *, x: Optional[int] = None):
+    """Instantiate an algorithm by name.
+
+    Args:
+        name: One of :data:`ALGORITHMS` (case-insensitive).
+        x: True positive count, required by ``"oracle"`` only.
+
+    Raises:
+        KeyError: For unknown names (message lists the valid ones).
+        ValueError: If ``"oracle"`` is requested without ``x``.
+    """
+    key = name.lower()
+    if key not in ALGORITHMS:
+        raise KeyError(
+            f"unknown algorithm {name!r}; valid: {sorted(ALGORITHMS)}"
+        )
+    if key == "oracle" and x is None:
+        raise ValueError("the oracle needs the true positive count x")
+    return ALGORITHMS[key](x)
+
+
+def threshold_query(
+    target: Union[Population, QueryModel],
+    threshold: int,
+    *,
+    algorithm: str = "prob-abns",
+    collision_model: str = "1+",
+    seed: int = 0,
+    x_hint: Optional[int] = None,
+) -> ThresholdResult:
+    """Answer ``x >= threshold`` over a population or an existing model.
+
+    Args:
+        target: Either a :class:`Population` (a fresh query model is built
+            over it) or a ready :class:`QueryModel`.
+        threshold: The threshold ``t``.
+        algorithm: Algorithm name from :data:`ALGORITHMS`.
+        collision_model: ``"1+"`` or ``"2+"`` -- only used when ``target``
+            is a population.
+        seed: Root seed for the model and bin randomness.
+        x_hint: True positive count for the oracle algorithm.
+
+    Returns:
+        The session's :class:`ThresholdResult`.
+
+    Example:
+        >>> pop = Population.from_count(64, 20)
+        >>> threshold_query(pop, 8, algorithm="2tbins", seed=1).decision
+        True
+    """
+    if isinstance(target, Population):
+        rng = np.random.default_rng(seed)
+        if collision_model == "1+":
+            model: QueryModel = OnePlusModel(target, rng)
+        elif collision_model == "2+":
+            model = TwoPlusModel(target, rng)
+        else:
+            raise ValueError(
+                f"collision_model must be '1+' or '2+', got {collision_model!r}"
+            )
+        if x_hint is None and algorithm.lower() == "oracle":
+            x_hint = target.x
+    else:
+        model = target
+    algo = make_algorithm(algorithm, x=x_hint)
+    return algo.decide(  # type: ignore[attr-defined]
+        model, threshold, np.random.default_rng(seed + 1)
+    )

@@ -1,0 +1,55 @@
+"""tcast: the threshold-querying algorithm family (the paper's contribution).
+
+Exact algorithms (always-correct under ideal radios):
+
+* :class:`~repro.core.two_t_bins.TwoTBins` -- Algorithm 1 (Sec IV-A).
+* :class:`~repro.core.exponential.ExponentialIncrease` -- Algorithm 2
+  (Sec IV-B).
+* :class:`~repro.core.abns.Abns` -- Algorithm 3, adaptive bin number
+  selection (Sec V-B).
+* :class:`~repro.core.abns.ProbabilisticAbns` -- ABNS with a sampled
+  probe choosing ``p0`` (Sec V-D).
+* :class:`~repro.core.oracle.OracleBins` -- the lower-bound baseline with
+  perfect knowledge of ``x`` (Sec V-C).
+* :mod:`~repro.core.variations` -- the pause-and-continue and four-fold
+  variations the paper tried and excluded (kept here as ablations).
+
+Probabilistic algorithm (bounded error, O(1) queries):
+
+* :class:`~repro.core.probabilistic.ProbabilisticThreshold` -- the
+  bimodal sampling scheme of Sec VI.
+"""
+
+from repro.core.abns import Abns, AbnsBinPolicy, ProbabilisticAbns
+from repro.core.base import ThresholdAlgorithm
+from repro.core.counting import AdaptiveSplittingCounter, CountResult
+from repro.core.estimator import PositiveCountEstimator
+from repro.core.exponential import ExponentialIncrease
+from repro.core.interval import BandResult, IntervalQuery, IntervalResult
+from repro.core.oracle import OracleBins
+from repro.core.probabilistic import ProbabilisticDecision, ProbabilisticThreshold
+from repro.core.result import RoundRecord, ThresholdResult
+from repro.core.two_t_bins import TwoTBins
+from repro.core.variations import FourFoldIncrease, PauseAndContinue
+
+__all__ = [
+    "Abns",
+    "AdaptiveSplittingCounter",
+    "CountResult",
+    "AbnsBinPolicy",
+    "ExponentialIncrease",
+    "BandResult",
+    "FourFoldIncrease",
+    "IntervalQuery",
+    "IntervalResult",
+    "OracleBins",
+    "PauseAndContinue",
+    "PositiveCountEstimator",
+    "ProbabilisticAbns",
+    "ProbabilisticDecision",
+    "ProbabilisticThreshold",
+    "RoundRecord",
+    "ThresholdAlgorithm",
+    "ThresholdResult",
+    "TwoTBins",
+]

@@ -1,0 +1,232 @@
+"""Adaptive Bin Number Selection -- ABNS (Algorithm 3, Sec V) and its
+probabilistic-probe variant (Sec V-D).
+
+ABNS sizes each round's bins from a running estimate ``p`` of the positive
+count via Eq 4: ``b = p + 1`` -- Algorithm 3 exactly as printed, and the
+default policy here (reproducing Figures 5/6 requires it: it is what makes
+``ABNS(p0 = t)`` cheap at the left edge).  The alternative
+:attr:`AbnsBinPolicy.HYBRID` policy switches to an oracle-style ``[t, 2t]``
+interpolation once ``p >= t`` -- motivated by the paper's own remark that
+Eq 4's derivation is only meaningful while ``p < t`` -- and is kept as an
+ablation (``benchmarks/test_bench_ablations.py``).
+
+After each round the estimate is refreshed from the observed empty-bin
+count via Eq 6 (see :class:`repro.core.estimator.PositiveCountEstimator`),
+and a stagnation guard escalates the estimate when a round makes no
+progress (all bins non-empty cannot lower ``p``; without the guard the
+climb can take several wasted rounds).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analytic.bins import optimal_bins
+from repro.core.base import RoundOutcome, SessionState, ThresholdAlgorithm
+from repro.core.estimator import PositiveCountEstimator
+from repro.core.result import RoundRecord, ThresholdResult
+from repro.core.two_t_bins import TwoTBins
+from repro.group_testing.binning import sample_bin
+from repro.group_testing.model import QueryModel
+
+
+class AbnsBinPolicy(enum.Enum):
+    """How ABNS maps its estimate ``p`` to a bin count."""
+
+    PAPER = "paper"
+    """``p + 1`` always -- Algorithm 3 exactly as printed (the default;
+    this is what the paper's Figures 5/6 were generated with)."""
+
+    HYBRID = "hybrid"
+    """``p + 1`` while ``p < t``; oracle-style ``[t, 2t]`` interpolation
+    once ``p >= t``.  An ablation alternative motivated by the paper's
+    remark that Eq 4's derivation only applies in the ``p < t`` regime."""
+
+
+class Abns(ThresholdAlgorithm):
+    """Algorithm 3: adaptive bin number selection.
+
+    Args:
+        p0: Initial positive-count estimate.  The paper evaluates
+            ``p0 = t`` and ``p0 = 2t``; pass either via
+            :meth:`with_threshold_multiple` when ``t`` is not known at
+            construction time.
+        p0_multiple: Alternative to ``p0``: set the initial estimate to
+            ``p0_multiple * t`` at decide time (e.g. 1.0 or 2.0).
+        policy: Estimate-to-bin-count mapping (default PAPER).
+        stagnation_limit: After this many consecutive no-progress rounds
+            the estimate is escalated to ``2t`` directly.
+    """
+
+    name = "ABNS"
+
+    def __init__(
+        self,
+        *,
+        p0: Optional[float] = None,
+        p0_multiple: Optional[float] = None,
+        policy: AbnsBinPolicy = AbnsBinPolicy.PAPER,
+        stagnation_limit: int = 3,
+    ) -> None:
+        if (p0 is None) == (p0_multiple is None):
+            raise ValueError("exactly one of p0 / p0_multiple must be given")
+        if p0 is not None and p0 < 0:
+            raise ValueError(f"p0 must be >= 0, got {p0}")
+        if p0_multiple is not None and p0_multiple < 0:
+            raise ValueError(f"p0_multiple must be >= 0, got {p0_multiple}")
+        if stagnation_limit < 1:
+            raise ValueError(
+                f"stagnation_limit must be >= 1, got {stagnation_limit}"
+            )
+        self._p0 = p0
+        self._p0_multiple = p0_multiple
+        self._policy = policy
+        self._stagnation_limit = stagnation_limit
+        self._estimator: Optional[PositiveCountEstimator] = None
+        self._stagnant_rounds = 0
+        if p0 is not None:
+            self.name = f"ABNS(p0={p0:g})"
+        else:
+            self.name = f"ABNS(p0={p0_multiple:g}t)"
+
+    @classmethod
+    def with_threshold_multiple(
+        cls, multiple: float, **kwargs: object
+    ) -> "Abns":
+        """ABNS whose ``p0`` is ``multiple * t`` (paper's ``t`` / ``2t``)."""
+        return cls(p0_multiple=multiple, **kwargs)  # type: ignore[arg-type]
+
+    def _reset(self, state: SessionState) -> None:
+        p0 = (
+            self._p0
+            if self._p0 is not None
+            else float(self._p0_multiple) * state.threshold  # type: ignore[arg-type]
+        )
+        p0 = min(p0, float(len(state.candidates)))
+        self._estimator = PositiveCountEstimator(p0)
+        self._stagnant_rounds = 0
+
+    def _bins_for_round(self, state: SessionState) -> int:
+        assert self._estimator is not None
+        p = self._estimator.value
+        t = state.threshold
+        n = len(state.candidates)
+        if self._policy is AbnsBinPolicy.PAPER or p < t:
+            b = optimal_bins(p)
+        else:
+            # Confirmation regime: interpolate t..2t like the oracle.
+            raw = t * (1.0 + (n - min(p, n)) / (n - t + 1.0)) if n >= t else t
+            b = int(round(min(max(raw, t), 2.0 * t)))
+        return max(1, min(b, max(n, 1)))
+
+    def _observe_round(self, state: SessionState, outcome: RoundOutcome) -> None:
+        assert self._estimator is not None
+        if outcome.bins_queried >= 1:
+            self._estimator.update(
+                outcome.silent_bins,
+                outcome.bins_queried,
+                candidates=len(state.candidates),
+            )
+        if outcome.progressed:
+            self._stagnant_rounds = 0
+        else:
+            self._stagnant_rounds += 1
+            if self._stagnant_rounds >= self._stagnation_limit:
+                self._estimator.escalate(2.0 * state.threshold)
+                self._stagnant_rounds = 0
+
+    def _current_estimate(self) -> Optional[float]:
+        return None if self._estimator is None else self._estimator.value
+
+
+class ProbabilisticAbns:
+    """Sec V-D: a one-query sampled probe picks ABNS's starting point.
+
+    The probe bin includes each candidate independently with probability
+    ``min(1, 2/t)``.  A *silent* probe suggests ``x < t/2`` -- the regime
+    where ABNS beats 2tBins -- so the session continues as
+    ``ABNS(p0 = t/4)``.  A non-empty probe suggests ``x > t/2``, where
+    2tBins is near-oracle already, so the session falls back to 2tBins.
+    The probe itself is charged one query (the initiator cannot see the
+    sampled membership: nodes self-select).
+
+    Args:
+        policy: Bin policy for the ABNS branch.
+    """
+
+    name = "ProbABNS"
+
+    def __init__(self, *, policy: AbnsBinPolicy = AbnsBinPolicy.PAPER) -> None:
+        self._policy = policy
+
+    def decide(
+        self,
+        model: QueryModel,
+        threshold: int,
+        rng: np.random.Generator,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> ThresholdResult:
+        """Probe once, then delegate to ABNS or 2tBins.
+
+        Mirrors :meth:`ThresholdAlgorithm.decide`'s contract; the returned
+        ``queries`` includes the probe.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        ids = (
+            list(range(model.population_size))
+            if candidates is None
+            else list(candidates)
+        )
+        start_queries = model.queries_used
+
+        if threshold == 0 or len(ids) < threshold:
+            # Degenerate sessions do not need the probe.
+            sub = TwoTBins().decide(model, threshold, rng, candidates=ids)
+            return ThresholdResult(
+                decision=sub.decision,
+                queries=model.queries_used - start_queries,
+                rounds=sub.rounds,
+                threshold=threshold,
+                confirmed_positives=sub.confirmed_positives,
+                exact=True,
+                history=sub.history,
+                algorithm=self.name,
+            )
+
+        inclusion = min(1.0, 2.0 / threshold)
+        probe_members = sample_bin(ids, inclusion, rng)
+        probe_obs = model.query(probe_members)
+
+        sub_algo: ThresholdAlgorithm
+        if probe_obs.silent:
+            sub_algo = Abns(p0=threshold / 4.0, policy=self._policy)
+        else:
+            sub_algo = TwoTBins()
+        sub = sub_algo.decide(model, threshold, rng, candidates=ids)
+
+        probe_record = RoundRecord(
+            index=-1,
+            bins_requested=1,
+            bins_queried=1,
+            silent_bins=1 if probe_obs.silent else 0,
+            captured=0,
+            evidence=0,
+            eliminated=0,
+            candidates_after=len(ids),
+            p_estimate=None,
+        )
+        return ThresholdResult(
+            decision=sub.decision,
+            queries=model.queries_used - start_queries,
+            rounds=sub.rounds + 1,
+            threshold=threshold,
+            confirmed_positives=sub.confirmed_positives,
+            exact=True,
+            history=(probe_record, *sub.history),
+            algorithm=self.name,
+        )

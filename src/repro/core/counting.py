@@ -1,0 +1,196 @@
+"""Exact positive counting via adaptive group splitting.
+
+The paper distinguishes its goal from classic group testing (Sec III):
+group testing identifies *which* nodes are positive, threshold querying
+only resolves ``x >= t``.  This module implements the classic adaptive
+splitting counter (binary splitting in the style of Du & Hwang) over the
+same RCD query models, so the cost gap between "count everything" and
+"answer the threshold" can be measured directly -- the quantitative
+version of the paper's motivation.
+
+Cost is ``O(x log(N/x))`` queries: each positive is isolated by a binary
+search over its segment; silent segments are discarded wholesale.  Under
+the 2+ model a captured reply short-circuits one binary search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.group_testing.model import ObservationKind, QueryModel
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """Outcome of an exact-counting session.
+
+    Attributes:
+        count: Number of positives found (exact when ``stop_at`` was not
+            hit; a certified lower bound otherwise).
+        queries: Total charged query cost.
+        complete: ``True`` when every candidate was resolved; ``False``
+            when the session stopped early at ``stop_at``.
+        positives: The identified positive node ids (sorted).
+    """
+
+    count: int
+    queries: int
+    complete: bool
+    positives: tuple[int, ...]
+
+
+class AdaptiveSplittingCounter:
+    """Exact counting of positives over an RCD query model.
+
+    Args:
+        shuffle: Randomise the candidate order before splitting, which
+            decorrelates segment boundaries from node ids (matching the
+            random-binning spirit of the tcast algorithms).
+        verify_inferred: The splitting inference ("head silent implies
+            tail non-empty") is sound only for reliable tests.  With
+            ``True``, inferred-non-empty segments are still queried
+            directly before any member is counted, so every reported
+            positive is backed by observed activity even under lossy
+            detection (at a modest extra query cost).  Default ``False``
+            (the classic algorithm; assumes ideal tests).
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.group_testing import OnePlusModel, Population
+        >>> pop = Population.from_count(64, 5)
+        >>> model = OnePlusModel(pop, np.random.default_rng(0))
+        >>> counter = AdaptiveSplittingCounter()
+        >>> counter.count(model, np.random.default_rng(1)).count
+        5
+    """
+
+    def __init__(
+        self, *, shuffle: bool = True, verify_inferred: bool = False
+    ) -> None:
+        self._shuffle = shuffle
+        self._verify_inferred = verify_inferred
+
+    def count(
+        self,
+        model: QueryModel,
+        rng: np.random.Generator,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+        stop_at: Optional[int] = None,
+    ) -> CountResult:
+        """Count (and identify) the positive nodes.
+
+        Args:
+            model: The RCD query oracle (1+ or 2+).
+            rng: Randomness for the initial shuffle.
+            candidates: Node ids to count over; defaults to the model's
+                whole population.
+            stop_at: Optional early exit -- stop as soon as this many
+                positives are certified (turns the counter into a
+                threshold-query baseline).
+
+        Returns:
+            A :class:`CountResult`; ``queries`` counts only this call.
+
+        Raises:
+            ValueError: If ``stop_at`` is negative.
+        """
+        if stop_at is not None and stop_at < 0:
+            raise ValueError(f"stop_at must be >= 0, got {stop_at}")
+        ids = (
+            list(range(model.population_size))
+            if candidates is None
+            else list(candidates)
+        )
+        if self._shuffle and len(ids) > 1:
+            order = rng.permutation(len(ids))
+            ids = [ids[i] for i in order]
+
+        start_queries = model.queries_used
+        found: List[int] = []
+        # Stack entries: (segment, known_nonempty).  The standard binary-
+        # splitting inference: when a known-nonempty segment's first half
+        # tests silent, the second half is nonempty *for free*.
+        stack: List[tuple[List[int], bool]] = [(ids, False)] if ids else []
+
+        while stack:
+            if stop_at is not None and len(found) >= stop_at:
+                return CountResult(
+                    count=len(found),
+                    queries=model.queries_used - start_queries,
+                    complete=not stack,
+                    positives=tuple(sorted(found)),
+                )
+            segment, known = stack.pop()
+            if not segment:
+                continue
+            if not known:
+                obs = model.query(segment)
+                if obs.kind is ObservationKind.SILENT:
+                    continue
+                if obs.kind is ObservationKind.CAPTURE:
+                    # One positive identified for free; the rest of the
+                    # segment may still hold more (capture effect), so it
+                    # goes back with unknown status.
+                    assert obs.captured_node is not None
+                    found.append(obs.captured_node)
+                    rest = [v for v in segment if v != obs.captured_node]
+                    if rest:
+                        stack.append((rest, False))
+                    continue
+                # Undecodable activity: segment is known nonempty.
+            if len(segment) == 1:
+                found.append(segment[0])
+                continue
+            mid = len(segment) // 2
+            head, tail = segment[:mid], segment[mid:]
+            obs = model.query(head)
+            if obs.kind is ObservationKind.SILENT:
+                # All positives of the segment sit in the tail -- by
+                # inference, which lossy detection can invalidate; the
+                # verifying mode downgrades it to "unknown" instead.
+                stack.append((tail, not self._verify_inferred))
+            elif obs.kind is ObservationKind.CAPTURE:
+                assert obs.captured_node is not None
+                found.append(obs.captured_node)
+                rest = [v for v in head if v != obs.captured_node]
+                if rest:
+                    stack.append((rest, False))
+                stack.append((tail, False))
+            else:
+                stack.append((tail, False))
+                if len(head) == 1:
+                    # Directly observed non-empty singleton.
+                    found.append(head[0])
+                else:
+                    stack.append((head, True))
+
+        return CountResult(
+            count=len(found),
+            queries=model.queries_used - start_queries,
+            complete=True,
+            positives=tuple(sorted(found)),
+        )
+
+    def threshold_query(
+        self,
+        model: QueryModel,
+        threshold: int,
+        rng: np.random.Generator,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> bool:
+        """Answer ``x >= t`` by counting with early exit.
+
+        This is the "do group testing, then compare" strawman the paper
+        improves on; kept for the counting-vs-threshold ablation bench.
+        """
+        if threshold == 0:
+            return True
+        result = self.count(
+            model, rng, candidates=candidates, stop_at=threshold
+        )
+        return result.count >= threshold

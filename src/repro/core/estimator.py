@@ -1,0 +1,91 @@
+"""Online estimation of the positive count ``p`` (Sec V-A, Eq 6).
+
+ABNS sizes each round's bins from a running estimate of ``x``.  After a
+round with ``b`` queried bins of which ``e_real`` were empty, Eq 6 inverts
+the expected-empty-bin formula::
+
+    p = (log e_real - log b) / log(1 - 1/b)
+
+The raw inversion is singular at ``e_real = 0`` (all bins non-empty, which
+suggests "many positives"); :func:`repro.analytic.bins.estimate_positives`
+substitutes half a bin, producing a large-but-finite estimate so the next
+round escalates its bin count.  This class adds clamping to the surviving
+candidate count and keeps the estimate history for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analytic.bins import estimate_positives
+
+
+class PositiveCountEstimator:
+    """Running estimate of the number of positive nodes.
+
+    Args:
+        initial: The prior ``p0`` (the paper uses ``t`` or ``2t``; the
+            probabilistic probe of Sec V-D supplies ``t/4``).
+
+    Attributes:
+        value: Current estimate (read-only property).
+    """
+
+    def __init__(self, initial: float) -> None:
+        if initial < 0:
+            raise ValueError(f"initial estimate must be >= 0, got {initial}")
+        self._value = float(initial)
+        self._history: List[float] = [float(initial)]
+
+    @property
+    def value(self) -> float:
+        """The current ``p`` estimate."""
+        return self._value
+
+    @property
+    def history(self) -> List[float]:
+        """All estimates, starting with ``p0`` (copy)."""
+        return list(self._history)
+
+    def update(self, empty_bins: int, bins_queried: int, candidates: int) -> float:
+        """Refresh the estimate from one finished round (Eq 6).
+
+        Args:
+            empty_bins: Bins observed silent in the round.
+            bins_queried: Bins actually queried (the effective ``b``).
+            candidates: Surviving candidate count -- the estimate cannot
+                exceed it, since eliminated nodes are certainly negative.
+
+        Returns:
+            The new estimate.
+
+        Raises:
+            ValueError: If ``bins_queried < 1`` or counts are inconsistent.
+        """
+        if bins_queried < 1:
+            raise ValueError(
+                f"bins_queried must be >= 1, got {bins_queried}"
+            )
+        if not 0 <= empty_bins <= bins_queried:
+            raise ValueError(
+                f"empty_bins must be in [0, {bins_queried}], got {empty_bins}"
+            )
+        if candidates < 0:
+            raise ValueError(f"candidates must be >= 0, got {candidates}")
+        self._value = estimate_positives(
+            empty_bins, bins_queried, max_estimate=float(candidates)
+        )
+        self._history.append(self._value)
+        return self._value
+
+    def escalate(self, floor: float) -> float:
+        """Force the estimate up to at least ``floor`` (stagnation guard).
+
+        Used when a round makes no progress: the evidence says "more
+        positives than we thought", so the estimate is raised directly
+        rather than waiting for Eq 6 to climb over several rounds.
+        """
+        if floor > self._value:
+            self._value = float(floor)
+            self._history.append(self._value)
+        return self._value

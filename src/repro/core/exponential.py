@@ -1,0 +1,67 @@
+"""The Exponential Increase algorithm (Algorithm 2, Sec IV-B).
+
+2tBins is wasteful when ``x << t`` (it pays ``2t`` queries in the very
+first round even when one bin would have revealed near-total silence).
+Exponential Increase starts with ``binNum = 2`` and doubles the bin count
+after every round: early rounds eliminate large negative swaths cheaply,
+and the doubling catches up with the ``x >> t`` regime within ``log``
+rounds.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import RoundOutcome, SessionState, ThresholdAlgorithm
+
+
+class ExponentialIncrease(ThresholdAlgorithm):
+    """Algorithm 2: bin count starts at 2 and doubles each round.
+
+    Args:
+        initial_bins: First-round bin count (the paper uses 2).
+        growth: Multiplicative per-round growth factor (the paper uses 2;
+            the four-fold ablation of Sec IV-B lives in
+            :mod:`repro.core.variations`).
+        max_bins: Optional cap on the bin count; ``None`` lets it grow to
+            the candidate count (querying singletons at most).  At run
+            time the cap is floored at the session's threshold ``t`` --
+            with fewer than ``t`` bins a round can never exhibit ``t``
+            non-empty bins, so a lower cap would make true instances
+            undecidable.
+    """
+
+    name = "ExpIncrease"
+
+    def __init__(
+        self,
+        *,
+        initial_bins: int = 2,
+        growth: int = 2,
+        max_bins: int | None = None,
+    ) -> None:
+        if initial_bins < 1:
+            raise ValueError(f"initial_bins must be >= 1, got {initial_bins}")
+        if growth < 2:
+            raise ValueError(f"growth must be >= 2, got {growth}")
+        if max_bins is not None and max_bins < initial_bins:
+            raise ValueError(
+                f"max_bins ({max_bins}) must be >= initial_bins ({initial_bins})"
+            )
+        self._initial_bins = initial_bins
+        self._growth = growth
+        self._max_bins = max_bins
+        self._bin_num = initial_bins
+
+    def _reset(self, state: SessionState) -> None:
+        self._bin_num = self._initial_bins
+
+    def _bins_for_round(self, state: SessionState) -> int:
+        if self._max_bins is not None:
+            # Completeness floor: never cap below the threshold.
+            return min(self._bin_num, max(self._max_bins, state.threshold))
+        return self._bin_num
+
+    def _observe_round(self, state: SessionState, outcome: RoundOutcome) -> None:
+        nxt = self._bin_num * self._growth
+        if self._max_bins is not None:
+            nxt = min(nxt, max(self._max_bins, state.threshold))
+        self._bin_num = nxt

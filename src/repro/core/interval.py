@@ -1,0 +1,163 @@
+"""Interval queries and band classification built on threshold sessions.
+
+The threshold primitive generalises immediately to two useful composites
+the applications section of the paper gestures at (classification by
+counting detections):
+
+* :meth:`IntervalQuery.decide` -- "is ``lo <= x < hi``?", the conjunction
+  of one threshold query and one negated threshold query;
+* :meth:`IntervalQuery.classify` -- which of ``len(boundaries)+1`` bands
+  does ``x`` fall into, resolved by a binary search over the boundaries
+  (``ceil(log2(#bands))`` threshold sessions).
+
+Both run over any :class:`~repro.group_testing.model.QueryModel` and any
+exact tcast algorithm; the shared model ledger accumulates the total
+query cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import ThresholdAlgorithm
+from repro.core.two_t_bins import TwoTBins
+from repro.group_testing.model import QueryModel
+
+
+@dataclass(frozen=True)
+class IntervalResult:
+    """Outcome of one interval query.
+
+    Attributes:
+        in_interval: Whether ``lo <= x < hi``.
+        at_least_lo: The lower threshold session's verdict (``x >= lo``).
+        below_hi: The upper session's verdict (``x < hi``); ``True`` by
+            construction when the lower verdict already settled the
+            question.
+        queries: Total charged query cost of the composite.
+    """
+
+    in_interval: bool
+    at_least_lo: bool
+    below_hi: bool
+    queries: int
+
+
+@dataclass(frozen=True)
+class BandResult:
+    """Outcome of a band classification.
+
+    Attributes:
+        band: Index of the band ``x`` falls into: band ``i`` is
+            ``[boundaries[i-1], boundaries[i])`` with band 0 below the
+            first boundary and the last band at or above the final one.
+        queries: Total charged query cost.
+        sessions: Threshold sessions executed.
+    """
+
+    band: int
+    queries: int
+    sessions: int
+
+
+class IntervalQuery:
+    """Composite interval/band queries over a tcast algorithm.
+
+    Args:
+        algorithm_factory: Builds a fresh exact algorithm per threshold
+            session (default: 2tBins).
+    """
+
+    def __init__(
+        self,
+        algorithm_factory: Optional[Callable[[], ThresholdAlgorithm]] = None,
+    ) -> None:
+        self._factory = algorithm_factory or TwoTBins
+
+    def decide(
+        self,
+        model: QueryModel,
+        lo: int,
+        hi: int,
+        rng: np.random.Generator,
+    ) -> IntervalResult:
+        """Answer ``lo <= x < hi``.
+
+        Args:
+            model: The query oracle.
+            lo: Inclusive lower bound (``>= 0``).
+            hi: Exclusive upper bound (``> lo``).
+            rng: Randomness for bin assignment.
+
+        Raises:
+            ValueError: If the interval is empty or negative.
+        """
+        if lo < 0:
+            raise ValueError(f"lo must be >= 0, got {lo}")
+        if hi <= lo:
+            raise ValueError(f"need lo < hi, got [{lo}, {hi})")
+        start = model.queries_used
+        lower = self._factory().decide(model, lo, rng)
+        if not lower.decision:
+            return IntervalResult(
+                in_interval=False,
+                at_least_lo=False,
+                below_hi=True,
+                queries=model.queries_used - start,
+            )
+        upper = self._factory().decide(model, hi, rng)
+        return IntervalResult(
+            in_interval=not upper.decision,
+            at_least_lo=True,
+            below_hi=not upper.decision,
+            queries=model.queries_used - start,
+        )
+
+    def classify(
+        self,
+        model: QueryModel,
+        boundaries: Sequence[int],
+        rng: np.random.Generator,
+    ) -> BandResult:
+        """Locate ``x`` among the bands cut by ``boundaries``.
+
+        Binary search: each probe is one threshold session at a median
+        boundary, so ``ceil(log2(len(boundaries)+1))`` sessions suffice.
+
+        Args:
+            model: The query oracle.
+            boundaries: Strictly increasing positive thresholds.
+            rng: Randomness for bin assignment.
+
+        Raises:
+            ValueError: If boundaries are empty, non-increasing, or
+                non-positive.
+        """
+        if not boundaries:
+            raise ValueError("need at least one boundary")
+        cuts = [int(b) for b in boundaries]
+        if any(b <= 0 for b in cuts):
+            raise ValueError(f"boundaries must be positive, got {cuts}")
+        if any(a >= b for a, b in zip(cuts, cuts[1:])):
+            raise ValueError(f"boundaries must be strictly increasing: {cuts}")
+
+        start = model.queries_used
+        sessions = 0
+        lo_band, hi_band = 0, len(cuts)  # band index range, inclusive
+        while lo_band < hi_band:
+            mid = (lo_band + hi_band) // 2
+            # Band > mid iff x >= cuts[mid].
+            sessions += 1
+            verdict = self._factory().decide(model, cuts[mid], rng)
+            if verdict.decision:
+                lo_band = mid + 1
+            else:
+                hi_band = mid
+        return BandResult(
+            band=lo_band,
+            queries=model.queries_used - start,
+            sessions=sessions,
+        )

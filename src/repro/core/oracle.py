@@ -1,0 +1,46 @@
+"""The oracle bin-selection baseline (Sec V-C).
+
+The oracle knows the true positive count ``x`` and sizes every round's
+bins with the paper's interpolated formula::
+
+    b = x + 1                          if x <= t/2
+    b = 3x - t                         if t/2 < x <= t
+    b = t * (1 + (n - x)/(n - t + 1))  if x > t
+
+It still has to *prove* its answer through queries (it cannot just assert
+``x >= t``), so its cost is a lower bound on what any bin-number policy
+can achieve -- the reference curve in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from repro.analytic.bins import oracle_bins
+from repro.core.base import SessionState, ThresholdAlgorithm
+
+
+class OracleBins(ThresholdAlgorithm):
+    """Bin-number oracle: perfect knowledge of ``x`` at every round.
+
+    Args:
+        x: The true positive count among the *initial* candidates.  The
+            oracle tracks eliminations: within a session it recomputes the
+            formula against the surviving candidate count and the positives
+            still unconfirmed, which is what perfect knowledge implies.
+    """
+
+    name = "Oracle"
+
+    def __init__(self, x: int) -> None:
+        if x < 0:
+            raise ValueError(f"x must be >= 0, got {x}")
+        self._x = x
+
+    def _bins_for_round(self, state: SessionState) -> int:
+        n = len(state.candidates)
+        # Positives not yet individually confirmed are still candidates.
+        x_remaining = min(self._x - state.confirmed, n)
+        t_remaining = max(1, state.remaining_needed)
+        if n < 1:  # pragma: no cover - the base loop resolves before this
+            return 1
+        x_remaining = max(0, x_remaining)
+        return oracle_bins(x_remaining, t_remaining, n)

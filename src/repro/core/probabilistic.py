@@ -1,0 +1,180 @@
+"""The probabilistic threshold-querying scheme for bimodal workloads
+(Sec VI).
+
+When the positive count ``x`` is known a priori to follow a *bimodal*
+distribution -- either a handful of false detections (``x <= t_l``) or a
+genuine event with many detections (``x >= t_r``) -- the threshold query
+can be answered in **O(1)** queries, independent of ``n``, ``x`` and ``t``:
+
+1. Sample a probe bin by including every node independently with
+   probability ``1/b`` (nodes self-select; the initiator never learns the
+   membership, so the probe is charged whether or not the bin happens to
+   be empty).
+2. Query it; a non-empty probe is evidence for the activity mode.
+3. Repeat ``r`` times and compare the non-empty count against the midpoint
+   ``(m1 + m2) / 2`` of the two modes' expectations (Eqs 8a/8b).
+
+The repeat count ``r`` comes from the Chernoff bound of Eqs 9/10, and the
+probe size ``b`` from the gap-maximising choice in
+:mod:`repro.analytic.chernoff`.  Unlike the exact algorithms the answer
+carries an error probability -- at most ``delta`` when the modes really
+are separated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analytic.bimodal import BimodalSpec, SeparationAnalysis, analyze_separation
+from repro.core.result import ThresholdResult
+from repro.group_testing.binning import sample_bin
+from repro.group_testing.model import QueryModel
+
+
+@dataclass(frozen=True)
+class ProbabilisticDecision:
+    """Extended outcome of a probabilistic session.
+
+    Attributes:
+        result: The standard :class:`ThresholdResult` (``exact=False``).
+        nonempty_probes: How many of the ``r`` probes were non-empty.
+        repeats: The number of probes ``r`` used.
+        midpoint: The decision threshold on the non-empty count.
+        analysis: The separation analysis that sized the probes.
+    """
+
+    result: ThresholdResult
+    nonempty_probes: int
+    repeats: int
+    midpoint: float
+    analysis: SeparationAnalysis
+
+
+class ProbabilisticThreshold:
+    """Constant-query bimodal threshold querying (Sec VI).
+
+    Args:
+        spec: The assumed bimodal distribution of ``x`` (system model /
+            deployment history).
+        delta: Target overall failure probability; used to size ``r`` via
+            Eq 10 when ``repeats`` is not given explicitly.
+        repeats: Explicit repeat count ``r`` (overrides ``delta`` sizing;
+            Fig 9 sweeps this directly).
+
+    Raises:
+        ValueError: If neither a feasible spec+delta nor an explicit
+            ``repeats`` determines ``r``.
+    """
+
+    name = "ProbModel"
+
+    def __init__(
+        self,
+        spec: BimodalSpec,
+        *,
+        delta: Optional[float] = 0.05,
+        repeats: Optional[int] = None,
+    ) -> None:
+        self._spec = spec
+        self._analysis = analyze_separation(spec)
+        if repeats is not None:
+            if repeats < 1:
+                raise ValueError(f"repeats must be >= 1, got {repeats}")
+            self._repeats = int(repeats)
+        else:
+            if delta is None:
+                raise ValueError("either delta or repeats must be given")
+            if self._analysis.feasible:
+                self._repeats = self._analysis.repeats(delta)
+            else:
+                # Unseparated modes: Eq 10 is inapplicable; fall back to a
+                # small fixed budget so the failure mode can be *measured*
+                # (Fig 9's low-d points) instead of raising.
+                self._repeats = 9
+        self._delta = delta
+
+    @property
+    def repeats(self) -> int:
+        """The probe budget ``r`` this session will spend."""
+        return self._repeats
+
+    @property
+    def analysis(self) -> SeparationAnalysis:
+        """The separation analysis backing the probe design."""
+        return self._analysis
+
+    def decide(
+        self,
+        model: QueryModel,
+        threshold: int,
+        rng: np.random.Generator,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> ThresholdResult:
+        """Standard algorithm interface; see :meth:`decide_detailed`."""
+        return self.decide_detailed(
+            model, threshold, rng, candidates=candidates
+        ).result
+
+    def decide_detailed(
+        self,
+        model: QueryModel,
+        threshold: int,
+        rng: np.random.Generator,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> ProbabilisticDecision:
+        """Run the ``r`` probes and return the full decision record.
+
+        Args:
+            model: Query oracle.
+            threshold: The threshold ``t`` (must sit between the modes for
+                the scheme's guarantee to be meaningful; the decision is
+                really "activity vs no activity").
+            rng: Randomness for probe sampling.
+            candidates: Participant ids; defaults to the whole population.
+
+        Returns:
+            A :class:`ProbabilisticDecision` whose ``result.exact`` is
+            ``False``.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        ids = (
+            list(range(model.population_size))
+            if candidates is None
+            else list(candidates)
+        )
+        inclusion = 1.0 / self._analysis.bins if ids else 0.0
+        inclusion = min(1.0, max(0.0, inclusion))
+
+        start_queries = model.queries_used
+        nonempty = 0
+        for _ in range(self._repeats):
+            members = sample_bin(ids, inclusion, rng)
+            obs = model.query(members)
+            if not obs.silent:
+                nonempty += 1
+
+        midpoint = self._analysis.decision_midpoint(self._repeats)
+        decision = nonempty > midpoint
+        result = ThresholdResult(
+            decision=decision,
+            queries=model.queries_used - start_queries,
+            rounds=self._repeats,
+            threshold=threshold,
+            confirmed_positives=0,
+            exact=False,
+            history=(),
+            algorithm=self.name,
+        )
+        return ProbabilisticDecision(
+            result=result,
+            nonempty_probes=nonempty,
+            repeats=self._repeats,
+            midpoint=midpoint,
+            analysis=self._analysis,
+        )

@@ -1,0 +1,85 @@
+"""Result records for threshold-querying sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Per-round audit record.
+
+    Attributes:
+        index: Zero-based round number.
+        bins_requested: Bin count the algorithm asked for.
+        bins_queried: Bins actually queried (zero-member bins are never
+            queried and a mid-round termination stops early).
+        silent_bins: Bins observed silent this round.
+        captured: Replies decoded this round (2+ model only).
+        evidence: Sum of the sound per-bin positive lower bounds observed
+            this round, *excluding* captured nodes (those move to the
+            persistent confirmed count).
+        eliminated: Candidate nodes removed this round (silent-bin members
+            plus captured nodes).
+        candidates_after: Candidate-set size at the end of the round.
+        p_estimate: ABNS's positive-count estimate used to size this
+            round's bins (``None`` for non-adaptive algorithms).
+    """
+
+    index: int
+    bins_requested: int
+    bins_queried: int
+    silent_bins: int
+    captured: int
+    evidence: int
+    eliminated: int
+    candidates_after: int
+    p_estimate: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ThresholdResult:
+    """Outcome of one threshold-querying session.
+
+    Attributes:
+        decision: The algorithm's answer to ``x >= t``.
+        queries: Total charged query cost (the paper's y-axis).
+        rounds: Number of (possibly partial) rounds executed.
+        threshold: The queried threshold ``t``.
+        confirmed_positives: Positives individually identified via capture
+            (2+ model); 0 under the 1+ model.
+        exact: ``True`` for the always-correct algorithms; ``False`` for
+            the probabilistic scheme whose answer carries an error bound.
+        history: Per-round audit records.
+        algorithm: Name of the producing algorithm.
+    """
+
+    decision: bool
+    queries: int
+    rounds: int
+    threshold: int
+    confirmed_positives: int = 0
+    exact: bool = True
+    history: Tuple[RoundRecord, ...] = field(default_factory=tuple)
+    algorithm: str = ""
+
+    def __post_init__(self) -> None:
+        if self.queries < 0:
+            raise ValueError(f"queries must be >= 0, got {self.queries}")
+        if self.rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {self.rounds}")
+
+    @property
+    def eliminated_total(self) -> int:
+        """Total candidates eliminated across all recorded rounds."""
+        return sum(r.eliminated for r in self.history)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        verdict = "x >= t" if self.decision else "x < t"
+        return (
+            f"{self.algorithm or 'threshold-query'}: {verdict} "
+            f"(t={self.threshold}) in {self.queries} queries / "
+            f"{self.rounds} rounds"
+        )

@@ -1,0 +1,87 @@
+"""Exponential-Increase variations the paper tried and excluded (Sec IV-B).
+
+"One variation was a *pause-and-continue* scheme which does not double the
+number of groups if a significant number of nodes are eliminated in a
+round ... Another variation was to increase the number of groups in the
+next round to four-folds rather than two-folds ... when all groups tested
+non-empty.  We experimented with both of these variations in simulations
+extensively but neither of them gave a consistent improvement."
+
+They are kept here as first-class ablations so the "no consistent
+improvement" claim can be re-verified (``benchmarks/test_bench_ablations``).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import RoundOutcome, SessionState, ThresholdAlgorithm
+
+
+class PauseAndContinue(ThresholdAlgorithm):
+    """Exponential increase that pauses doubling after a productive round.
+
+    Args:
+        initial_bins: First-round bin count (paper's 2).
+        elimination_fraction: A round that removed at least this fraction
+            of the round-start candidates counts as "significant" and
+            keeps the bin count unchanged for the next round.
+    """
+
+    name = "PauseAndContinue"
+
+    def __init__(
+        self,
+        *,
+        initial_bins: int = 2,
+        elimination_fraction: float = 0.25,
+    ) -> None:
+        if initial_bins < 1:
+            raise ValueError(f"initial_bins must be >= 1, got {initial_bins}")
+        if not 0.0 < elimination_fraction <= 1.0:
+            raise ValueError(
+                "elimination_fraction must be in (0,1], got "
+                f"{elimination_fraction}"
+            )
+        self._initial_bins = initial_bins
+        self._fraction = elimination_fraction
+        self._bin_num = initial_bins
+        self._round_start_candidates = 0
+
+    def _reset(self, state: SessionState) -> None:
+        self._bin_num = self._initial_bins
+
+    def _bins_for_round(self, state: SessionState) -> int:
+        self._round_start_candidates = len(state.candidates)
+        return self._bin_num
+
+    def _observe_round(self, state: SessionState, outcome: RoundOutcome) -> None:
+        start = max(1, self._round_start_candidates)
+        eliminated = start - len(state.candidates)
+        if eliminated / start < self._fraction:
+            self._bin_num *= 2
+
+
+class FourFoldIncrease(ThresholdAlgorithm):
+    """Exponential increase that quadruples after an all-non-empty round.
+
+    A round in which every queried bin was non-empty suggests the bin
+    count badly underestimates ``x``, so the growth factor for the next
+    round is 4 instead of 2.
+    """
+
+    name = "FourFold"
+
+    def __init__(self, *, initial_bins: int = 2) -> None:
+        if initial_bins < 1:
+            raise ValueError(f"initial_bins must be >= 1, got {initial_bins}")
+        self._initial_bins = initial_bins
+        self._bin_num = initial_bins
+
+    def _reset(self, state: SessionState) -> None:
+        self._bin_num = self._initial_bins
+
+    def _bins_for_round(self, state: SessionState) -> int:
+        return self._bin_num
+
+    def _observe_round(self, state: SessionState, outcome: RoundOutcome) -> None:
+        factor = 4 if outcome.silent_bins == 0 else 2
+        self._bin_num *= factor

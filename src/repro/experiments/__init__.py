@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper figure.
+
+Every ``figNN_*`` module exposes ``run(runs=..., seed=...) ->
+ExperimentResult`` that regenerates the corresponding figure's series,
+plus a module docstring recording the parameter choices the paper leaves
+implicit.  :mod:`repro.experiments.registry` maps experiment ids to their
+runners; :mod:`repro.experiments.cli` is the ``tcast-experiments``
+console entry point.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    SweepEngine,
+    baseline_curve,
+    mean_query_curve,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Series",
+    "SweepEngine",
+    "baseline_curve",
+    "get_experiment",
+    "list_experiments",
+    "mean_query_curve",
+]

@@ -1,0 +1,112 @@
+"""``tcast-experiments``: regenerate the paper's figures from the shell.
+
+Examples::
+
+    tcast-experiments list
+    tcast-experiments run fig01 --runs 1000
+    tcast-experiments run all --runs 200 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tcast-experiments",
+        description="Reproduce the tcast paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="figure id (e.g. fig01) or 'all'")
+    run_p.add_argument(
+        "--runs", type=int, default=None, help="repetitions per grid point"
+    )
+    run_p.add_argument("--seed", type=int, default=None, help="root seed")
+    run_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write <figid>.csv and <figid>.txt into",
+    )
+
+    rep_p = sub.add_parser(
+        "report",
+        help="regenerate every figure and grade the paper's claims",
+    )
+    rep_p.add_argument(
+        "--runs", type=int, default=None, help="repetitions per grid point"
+    )
+    rep_p.add_argument("--seed", type=int, default=None, help="root seed")
+    rep_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="file to write the graded report into",
+    )
+    return parser
+
+
+def _run_one(
+    exp_id: str,
+    runs: Optional[int],
+    seed: Optional[int],
+    out: Optional[pathlib.Path],
+) -> None:
+    runner = get_experiment(exp_id)
+    kwargs = {}
+    if runs is not None:
+        kwargs["runs"] = runs
+    if seed is not None:
+        kwargs["seed"] = seed
+    started = time.perf_counter()
+    result = runner(**kwargs)
+    elapsed = time.perf_counter() - started
+    print(result.report())
+    print(f"[{exp_id} completed in {elapsed:.1f}s]")
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{exp_id}.csv").write_text(result.to_csv() + "\n")
+        (out / f"{exp_id}.txt").write_text(result.report() + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id in list_experiments():
+            print(exp_id)
+        return 0
+    if args.command == "run":
+        targets = (
+            list_experiments() if args.experiment == "all" else [args.experiment]
+        )
+        for exp_id in targets:
+            _run_one(exp_id, args.runs, args.seed, args.out)
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(runs=args.runs, seed=args.seed)
+        print(text)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n")
+        return 0 if "ATTENTION" not in text else 1
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

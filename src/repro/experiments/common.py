@@ -1,0 +1,296 @@
+"""Shared sweep machinery for the figure-reproduction harness.
+
+The paper's simulation figures all have the same skeleton: sweep one
+parameter (usually the positive count ``x``), run each configuration many
+times (1000 in the paper), and plot the average query cost per algorithm.
+:class:`SweepEngine` implements that skeleton with deterministic per-cell
+seeding so every algorithm faces the *same* sequence of workload
+realisations (common random numbers -- variance reduction for the
+comparisons the figures make).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import ThresholdResult
+from repro.group_testing.model import QueryModel
+from repro.group_testing.population import Population
+from repro.sim.rng import RngRegistry
+from repro.viz.ascii import ascii_chart, render_table
+
+#: An algorithm factory: given the true ``x`` of the sweep cell (only the
+#: oracle uses it), return a fresh algorithm object with a
+#: ``decide(model, threshold, rng)`` method.
+AlgorithmFactory = Callable[[int], object]
+
+#: A model factory: given the cell's population and a seeded generator,
+#: return the query model the algorithm will face.
+ModelFactory = Callable[[Population, np.random.Generator], QueryModel]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve.
+
+    Attributes:
+        label: Legend label.
+        xs: X grid.
+        ys: Mean metric at each grid point.
+        stderr: Standard error of each mean (optional).
+    """
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    stderr: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if self.stderr and len(self.stderr) != len(self.xs):
+            raise ValueError(f"series {self.label!r}: stderr length mismatch")
+
+    def y_at(self, x: float) -> float:
+        """The y value at grid point ``x`` (exact match required)."""
+        for xv, yv in zip(self.xs, self.ys):
+            if xv == x:
+                return yv
+        raise KeyError(f"x={x} not on the grid of series {self.label!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one figure reproduction produced.
+
+    Attributes:
+        exp_id: Figure identifier, e.g. ``"fig01"``.
+        title: Human-readable title.
+        parameters: The parameter choices used (including the ones the
+            paper leaves implicit; see EXPERIMENTS.md).
+        series: The plotted curves.
+        xlabel: X-axis meaning.
+        ylabel: Y-axis meaning.
+        notes: Free-form observations recorded by the runner.
+    """
+
+    exp_id: str
+    title: str
+    parameters: Mapping[str, object]
+    series: tuple[Series, ...]
+    xlabel: str = "x (positive nodes)"
+    ylabel: str = "queries"
+    notes: tuple[str, ...] = ()
+
+    def get_series(self, label: str) -> Series:
+        """Look up a curve by label.
+
+        Raises:
+            KeyError: If absent.
+        """
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r}; have {[s.label for s in self.series]}"
+        )
+
+    def chart(self, *, width: int = 72, height: int = 18) -> str:
+        """Render the figure as an ASCII chart."""
+        xs = self.series[0].xs
+        return ascii_chart(
+            xs,
+            {s.label: s.ys for s in self.series},
+            width=width,
+            height=height,
+            title=f"{self.exp_id}: {self.title}",
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+        )
+
+    def table(self) -> str:
+        """Render the figure's data as an aligned table."""
+        headers = [self.xlabel] + [s.label for s in self.series]
+        rows = []
+        for i, x in enumerate(self.series[0].xs):
+            rows.append([x] + [s.ys[i] for s in self.series])
+        return render_table(headers, rows)
+
+    def to_csv(self) -> str:
+        """The figure's data as CSV text."""
+        headers = [self.xlabel] + [s.label for s in self.series]
+        lines = [",".join(headers)]
+        for i, x in enumerate(self.series[0].xs):
+            lines.append(
+                ",".join([f"{x:g}"] + [f"{s.ys[i]:.6g}" for s in self.series])
+            )
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        """Chart + table + notes, ready to print."""
+        parts = [self.chart(), "", self.table()]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        parts.append(f"parameters: {params}")
+        return "\n".join(parts)
+
+
+class SweepEngine:
+    """Deterministic multi-run sweep executor.
+
+    Args:
+        n: Population size.
+        threshold: Threshold ``t`` (per-cell overridable in the t-sweep).
+        runs: Repetitions per grid cell (paper: 1000).
+        seed: Root seed; every (cell, run) derives its own streams.
+    """
+
+    def __init__(self, n: int, threshold: int, *, runs: int, seed: int) -> None:
+        if runs < 1:
+            raise ValueError(f"runs must be >= 1, got {runs}")
+        self._n = n
+        self._threshold = threshold
+        self._runs = runs
+        self._root = RngRegistry(seed)
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self._n
+
+    @property
+    def threshold(self) -> int:
+        """Default threshold."""
+        return self._threshold
+
+    @property
+    def runs(self) -> int:
+        """Repetitions per cell."""
+        return self._runs
+
+    def query_curve(
+        self,
+        label: str,
+        xs: Sequence[int],
+        algorithm_factory: AlgorithmFactory,
+        model_factory: ModelFactory,
+        *,
+        threshold: Optional[int] = None,
+        check_exactness: bool = True,
+    ) -> Series:
+        """Mean query cost of a bin-querying algorithm across an x sweep.
+
+        Args:
+            label: Series label.
+            xs: Positive-count grid.
+            algorithm_factory: Builds the algorithm per cell (receives the
+                cell's true ``x``; only the oracle uses it).
+            model_factory: Builds the query model per run.
+            threshold: Override of the engine default.
+            check_exactness: Assert exact algorithms return the ground
+                truth on every run (disabled for noisy models).
+
+        Returns:
+            The mean-cost series with standard errors.
+        """
+        t = self._threshold if threshold is None else threshold
+        means: List[float] = []
+        errs: List[float] = []
+        for x in xs:
+            costs = np.empty(self._runs, dtype=np.float64)
+            for run in range(self._runs):
+                reg = self._root.fork(f"{label}/x{x}/r{run}")
+                pop = Population.from_count(self._n, x, reg.stream("pop"))
+                model = model_factory(pop, reg.stream("model"))
+                algo = algorithm_factory(x)
+                result: ThresholdResult = algo.decide(  # type: ignore[attr-defined]
+                    model, t, reg.stream("bins")
+                )
+                if check_exactness and result.exact:
+                    truth = pop.truth(t)
+                    if result.decision != truth:
+                        raise AssertionError(
+                            f"{label}: wrong answer at x={x}, t={t}, "
+                            f"run={run}: got {result.decision}, "
+                            f"truth {truth}"
+                        )
+                costs[run] = result.queries
+            means.append(float(costs.mean()))
+            errs.append(float(costs.std(ddof=1) / np.sqrt(self._runs))
+                        if self._runs > 1 else 0.0)
+        return Series(
+            label=label,
+            xs=tuple(float(x) for x in xs),
+            ys=tuple(means),
+            stderr=tuple(errs),
+        )
+
+    def baseline_curve(
+        self,
+        label: str,
+        xs: Sequence[int],
+        baseline_factory: Callable[[], object],
+        *,
+        threshold: Optional[int] = None,
+    ) -> Series:
+        """Mean slot cost of a MAC baseline (CSMA / sequential) sweep."""
+        t = self._threshold if threshold is None else threshold
+        means: List[float] = []
+        errs: List[float] = []
+        for x in xs:
+            costs = np.empty(self._runs, dtype=np.float64)
+            for run in range(self._runs):
+                reg = self._root.fork(f"{label}/x{x}/r{run}")
+                pop = Population.from_count(self._n, x, reg.stream("pop"))
+                baseline = baseline_factory()
+                result: ThresholdResult = baseline.decide(  # type: ignore[attr-defined]
+                    pop, t, reg.stream("mac")
+                )
+                costs[run] = result.queries
+            means.append(float(costs.mean()))
+            errs.append(float(costs.std(ddof=1) / np.sqrt(self._runs))
+                        if self._runs > 1 else 0.0)
+        return Series(
+            label=label,
+            xs=tuple(float(x) for x in xs),
+            ys=tuple(means),
+            stderr=tuple(errs),
+        )
+
+
+def mean_query_curve(
+    label: str,
+    xs: Sequence[int],
+    algorithm_factory: AlgorithmFactory,
+    model_factory: ModelFactory,
+    *,
+    n: int,
+    threshold: int,
+    runs: int,
+    seed: int,
+) -> Series:
+    """One-shot convenience wrapper around :class:`SweepEngine`."""
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
+    return engine.query_curve(label, xs, algorithm_factory, model_factory)
+
+
+def baseline_curve(
+    label: str,
+    xs: Sequence[int],
+    baseline_factory: Callable[[], object],
+    *,
+    n: int,
+    threshold: int,
+    runs: int,
+    seed: int,
+) -> Series:
+    """One-shot convenience wrapper for MAC baselines."""
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
+    return engine.baseline_curve(label, xs, baseline_factory)

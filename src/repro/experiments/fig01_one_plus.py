@@ -1,0 +1,75 @@
+"""Figure 1: performance of tcast in the 1+ scenario.
+
+Queries (slots for the MAC baselines) vs the positive count ``x`` for
+2tBins, Exponential Increase, CSMA and sequential ordering under the 1+
+collision model.
+
+Parameter choices the paper leaves implicit (recorded in EXPERIMENTS.md):
+``N = 128``, ``t = 16``, 1000 runs per point in the paper (configurable
+here), dense-then-geometric ``x`` grid.
+
+Expected shape (Sec IV-C):
+* every tcast curve peaks near ``x = t`` and is cheap at both extremes;
+* Exponential Increase beats 2tBins for ``x << t`` and loses for
+  ``x >> t``;
+* CSMA grows roughly linearly in ``x``: fine for small ``x``,
+  unacceptable past ``t``;
+* sequential ordering starts near ``n - x`` and becomes competitive only
+  for ``x >> t``.
+"""
+
+from __future__ import annotations
+
+from repro.core import ExponentialIncrease, TwoTBins
+from repro.experiments.common import ExperimentResult, SweepEngine
+from repro.group_testing.model import OnePlusModel
+from repro.mac import CsmaBaseline, SequentialOrdering
+from repro.workloads.scenarios import x_sweep
+
+#: Default population size (paper leaves it implicit).
+DEFAULT_N = 128
+
+#: Default threshold (paper leaves it implicit).
+DEFAULT_T = 16
+
+
+def run(
+    *,
+    runs: int = 400,
+    seed: int = 2011,
+    n: int = DEFAULT_N,
+    threshold: int = DEFAULT_T,
+) -> ExperimentResult:
+    """Regenerate Figure 1's series.
+
+    Args:
+        runs: Repetitions per grid point (paper: 1000).
+        seed: Root seed.
+        n: Population size.
+        threshold: Threshold ``t``.
+
+    Returns:
+        The four curves on a shared ``x`` grid.
+    """
+    xs = x_sweep(n)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
+
+    def one_plus(pop, rng):
+        return OnePlusModel(pop, rng, max_queries=50 * n)
+
+    series = (
+        engine.query_curve("2tBins", xs, lambda x: TwoTBins(), one_plus),
+        engine.query_curve(
+            "ExpIncrease", xs, lambda x: ExponentialIncrease(), one_plus
+        ),
+        engine.baseline_curve("CSMA", xs, CsmaBaseline),
+        engine.baseline_curve("Sequential", xs, SequentialOrdering),
+    )
+    return ExperimentResult(
+        exp_id="fig01",
+        title="tcast vs baselines, 1+ collision model",
+        parameters={"n": n, "t": threshold, "runs": runs, "seed": seed},
+        series=series,
+        xlabel="x (positive nodes)",
+        ylabel="mean queries / slots",
+    )

@@ -1,0 +1,61 @@
+"""Figure 5: Adaptive Bin Number Selection (ABNS) performance.
+
+2tBins vs ABNS with ``p0 = t`` and ``p0 = 2t`` vs the oracle, 1+ model.
+Expected shape (Sec V-C):
+
+* 2tBins tracks the oracle closely for ``x > t/2``;
+* the 2tBins-vs-oracle gap opens as ``x`` shrinks below ``t/2``;
+* ``ABNS(p0 = t)`` narrows that left-edge gap at the price of some
+  overhead around ``t < x < 2t``.
+
+Implicit parameters: ``N = 128``, ``t = 16``.
+"""
+
+from __future__ import annotations
+
+from repro.core import Abns, OracleBins, TwoTBins
+from repro.experiments.common import ExperimentResult, SweepEngine
+from repro.group_testing.model import OnePlusModel
+from repro.workloads.scenarios import x_sweep
+
+DEFAULT_N = 128
+DEFAULT_T = 16
+
+
+def run(
+    *,
+    runs: int = 400,
+    seed: int = 2015,
+    n: int = DEFAULT_N,
+    threshold: int = DEFAULT_T,
+) -> ExperimentResult:
+    """Regenerate Figure 5's series.
+
+    Args:
+        runs: Repetitions per grid point.
+        seed: Root seed.
+        n: Population size.
+        threshold: Threshold ``t``.
+    """
+    xs = x_sweep(n)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
+
+    def one_plus(pop, rng):
+        return OnePlusModel(pop, rng, max_queries=80 * n)
+
+    series = (
+        engine.query_curve("2tBins", xs, lambda x: TwoTBins(), one_plus),
+        engine.query_curve(
+            "ABNS(p0=t)", xs, lambda x: Abns(p0_multiple=1.0), one_plus
+        ),
+        engine.query_curve(
+            "ABNS(p0=2t)", xs, lambda x: Abns(p0_multiple=2.0), one_plus
+        ),
+        engine.query_curve("Oracle", xs, OracleBins, one_plus),
+    )
+    return ExperimentResult(
+        exp_id="fig05",
+        title="ABNS vs 2tBins vs oracle",
+        parameters={"n": n, "t": threshold, "runs": runs, "seed": seed},
+        series=series,
+    )

@@ -1,0 +1,62 @@
+"""Figure 6: the probabilistic-probe ABNS variant.
+
+Probabilistic ABNS (one sampled probe picks between ``ABNS(p0 = t/4)``
+and 2tBins) vs the two fixed-``p0`` ABNS variants and the oracle.
+Expected shape (Sec V-D): the probe variant eliminates *both* penalties
+-- the ``ABNS(p0=t)`` overhead for ``t < x < 2t`` and the
+``ABNS(p0=2t)`` overhead for ``x < t/2`` -- tracking the oracle closely
+across the whole sweep.
+
+Implicit parameters: ``N = 128``, ``t = 16``.
+"""
+
+from __future__ import annotations
+
+from repro.core import Abns, OracleBins, ProbabilisticAbns
+from repro.experiments.common import ExperimentResult, SweepEngine
+from repro.group_testing.model import OnePlusModel
+from repro.workloads.scenarios import x_sweep
+
+DEFAULT_N = 128
+DEFAULT_T = 16
+
+
+def run(
+    *,
+    runs: int = 400,
+    seed: int = 2016,
+    n: int = DEFAULT_N,
+    threshold: int = DEFAULT_T,
+) -> ExperimentResult:
+    """Regenerate Figure 6's series.
+
+    Args:
+        runs: Repetitions per grid point.
+        seed: Root seed.
+        n: Population size.
+        threshold: Threshold ``t``.
+    """
+    xs = x_sweep(n)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
+
+    def one_plus(pop, rng):
+        return OnePlusModel(pop, rng, max_queries=80 * n)
+
+    series = (
+        engine.query_curve(
+            "ProbABNS", xs, lambda x: ProbabilisticAbns(), one_plus
+        ),
+        engine.query_curve(
+            "ABNS(p0=t)", xs, lambda x: Abns(p0_multiple=1.0), one_plus
+        ),
+        engine.query_curve(
+            "ABNS(p0=2t)", xs, lambda x: Abns(p0_multiple=2.0), one_plus
+        ),
+        engine.query_curve("Oracle", xs, OracleBins, one_plus),
+    )
+    return ExperimentResult(
+        exp_id="fig06",
+        title="probabilistic ABNS vs fixed-p0 ABNS vs oracle",
+        parameters={"n": n, "t": threshold, "runs": runs, "seed": seed},
+        series=series,
+    )

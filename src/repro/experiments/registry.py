@@ -1,0 +1,62 @@
+"""Experiment registry: figure id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ext_interference,
+    ext_latency,
+    ext_scaling,
+    fig01_one_plus,
+    fig02_two_plus,
+    fig03_threshold_sweep,
+    fig04_testbed,
+    fig05_abns,
+    fig06_prob_abns,
+    fig07_prob_abns_vs_csma,
+    fig08_gap,
+    fig09_accuracy,
+    fig10_repeats,
+    fig11_distributions,
+)
+from repro.experiments.common import ExperimentResult
+
+#: Figure id -> runner.  Fig 8 (the paper's schematic of the separation
+#: gap) is computed analytically by its runner rather than swept.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01_one_plus.run,
+    "fig02": fig02_two_plus.run,
+    "fig03": fig03_threshold_sweep.run,
+    "fig04": fig04_testbed.run,
+    "fig05": fig05_abns.run,
+    "fig06": fig06_prob_abns.run,
+    "fig07": fig07_prob_abns_vs_csma.run,
+    "fig08": fig08_gap.run,
+    "fig09": fig09_accuracy.run,
+    "fig10": fig10_repeats.run,
+    "fig11": fig11_distributions.run,
+    # Extensions beyond the paper's figures (future-work directions).
+    "ext_latency": ext_latency.run,
+    "ext_interference": ext_interference.run,
+    "ext_scaling": ext_scaling.run,
+}
+
+
+def list_experiments() -> list[str]:
+    """Sorted experiment ids."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a runner by id.
+
+    Raises:
+        KeyError: For unknown ids (message lists valid ones).
+    """
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; valid: {list_experiments()}"
+        ) from None

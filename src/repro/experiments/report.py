@@ -1,0 +1,334 @@
+"""Consolidated reproduction report: every figure, every shape claim.
+
+``tcast-experiments report`` regenerates the full evaluation and grades
+each of the paper's qualitative claims mechanically -- the executable
+counterpart of EXPERIMENTS.md.  Each claim is a small predicate over one
+figure's series; the report lists PASS/FAIL per claim with the measured
+values that decided it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS
+from repro.viz.ascii import render_table
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One graded claim.
+
+    Attributes:
+        figure: Figure id the claim belongs to.
+        claim: The paper's qualitative statement, paraphrased.
+        passed: Whether the regenerated data supports it.
+        detail: The measured values behind the verdict.
+    """
+
+    figure: str
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _peak_x(series) -> float:
+    return series.xs[int(np.argmax(series.ys))]
+
+
+def _check_fig01(r: ExperimentResult) -> List[ShapeCheck]:
+    t, n = r.parameters["t"], r.parameters["n"]
+    two, exp = r.get_series("2tBins"), r.get_series("ExpIncrease")
+    csma, seq = r.get_series("CSMA"), r.get_series("Sequential")
+    peak = _peak_x(two)
+    return [
+        ShapeCheck(
+            "fig01",
+            "tcast peaks near x = t",
+            t / 2 <= peak <= 2 * t,
+            f"2tBins peak at x={peak:g} (t={t})",
+        ),
+        ShapeCheck(
+            "fig01",
+            "ExpIncrease beats 2tBins for x << t",
+            exp.y_at(0) < two.y_at(0) / 2,
+            f"x=0: {exp.y_at(0):.1f} vs {two.y_at(0):.1f}",
+        ),
+        ShapeCheck(
+            "fig01",
+            "ExpIncrease consistently worse for x >> t",
+            exp.y_at(n) > two.y_at(n),
+            f"x={n}: {exp.y_at(n):.1f} vs {two.y_at(n):.1f}",
+        ),
+        ShapeCheck(
+            "fig01",
+            "CSMA unacceptable past t",
+            csma.y_at(n) > 4 * two.y_at(n),
+            f"x={n}: CSMA {csma.y_at(n):.1f} vs 2tBins {two.y_at(n):.1f}",
+        ),
+        ShapeCheck(
+            "fig01",
+            "sequential plateau ~ n - t at the left edge",
+            abs(seq.y_at(0) - (n - t + 1)) <= 3,
+            f"x=0: {seq.y_at(0):.1f} (n-t+1 = {n - t + 1})",
+        ),
+    ]
+
+
+def _check_fig02(r: ExperimentResult) -> List[ShapeCheck]:
+    t = r.parameters["t"]
+    one = r.get_series("2tBins 1+")
+    two = r.get_series("2tBins 2+")
+    return [
+        ShapeCheck(
+            "fig02",
+            "2+ at or below 1+ across the sweep",
+            all(
+                y2 <= y1 * 1.15 + 2.0 for y1, y2 in zip(one.ys, two.ys)
+            ),
+            "max ratio "
+            f"{max(y2 / max(y1, 1e-9) for y1, y2 in zip(one.ys, two.ys)):.2f}",
+        ),
+        ShapeCheck(
+            "fig02",
+            "2+ advantage most evident near x = t-1",
+            two.y_at(t - 1) < one.y_at(t - 1),
+            f"x={t - 1}: {two.y_at(t - 1):.1f} vs {one.y_at(t - 1):.1f}",
+        ),
+    ]
+
+
+def _check_fig03(r: ExperimentResult) -> List[ShapeCheck]:
+    x = r.parameters["x"]
+    s = r.get_series("2tBins 1+")
+    peak = _peak_x(s)
+    return [
+        ShapeCheck(
+            "fig03",
+            "cost peaks around t = x and declines toward both ends",
+            (x / 2 <= peak <= 4 * x) and s.ys[-1] < max(s.ys) / 2,
+            f"peak at t={peak:g} (x={x}); tail {s.ys[-1]:.1f} vs "
+            f"max {max(s.ys):.1f}",
+        ),
+    ]
+
+
+def _check_fig04(r: ExperimentResult) -> List[ShapeCheck]:
+    fn_note = next(n for n in r.notes if "false-negative" in n)
+    fp_note = next(n for n in r.notes if "false-positive" in n)
+    counts = fn_note.split(":")[1].strip().split()[0]
+    fn, total = (int(v) for v in counts.split("/"))
+    rate = fn / total if total else 0.0
+    return [
+        ShapeCheck(
+            "fig04",
+            "small false-negative run rate (paper: 1.4%)",
+            rate < 0.08,
+            f"{fn}/{total} = {rate:.1%}",
+        ),
+        ShapeCheck(
+            "fig04",
+            "zero false positives",
+            fp_note.split(":")[1].strip().startswith("0"),
+            fp_note,
+        ),
+    ]
+
+
+def _check_fig05(r: ExperimentResult) -> List[ShapeCheck]:
+    t = r.parameters["t"]
+    two, oracle = r.get_series("2tBins"), r.get_series("Oracle")
+    abns_t = r.get_series("ABNS(p0=t)")
+    above = [
+        (y, o)
+        for xv, y, o in zip(two.xs, two.ys, oracle.ys)
+        if xv > t / 2
+    ]
+    return [
+        ShapeCheck(
+            "fig05",
+            "2tBins tracks the oracle for x > t/2",
+            all(y <= o * 1.6 + 4.0 for y, o in above),
+            f"max ratio {max(y / max(o, 1e-9) for y, o in above):.2f}",
+        ),
+        ShapeCheck(
+            "fig05",
+            "ABNS(p0=t) narrows the left-edge gap",
+            abns_t.y_at(0) < two.y_at(0),
+            f"x=0: {abns_t.y_at(0):.1f} vs {two.y_at(0):.1f}",
+        ),
+    ]
+
+
+def _check_fig06(r: ExperimentResult) -> List[ShapeCheck]:
+    prob = r.get_series("ProbABNS")
+    abns2t = r.get_series("ABNS(p0=2t)")
+    oracle = r.get_series("Oracle")
+    ratio = float(
+        np.mean(np.array(prob.ys) / np.maximum(np.array(oracle.ys), 1.0))
+    )
+    return [
+        ShapeCheck(
+            "fig06",
+            "probabilistic ABNS fixes the x < t/2 cost",
+            prob.y_at(0) < abns2t.y_at(0),
+            f"x=0: {prob.y_at(0):.1f} vs {abns2t.y_at(0):.1f}",
+        ),
+        ShapeCheck(
+            "fig06",
+            "probabilistic ABNS performs almost as well as the oracle",
+            ratio < 1.8,
+            f"mean ratio to oracle {ratio:.2f}",
+        ),
+    ]
+
+
+def _check_fig07(r: ExperimentResult) -> List[ShapeCheck]:
+    n = r.parameters["n"]
+    prob, csma = r.get_series("ProbABNS"), r.get_series("CSMA")
+    return [
+        ShapeCheck(
+            "fig07",
+            "prob-ABNS outperforms CSMA significantly for x > t",
+            prob.y_at(n) < csma.y_at(n) / 2,
+            f"x={n}: {prob.y_at(n):.1f} vs {csma.y_at(n):.1f}",
+        ),
+    ]
+
+
+def _check_fig08(r: ExperimentResult) -> List[ShapeCheck]:
+    eps = r.get_series("eps = (q2-q1)/2").ys
+    return [
+        ShapeCheck(
+            "fig08",
+            "the separation gap grows as the modes move apart",
+            all(a <= b for a, b in zip(eps, eps[1:])),
+            f"eps from {eps[0]:.3f} to {eps[-1]:.3f}",
+        ),
+    ]
+
+
+def _check_fig09(r: ExperimentResult) -> List[ShapeCheck]:
+    r9 = r.get_series("r=9")
+    return [
+        ShapeCheck(
+            "fig09",
+            "nine repeats exceed 90% accuracy once d > 32",
+            all(y > 0.9 for d, y in zip(r9.xs, r9.ys) if d > 32),
+            f"r=9 accuracies past d=32: "
+            f"{[round(y, 2) for d, y in zip(r9.xs, r9.ys) if d > 32]}",
+        ),
+        ShapeCheck(
+            "fig09",
+            "d ~ 8 is hard for every repeat budget",
+            all(s.y_at(8.0) < 0.9 for s in r.series),
+            f"accuracies at d=8: {[round(s.y_at(8.0), 2) for s in r.series]}",
+        ),
+    ]
+
+
+def _check_fig10(r: ExperimentResult) -> List[ShapeCheck]:
+    s = r.get_series("Eq10 (delta=0.05)")
+    finite = [y for y in s.ys if np.isfinite(y)]
+    return [
+        ShapeCheck(
+            "fig10",
+            "required repeats fall as the modes separate",
+            all(a >= b for a, b in zip(finite, finite[1:])),
+            f"Eq10 series {[round(v) for v in finite]}",
+        ),
+    ]
+
+
+def _check_fig11(r: ExperimentResult) -> List[ShapeCheck]:
+    n = r.parameters["n"]
+    d16 = np.array(r.get_series("d=16").ys)
+    centre = d16[n // 2 - 2 : n // 2 + 3].mean()
+    left = d16[n // 2 - 20 : n // 2 - 12].max()
+    return [
+        ShapeCheck(
+            "fig11",
+            "two distinct peaks emerge at d = 16",
+            left > 2 * centre,
+            f"left peak {left:.4f} vs centre {centre:.4f}",
+        ),
+    ]
+
+
+#: Figure id -> claim checker.
+CHECKERS: Dict[str, Callable[[ExperimentResult], List[ShapeCheck]]] = {
+    "fig01": _check_fig01,
+    "fig02": _check_fig02,
+    "fig03": _check_fig03,
+    "fig04": _check_fig04,
+    "fig05": _check_fig05,
+    "fig06": _check_fig06,
+    "fig07": _check_fig07,
+    "fig08": _check_fig08,
+    "fig09": _check_fig09,
+    "fig10": _check_fig10,
+    "fig11": _check_fig11,
+}
+
+
+def run_shape_checks(
+    results: Mapping[str, ExperimentResult],
+) -> List[ShapeCheck]:
+    """Grade every registered claim against regenerated results.
+
+    Args:
+        results: Figure id -> regenerated result (missing figures are
+            skipped).
+
+    Returns:
+        All checks, in figure order.
+    """
+    checks: List[ShapeCheck] = []
+    for fig_id in sorted(CHECKERS):
+        if fig_id in results:
+            checks.extend(CHECKERS[fig_id](results[fig_id]))
+    return checks
+
+
+def generate_report(
+    *,
+    runs: Optional[int] = None,
+    seed: Optional[int] = None,
+    figures: Optional[List[str]] = None,
+) -> str:
+    """Regenerate the evaluation and render the graded claim table.
+
+    Args:
+        runs: Repetitions per grid point (``None`` = per-figure default).
+        seed: Root seed override.
+        figures: Figure ids to include (default: every checked figure).
+
+    Returns:
+        The rendered report text (claim table + verdict line).
+    """
+    targets = figures if figures is not None else sorted(CHECKERS)
+    results: Dict[str, ExperimentResult] = {}
+    for fig_id in targets:
+        kwargs = {}
+        if runs is not None:
+            kwargs["runs"] = runs
+        if seed is not None:
+            kwargs["seed"] = seed
+        results[fig_id] = EXPERIMENTS[fig_id](**kwargs)
+
+    checks = run_shape_checks(results)
+    rows = [
+        [c.figure, "PASS" if c.passed else "FAIL", c.claim, c.detail]
+        for c in checks
+    ]
+    table = render_table(["figure", "verdict", "paper claim", "measured"], rows)
+    passed = sum(c.passed for c in checks)
+    footer = (
+        f"\n{passed}/{len(checks)} claims reproduced"
+        + ("" if passed == len(checks) else "  <-- ATTENTION")
+    )
+    return table + footer

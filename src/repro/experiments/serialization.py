@@ -1,0 +1,146 @@
+"""JSON (de)serialisation for results.
+
+Experiment artefacts need to survive outside the Python process (CI
+archives, cross-run comparisons, notebooks).  Everything here is plain
+``json``-module compatible: no numpy scalars leak into the output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.result import RoundRecord, ThresholdResult
+from repro.experiments.common import ExperimentResult, Series
+
+
+def threshold_result_to_dict(result: ThresholdResult) -> dict[str, Any]:
+    """Plain-dict form of a :class:`ThresholdResult` (JSON-safe)."""
+    return {
+        "decision": bool(result.decision),
+        "queries": int(result.queries),
+        "rounds": int(result.rounds),
+        "threshold": int(result.threshold),
+        "confirmed_positives": int(result.confirmed_positives),
+        "exact": bool(result.exact),
+        "algorithm": result.algorithm,
+        "history": [
+            {
+                "index": r.index,
+                "bins_requested": r.bins_requested,
+                "bins_queried": r.bins_queried,
+                "silent_bins": r.silent_bins,
+                "captured": r.captured,
+                "evidence": r.evidence,
+                "eliminated": r.eliminated,
+                "candidates_after": r.candidates_after,
+                "p_estimate": r.p_estimate,
+            }
+            for r in result.history
+        ],
+    }
+
+
+def threshold_result_from_dict(data: Mapping[str, Any]) -> ThresholdResult:
+    """Inverse of :func:`threshold_result_to_dict`.
+
+    Raises:
+        KeyError: On missing required fields.
+    """
+    history = tuple(
+        RoundRecord(
+            index=int(r["index"]),
+            bins_requested=int(r["bins_requested"]),
+            bins_queried=int(r["bins_queried"]),
+            silent_bins=int(r["silent_bins"]),
+            captured=int(r["captured"]),
+            evidence=int(r["evidence"]),
+            eliminated=int(r["eliminated"]),
+            candidates_after=int(r["candidates_after"]),
+            p_estimate=(
+                None if r.get("p_estimate") is None else float(r["p_estimate"])
+            ),
+        )
+        for r in data.get("history", [])
+    )
+    return ThresholdResult(
+        decision=bool(data["decision"]),
+        queries=int(data["queries"]),
+        rounds=int(data["rounds"]),
+        threshold=int(data["threshold"]),
+        confirmed_positives=int(data.get("confirmed_positives", 0)),
+        exact=bool(data.get("exact", True)),
+        algorithm=str(data.get("algorithm", "")),
+        history=history,
+    )
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Plain-dict form of an :class:`ExperimentResult` (JSON-safe)."""
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "parameters": {k: _jsonable(v) for k, v in result.parameters.items()},
+        "xlabel": result.xlabel,
+        "ylabel": result.ylabel,
+        "notes": list(result.notes),
+        "series": [
+            {
+                "label": s.label,
+                "xs": [float(v) for v in s.xs],
+                "ys": [float(v) for v in s.ys],
+                "stderr": [float(v) for v in s.stderr],
+            }
+            for s in result.series
+        ],
+    }
+
+
+def experiment_result_from_dict(data: Mapping[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`experiment_result_to_dict`."""
+    series = tuple(
+        Series(
+            label=str(s["label"]),
+            xs=tuple(float(v) for v in s["xs"]),
+            ys=tuple(float(v) for v in s["ys"]),
+            stderr=tuple(float(v) for v in s.get("stderr", ())),
+        )
+        for s in data["series"]
+    )
+    return ExperimentResult(
+        exp_id=str(data["exp_id"]),
+        title=str(data["title"]),
+        parameters=dict(data.get("parameters", {})),
+        series=series,
+        xlabel=str(data.get("xlabel", "x")),
+        ylabel=str(data.get("ylabel", "y")),
+        notes=tuple(data.get("notes", ())),
+    )
+
+
+def experiment_result_to_json(result: ExperimentResult, *, indent: int = 2) -> str:
+    """Serialise an :class:`ExperimentResult` to a JSON string."""
+    return json.dumps(experiment_result_to_dict(result), indent=indent)
+
+
+def experiment_result_from_json(text: str) -> ExperimentResult:
+    """Parse an :class:`ExperimentResult` from a JSON string.
+
+    Raises:
+        json.JSONDecodeError: On malformed JSON.
+        KeyError: On missing required fields.
+    """
+    return experiment_result_from_dict(json.loads(text))
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce parameter values to JSON-safe types."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)

@@ -1,0 +1,30 @@
+"""Extensions beyond the paper's core evaluation.
+
+The paper names two follow-on directions; both are implemented here so
+the claims about them are testable:
+
+* :mod:`repro.ext.multihop` -- tcast under interfering traffic from
+  neighbouring regions (the planned Kansei-testbed experiment): an
+  interference source attached to the packet-level channel.  Backcast's
+  claimed asymmetry -- interference can cause false *negatives* but never
+  false *positives* -- is measured directly.
+* :mod:`repro.ext.rfid` -- the RFID inventory mapping (Sec I/II-C):
+  threshold queries over tag populations via select-mask RCD queries,
+  against a framed-slotted-ALOHA (EPC Gen2-style) full-inventory
+  baseline.
+"""
+
+from repro.ext.multihop import InterferenceSource, InterferenceStudy
+from repro.ext.rfid import (
+    Gen2InventoryBaseline,
+    RfidThresholdReader,
+    TagPopulation,
+)
+
+__all__ = [
+    "Gen2InventoryBaseline",
+    "InterferenceSource",
+    "InterferenceStudy",
+    "RfidThresholdReader",
+    "TagPopulation",
+]

@@ -1,0 +1,204 @@
+"""tcast under multihop interference (the paper's future-work experiment).
+
+Sec III-B argues that backcast-based tcast is robust in multihop settings
+with interfering traffic from neighbouring regions: interference can make
+the initiator *miss* a HACK (false negative) but can never *fabricate*
+one (false positive), because the initiator only accepts a decoded
+hardware ACK carrying the poll's sequence number.
+
+:class:`InterferenceSource` attaches an extra radio to the testbed's
+channel that transmits background data frames with exponential
+inter-arrival times -- a stand-in for traffic audible from a neighbouring
+region.  :class:`InterferenceStudy` sweeps the interference rate and
+measures the false-negative / false-positive profile of full tcast runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import TwoTBins
+from repro.core.base import ThresholdAlgorithm
+from repro.motes.testbed import Testbed, TestbedConfig
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.frames import DataFrame
+from repro.sim.rng import derive_seed
+
+#: Destination address used by interference traffic; never matches any
+#: mote's short address or a backcast ephemeral id.
+_INTERFERENCE_DST = 0xFDFD
+
+#: Hardware address of the interference radio.
+_INTERFERENCE_ADDR = 0xFD00
+
+
+class InterferenceSource:
+    """Background traffic generator on a testbed's channel.
+
+    Args:
+        testbed: The testbed whose channel to pollute.
+        rate_per_ms: Mean transmissions per millisecond (Poisson process).
+        payload_bytes: Payload size of each interference frame.
+        rng: Randomness for inter-arrival times; defaults to a stream
+            derived from the testbed seed.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        *,
+        rate_per_ms: float,
+        payload_bytes: int = 12,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rate_per_ms < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_per_ms}")
+        self._sim = testbed.sim
+        self._rng = rng or np.random.default_rng(
+            derive_seed(testbed.config.seed, "interference")
+        )
+        self._rate = rate_per_ms
+        self._payload = payload_bytes
+        self._seq = 0
+        self._frames = 0
+        self._radio = Cc2420Radio(
+            self._sim,
+            testbed.channel,
+            address=_INTERFERENCE_ADDR,
+            auto_ack=False,
+        )
+        self._radio.set_short_address(_INTERFERENCE_ADDR)
+        if self._rate > 0:
+            self._schedule_next()
+
+    @property
+    def frames_injected(self) -> int:
+        """Interference frames transmitted so far."""
+        return self._frames
+
+    def _schedule_next(self) -> None:
+        gap_us = float(self._rng.exponential(1000.0 / self._rate))
+        self._sim.schedule(gap_us, self._fire, label="interference")
+
+    def _fire(self) -> None:
+        if not self._radio.is_transmitting():
+            frame = DataFrame(
+                src=_INTERFERENCE_ADDR,
+                dst=_INTERFERENCE_DST,
+                seq=self._seq % 256,
+                ack_request=False,
+                payload={"type": "interference"},
+                payload_bytes=self._payload,
+            )
+            self._seq += 1
+            self._frames += 1
+            self._radio.transmit(frame)
+        self._schedule_next()
+
+
+@dataclass(frozen=True)
+class InterferenceStudyResult:
+    """Error profile of tcast at one interference rate.
+
+    Attributes:
+        rate_per_ms: Interference transmission rate.
+        runs: tcast sessions executed.
+        false_negatives: Sessions answering *false* on a true instance.
+        false_positives: Sessions answering *true* on a false instance
+            (expected to be 0 for backcast at every rate).
+        mean_queries: Mean bin queries per session.
+        frames_injected: Total interference frames across all runs.
+    """
+
+    rate_per_ms: float
+    runs: int
+    false_negatives: int
+    false_positives: int
+    mean_queries: float
+    frames_injected: int
+
+    @property
+    def false_negative_rate(self) -> float:
+        """Fraction of sessions that were false negatives."""
+        return self.false_negatives / self.runs if self.runs else 0.0
+
+
+class InterferenceStudy:
+    """Sweeps interference rates against full tcast sessions.
+
+    Args:
+        participants: Participant mote count.
+        threshold: Threshold ``t``.
+        algorithm_factory: tcast algorithm builder (default 2tBins).
+        seed: Root seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        participants: int = 12,
+        threshold: int = 4,
+        algorithm_factory=TwoTBins,
+        seed: int = 0,
+    ) -> None:
+        if participants < 1:
+            raise ValueError(f"participants must be >= 1, got {participants}")
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self._participants = participants
+        self._threshold = threshold
+        self._algorithm_factory = algorithm_factory
+        self._seed = seed
+
+    def run_rate(
+        self, rate_per_ms: float, *, runs: int = 100
+    ) -> InterferenceStudyResult:
+        """Measure tcast's error profile at one interference rate.
+
+        Args:
+            rate_per_ms: Mean interference frames per millisecond.
+            runs: tcast sessions to execute.
+        """
+        fn = fp = 0
+        frames = 0
+        queries: List[int] = []
+        for run_idx in range(runs):
+            cell_seed = derive_seed(self._seed, f"rate{rate_per_ms}/r{run_idx}")
+            tb = Testbed(
+                TestbedConfig(
+                    num_participants=self._participants, seed=cell_seed
+                )
+            )
+            source = InterferenceSource(tb, rate_per_ms=rate_per_ms)
+            rng = np.random.default_rng(derive_seed(cell_seed, "workload"))
+            x = int(rng.integers(0, self._participants + 1))
+            positives = (
+                rng.choice(self._participants, size=x, replace=False)
+                if x
+                else []
+            )
+            tb.configure_positives(int(p) for p in positives)
+            tb.reboot_all()
+            algo: ThresholdAlgorithm = self._algorithm_factory()
+            run = tb.run_threshold_query(algo, self._threshold)
+            fn += run.false_negative
+            fp += run.false_positive
+            frames += source.frames_injected
+            queries.append(run.result.queries)
+        return InterferenceStudyResult(
+            rate_per_ms=rate_per_ms,
+            runs=runs,
+            false_negatives=fn,
+            false_positives=fp,
+            mean_queries=float(np.mean(queries)) if queries else 0.0,
+            frames_injected=frames,
+        )
+
+    def sweep(
+        self, rates: Sequence[float], *, runs: int = 100
+    ) -> List[InterferenceStudyResult]:
+        """Run :meth:`run_rate` across a rate grid."""
+        return [self.run_rate(rate, runs=runs) for rate in rates]

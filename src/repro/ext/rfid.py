@@ -1,0 +1,208 @@
+"""RFID inventory mapping of tcast (Sec I / II-C / VII).
+
+RFID readers face the same problem shape as WSN initiators: a dense,
+unknown population of responders and questions like "are at least ``t``
+tags of class C present?".  A reader's *select mask* plays the role of a
+bin (only matching tags respond), and "some tag responded in the slot"
+is exactly the 1+ RCD observation.
+
+Two query engines are provided:
+
+* :class:`RfidThresholdReader` -- tcast over select-mask bins: answers
+  the threshold question in ``O(t log(N/2t))`` slots without ever
+  singulating tags.
+* :class:`Gen2InventoryBaseline` -- an EPC-Gen2-style framed slotted
+  ALOHA inventory with Q-adaptation that singulates *every* matching tag
+  (the traditional way to answer any counting question), costing a few
+  slots per tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import ThresholdAlgorithm
+from repro.core.result import ThresholdResult
+from repro.core.two_t_bins import TwoTBins
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+@dataclass(frozen=True)
+class TagPopulation:
+    """An RFID tag population with a hidden matching subset.
+
+    Attributes:
+        size: Total number of tags in read range.
+        matching: Tag indices matching the queried class (EPC prefix).
+    """
+
+    size: int
+    matching: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        bad = [t for t in self.matching if not 0 <= t < self.size]
+        if bad:
+            raise ValueError(f"tag ids {sorted(bad)} outside [0, {self.size})")
+
+    @property
+    def x(self) -> int:
+        """Number of matching tags."""
+        return len(self.matching)
+
+    def as_population(self) -> Population:
+        """View as a group-testing :class:`Population`."""
+        return Population(size=self.size, positives=self.matching)
+
+    @classmethod
+    def random(
+        cls, size: int, x: int, rng: np.random.Generator
+    ) -> "TagPopulation":
+        """``x`` uniformly random matching tags out of ``size``."""
+        if not 0 <= x <= size:
+            raise ValueError(f"x must be in [0, {size}], got {x}")
+        chosen = rng.choice(size, size=x, replace=False) if x else []
+        return cls(size=size, matching=frozenset(int(v) for v in chosen))
+
+
+class RfidThresholdReader:
+    """Threshold queries over tags via tcast select-mask bins.
+
+    Args:
+        algorithm: The tcast algorithm to run (default 2tBins).
+
+    Each select-mask query costs one reader slot, so the returned
+    ``queries`` field is directly comparable with the baseline's slots.
+    """
+
+    def __init__(self, algorithm: Optional[ThresholdAlgorithm] = None) -> None:
+        self._algorithm = algorithm or TwoTBins()
+
+    def threshold_query(
+        self,
+        tags: TagPopulation,
+        threshold: int,
+        rng: np.random.Generator,
+    ) -> ThresholdResult:
+        """Answer "are >= t matching tags present?" in reader slots."""
+        model = OnePlusModel(tags.as_population(), rng)
+        return self._algorithm.decide(model, threshold, rng)
+
+
+@dataclass(frozen=True)
+class InventoryOutcome:
+    """Result of a full framed-slotted-ALOHA inventory.
+
+    Attributes:
+        tags_read: Matching tags singulated.
+        slots: Total reader slots consumed.
+        rounds: ALOHA frames executed.
+    """
+
+    tags_read: int
+    slots: int
+    rounds: int
+
+    def threshold_answer(self, threshold: int) -> bool:
+        """The threshold answer implied by the full count."""
+        return self.tags_read >= threshold
+
+
+class Gen2InventoryBaseline:
+    """EPC-Gen2-style framed slotted ALOHA with Q adaptation.
+
+    Each frame has ``2**q`` slots; every unread matching tag picks one
+    uniformly.  Singleton slots singulate their tag; collision slots
+    leave their tags for later frames.  ``q`` adapts between frames
+    toward the estimated backlog (collisions over-subscribe the frame,
+    empties waste it).
+
+    Args:
+        initial_q: Starting frame exponent (Gen2 default 4).
+        max_rounds: Safety cap on ALOHA frames.
+        early_exit_threshold: If given, stop as soon as this many tags
+            have been read (the fair way to use an inventory protocol for
+            a threshold query with answer *true*; the *false* answer
+            still requires draining every tag).
+    """
+
+    def __init__(
+        self,
+        *,
+        initial_q: int = 4,
+        max_rounds: int = 10_000,
+        early_exit_threshold: Optional[int] = None,
+    ) -> None:
+        if not 0 <= initial_q <= 15:
+            raise ValueError(f"initial_q must be 0..15, got {initial_q}")
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if early_exit_threshold is not None and early_exit_threshold < 0:
+            raise ValueError("early_exit_threshold must be >= 0")
+        self._initial_q = initial_q
+        self._max_rounds = max_rounds
+        self._early_exit = early_exit_threshold
+
+    def inventory(
+        self, tags: TagPopulation, rng: np.random.Generator
+    ) -> InventoryOutcome:
+        """Run the inventory until every matching tag is read (or the
+        early-exit threshold is hit).
+
+        Raises:
+            RuntimeError: If the round cap trips (never with sane q).
+        """
+        unread = tags.x
+        slots = 0
+        rounds = 0
+        q = self._initial_q
+        read = 0
+        while unread > 0:
+            if rounds >= self._max_rounds:
+                raise RuntimeError(
+                    f"inventory did not drain in {self._max_rounds} frames"
+                )
+            rounds += 1
+            frame = 2**q
+            choices = rng.integers(0, frame, size=unread)
+            counts = np.bincount(choices, minlength=frame)
+            singles = int((counts == 1).sum())
+            collisions = int((counts > 1).sum())
+            slots += frame
+            read += singles
+            unread -= singles
+            if self._early_exit is not None and read >= self._early_exit:
+                break
+            # Q adaptation: grow on heavy collision, shrink on waste.
+            if collisions > frame // 4:
+                q = min(15, q + 1)
+            elif singles + collisions < frame // 4:
+                q = max(0, q - 1)
+        return InventoryOutcome(tags_read=read, slots=slots, rounds=rounds)
+
+    def threshold_query(
+        self,
+        tags: TagPopulation,
+        threshold: int,
+        rng: np.random.Generator,
+    ) -> ThresholdResult:
+        """Answer the threshold question via (early-exiting) inventory."""
+        engine = Gen2InventoryBaseline(
+            initial_q=self._initial_q,
+            max_rounds=self._max_rounds,
+            early_exit_threshold=threshold,
+        )
+        outcome = engine.inventory(tags, rng)
+        return ThresholdResult(
+            decision=outcome.tags_read >= threshold,
+            queries=outcome.slots,
+            rounds=outcome.rounds,
+            threshold=threshold,
+            exact=True,
+            algorithm="Gen2Inventory",
+        )

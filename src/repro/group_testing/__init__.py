@@ -1,0 +1,44 @@
+"""Group-testing framework for threshold querying.
+
+The paper casts threshold querying as a variant of combinatorial group
+testing: a hidden set of *positive* nodes, queries on arbitrary *bins*
+(subsets), and a silent/active observation per query.  This package holds
+the pieces shared by every algorithm:
+
+* :mod:`repro.group_testing.population` -- the hidden ground truth.
+* :mod:`repro.group_testing.binning` -- random/deterministic partitioning
+  of a candidate set into bins.
+* :mod:`repro.group_testing.model` -- the 1+ and 2+ collision models
+  together with the query-cost ledger, plus a packet-level adapter
+  protocol so the mote emulation can stand in for the abstract model.
+"""
+
+from repro.group_testing.binning import (
+    partition_deterministic,
+    partition_random,
+    sample_bin,
+)
+from repro.group_testing.model import (
+    BinObservation,
+    KPlusModel,
+    ObservationKind,
+    OnePlusModel,
+    QueryBudgetExceeded,
+    QueryModel,
+    TwoPlusModel,
+)
+from repro.group_testing.population import Population
+
+__all__ = [
+    "BinObservation",
+    "KPlusModel",
+    "ObservationKind",
+    "OnePlusModel",
+    "Population",
+    "QueryBudgetExceeded",
+    "QueryModel",
+    "TwoPlusModel",
+    "partition_deterministic",
+    "partition_random",
+    "sample_bin",
+]

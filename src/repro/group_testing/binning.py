@@ -1,0 +1,125 @@
+"""Partitioning a candidate set into bins.
+
+The 2tBins family re-partitions the surviving candidates *randomly* into
+equal-sized bins at the start of every round (the companion theory paper
+used a deterministic partition; both are provided).  Bin sizes differ by at
+most one.  When the requested bin count exceeds the candidate count, the
+excess bins receive zero members; per Sec IV-C such bins are skipped free
+of charge by the algorithms, so partition functions may simply return
+fewer than ``bins`` groups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def partition_random(
+    candidates: Sequence[int],
+    bins: int,
+    rng: np.random.Generator,
+) -> List[List[int]]:
+    """Randomly partition ``candidates`` into up to ``bins`` balanced bins.
+
+    A uniformly random permutation is sliced into contiguous chunks whose
+    sizes differ by at most one, which is equivalent to dealing nodes
+    round-robin in random order.
+
+    Args:
+        candidates: Node ids to distribute (need not be sorted).
+        bins: Requested number of bins (``>= 1``).
+        rng: Randomness source.
+
+    Returns:
+        A list of non-empty bins (member-id lists).  The number of returned
+        bins is ``min(bins, len(candidates))``; zero-member bins are never
+        materialised.
+
+    Raises:
+        ValueError: If ``bins < 1``.
+    """
+    if bins < 1:
+        raise ValueError(f"bin count must be >= 1, got {bins}")
+    n = len(candidates)
+    if n == 0:
+        return []
+    order = rng.permutation(n)
+    arr = np.asarray(candidates, dtype=np.int64)[order]
+    effective = min(bins, n)
+    # Split into `effective` chunks with sizes differing by at most one.
+    base, extra = divmod(n, effective)
+    out: List[List[int]] = []
+    start = 0
+    for i in range(effective):
+        size = base + (1 if i < extra else 0)
+        out.append([int(v) for v in arr[start : start + size]])
+        start += size
+    return out
+
+
+def partition_deterministic(
+    candidates: Sequence[int],
+    bins: int,
+) -> List[List[int]]:
+    """Deterministic balanced partition (sorted ids, contiguous slices).
+
+    This is the variant used by the companion theory paper; useful for
+    worst-case analyses and exact-replay tests.
+
+    Args:
+        candidates: Node ids to distribute.
+        bins: Requested number of bins (``>= 1``).
+
+    Returns:
+        Non-empty balanced bins over the *sorted* candidate ids.
+    """
+    if bins < 1:
+        raise ValueError(f"bin count must be >= 1, got {bins}")
+    ordered = sorted(candidates)
+    n = len(ordered)
+    if n == 0:
+        return []
+    effective = min(bins, n)
+    base, extra = divmod(n, effective)
+    out: List[List[int]] = []
+    start = 0
+    for i in range(effective):
+        size = base + (1 if i < extra else 0)
+        out.append(ordered[start : start + size])
+        start += size
+    return out
+
+
+def sample_bin(
+    candidates: Sequence[int],
+    inclusion_prob: float,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Sample a single bin by independent inclusion (Sec V-D / VI probes).
+
+    Each candidate joins the bin independently with probability
+    ``inclusion_prob``.  Used by Probabilistic ABNS (``2/t``) and the
+    bimodal probabilistic model (``1/b``).
+
+    Args:
+        candidates: Node ids eligible for the probe.
+        inclusion_prob: Per-node inclusion probability in ``[0, 1]``.
+        rng: Randomness source.
+
+    Returns:
+        The sampled member list (possibly empty).
+
+    Raises:
+        ValueError: If ``inclusion_prob`` is outside ``[0, 1]``.
+    """
+    if not 0.0 <= inclusion_prob <= 1.0:
+        raise ValueError(
+            f"inclusion probability must be in [0,1], got {inclusion_prob}"
+        )
+    if len(candidates) == 0 or inclusion_prob == 0.0:
+        return []
+    draws = rng.random(len(candidates)) < inclusion_prob
+    arr = np.asarray(candidates, dtype=np.int64)
+    return [int(v) for v in arr[draws]]

@@ -1,0 +1,310 @@
+"""Abstract RCD query models: the 1+ and 2+ collision semantics.
+
+These are the counting models behind the paper's simulation figures.  A
+query on a bin resolves instantly against the hidden :class:`Population`;
+the model charges one unit of cost per query and returns a
+:class:`BinObservation` that encodes *exactly* the information the
+corresponding radio primitive would expose:
+
+* **1+ model** (pollcast/backcast): silence, or activity meaning ">= 1
+  positive".  No message is decoded.
+* **2+ model**: the radio may lock onto one reply (the *capture effect*)
+  and decode its sender id -- in which case that node is a confirmed
+  positive but nothing is learned about the others -- or observe an
+  undecodable collision, which proves ">= 2 positives".
+
+Both models accept an optional *detection-failure* hook so failure
+injection tests (and the abstract replication of the testbed's radio
+irregularities) can make a non-empty bin read silent with a
+responder-count-dependent probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.group_testing.population import Population
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when a model's query budget is exhausted.
+
+    The budget is a guard against non-terminating algorithm bugs; exact
+    algorithms are bounded by :func:`repro.analytic.bounds.upper_bound_queries`
+    and should never trip it.
+    """
+
+
+class ObservationKind(Enum):
+    """What the initiator's radio observed for one bin query."""
+
+    SILENT = "silent"
+    """No channel activity: the bin holds no (detected) positive node."""
+
+    ACTIVITY = "activity"
+    """Undecodable activity: >= 1 positive (1+ model) or >= 2 (2+ model)."""
+
+    CAPTURE = "capture"
+    """One reply decoded: its sender is a confirmed positive (2+ only)."""
+
+
+@dataclass(frozen=True)
+class BinObservation:
+    """Result of querying one bin.
+
+    Attributes:
+        kind: The observation class.
+        min_positives: A *sound* lower bound on the number of positive
+            nodes in the queried bin implied by the observation (0 for
+            silence; 1 for 1+ activity or a capture; 2 for a 2+ collision).
+        captured_node: Decoded sender id for ``CAPTURE`` observations,
+            else ``None``.
+    """
+
+    kind: ObservationKind
+    min_positives: int
+    captured_node: Optional[int] = None
+
+    @property
+    def silent(self) -> bool:
+        """Whether the bin read as silent."""
+        return self.kind is ObservationKind.SILENT
+
+
+class QueryModel(Protocol):
+    """What an algorithm may do: query a bin, and read its own cost.
+
+    Implementations: :class:`OnePlusModel`, :class:`TwoPlusModel`, and the
+    packet-level :class:`repro.motes.testbed.TestbedQueryAdapter`.
+    """
+
+    @property
+    def queries_used(self) -> int:
+        """Total queries charged so far."""
+        ...
+
+    @property
+    def population_size(self) -> int:
+        """Number of participant nodes (the paper's ``N``)."""
+        ...
+
+    def query(self, members: Sequence[int]) -> BinObservation:
+        """Query one bin; charges one cost unit.
+
+        Callers are responsible for not querying bins they *know* to be
+        member-less (those are free per Sec IV-C); querying a sampled bin
+        whose membership is unknown to the initiator is charged normally.
+        """
+        ...
+
+
+def default_capture_probability(k: int) -> float:
+    """Default capture model: ``P(capture | k simultaneous replies) = 1/k``.
+
+    A single reply is always decoded; with more repliers the chance that
+    one signal dominates decays inversely (DESIGN.md choice; the paper does
+    not pin a model beyond "decreasing probability as the number of
+    messages increase").
+    """
+    if k < 1:
+        raise ValueError(f"responder count must be >= 1, got {k}")
+    return 1.0 / k
+
+
+class _BaseModel:
+    """Shared cost-ledger plumbing for the abstract models."""
+
+    def __init__(
+        self,
+        population: Population,
+        rng: np.random.Generator,
+        *,
+        max_queries: Optional[int] = None,
+        detection_failure: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        self._population = population
+        self._rng = rng
+        self._queries = 0
+        self._max_queries = max_queries
+        self._detection_failure = detection_failure
+
+    @property
+    def population(self) -> Population:
+        """The hidden ground truth (for harness/tests, not algorithms)."""
+        return self._population
+
+    @property
+    def population_size(self) -> int:
+        """Number of participant nodes."""
+        return self._population.size
+
+    @property
+    def queries_used(self) -> int:
+        """Total queries charged so far."""
+        return self._queries
+
+    def _charge(self) -> None:
+        self._queries += 1
+        if self._max_queries is not None and self._queries > self._max_queries:
+            raise QueryBudgetExceeded(
+                f"query budget of {self._max_queries} exceeded"
+            )
+
+    def _detected(self, npos: int) -> bool:
+        """Whether a bin with ``npos`` positives produces visible activity."""
+        if npos == 0:
+            return False
+        if self._detection_failure is None:
+            return True
+        miss = self._detection_failure(npos)
+        if not 0.0 <= miss <= 1.0:
+            raise ValueError(f"detection-failure hook returned {miss}")
+        return bool(self._rng.random() >= miss)
+
+
+class OnePlusModel(_BaseModel):
+    """The 1+ collision model: silence vs undecodable activity.
+
+    Implements the information structure of pollcast (CCA-based RCD) and
+    backcast (superposed-HACK RCD): an activity observation proves only
+    ">= 1 positive in the bin".
+
+    Args:
+        population: Hidden ground truth.
+        rng: Randomness (used only by the optional failure hook).
+        max_queries: Optional hard budget (bug guard).
+        detection_failure: Optional ``k -> miss probability`` hook making a
+            bin with ``k`` positives read silent; ``None`` means an ideal
+            radio.
+    """
+
+    def query(self, members: Sequence[int]) -> BinObservation:
+        """Query a bin under 1+ semantics; charges one cost unit."""
+        self._charge()
+        npos = self._population.count_positives(members)
+        if self._detected(npos):
+            return BinObservation(kind=ObservationKind.ACTIVITY, min_positives=1)
+        return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
+
+
+class KPlusModel(_BaseModel):
+    """The generalised ``k+`` channel of the companion theory paper
+    (Aspnes et al., "k+ decision trees").
+
+    A query reveals ``min(count, k)``: the *exact* number of positives in
+    the bin when it is below ``k``, and only ">= k" otherwise.  ``k = 1``
+    collapses to the 1+ model; larger ``k`` strengthens the per-bin
+    evidence, which the round executor exploits automatically (its
+    termination check sums the sound per-bin lower bounds).  Unlike the
+    2+ model there is no capture: no identities are ever revealed, so no
+    individual node can be excluded.
+
+    Args:
+        population: Hidden ground truth.
+        rng: Randomness (used only by the optional failure hook).
+        k: Count-resolution of the channel (``>= 1``).
+        max_queries: Optional hard budget.
+        detection_failure: Optional miss-probability hook.
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        rng: np.random.Generator,
+        *,
+        k: int,
+        max_queries: Optional[int] = None,
+        detection_failure: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        super().__init__(
+            population,
+            rng,
+            max_queries=max_queries,
+            detection_failure=detection_failure,
+        )
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        """The channel's count resolution."""
+        return self._k
+
+    def query(self, members: Sequence[int]) -> BinObservation:
+        """Query a bin under k+ semantics; charges one cost unit."""
+        self._charge()
+        npos = self._population.count_positives(members)
+        if not self._detected(npos):
+            return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
+        return BinObservation(
+            kind=ObservationKind.ACTIVITY,
+            min_positives=min(npos, self._k),
+        )
+
+
+class TwoPlusModel(_BaseModel):
+    """The 2+ collision model: capture-effect decoding of one reply.
+
+    A lone reply is always decoded.  With ``k >= 2`` simultaneous replies
+    one of them is decoded with probability ``capture_probability(k)``
+    (default ``1/k``); otherwise the initiator observes an undecodable
+    collision, which certifies ">= 2 positives".  Because of the capture
+    effect a decoded reply never certifies that it was the *only* reply,
+    so only the decoded sender itself may be excluded from future rounds
+    (Sec III-A).
+
+    Args:
+        population: Hidden ground truth.
+        rng: Randomness for capture draws and sender selection.
+        capture_probability: ``k -> P(decode one reply)`` for ``k >= 2``.
+        max_queries: Optional hard budget.
+        detection_failure: Optional miss-probability hook (as in
+            :class:`OnePlusModel`).
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        rng: np.random.Generator,
+        *,
+        capture_probability: Callable[[int], float] = default_capture_probability,
+        max_queries: Optional[int] = None,
+        detection_failure: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        super().__init__(
+            population,
+            rng,
+            max_queries=max_queries,
+            detection_failure=detection_failure,
+        )
+        self._capture_probability = capture_probability
+
+    def query(self, members: Sequence[int]) -> BinObservation:
+        """Query a bin under 2+ semantics; charges one cost unit."""
+        self._charge()
+        pos = [m for m in members if self._population.is_positive(m)]
+        npos = len(pos)
+        if not self._detected(npos):
+            return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
+        if npos == 1:
+            return BinObservation(
+                kind=ObservationKind.CAPTURE,
+                min_positives=1,
+                captured_node=pos[0],
+            )
+        p_cap = self._capture_probability(npos)
+        if not 0.0 <= p_cap <= 1.0:
+            raise ValueError(f"capture probability out of range: {p_cap}")
+        if self._rng.random() < p_cap:
+            winner = pos[int(self._rng.integers(npos))]
+            return BinObservation(
+                kind=ObservationKind.CAPTURE,
+                min_positives=1,
+                captured_node=winner,
+            )
+        return BinObservation(kind=ObservationKind.ACTIVITY, min_positives=2)

@@ -1,0 +1,22 @@
+"""MAC-layer baselines for threshold querying.
+
+The paper contrasts tcast with two traditional feedback-collection
+schemes (Sec IV-C):
+
+* :class:`~repro.mac.csma.CsmaBaseline` -- contention-based replies with
+  binary exponential backoff.  Cost grows roughly linearly in the number
+  of positive repliers ``x`` and the scheme cannot *certify* ``x < t``
+  (it times out on silence), so its results are inexact.
+* :class:`~repro.mac.tdma.SequentialOrdering` -- a collision-free
+  schedule assigning every participant its own reply slot, with early
+  termination.  Exact but pays ``~(n - t)`` slots when ``x << t``.
+
+Both are costed in *slots* on the same axis as tcast's queries: one RCD
+query and one reply slot are each a frame exchange of comparable
+duration (see ``radio/timing.py`` for the packet-level calibration).
+"""
+
+from repro.mac.csma import CsmaBaseline, CsmaConfig
+from repro.mac.tdma import SequentialOrdering
+
+__all__ = ["CsmaBaseline", "CsmaConfig", "SequentialOrdering"]

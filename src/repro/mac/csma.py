@@ -1,0 +1,208 @@
+"""Slotted CSMA baseline with binary exponential backoff (Sec IV-C).
+
+Model: after the initiator's poll, every *positive* node contends to send
+one reply.  Time is slotted; a backlogged node holds a backoff counter
+drawn uniformly from its current contention window, decrements it on idle
+slots only (carrier sensing freezes it during busy slots), and transmits
+when it reaches zero.  A slot with exactly one transmitter is a success;
+a slot with two or more is a collision, after which each collider doubles
+its window (up to a cap) and redraws.
+
+The initiator terminates with **true** after ``t`` successful replies.
+It can never *certify* the negative answer -- silence from a node is
+indistinguishable from backoff -- so it declares **false** after a quiet
+period of consecutive idle slots.  Because binary exponential backoff can
+open gaps longer than any fixed quiet period, that declaration can be
+wrong: the paper's observation that "it is impossible to tell whether
+x > t or x < t holds with certainty using CSMA" is a measurable property
+of this model (``exact=False`` on every result).
+
+Cost is the number of elapsed slots, plotted on the same axis as tcast's
+query counts (one reply slot and one RCD query are frame exchanges of
+comparable duration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import ThresholdResult
+from repro.group_testing.population import Population
+
+
+@dataclass(frozen=True)
+class CsmaConfig:
+    """Tunables of the slotted CSMA model.
+
+    Attributes:
+        initial_window: Contention-window size for the first attempt
+            (802.15.4's ``macMinBE = 3`` gives 8 slots).
+        max_window: Window cap under exponential backoff
+            (``macMaxBE = 8`` gives 256).
+        quiet_slots: Consecutive idle slots after which the initiator
+            declares the threshold unreachable.  Must be at least
+            ``initial_window`` to keep a lone uncollided replier from
+            being missed; longer values trade latency for accuracy.
+        adaptive_quiet: When ``True``, the quiet period grows with the
+            contention the initiator has *observed*: after ``c`` collision
+            slots it waits ``min(initial_window * 2**c, max_window)`` idle
+            slots, which is an upper bound on any backlogged node's
+            remaining backoff -- making the negative verdict sound (the
+            only residual error source is ``loss_prob``) at the price of a
+            longer drain tail.  ``False`` reproduces the fixed-window
+            behaviour whose occasional premature verdicts illustrate the
+            paper's "impossible to tell with certainty using CSMA" remark.
+        loss_prob: Probability an otherwise-successful reply is lost
+            (hidden-terminal / fading proxy); the sender learns nothing
+            and the initiator hears a busy-but-undecodable slot.
+        max_slots: Hard safety cap on the simulation length.
+    """
+
+    initial_window: int = 8
+    max_window: int = 256
+    quiet_slots: int = 8
+    adaptive_quiet: bool = False
+    loss_prob: float = 0.0
+    max_slots: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.initial_window < 1:
+            raise ValueError(
+                f"initial_window must be >= 1, got {self.initial_window}"
+            )
+        if self.max_window < self.initial_window:
+            raise ValueError(
+                f"max_window ({self.max_window}) must be >= initial_window "
+                f"({self.initial_window})"
+            )
+        if self.quiet_slots < 1:
+            raise ValueError(f"quiet_slots must be >= 1, got {self.quiet_slots}")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in [0,1), got {self.loss_prob}")
+        if self.max_slots < 1:
+            raise ValueError(f"max_slots must be >= 1, got {self.max_slots}")
+
+
+class CsmaBaseline:
+    """Contention-based reply collection (the paper's *CSMA* curve).
+
+    Args:
+        config: Model tunables; defaults follow 802.15.4 conventions.
+    """
+
+    name = "CSMA"
+
+    def __init__(self, config: CsmaConfig | None = None) -> None:
+        self._config = config or CsmaConfig()
+
+    @property
+    def config(self) -> CsmaConfig:
+        """The active configuration."""
+        return self._config
+
+    def decide(
+        self,
+        population: Population,
+        threshold: int,
+        rng: np.random.Generator,
+    ) -> ThresholdResult:
+        """Simulate one CSMA feedback-collection session.
+
+        Args:
+            population: Ground truth; only its positive count matters
+                (negatives never contend).
+            threshold: The threshold ``t``.
+            rng: Randomness for backoff draws and loss events.
+
+        Returns:
+            A :class:`ThresholdResult` with ``queries`` = elapsed slots and
+            ``exact=False`` (the negative verdict is a timeout heuristic).
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        cfg = self._config
+        if threshold == 0:
+            return ThresholdResult(
+                decision=True,
+                queries=0,
+                rounds=0,
+                threshold=threshold,
+                exact=False,
+                algorithm=self.name,
+            )
+
+        x = population.x
+        windows = np.full(x, cfg.initial_window, dtype=np.int64)
+        backoff = (
+            rng.integers(0, cfg.initial_window, size=x)
+            if x
+            else np.empty(0, dtype=np.int64)
+        )
+        pending = np.ones(x, dtype=bool)
+
+        successes = 0
+        idle_run = 0
+        slot = 0
+        collision_slots = 0
+
+        while slot < cfg.max_slots:
+            slot += 1
+            if cfg.adaptive_quiet:
+                quiet_needed = min(
+                    cfg.initial_window << min(collision_slots, 30),
+                    cfg.max_window,
+                )
+                quiet_needed = max(quiet_needed, cfg.quiet_slots)
+            else:
+                quiet_needed = cfg.quiet_slots
+            transmitters = np.flatnonzero(pending & (backoff == 0))
+            if transmitters.size == 0:
+                idle_run += 1
+                backoff[pending] -= 1
+                # Counters never go negative: only positive counters remain.
+                if idle_run >= quiet_needed:
+                    return self._finish(
+                        decision=False, slots=slot, threshold=threshold
+                    )
+                continue
+            idle_run = 0
+            if transmitters.size == 1:
+                idx = transmitters[0]
+                if cfg.loss_prob and rng.random() < cfg.loss_prob:
+                    # The reply was corrupted in flight: the channel was
+                    # busy, the sender believes it transmitted, and nothing
+                    # was decoded.  The sender is done (no link-layer ack
+                    # in this baseline), so the reply is simply lost.
+                    pending[idx] = False
+                else:
+                    pending[idx] = False
+                    successes += 1
+                    if successes >= threshold:
+                        return self._finish(
+                            decision=True, slots=slot, threshold=threshold
+                        )
+            else:
+                # Collision: every collider doubles its window and redraws.
+                collision_slots += 1
+                for idx in transmitters:
+                    windows[idx] = min(windows[idx] * 2, cfg.max_window)
+                    backoff[idx] = rng.integers(0, windows[idx])
+        raise RuntimeError(
+            f"CSMA safety cap of {cfg.max_slots} slots exhausted "
+            f"(x={x}, t={threshold})"
+        )
+
+    @staticmethod
+    def _finish(
+        *, decision: bool, slots: int, threshold: int
+    ) -> ThresholdResult:
+        return ThresholdResult(
+            decision=decision,
+            queries=slots,
+            rounds=1,
+            threshold=threshold,
+            exact=False,
+            algorithm=CsmaBaseline.name,
+        )

@@ -1,0 +1,291 @@
+"""Packet-level CSMA/CA feedback collection on the emulated radio stack.
+
+The abstract :class:`repro.mac.csma.CsmaBaseline` costs CSMA in slots;
+this module runs the real thing on the testbed: the initiator broadcasts
+a poll, every positive participant contends with unslotted 802.15.4
+CSMA/CA (random backoff in unit backoff periods, CCA before transmit,
+binary exponential backoff on busy), sends its reply as a unicast frame
+with the ACK-request flag, and retries until the initiator's radio
+hardware-acknowledges it.
+
+The initiator terminates positively at the ``t``-th distinct reply and
+negatively after a quiet period with no new replies -- the same
+semantics (and the same reliability caveat) as the abstract baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.frames import AckFrame, BROADCAST_ADDR, DataFrame
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+#: Payload key identifying CSMA poll frames.
+CSMA_POLL_TYPE = "csma.poll"
+
+#: Payload key identifying CSMA reply frames.
+CSMA_REPLY_TYPE = "csma.reply"
+
+#: Reply payload: 2 bytes (responder id echo).
+REPLY_PAYLOAD_BYTES = 2
+
+#: 802.15.4 CSMA/CA constants.
+MAC_MIN_BE = 3
+MAC_MAX_BE = 8
+MAX_FRAME_RETRIES = 7
+
+
+class CsmaContender:
+    """Participant-side CSMA/CA process for one reply.
+
+    Implements unslotted 802.15.4 CSMA/CA: draw a backoff uniform in
+    ``[0, 2**BE - 1]`` unit backoff periods, CCA, transmit on clear
+    (otherwise grow ``BE`` and redraw), then wait for the link-layer
+    acknowledgement and retry the whole dance if it does not arrive.
+
+    Args:
+        sim: The discrete-event simulator.
+        radio: The participant's radio.
+        dst: Initiator address to reply to.
+        seq: Sequence number for the reply frame.
+        rng: Randomness for backoff draws.
+        tracer: Optional tracer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Cc2420Radio,
+        *,
+        dst: int,
+        seq: int,
+        rng: np.random.Generator,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self._sim = sim
+        self._radio = radio
+        self._dst = dst
+        self._seq = seq
+        self._rng = rng
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._be = MAC_MIN_BE
+        self._retries = 0
+        self._done = False
+        self._given_up = False
+        radio.ack_callback = self._on_ack
+        self._start_backoff()
+
+    @property
+    def done(self) -> bool:
+        """Whether the reply has been acknowledged."""
+        return self._done
+
+    @property
+    def given_up(self) -> bool:
+        """Whether the retry budget was exhausted."""
+        return self._given_up
+
+    def cancel(self) -> None:
+        """Abort the contention (mote reboot / session teardown)."""
+        self._given_up = True
+
+    def _start_backoff(self) -> None:
+        periods = int(self._rng.integers(0, 2**self._be))
+        delay = periods * self._radio.channel.timing.backoff_period_us
+        self._sim.schedule(delay, self._attempt, label="csma-backoff")
+
+    def _attempt(self) -> None:
+        if self._done or self._given_up:
+            return
+        if self._radio.is_transmitting():
+            self._sim.schedule(
+                self._radio.channel.timing.backoff_period_us,
+                self._attempt,
+                label="csma-defer",
+            )
+            return
+        if not self._radio.cca():
+            # Channel busy: grow the window and back off again.
+            self._be = min(self._be + 1, MAC_MAX_BE)
+            self._start_backoff()
+            return
+        frame = DataFrame(
+            src=self._radio.address,
+            dst=self._dst,
+            seq=self._seq,
+            ack_request=True,
+            payload={
+                "type": CSMA_REPLY_TYPE,
+                "responder": self._radio.address,
+            },
+            payload_bytes=REPLY_PAYLOAD_BYTES,
+        )
+        end = self._radio.transmit(frame)
+        self._tracer.emit(
+            "csma.reply.tx",
+            f"mote{self._radio.address}",
+            time=self._sim.now,
+            retry=self._retries,
+        )
+        timeout = end + self._radio.channel.timing.ack_wait_us
+        self._sim.schedule_at(timeout, self._check_ack, label="csma-ackwait")
+
+    def _check_ack(self) -> None:
+        if self._done or self._given_up:
+            return
+        self._retries += 1
+        if self._retries > MAX_FRAME_RETRIES:
+            self._given_up = True
+            self._tracer.emit(
+                "csma.reply.giveup",
+                f"mote{self._radio.address}",
+                time=self._sim.now,
+            )
+            return
+        self._be = min(self._be + 1, MAC_MAX_BE)
+        self._start_backoff()
+
+    def _on_ack(self, ack: AckFrame, superposition: int) -> None:
+        if ack.seq == self._seq:
+            self._done = True
+
+
+@dataclass(frozen=True)
+class CsmaCollectionOutcome:
+    """Result of a packet-level CSMA collection session.
+
+    Attributes:
+        decision: Whether ``t`` distinct replies were collected.
+        replies: Distinct responders heard.
+        duration_us: Wall-clock session length.
+    """
+
+    decision: bool
+    replies: int
+    duration_us: float
+
+
+class CsmaCollector:
+    """Initiator-side driver of a packet-level CSMA session.
+
+    Args:
+        sim: The discrete-event simulator.
+        radio: The initiator's radio (its ``receive_callback`` is
+            claimed for reply collection).
+        quiet_us: Give up after this long with no new reply.
+        tracer: Optional tracer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Cc2420Radio,
+        *,
+        quiet_us: float = 20_000.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if quiet_us <= 0:
+            raise ValueError(f"quiet_us must be > 0, got {quiet_us}")
+        self._sim = sim
+        self._radio = radio
+        self._quiet_us = quiet_us
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._seq = 0
+        self._responders: Set[int] = set()
+        self._last_reply_us = 0.0
+        radio.receive_callback = self._on_frame
+
+    def collect(
+        self,
+        threshold: int,
+        *,
+        predicate_id: int = 0,
+        members: Optional[Set[int]] = None,
+    ) -> CsmaCollectionOutcome:
+        """Broadcast a poll and collect replies until resolution.
+
+        Args:
+            threshold: Required distinct replies.
+            predicate_id: Predicate being polled.
+            members: Optional member restriction (default: everyone).
+
+        Returns:
+            The session outcome; ``decision`` has the same reliability
+            caveat as plain CSMA (the negative verdict is a timeout).
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        start = self._sim.now
+        self._responders.clear()
+        self._last_reply_us = start
+        seq = self._seq % 256
+        self._seq += 1
+
+        poll = DataFrame(
+            src=self._radio.address,
+            dst=BROADCAST_ADDR,
+            seq=seq,
+            ack_request=False,
+            payload={
+                "type": CSMA_POLL_TYPE,
+                "predicate": predicate_id,
+                "reply_to": self._radio.address,
+                "members": (
+                    None if members is None else tuple(sorted(members))
+                ),
+            },
+            payload_bytes=8,
+        )
+        self._radio.transmit(poll)
+        self._tracer.emit(
+            "csma.poll",
+            f"mote{self._radio.address}",
+            time=start,
+            threshold=threshold,
+        )
+
+        if threshold == 0:
+            return CsmaCollectionOutcome(
+                decision=True, replies=0, duration_us=self._sim.now - start
+            )
+
+        # Run in quiet-period slices, extending while replies keep coming.
+        while True:
+            if len(self._responders) >= threshold:
+                return CsmaCollectionOutcome(
+                    decision=True,
+                    replies=len(self._responders),
+                    duration_us=self._sim.now - start,
+                )
+            deadline = self._last_reply_us + self._quiet_us
+            if self._sim.now >= deadline:
+                return CsmaCollectionOutcome(
+                    decision=False,
+                    replies=len(self._responders),
+                    duration_us=self._sim.now - start,
+                )
+            before = len(self._responders)
+            self._sim.run(until=deadline)
+            if len(self._responders) == before and self._sim.now >= deadline:
+                return CsmaCollectionOutcome(
+                    decision=len(self._responders) >= threshold,
+                    replies=len(self._responders),
+                    duration_us=self._sim.now - start,
+                )
+
+    def _on_frame(self, frame: DataFrame, superposition: int) -> None:
+        if frame.payload.get("type") == CSMA_REPLY_TYPE:
+            self._responders.add(int(frame.payload["responder"]))
+            self._last_reply_us = self._sim.now
+            self._tracer.emit(
+                "csma.reply.rx",
+                f"mote{self._radio.address}",
+                time=self._sim.now,
+                responder=frame.payload["responder"],
+                distinct=len(self._responders),
+            )

@@ -1,0 +1,29 @@
+"""Mote-level emulation of the paper's TelosB/TinyOS testbed.
+
+* :mod:`repro.motes.mote` -- the generic mote: a radio plus an
+  application, with reboot support.
+* :mod:`repro.motes.participant` -- the participant application
+  (configure / announce handling / vote transmission).
+* :mod:`repro.motes.initiator` -- the initiator application driving
+  backcast or pollcast bin queries.
+* :mod:`repro.motes.testbed` -- the laptop-side controller: builds the
+  network, configures motes over the (emulated) serial interface, runs
+  tcast sessions, reboots between runs, and adapts the packet-level
+  initiator to the abstract :class:`repro.group_testing.model.QueryModel`
+  interface so the *same* algorithm code runs on both substrates.
+"""
+
+from repro.motes.initiator import InitiatorApp
+from repro.motes.mote import Mote
+from repro.motes.participant import ParticipantApp
+from repro.motes.testbed import Testbed, TestbedConfig, TestbedQueryAdapter, TestbedRun
+
+__all__ = [
+    "InitiatorApp",
+    "Mote",
+    "ParticipantApp",
+    "Testbed",
+    "TestbedConfig",
+    "TestbedQueryAdapter",
+    "TestbedRun",
+]

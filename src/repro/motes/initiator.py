@@ -1,0 +1,141 @@
+"""The initiator application: packet-level bin queries.
+
+Wraps a backcast or pollcast driver and converts its outcome into the
+abstract :class:`repro.group_testing.model.BinObservation` so tcast
+algorithms run unchanged on the packet-level substrate.  The observation
+is 1+ semantics: the initiator's radio either latched the (superposed)
+HACK / sensed vote energy, or it did not.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional, Sequence
+
+from repro.group_testing.model import BinObservation, ObservationKind
+from repro.primitives.backcast import BackcastInitiator
+from repro.primitives.pollcast import PollcastInitiator
+from repro.primitives.votecast import VotecastInitiator
+from repro.radio.cc2420 import Cc2420Radio
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+PrimitiveName = Literal["backcast", "pollcast", "votecast"]
+
+
+class InitiatorApp:
+    """Initiator-side application (the paper's ``query`` verb).
+
+    Args:
+        sim: The discrete-event simulator.
+        radio: The initiator's radio.
+        primitive: Which RCD primitive to query bins with.
+        tracer: Optional tracer shared with the substrate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Cc2420Radio,
+        *,
+        primitive: PrimitiveName = "backcast",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if primitive not in ("backcast", "pollcast", "votecast"):
+            raise ValueError(f"unknown primitive {primitive!r}")
+        self._sim = sim
+        self._radio = radio
+        self._primitive_name: PrimitiveName = primitive
+        self._backcast = BackcastInitiator(sim, radio, tracer=tracer)
+        self._pollcast = PollcastInitiator(sim, radio, tracer=tracer)
+        self._votecast = (
+            VotecastInitiator(sim, radio, tracer=tracer)
+            if primitive == "votecast"
+            else None
+        )
+        self._queries = 0
+        self._query_time_us = 0.0
+        self._round_lookup: dict[frozenset[int], int] = {}
+
+    def boot(self) -> None:
+        """Reset session counters (mote reboot)."""
+        self._queries = 0
+        self._query_time_us = 0.0
+        self._round_lookup = {}
+
+    @property
+    def primitive(self) -> PrimitiveName:
+        """The RCD primitive in use."""
+        return self._primitive_name
+
+    @property
+    def queries_issued(self) -> int:
+        """Bin queries performed since the last boot."""
+        return self._queries
+
+    @property
+    def query_time_us(self) -> float:
+        """Cumulative air-protocol time spent in queries since boot."""
+        return self._query_time_us
+
+    def begin_round(
+        self, bins: Sequence[Sequence[int]], *, predicate_id: int = 0
+    ) -> None:
+        """Announce a whole round's bin assignment (backcast only).
+
+        Subsequent :meth:`query_bin` calls whose member set matches one of
+        the announced bins are served by a bare per-bin poll instead of a
+        full announce-plus-poll exchange -- the paper's round-oriented
+        protocol.  Pollcast carries the member list in every poll and has
+        no use for the hook.
+        """
+        if self._primitive_name != "backcast":
+            return
+        before = self._sim.now
+        self._backcast.announce_round(
+            [list(b) for b in bins], predicate_id=predicate_id
+        )
+        self._query_time_us += self._sim.now - before
+        self._round_lookup = {
+            frozenset(b): i for i, b in enumerate(self._backcast.round_bins)
+        }
+
+    def query_bin(
+        self,
+        members: Sequence[int],
+        *,
+        predicate_id: int = 0,
+    ) -> BinObservation:
+        """Query one bin and map the outcome to 1+ semantics.
+
+        Args:
+            members: Participant ids in the bin.
+            predicate_id: Predicate identifier.
+
+        Returns:
+            ``ACTIVITY``/``SILENT`` under backcast and pollcast (1+
+            semantics); ``CAPTURE``/``ACTIVITY``(>=2)/``SILENT`` under
+            votecast (2+ semantics).
+        """
+        self._queries += 1
+        if self._primitive_name == "votecast":
+            assert self._votecast is not None
+            voutcome = self._votecast.query(members, predicate_id=predicate_id)
+            self._query_time_us += voutcome.duration_us
+            return voutcome.observation
+        if self._primitive_name == "backcast":
+            bin_index = self._round_lookup.get(frozenset(int(m) for m in members))
+            if bin_index is not None:
+                outcome = self._backcast.poll_bin(bin_index)
+            else:
+                outcome = self._backcast.query(
+                    members, predicate_id=predicate_id
+                )
+            self._query_time_us += outcome.duration_us
+            nonempty = outcome.nonempty
+        else:
+            poutcome = self._pollcast.query(members, predicate_id=predicate_id)
+            self._query_time_us += poutcome.duration_us
+            nonempty = poutcome.nonempty
+        if nonempty:
+            return BinObservation(kind=ObservationKind.ACTIVITY, min_positives=1)
+        return BinObservation(kind=ObservationKind.SILENT, min_positives=0)

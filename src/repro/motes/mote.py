@@ -1,0 +1,78 @@
+"""The generic mote: radio + application + serial-style control verbs.
+
+The paper's testbed drives every mote through a serial interface exposing
+``configure``, ``query`` (initiator only) and ``reboot``.  The emulated
+mote mirrors that: the :class:`repro.motes.testbed.Testbed` plays the
+laptop's role and calls these verbs directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.radio.cc2420 import Cc2420Radio
+from repro.sim.kernel import Simulator
+
+
+class MoteApp(Protocol):
+    """Application hosted on a mote."""
+
+    def boot(self) -> None:
+        """(Re)initialise application state and radio bindings."""
+        ...
+
+
+class Mote:
+    """A TelosB-like mote: one radio, one application.
+
+    Args:
+        sim: The discrete-event simulator.
+        radio: The mote's radio (already attached to the channel).
+        app: The hosted application; ``boot`` is invoked immediately.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Cc2420Radio,
+        app: Optional[MoteApp] = None,
+    ) -> None:
+        self._sim = sim
+        self._radio = radio
+        self._app = app
+        self._boot_count = 0
+        if app is not None:
+            self.reboot()
+
+    @property
+    def mote_id(self) -> int:
+        """The mote's identifier (its radio hardware address)."""
+        return self._radio.address
+
+    @property
+    def radio(self) -> Cc2420Radio:
+        """The mote's radio."""
+        return self._radio
+
+    @property
+    def app(self) -> Optional[MoteApp]:
+        """The hosted application."""
+        return self._app
+
+    @property
+    def boot_count(self) -> int:
+        """How many times the mote has (re)booted."""
+        return self._boot_count
+
+    def reboot(self) -> None:
+        """Power-cycle the mote: reset radio defaults and re-boot the app.
+
+        The paper reboots every mote between runs "to remove the effect of
+        the previous run"; the testbed does the same.
+        """
+        self._radio.power_on()
+        self._radio.set_short_address(self._radio.address)
+        self._radio.set_auto_ack(True)
+        if self._app is not None:
+            self._app.boot()
+        self._boot_count += 1

@@ -1,0 +1,317 @@
+"""The serial control plane of the testbed (Sec IV-D).
+
+"All motes are directly connected to a central controlling unit (in our
+case the laptop) via serial port interface.  The initiator mote exposes
+*configure*, *query* and *reboot* functions via serial interface to the
+laptop, while the participant provides only *configure* and *reboot*
+procedures."
+
+This module implements that control plane at the byte level:
+
+* **Framing** -- SLIP-style: frames end with ``END`` (0xC0); ``END`` and
+  ``ESC`` bytes inside the payload are escaped (``ESC ESC_END`` /
+  ``ESC ESC_ESC``), so arbitrary binary payloads survive the wire.
+* **Integrity** -- a 1-byte additive checksum trails every payload;
+  corrupt frames are dropped and counted.
+* **Commands** -- CONFIGURE (predicate id + positive flag), REBOOT, and
+  QUERY (threshold + algorithm code, initiator only); responses are ACK
+  and RESULT (decision + query count).
+* :class:`SerialTestbedController` -- the laptop side: drives a
+  :class:`repro.motes.testbed.Testbed` purely through encoded frames, so
+  the whole experiment lifecycle is exercised over the wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.abns import ProbabilisticAbns
+from repro.core.exponential import ExponentialIncrease
+from repro.core.two_t_bins import TwoTBins
+from repro.motes.testbed import Testbed
+
+# ---------------------------------------------------------------------------
+# Framing (SLIP-style)
+# ---------------------------------------------------------------------------
+
+END = 0xC0
+ESC = 0xDB
+ESC_END = 0xDC
+ESC_ESC = 0xDD
+
+
+def _checksum(payload: bytes) -> int:
+    return sum(payload) & 0xFF
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Encode one payload into an escaped, checksummed frame.
+
+    Args:
+        payload: Raw command/response bytes (non-empty; no command or
+            response on this wire is ever empty).
+
+    Returns:
+        The on-wire byte string (always ends with ``END``).
+
+    Raises:
+        ValueError: For an empty payload.
+    """
+    if not payload:
+        raise ValueError("serial payloads must be non-empty")
+    body = payload + bytes([_checksum(payload)])
+    out = bytearray()
+    for b in body:
+        if b == END:
+            out += bytes([ESC, ESC_END])
+        elif b == ESC:
+            out += bytes([ESC, ESC_ESC])
+        else:
+            out.append(b)
+    out.append(END)
+    return bytes(out)
+
+
+class FrameDecoder:
+    """Incremental SLIP decoder with checksum verification.
+
+    Bytes may arrive in arbitrary fragments; complete, valid payloads are
+    handed to the callback and corrupt frames are counted and dropped.
+
+    Args:
+        on_frame: Called with each valid decoded payload.
+    """
+
+    def __init__(self, on_frame: Callable[[bytes], None]) -> None:
+        self._on_frame = on_frame
+        self._buffer = bytearray()
+        self._escaping = False
+        self._dropped = 0
+
+    @property
+    def dropped_frames(self) -> int:
+        """Frames discarded due to checksum or escape violations."""
+        return self._dropped
+
+    def feed(self, data: bytes) -> None:
+        """Consume a chunk of wire bytes (any fragmentation)."""
+        for b in data:
+            if self._escaping:
+                self._escaping = False
+                if b == ESC_END:
+                    self._buffer.append(END)
+                elif b == ESC_ESC:
+                    self._buffer.append(ESC)
+                else:
+                    # Invalid escape: poison the frame so the checksum
+                    # fails and it is counted as dropped at frame end.
+                    self._buffer.append(0xFF)
+                continue
+            if b == ESC:
+                self._escaping = True
+                continue
+            if b == END:
+                self._finish_frame()
+                continue
+            self._buffer.append(b)
+
+    def _finish_frame(self) -> None:
+        body = bytes(self._buffer)
+        self._buffer.clear()
+        self._escaping = False
+        if len(body) < 2:
+            if body:
+                self._dropped += 1
+            return
+        payload, check = body[:-1], body[-1]
+        if _checksum(payload) != check:
+            self._dropped += 1
+            return
+        self._on_frame(payload)
+
+
+# ---------------------------------------------------------------------------
+# Command set
+# ---------------------------------------------------------------------------
+
+CMD_CONFIGURE = 0x01
+CMD_REBOOT = 0x02
+CMD_QUERY = 0x03
+RSP_ACK = 0x80
+RSP_RESULT = 0x81
+
+#: Algorithm codes for the QUERY command.
+ALGORITHM_CODES = {0: TwoTBins, 1: ExponentialIncrease, 2: ProbabilisticAbns}
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Decoded RESULT response.
+
+    Attributes:
+        decision: The threshold verdict.
+        queries: On-air bin queries the session used.
+    """
+
+    decision: bool
+    queries: int
+
+
+class SerialTestbedController:
+    """The laptop: drives a testbed exclusively through serial frames.
+
+    Every verb is round-tripped through :func:`encode_frame` and a
+    :class:`FrameDecoder` on both directions, so the byte protocol --
+    not just the Python API -- is what the tests exercise.
+
+    Args:
+        testbed: The emulated testbed to control.
+    """
+
+    def __init__(self, testbed: Testbed) -> None:
+        self._testbed = testbed
+        self._responses: List[bytes] = []
+        self._mote_decoders: Dict[int, FrameDecoder] = {}
+        self._laptop_decoder = FrameDecoder(self._responses.append)
+
+    # -- mote side -------------------------------------------------------
+
+    def _dispatch(self, mote_id: int, payload: bytes) -> None:
+        """Execute one decoded command on a mote; emit the response."""
+        if not payload:
+            return
+        cmd = payload[0]
+        if cmd == CMD_CONFIGURE:
+            predicate_id, positive = payload[1], bool(payload[2])
+            if mote_id < self._testbed.num_participants:
+                self._testbed.configure_one(
+                    mote_id, positive, predicate_id=predicate_id
+                )
+            self._reply(bytes([RSP_ACK, cmd]))
+        elif cmd == CMD_REBOOT:
+            self._testbed.reboot_all()
+            self._reply(bytes([RSP_ACK, cmd]))
+        elif cmd == CMD_QUERY:
+            if mote_id != self._testbed.num_participants:
+                raise ValueError(
+                    "only the initiator mote exposes the query verb"
+                )
+            threshold = payload[1]
+            algo_code = payload[2]
+            predicate_id = payload[3]
+            try:
+                factory = ALGORITHM_CODES[algo_code]
+            except KeyError:
+                raise ValueError(f"unknown algorithm code {algo_code}") from None
+            run = self._testbed.run_threshold_query(
+                factory(),
+                threshold,
+                predicate_id=predicate_id,
+                bin_rng=np.random.default_rng(
+                    self._testbed.config.seed + 7_777
+                ),
+            )
+            self._reply(
+                bytes(
+                    [
+                        RSP_RESULT,
+                        1 if run.result.decision else 0,
+                        run.result.queries & 0xFF,
+                        (run.result.queries >> 8) & 0xFF,
+                    ]
+                )
+            )
+        else:
+            raise ValueError(f"unknown command byte 0x{cmd:02x}")
+
+    def _reply(self, payload: bytes) -> None:
+        # Mote -> laptop direction: encode, then decode on the laptop.
+        self._laptop_decoder.feed(encode_frame(payload))
+
+    def _send(self, mote_id: int, payload: bytes) -> None:
+        # Laptop -> mote direction: encode, then decode on the mote.
+        decoder = self._mote_decoders.get(mote_id)
+        if decoder is None:
+            decoder = FrameDecoder(
+                lambda p, mote_id=mote_id: self._dispatch(mote_id, p)
+            )
+            self._mote_decoders[mote_id] = decoder
+        decoder.feed(encode_frame(payload))
+
+    def _pop_response(self) -> bytes:
+        if not self._responses:
+            raise RuntimeError("no serial response received")
+        return self._responses.pop(0)
+
+    # -- laptop verbs ----------------------------------------------------
+
+    def configure(
+        self, mote_id: int, positive: bool, *, predicate_id: int = 0
+    ) -> None:
+        """Configure one participant's predicate answer over the wire.
+
+        Raises:
+            RuntimeError: If the mote does not acknowledge.
+        """
+        self._send(
+            mote_id,
+            bytes([CMD_CONFIGURE, predicate_id, 1 if positive else 0]),
+        )
+        rsp = self._pop_response()
+        if rsp[:2] != bytes([RSP_ACK, CMD_CONFIGURE]):
+            raise RuntimeError(f"configure not acknowledged: {rsp.hex()}")
+
+    def configure_positives(
+        self, positives, *, predicate_id: int = 0
+    ) -> None:
+        """Configure every participant (positives set, negatives cleared)."""
+        wanted = set(int(p) for p in positives)
+        for mote_id in range(self._testbed.num_participants):
+            self.configure(
+                mote_id, mote_id in wanted, predicate_id=predicate_id
+            )
+
+    def reboot(self) -> None:
+        """Reboot all motes over the wire (the between-runs hygiene)."""
+        self._send(self._testbed.num_participants, bytes([CMD_REBOOT]))
+        rsp = self._pop_response()
+        if rsp[:2] != bytes([RSP_ACK, CMD_REBOOT]):
+            raise RuntimeError(f"reboot not acknowledged: {rsp.hex()}")
+
+    def query(
+        self,
+        threshold: int,
+        *,
+        algorithm_code: int = 0,
+        predicate_id: int = 0,
+    ) -> QueryResponse:
+        """Stimulate a threshold query on the initiator over the wire.
+
+        Args:
+            threshold: The threshold ``t`` (0..255 on this wire format).
+            algorithm_code: Key into :data:`ALGORITHM_CODES`.
+            predicate_id: Which predicate to query.
+
+        Returns:
+            The decoded :class:`QueryResponse`.
+
+        Raises:
+            ValueError: For thresholds outside the 1-byte wire range.
+            RuntimeError: On a malformed response.
+        """
+        if not 0 <= threshold <= 255:
+            raise ValueError(f"threshold must fit one byte, got {threshold}")
+        self._send(
+            self._testbed.num_participants,
+            bytes([CMD_QUERY, threshold, algorithm_code, predicate_id]),
+        )
+        rsp = self._pop_response()
+        if len(rsp) != 4 or rsp[0] != RSP_RESULT:
+            raise RuntimeError(f"malformed query response: {rsp.hex()}")
+        return QueryResponse(
+            decision=bool(rsp[1]),
+            queries=rsp[2] | (rsp[3] << 8),
+        )

@@ -1,0 +1,416 @@
+"""The laptop-side testbed controller (Sec IV-D's experimental setup).
+
+Replicates the paper's harness: an initiator mote plus ``N`` participant
+motes (12 in the paper), all driven through serial-interface verbs --
+``configure``, ``query``, ``reboot`` -- by a central controller.  Each run
+configures the positive set, stimulates the initiator to execute a tcast
+session over backcast (or pollcast), collects the verdict, and reboots
+every mote before the next run.
+
+:class:`TestbedQueryAdapter` bridges the packet-level initiator to the
+abstract :class:`repro.group_testing.model.QueryModel` protocol, so the
+*same* algorithm implementations (2tBins etc.) run unchanged against the
+emulated radios -- the key fidelity claim of this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import ThresholdAlgorithm
+from repro.core.result import ThresholdResult
+from repro.group_testing.model import BinObservation
+from repro.motes.initiator import InitiatorApp, PrimitiveName
+from repro.motes.mote import Mote
+from repro.motes.participant import ParticipantApp
+from repro.radio.capture import CaptureModel
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.radio.irregularity import HackMissModel, IdealRadioModel
+from repro.radio.timing import DEFAULT_TIMING, PhyTiming
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Construction parameters for a testbed.
+
+    Attributes:
+        num_participants: Participant mote count (the paper uses 12).
+        seed: Root seed for all randomness in the emulation.
+        primitive: RCD primitive for bin queries.
+        hack_miss: Radio-irregularity model (``None`` = ideal radios).
+        capture_model: Collision capture model (``None`` = default 1/k).
+        timing: PHY timing constants.
+        trace: Enable structured tracing (slower; for tests/debugging).
+    """
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    num_participants: int = 12
+    seed: int = 0
+    primitive: PrimitiveName = "backcast"
+    hack_miss: Optional[HackMissModel | IdealRadioModel] = None
+    capture_model: Optional[CaptureModel] = None
+    timing: PhyTiming = field(default_factory=lambda: DEFAULT_TIMING)
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_participants < 1:
+            raise ValueError(
+                f"need >= 1 participant, got {self.num_participants}"
+            )
+
+
+@dataclass(frozen=True)
+class TestbedRun:
+    """Outcome of one testbed tcast run.
+
+    Attributes:
+        result: The algorithm's :class:`ThresholdResult` (queries = bin
+            queries issued on air).
+        truth: Ground-truth answer to ``x >= t``.
+        false_negative: Algorithm said *false* while the truth is *true*
+            (the error mode radio irregularities can cause).
+        false_positive: Algorithm said *true* while the truth is *false*
+            (must never happen over backcast).
+        elapsed_us: Simulated air-protocol time the session took.
+        hack_misses: Ground-truth HACK-latch failures during the run.
+        initiator_energy_uj: Energy the initiator's radio spent during the
+            run.
+    """
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    result: ThresholdResult
+    truth: bool
+    false_negative: bool
+    false_positive: bool
+    elapsed_us: float
+    hack_misses: int
+    initiator_energy_uj: float
+
+
+class TestbedQueryAdapter:
+    """Adapts the packet-level initiator to the ``QueryModel`` protocol.
+
+    Args:
+        testbed: The owning testbed.
+        predicate_id: Which predicate this session queries (motes hold an
+            independent positive/negative answer per predicate, so one
+            deployment can serve several concurrent questions -- e.g. the
+            paper's intruder *classification* use case).
+    """
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(self, testbed: "Testbed", *, predicate_id: int = 0) -> None:
+        self._testbed = testbed
+        self._predicate_id = predicate_id
+        self._queries = 0
+
+    @property
+    def queries_used(self) -> int:
+        """Bin queries issued through this adapter."""
+        return self._queries
+
+    @property
+    def population_size(self) -> int:
+        """Number of participant motes."""
+        return self._testbed.num_participants
+
+    def begin_round(self, bins: Sequence[Sequence[int]]) -> None:
+        """Broadcast a round's bin assignment (free of query cost: the
+        announce is part of the round's setup, mirroring the abstract
+        model where re-binning is bookkeeping, not a query)."""
+        self._testbed.initiator_app.begin_round(
+            bins, predicate_id=self._predicate_id
+        )
+
+    def query(self, members: Sequence[int]) -> BinObservation:
+        """Execute one on-air bin query via the initiator mote."""
+        self._queries += 1
+        return self._testbed.initiator_app.query_bin(
+            list(members), predicate_id=self._predicate_id
+        )
+
+
+class Testbed:
+    """The emulated testbed: channel, initiator, participants, controller.
+
+    Args:
+        config: Construction parameters.
+
+    Example:
+        >>> tb = Testbed(TestbedConfig(num_participants=12, seed=1))
+        >>> tb.configure_positives([0, 3, 7])
+        >>> from repro.core import TwoTBins
+        >>> run = tb.run_threshold_query(TwoTBins(), threshold=2)
+        >>> run.result.decision and run.truth
+        True
+    """
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(self, config: TestbedConfig) -> None:
+        self._config = config
+        self._rngs = RngRegistry(config.seed)
+        self._sim = Simulator()
+        self._tracer = Tracer(enabled=config.trace, clock=lambda: self._sim.now)
+        self._channel = Channel(
+            self._sim,
+            self._rngs.stream("channel"),
+            timing=config.timing,
+            capture_model=config.capture_model,
+            hack_miss=config.hack_miss,
+            tracer=self._tracer,
+        )
+
+        n = config.num_participants
+        init_radio = Cc2420Radio(
+            self._sim, self._channel, address=n, tracer=self._tracer
+        )
+        self._initiator_app = InitiatorApp(
+            self._sim,
+            init_radio,
+            primitive=config.primitive,
+            tracer=self._tracer,
+        )
+        self._initiator = Mote(self._sim, init_radio, self._initiator_app)
+
+        self._participants: List[Mote] = []
+        self._apps: List[ParticipantApp] = []
+        for i in range(n):
+            radio = Cc2420Radio(
+                self._sim, self._channel, address=i, tracer=self._tracer
+            )
+            app = ParticipantApp(self._sim, radio)
+            self._participants.append(Mote(self._sim, radio, app))
+            self._apps.append(app)
+        self._positives_by_predicate: dict[int, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> TestbedConfig:
+        """The construction parameters."""
+        return self._config
+
+    @property
+    def num_participants(self) -> int:
+        """Participant mote count."""
+        return self._config.num_participants
+
+    @property
+    def sim(self) -> Simulator:
+        """The underlying simulator (for inspection)."""
+        return self._sim
+
+    @property
+    def channel(self) -> Channel:
+        """The shared medium (for ground-truth diagnostics)."""
+        return self._channel
+
+    @property
+    def tracer(self) -> Tracer:
+        """The structured tracer."""
+        return self._tracer
+
+    @property
+    def initiator_app(self) -> InitiatorApp:
+        """The initiator application."""
+        return self._initiator_app
+
+    @property
+    def initiator_radio(self) -> Cc2420Radio:
+        """The initiator mote's radio (energy ledger, diagnostics)."""
+        return self._initiator.radio
+
+    @property
+    def positives(self) -> frozenset[int]:
+        """Positive mote ids of the default predicate (0)."""
+        return self._positives_by_predicate.get(0, frozenset())
+
+    def positives_for(self, predicate_id: int) -> frozenset[int]:
+        """Positive mote ids configured for one predicate."""
+        return self._positives_by_predicate.get(predicate_id, frozenset())
+
+    # ------------------------------------------------------------------
+    # Serial-interface verbs (the laptop's role)
+    # ------------------------------------------------------------------
+
+    def configure_positives(
+        self, positives: Iterable[int], *, predicate_id: int = 0
+    ) -> None:
+        """Configure which participants hold a predicate.
+
+        Each predicate id holds an independent answer set, so several
+        questions can be configured side by side (the classification
+        use case of Sec II-C).
+
+        Raises:
+            ValueError: For ids outside ``0..N-1``.
+        """
+        pos = frozenset(int(p) for p in positives)
+        bad = [p for p in pos if not 0 <= p < self.num_participants]
+        if bad:
+            raise ValueError(
+                f"positive ids {sorted(bad)} outside [0, {self.num_participants})"
+            )
+        for app in self._apps:
+            app.configure(False, predicate_id=predicate_id)
+        for p in pos:
+            self._apps[p].configure(True, predicate_id=predicate_id)
+        self._positives_by_predicate[predicate_id] = pos
+
+    def configure_one(
+        self, mote_id: int, positive: bool, *, predicate_id: int = 0
+    ) -> None:
+        """Configure a single participant's predicate answer.
+
+        Unlike :meth:`configure_positives` this does not reset the other
+        participants -- it is the per-mote verb the serial control plane
+        speaks.
+
+        Raises:
+            ValueError: For ids outside ``0..N-1``.
+        """
+        if not 0 <= mote_id < self.num_participants:
+            raise ValueError(
+                f"mote id {mote_id} outside [0, {self.num_participants})"
+            )
+        self._apps[mote_id].configure(positive, predicate_id=predicate_id)
+        current = set(self._positives_by_predicate.get(predicate_id, frozenset()))
+        if positive:
+            current.add(mote_id)
+        else:
+            current.discard(mote_id)
+        self._positives_by_predicate[predicate_id] = frozenset(current)
+
+    def reboot_all(self) -> None:
+        """Reboot every mote (between-runs hygiene, as in the paper)."""
+        self._initiator.reboot()
+        for mote in self._participants:
+            mote.reboot()
+
+    def query_adapter(self, *, predicate_id: int = 0) -> TestbedQueryAdapter:
+        """A fresh ``QueryModel`` adapter for one session."""
+        return TestbedQueryAdapter(self, predicate_id=predicate_id)
+
+    def run_csma_collection(
+        self,
+        threshold: int,
+        *,
+        quiet_us: float = 20_000.0,
+        predicate_id: int = 0,
+    ):
+        """Run a packet-level CSMA feedback-collection session.
+
+        The initiator broadcasts a poll and positive participants contend
+        with real 802.15.4 CSMA/CA on the emulated radios (see
+        :mod:`repro.mac.csma_packet`).  The collector claims the
+        initiator radio's ``receive_callback``, so interleaving this with
+        votecast sessions on the same testbed is not supported; use a
+        fresh testbed per protocol.
+
+        Args:
+            threshold: Required distinct replies.
+            quiet_us: No-new-reply timeout.
+            predicate_id: Which configured predicate to poll.
+
+        Returns:
+            The :class:`repro.mac.csma_packet.CsmaCollectionOutcome`.
+        """
+        from repro.mac.csma_packet import CsmaCollector
+
+        collector = CsmaCollector(
+            self._sim,
+            self._initiator.radio,
+            quiet_us=quiet_us,
+            tracer=self._tracer,
+        )
+        return collector.collect(threshold, predicate_id=predicate_id)
+
+    def run_tdma_collection(
+        self,
+        threshold: int,
+        *,
+        schedule: Optional[Sequence[int]] = None,
+        predicate_id: int = 0,
+    ):
+        """Run a packet-level sequential-ordering (TDMA) session.
+
+        Args:
+            threshold: The threshold ``t``.
+            schedule: Reply-slot order (default: id order over all
+                participants).
+            predicate_id: Which configured predicate to poll.
+
+        Returns:
+            The :class:`repro.mac.tdma_packet.TdmaCollectionOutcome`
+            (both verdicts certified).
+        """
+        from repro.mac.tdma_packet import TdmaCollector
+
+        collector = TdmaCollector(
+            self._sim, self._initiator.radio, tracer=self._tracer
+        )
+        order = (
+            list(range(self.num_participants))
+            if schedule is None
+            else list(schedule)
+        )
+        return collector.collect(threshold, order, predicate_id=predicate_id)
+
+    def run_threshold_query(
+        self,
+        algorithm: ThresholdAlgorithm,
+        threshold: int,
+        *,
+        bin_rng: Optional[np.random.Generator] = None,
+        predicate_id: int = 0,
+    ) -> TestbedRun:
+        """Run one complete tcast session on the emulated testbed.
+
+        Args:
+            algorithm: Any tcast algorithm (it sees only the adapter).
+            threshold: The threshold ``t``.
+            bin_rng: Randomness for the algorithm's bin assignment;
+                defaults to the testbed's ``"bins"`` stream.
+            predicate_id: Which configured predicate to query.
+
+        Returns:
+            A :class:`TestbedRun` with the verdict and diagnostics.
+        """
+        rng = bin_rng if bin_rng is not None else self._rngs.stream("bins")
+        adapter = self.query_adapter(predicate_id=predicate_id)
+        start_us = self._sim.now
+        misses_before = self._channel.hack_misses
+        self._initiator.radio.energy.finalize(self._sim.now)
+        energy_before = self._initiator.radio.energy.total_uj
+
+        result = algorithm.decide(adapter, threshold, rng)
+
+        self._initiator.radio.energy.finalize(self._sim.now)
+        truth = len(self.positives_for(predicate_id)) >= threshold
+        return TestbedRun(
+            result=result,
+            truth=truth,
+            false_negative=(not result.decision) and truth,
+            false_positive=result.decision and (not truth),
+            elapsed_us=self._sim.now - start_us,
+            hack_misses=self._channel.hack_misses - misses_before,
+            initiator_energy_uj=self._initiator.radio.energy.total_uj
+            - energy_before,
+        )

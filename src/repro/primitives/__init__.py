@@ -1,0 +1,32 @@
+"""Singlehop collaborative feedback primitives (RCD building blocks).
+
+* :mod:`repro.primitives.pollcast` -- the two-phase, CCA-based primitive
+  of Demirbas et al. (INFOCOM 2008): poll broadcast, then simultaneous
+  votes detected as channel activity.
+* :mod:`repro.primitives.backcast` -- the three-phase, HACK-based
+  primitive of Dutta et al. (HotNets 2008): announce (ephemeral address
+  binding), poll to the ephemeral address, superposed hardware
+  acknowledgements.  Robust to interference (no false positives) and the
+  primitive the paper's mote experiments use.
+
+* :mod:`repro.primitives.votecast` -- the 2+ extension: simultaneous
+  ID-carrying votes resolved through the capture effect, so the
+  initiator sometimes identifies one positive (and an undecodable
+  collision certifies at least two).
+
+The primitives implement "is this bin non-empty?" (plus the 2+ extras) --
+the tcast layer composes them into threshold queries.
+"""
+
+from repro.primitives.backcast import BackcastInitiator, BackcastOutcome
+from repro.primitives.pollcast import PollcastInitiator, PollcastOutcome
+from repro.primitives.votecast import VotecastInitiator, VotecastOutcome
+
+__all__ = [
+    "BackcastInitiator",
+    "BackcastOutcome",
+    "PollcastInitiator",
+    "PollcastOutcome",
+    "VotecastInitiator",
+    "VotecastOutcome",
+]

@@ -1,0 +1,289 @@
+"""The backcast primitive: RCD via superposed hardware acknowledgements.
+
+Per the paper (Sec IV-D): "the initiator broadcasts a predicate P along
+with a group identifier that maps each participant node to a group, and
+then query[s] each group separately."  The exchange is therefore
+round-oriented:
+
+1. **Round announce** -- the initiator broadcasts the predicate id and
+   the member-to-bin assignment for the whole round (fragmented over
+   several frames when the assignment does not fit one MPDU).  Every
+   *positive* participant assigned to bin ``g`` programs its radio's
+   short address to the ephemeral identifier ``EPHEMERAL_BASE + g``;
+   negative or unassigned participants (re)program their own id.  Each
+   radio holds exactly one short address -- its own bin's -- so all bins
+   are armed simultaneously.
+2. **Per-bin poll** -- for each bin in turn, the initiator unicasts an
+   ACK-requesting frame to that bin's ephemeral address.  It passes
+   hardware address recognition at exactly the bin's positive members.
+3. **HACKs** -- those radios acknowledge in hardware, symbol-aligned one
+   turnaround later; the identical ACKs superpose non-destructively and
+   the initiator's radio latches the superposition.
+
+The initiator concludes **non-empty** iff it decodes a HACK with the
+poll's sequence number within the ACK-wait window.  Interference can only
+*suppress* a HACK (false negative), never fabricate one (no false
+positives) -- the property the paper leans on for multihop tolerance.
+
+A one-shot :meth:`BackcastInitiator.query` (announce a single-bin round,
+then poll it) is kept for sampled probes and ad hoc queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.primitives.common import transmit_when_clear
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.frames import AckFrame, BROADCAST_ADDR, DataFrame
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+#: Base of the ephemeral short-address space (above any mote id); bin
+#: ``g`` of the current round answers on ``EPHEMERAL_BASE + g``.
+EPHEMERAL_BASE = 0x8000
+
+#: Payload key identifying round-announce frames.
+ANNOUNCE_TYPE = "backcast.announce"
+
+#: Maximum member->bin entries per announce fragment (1 B id + nibble-
+#: packed bin index, inside the 116 B payload budget).
+_ENTRIES_PER_FRAGMENT = 72
+
+
+@dataclass(frozen=True)
+class BackcastOutcome:
+    """Result of one backcast bin query.
+
+    Attributes:
+        nonempty: Whether a HACK was decoded (the initiator's observation).
+        superposition: Number of HACKs that superposed on air -- ground
+            truth visible to the simulator, **not** to the initiator; kept
+            for false-negative analysis.
+        start_us: Query start time.
+        end_us: Time the initiator reached its verdict.
+    """
+
+    nonempty: bool
+    superposition: int
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        """Wall-clock cost of the query in microseconds."""
+        return self.end_us - self.start_us
+
+
+class BackcastInitiator:
+    """Initiator-side driver of the backcast exchange.
+
+    The driver owns the simulator while a query is in flight: it
+    schedules frames and runs the event loop until the ACK window closes,
+    so callers get synchronous ``announce_round`` / ``poll_bin`` /
+    ``query`` calls on top of the event-driven substrate.
+
+    Args:
+        sim: The discrete-event simulator.
+        radio: The initiator's radio.
+        tracer: Optional tracer.
+        guard_us: Extra settle time after the last announce fragment
+            before polling starts (participants reprogram their address
+            registers; TinyOS needs a moment).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Cc2420Radio,
+        *,
+        tracer: Optional[Tracer] = None,
+        guard_us: float = 128.0,
+    ) -> None:
+        if guard_us < 0:
+            raise ValueError(f"guard_us must be >= 0, got {guard_us}")
+        self._sim = sim
+        self._radio = radio
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._guard_us = guard_us
+        self._seq = 0
+        self._round_id = 0
+        self._polls_issued = 0
+        self._round_bins: List[frozenset[int]] = []
+        self._ack_seen: Optional[AckFrame] = None
+        self._superposition = 0
+        radio.ack_callback = self._on_ack
+
+    @property
+    def queries_issued(self) -> int:
+        """Total bin polls performed."""
+        return self._polls_issued
+
+    @property
+    def round_bins(self) -> List[frozenset[int]]:
+        """The current round's bin membership (by bin index)."""
+        return list(self._round_bins)
+
+    def announce_round(
+        self,
+        bins: Sequence[Sequence[int]],
+        *,
+        predicate_id: int = 0,
+    ) -> None:
+        """Broadcast the member-to-bin assignment for a new round.
+
+        Positive members of bin ``g`` arm ``EPHEMERAL_BASE + g``; every
+        other participant that hears the announce resets to its own id,
+        so stale bindings from previous rounds cannot alias.  The call
+        returns once the bindings have settled (last fragment air time
+        plus turnaround plus the guard).
+
+        Args:
+            bins: Member ids per bin, in poll order.
+            predicate_id: Application-level predicate identifier.
+
+        Raises:
+            ValueError: If a node appears in more than one bin.
+        """
+        flat: Dict[int, int] = {}
+        for g, members in enumerate(bins):
+            for m in members:
+                m = int(m)
+                if m in flat:
+                    raise ValueError(
+                        f"node {m} assigned to bins {flat[m]} and {g}"
+                    )
+                flat[m] = g
+        self._round_bins = [
+            frozenset(int(m) for m in members) for members in bins
+        ]
+        self._round_id = (self._round_id + 1) % 2**16
+
+        entries = sorted(flat.items())
+        fragments = [
+            entries[i : i + _ENTRIES_PER_FRAGMENT]
+            for i in range(0, len(entries), _ENTRIES_PER_FRAGMENT)
+        ] or [[]]
+        last_end = self._sim.now
+        for idx, chunk in enumerate(fragments):
+            seq = self._next_seq()
+            frame = DataFrame(
+                src=self._radio.address,
+                dst=BROADCAST_ADDR,
+                seq=seq,
+                ack_request=False,
+                payload={
+                    "type": ANNOUNCE_TYPE,
+                    "predicate": predicate_id,
+                    "round": self._round_id,
+                    "fragment": idx,
+                    "fragments": len(fragments),
+                    "assignment": dict(chunk),
+                    "ephemeral_base": EPHEMERAL_BASE,
+                },
+                # 6 B header fields + ~1.5 B per entry, clamped to the MPDU.
+                payload_bytes=min(6 + (3 * len(chunk) + 1) // 2, 116),
+            )
+            # Wait for the previous fragment to clear the air.
+            if self._sim.now < last_end:
+                self._sim.run(until=last_end)
+            last_end = transmit_when_clear(self._sim, self._radio, frame)
+            self._tracer.emit(
+                "backcast.announce",
+                f"mote{self._radio.address}",
+                time=self._sim.now,
+                round=self._round_id,
+                fragment=idx,
+                entries=len(chunk),
+            )
+        timing = self._radio.channel.timing
+        self._sim.run(until=last_end + timing.turnaround_us + self._guard_us)
+
+    def poll_bin(self, bin_index: int) -> BackcastOutcome:
+        """Poll one announced bin (phase 2+3 of the exchange).
+
+        Args:
+            bin_index: Index into the current round's bins.
+
+        Returns:
+            The initiator's observation plus diagnostics.
+
+        Raises:
+            IndexError: If no such bin was announced.
+        """
+        if not 0 <= bin_index < len(self._round_bins):
+            raise IndexError(
+                f"bin {bin_index} not announced "
+                f"(round has {len(self._round_bins)} bins)"
+            )
+        start = self._sim.now
+        seq = self._next_seq()
+        self._polls_issued += 1
+        self._ack_seen = None
+        self._superposition = 0
+
+        timing = self._radio.channel.timing
+        poll = DataFrame(
+            src=self._radio.address,
+            dst=EPHEMERAL_BASE + bin_index,
+            seq=seq,
+            ack_request=True,
+            payload={"type": "backcast.poll"},
+            payload_bytes=0,
+        )
+        poll_end = transmit_when_clear(self._sim, self._radio, poll)
+        self._tracer.emit(
+            "backcast.poll",
+            f"mote{self._radio.address}",
+            time=start,
+            bin=bin_index,
+            seq=seq,
+        )
+        self._sim.run(until=poll_end + timing.ack_wait_us)
+
+        nonempty = self._ack_seen is not None and self._ack_seen.seq == seq
+        outcome = BackcastOutcome(
+            nonempty=nonempty,
+            superposition=self._superposition,
+            start_us=start,
+            end_us=self._sim.now,
+        )
+        self._tracer.emit(
+            "backcast.verdict",
+            f"mote{self._radio.address}",
+            time=self._sim.now,
+            bin=bin_index,
+            nonempty=nonempty,
+            superposition=self._superposition,
+        )
+        return outcome
+
+    def query(
+        self,
+        members: Sequence[int],
+        *,
+        predicate_id: int = 0,
+    ) -> BackcastOutcome:
+        """One-shot exchange: announce a single-bin round, then poll it.
+
+        Used for sampled probes and ad hoc bin queries outside a round.
+        """
+        start = self._sim.now
+        self.announce_round([list(members)], predicate_id=predicate_id)
+        outcome = self.poll_bin(0)
+        return BackcastOutcome(
+            nonempty=outcome.nonempty,
+            superposition=outcome.superposition,
+            start_us=start,
+            end_us=outcome.end_us,
+        )
+
+    def _next_seq(self) -> int:
+        seq = self._seq % 256
+        self._seq += 1
+        return seq
+
+    def _on_ack(self, ack: AckFrame, superposition: int) -> None:
+        self._ack_seen = ack
+        self._superposition = superposition

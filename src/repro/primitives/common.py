@@ -1,0 +1,49 @@
+"""Shared initiator-side MAC helpers for the RCD primitives.
+
+802.15.4 requires carrier sensing before any data transmission; the
+initiator drivers use :func:`transmit_when_clear` so announce/poll frames
+defer to in-flight traffic (one unit backoff period at a time) instead of
+colliding with it.  On an idle channel the helper is a plain transmit
+with zero added latency, so the protocol-timing tests are unaffected;
+under interference it is the difference between losing a whole round to
+a collided announce and merely starting it a few hundred microseconds
+late.
+"""
+
+from __future__ import annotations
+
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.frames import DataFrame
+from repro.sim.kernel import Simulator
+
+#: Give up after this many deferral periods (a jammed channel).
+MAX_DEFERRALS = 10_000
+
+
+def transmit_when_clear(
+    sim: Simulator,
+    radio: Cc2420Radio,
+    frame: DataFrame,
+) -> float:
+    """Transmit ``frame`` after carrier sensing, deferring while busy.
+
+    Args:
+        sim: The discrete-event simulator (advanced while deferring).
+        radio: The transmitting radio (must be in RX).
+        frame: The frame to send.
+
+    Returns:
+        The frame's end-of-air time.
+
+    Raises:
+        RuntimeError: If the channel never clears within
+            :data:`MAX_DEFERRALS` backoff periods.
+    """
+    period = radio.channel.timing.backoff_period_us
+    for _ in range(MAX_DEFERRALS):
+        if radio.cca():
+            return radio.transmit(frame)
+        sim.run(until=sim.now + period)
+    raise RuntimeError(
+        f"channel never cleared within {MAX_DEFERRALS} backoff periods"
+    )

@@ -1,0 +1,143 @@
+"""The pollcast primitive: RCD via clear-channel assessment.
+
+Two phases per bin query (Demirbas et al., INFOCOM 2008):
+
+1. **Poll** -- the initiator broadcasts the predicate and the queried
+   member set, together with the exact vote window.
+2. **Vote** -- every predicate-positive member transmits a short vote
+   frame at the window start, *simultaneously and deliberately
+   colliding*.  The initiator samples the channel (CCA/RSSI) across the
+   window: any energy means "non-empty"; silence means "empty".
+
+Compared with backcast, pollcast needs no hardware-ACK support but is
+vulnerable to false positives from unrelated traffic (any energy in the
+window counts), which is why the mote experiments -- and our Fig 4
+reproduction -- use backcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.primitives.common import transmit_when_clear
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.frames import BROADCAST_ADDR, DataFrame
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+#: Payload key identifying pollcast poll frames.
+POLL_TYPE = "pollcast.poll"
+
+#: Vote frames are tiny: 2 payload bytes.
+VOTE_PAYLOAD_BYTES = 2
+
+
+@dataclass(frozen=True)
+class PollcastOutcome:
+    """Result of one pollcast bin query.
+
+    Attributes:
+        nonempty: Whether channel activity was sensed in the vote window.
+        start_us: Query start time.
+        end_us: Time the initiator reached its verdict.
+    """
+
+    nonempty: bool
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        """Wall-clock cost of the query in microseconds."""
+        return self.end_us - self.start_us
+
+
+class PollcastInitiator:
+    """Initiator-side driver of the pollcast exchange.
+
+    Args:
+        sim: The discrete-event simulator.
+        radio: The initiator's radio.
+        tracer: Optional tracer.
+        vote_window_us: Width of the CCA sampling window.  Must cover a
+            vote frame's air time plus scheduling slack.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Cc2420Radio,
+        *,
+        tracer: Optional[Tracer] = None,
+        vote_window_us: float = 640.0,
+    ) -> None:
+        if vote_window_us <= 0:
+            raise ValueError(
+                f"vote_window_us must be > 0, got {vote_window_us}"
+            )
+        self._sim = sim
+        self._radio = radio
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._vote_window_us = vote_window_us
+        self._seq = 0
+
+    @property
+    def queries_issued(self) -> int:
+        """Total pollcast exchanges performed."""
+        return self._seq
+
+    def query(
+        self,
+        members: Sequence[int],
+        *,
+        predicate_id: int = 0,
+    ) -> PollcastOutcome:
+        """Run one full pollcast exchange for a bin.
+
+        Args:
+            members: Participant ids in the queried bin.
+            predicate_id: Application-level predicate identifier.
+
+        Returns:
+            The initiator's observation.
+        """
+        start = self._sim.now
+        seq = self._seq % 256
+        self._seq += 1
+        timing = self._radio.channel.timing
+
+        poll = DataFrame(
+            src=self._radio.address,
+            dst=BROADCAST_ADDR,
+            seq=seq,
+            ack_request=False,
+            payload={
+                "type": POLL_TYPE,
+                "predicate": predicate_id,
+                "members": tuple(int(m) for m in members),
+            },
+            payload_bytes=min(4 + len(members), 116),
+        )
+        poll_end = transmit_when_clear(self._sim, self._radio, poll)
+        self._tracer.emit(
+            "pollcast.poll",
+            f"mote{self._radio.address}",
+            time=start,
+            members=len(members),
+            seq=seq,
+        )
+
+        window_start = poll_end + timing.turnaround_us
+        window_end = window_start + self._vote_window_us
+        self._sim.run(until=window_end)
+        nonempty = self._radio.channel.activity_in(window_start, window_end)
+        self._tracer.emit(
+            "pollcast.verdict",
+            f"mote{self._radio.address}",
+            time=self._sim.now,
+            nonempty=nonempty,
+        )
+        return PollcastOutcome(
+            nonempty=nonempty, start_us=start, end_us=self._sim.now
+        )

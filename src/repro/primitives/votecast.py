@@ -1,0 +1,184 @@
+"""The votecast primitive: packet-level 2+ collision semantics.
+
+The paper's 2+ model (Sec III-A) assumes a radio that "has the capability
+of locking to a message and receiving it correctly while omitting all
+other messages" -- i.e. replies carry their sender's identity and the
+capture effect sometimes decodes one of several simultaneous replies.
+Votecast realises that over the emulated radio:
+
+1. **Poll** -- the initiator broadcasts the predicate and member set.
+2. **Votes** -- every positive member transmits an ID-carrying vote frame
+   one turnaround later, simultaneously.
+3. **Observation** -- the initiator's radio resolves the collision via
+   the channel's capture model:
+
+   * a decoded vote identifies one positive (``CAPTURE``; with one voter
+     this is certain, with several it happens with the capture model's
+     probability);
+   * undecodable energy proves **at least two** voters (``ACTIVITY`` with
+     ``min_positives = 2`` -- a single vote is always decodable on an
+     ideal channel, so only a collision can fail to decode);
+   * silence proves the bin empty.
+
+This is the packet-level counterpart of
+:class:`repro.group_testing.model.TwoPlusModel`; with the same ``1/k``
+capture model the two produce statistically matching observations (see
+``tests/integration/test_cross_substrate.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.group_testing.model import BinObservation, ObservationKind
+from repro.primitives.common import transmit_when_clear
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.frames import BROADCAST_ADDR, DataFrame
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+#: Payload key identifying votecast poll frames.
+POLL_TYPE = "votecast.poll"
+
+#: Payload key identifying vote frames.
+VOTE_TYPE = "votecast.vote"
+
+#: Vote frames carry the sender id: 2 payload bytes.
+VOTE_PAYLOAD_BYTES = 2
+
+
+@dataclass(frozen=True)
+class VotecastOutcome:
+    """Result of one votecast bin query.
+
+    Attributes:
+        observation: The 2+ :class:`BinObservation` the initiator formed.
+        start_us: Query start time.
+        end_us: Time the initiator reached its verdict.
+    """
+
+    observation: BinObservation
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        """Wall-clock cost of the query in microseconds."""
+        return self.end_us - self.start_us
+
+
+class VotecastInitiator:
+    """Initiator-side driver of the votecast exchange.
+
+    Args:
+        sim: The discrete-event simulator.
+        radio: The initiator's radio; its ``receive_callback`` is claimed
+            for vote decoding (backcast's ``ack_callback`` is untouched,
+            so both primitives can share a radio).
+        tracer: Optional tracer.
+        vote_window_us: Listening window after the poll's turnaround; must
+            cover a vote frame's air time plus slack.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Cc2420Radio,
+        *,
+        tracer: Optional[Tracer] = None,
+        vote_window_us: float = 640.0,
+    ) -> None:
+        if vote_window_us <= 0:
+            raise ValueError(
+                f"vote_window_us must be > 0, got {vote_window_us}"
+            )
+        self._sim = sim
+        self._radio = radio
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._vote_window_us = vote_window_us
+        self._seq = 0
+        self._decoded_voter: Optional[int] = None
+        radio.receive_callback = self._on_frame
+
+    @property
+    def queries_issued(self) -> int:
+        """Total votecast exchanges performed."""
+        return self._seq
+
+    def query(
+        self,
+        members: Sequence[int],
+        *,
+        predicate_id: int = 0,
+    ) -> VotecastOutcome:
+        """Run one full votecast exchange for a bin.
+
+        Args:
+            members: Participant ids in the bin.
+            predicate_id: Application-level predicate identifier.
+
+        Returns:
+            The initiator's 2+ observation plus timing.
+        """
+        start = self._sim.now
+        seq = self._seq % 256
+        self._seq += 1
+        self._decoded_voter = None
+        timing = self._radio.channel.timing
+
+        poll = DataFrame(
+            src=self._radio.address,
+            dst=BROADCAST_ADDR,
+            seq=seq,
+            ack_request=False,
+            payload={
+                "type": POLL_TYPE,
+                "predicate": predicate_id,
+                "members": tuple(int(m) for m in members),
+            },
+            payload_bytes=min(4 + len(members), 116),
+        )
+        poll_end = transmit_when_clear(self._sim, self._radio, poll)
+        self._tracer.emit(
+            "votecast.poll",
+            f"mote{self._radio.address}",
+            time=start,
+            members=len(members),
+            seq=seq,
+        )
+
+        window_start = poll_end + timing.turnaround_us
+        window_end = window_start + self._vote_window_us
+        self._sim.run(until=window_end)
+
+        if self._decoded_voter is not None:
+            observation = BinObservation(
+                kind=ObservationKind.CAPTURE,
+                min_positives=1,
+                captured_node=self._decoded_voter,
+            )
+        elif self._radio.channel.activity_in(window_start, window_end):
+            # Energy without a decodable vote: a lone vote always decodes
+            # on this channel, so at least two voters collided.
+            observation = BinObservation(
+                kind=ObservationKind.ACTIVITY, min_positives=2
+            )
+        else:
+            observation = BinObservation(
+                kind=ObservationKind.SILENT, min_positives=0
+            )
+        self._tracer.emit(
+            "votecast.verdict",
+            f"mote{self._radio.address}",
+            time=self._sim.now,
+            kind=observation.kind.value,
+            captured=observation.captured_node,
+        )
+        return VotecastOutcome(
+            observation=observation, start_us=start, end_us=self._sim.now
+        )
+
+    def _on_frame(self, frame: DataFrame, superposition: int) -> None:
+        if frame.payload.get("type") == VOTE_TYPE:
+            self._decoded_voter = int(frame.payload["voter"])

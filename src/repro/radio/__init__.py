@@ -1,0 +1,45 @@
+"""Packet-level radio/PHY substrate (the simulated CC2420/802.15.4 stack).
+
+This package replaces the paper's TelosB hardware testbed:
+
+* :mod:`repro.radio.timing` -- 802.15.4 symbol/byte timing constants.
+* :mod:`repro.radio.frames` -- data/ACK frame records with addressing,
+  sequence numbers and FCS state.
+* :mod:`repro.radio.channel` -- the shared singlehop broadcast medium:
+  overlap tracking, CCA/RSSI, collision and superposition resolution.
+* :mod:`repro.radio.capture` -- capture-effect models (probabilistic and
+  power/SINR based).
+* :mod:`repro.radio.irregularity` -- the radio-irregularity model that
+  makes single HACKs occasionally miss (the source of the testbed's
+  ~1.4 % false-negative runs in Fig 4).
+* :mod:`repro.radio.cc2420` -- the radio device: hardware address
+  recognition, automatic hardware acknowledgements (HACKs), CCA, state
+  machine, energy hooks.
+* :mod:`repro.radio.energy` -- per-radio energy accounting.
+"""
+
+from repro.radio.capture import PowerCaptureModel, ProbabilisticCaptureModel
+from repro.radio.cc2420 import Cc2420Radio, RadioState
+from repro.radio.channel import Channel, Transmission
+from repro.radio.energy import EnergyLedger, EnergyProfile
+from repro.radio.frames import AckFrame, DataFrame, FrameKind, BROADCAST_ADDR
+from repro.radio.irregularity import HackMissModel, IdealRadioModel
+from repro.radio.timing import PhyTiming
+
+__all__ = [
+    "AckFrame",
+    "BROADCAST_ADDR",
+    "Cc2420Radio",
+    "Channel",
+    "DataFrame",
+    "EnergyLedger",
+    "EnergyProfile",
+    "FrameKind",
+    "HackMissModel",
+    "IdealRadioModel",
+    "PhyTiming",
+    "PowerCaptureModel",
+    "ProbabilisticCaptureModel",
+    "RadioState",
+    "Transmission",
+]

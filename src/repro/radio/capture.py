@@ -1,0 +1,126 @@
+"""Capture-effect models for collided (non-identical) frames.
+
+When two or more *different* frames overlap on air, a receiver may still
+lock onto and decode one of them -- the capture effect (Whitehouse et al.,
+EmNetS 2005).  Two models are provided:
+
+* :class:`ProbabilisticCaptureModel` -- decode one uniformly-chosen frame
+  with probability ``p(k)`` (default ``1/k``), matching the abstract
+  2+ model so packet-level and abstract results are directly comparable.
+* :class:`PowerCaptureModel` -- decode the strongest frame iff it exceeds
+  the power sum of the others by a SINR margin; per-transmission received
+  powers carry log-normal fading.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+
+class CaptureModel(Protocol):
+    """Picks the decodable transmission (if any) out of a collision."""
+
+    def select(
+        self,
+        powers_dbm: Sequence[float],
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Return the index of the captured transmission, or ``None``.
+
+        Args:
+            powers_dbm: Received power of each colliding transmission at
+                the receiver in question.
+            rng: Randomness source.
+        """
+        ...
+
+
+class ProbabilisticCaptureModel:
+    """Capture one frame with probability ``p(k)``, uniformly at random.
+
+    Args:
+        probability: ``k -> P(capture)`` for ``k >= 2`` colliders; default
+            ``1/k`` (the DESIGN.md convention shared with the abstract
+            2+ model).  A single transmission is always decodable.
+    """
+
+    def __init__(
+        self, probability: Callable[[int], float] | None = None
+    ) -> None:
+        self._probability = probability or (lambda k: 1.0 / k)
+
+    def select(
+        self,
+        powers_dbm: Sequence[float],
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """See :class:`CaptureModel`; powers are ignored by this model."""
+        k = len(powers_dbm)
+        if k == 0:
+            return None
+        if k == 1:
+            return 0
+        p = self._probability(k)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"capture probability out of range: {p}")
+        if rng.random() < p:
+            return int(rng.integers(k))
+        return None
+
+
+class PowerCaptureModel:
+    """SINR-threshold capture with log-normal fading.
+
+    The strongest transmission is decoded iff its power exceeds the sum of
+    all other colliding powers by at least ``sinr_threshold_db``.
+
+    Args:
+        sinr_threshold_db: Required margin (CC2420-class radios capture at
+            roughly 3 dB).
+        fading_sigma_db: Standard deviation of an extra per-selection
+            log-normal fade applied to each power (models fast fading
+            between the sender's nominal RSSI and this packet's
+            realisation); 0 disables it.
+    """
+
+    def __init__(
+        self,
+        *,
+        sinr_threshold_db: float = 3.0,
+        fading_sigma_db: float = 0.0,
+    ) -> None:
+        if sinr_threshold_db < 0:
+            raise ValueError(
+                f"sinr_threshold_db must be >= 0, got {sinr_threshold_db}"
+            )
+        if fading_sigma_db < 0:
+            raise ValueError(
+                f"fading_sigma_db must be >= 0, got {fading_sigma_db}"
+            )
+        self._threshold_db = sinr_threshold_db
+        self._sigma = fading_sigma_db
+
+    def select(
+        self,
+        powers_dbm: Sequence[float],
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """See :class:`CaptureModel`."""
+        k = len(powers_dbm)
+        if k == 0:
+            return None
+        powers = np.asarray(powers_dbm, dtype=np.float64)
+        if self._sigma > 0:
+            powers = powers + rng.normal(0.0, self._sigma, size=k)
+        if k == 1:
+            return 0
+        mw = np.power(10.0, powers / 10.0)
+        strongest = int(np.argmax(mw))
+        interference = float(mw.sum() - mw[strongest])
+        if interference <= 0:
+            return strongest
+        sinr_db = 10.0 * math.log10(mw[strongest] / interference)
+        return strongest if sinr_db >= self._threshold_db else None

@@ -1,0 +1,251 @@
+"""A CC2420-like radio device.
+
+Models the features the backcast/pollcast primitives rely on:
+
+* a **programmable short address** with hardware address recognition --
+  backcast's ephemeral identifiers are short addresses shared by a whole
+  bin of receivers;
+* **automatic hardware acknowledgements** (HACKs): a frame that passes CRC
+  and address recognition, addressed to the radio's short address with the
+  ACK-request flag set, triggers an ACK exactly one turnaround after the
+  frame ends, with no software in the loop -- which is why simultaneous
+  HACKs from different radios are symbol-aligned and superpose;
+* **CCA / RSSI** sampling of the medium;
+* half-duplex TX/RX with per-state energy accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.radio.channel import Channel
+from repro.radio.energy import EnergyLedger, EnergyProfile
+from repro.radio.frames import AckFrame, BROADCAST_ADDR, DataFrame
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+class RadioState(enum.Enum):
+    """Radio power/activity state."""
+
+    RX = "rx"
+    TX = "tx"
+    OFF = "sleep"
+
+
+FrameCallback = Callable[[DataFrame, int], None]
+AckCallback = Callable[[AckFrame, int], None]
+BusyCallback = Callable[[float, float], None]
+
+
+class Cc2420Radio:
+    """One radio attached to the shared channel.
+
+    Args:
+        sim: The discrete-event simulator.
+        channel: The singlehop medium; the radio attaches itself.
+        address: Immutable hardware identifier (mote id); also the
+            power-on short address.
+        tx_power_dbm: Transmit power used as the received-power proxy in
+            capture resolution.
+        auto_ack: Whether hardware acknowledgement generation is enabled.
+        energy_profile: Current-draw profile for the energy ledger.
+        tracer: Optional structured tracer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        address: int,
+        *,
+        tx_power_dbm: float = 0.0,
+        auto_ack: bool = True,
+        energy_profile: Optional[EnergyProfile] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not 0 <= address <= 0xFFFE:
+            raise ValueError(f"address must be 0..0xFFFE, got {address}")
+        self._sim = sim
+        self._channel = channel
+        self._address = address
+        self._short_address = address
+        self._tx_power_dbm = tx_power_dbm
+        self._auto_ack = auto_ack
+        self._state = RadioState.RX
+        self._energy = EnergyLedger(energy_profile, initial_state="rx")
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.receive_callback: Optional[FrameCallback] = None
+        self.ack_callback: Optional[AckCallback] = None
+        self.busy_callback: Optional[BusyCallback] = None
+        self._frames_received = 0
+        self._acks_sent = 0
+        channel.attach(self)
+
+    # ------------------------------------------------------------------
+    # Identity and configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> int:
+        """Immutable hardware identifier."""
+        return self._address
+
+    @property
+    def channel(self) -> Channel:
+        """The medium this radio is attached to."""
+        return self._channel
+
+    @property
+    def short_address(self) -> int:
+        """Current programmable short address (address recognition)."""
+        return self._short_address
+
+    def set_short_address(self, value: int) -> None:
+        """Program the short address (backcast's ephemeral identifier).
+
+        Raises:
+            ValueError: For non-16-bit or broadcast values.
+        """
+        if not 0 <= value <= 0xFFFE:
+            raise ValueError(f"short address must be 0..0xFFFE, got {value}")
+        self._short_address = value
+
+    @property
+    def auto_ack(self) -> bool:
+        """Whether hardware ACK generation is enabled."""
+        return self._auto_ack
+
+    def set_auto_ack(self, enabled: bool) -> None:
+        """Enable/disable hardware acknowledgement generation."""
+        self._auto_ack = enabled
+
+    @property
+    def state(self) -> RadioState:
+        """Current radio state."""
+        return self._state
+
+    @property
+    def energy(self) -> EnergyLedger:
+        """The radio's energy ledger."""
+        return self._energy
+
+    @property
+    def frames_received(self) -> int:
+        """Frames delivered to this radio (post address recognition)."""
+        return self._frames_received
+
+    @property
+    def acks_sent(self) -> int:
+        """Hardware ACKs emitted by this radio."""
+        return self._acks_sent
+
+    # ------------------------------------------------------------------
+    # Medium access
+    # ------------------------------------------------------------------
+
+    def is_transmitting(self) -> bool:
+        """Half-duplex check used by the channel."""
+        return self._state is RadioState.TX
+
+    def cca(self) -> bool:
+        """Clear-channel assessment: ``True`` when the medium is clear.
+
+        Raises:
+            RuntimeError: If sampled while transmitting or off.
+        """
+        if self._state is not RadioState.RX:
+            raise RuntimeError(f"CCA requires RX state, radio is {self._state}")
+        return not self._channel.cca_busy()
+
+    def rssi_dbm(self) -> float:
+        """Current RSSI register reading."""
+        return self._channel.rssi_dbm()
+
+    def transmit(self, frame: DataFrame) -> float:
+        """Send a data frame; returns its end-of-air time.
+
+        The radio enters TX for the frame's duration and automatically
+        returns to RX.
+
+        Raises:
+            RuntimeError: If the radio is already transmitting or off.
+        """
+        if self._state is not RadioState.RX:
+            raise RuntimeError(
+                f"cannot transmit from state {self._state.value}"
+            )
+        self._enter_state(RadioState.TX)
+        tx = self._channel.transmit(self, frame, power_dbm=self._tx_power_dbm)
+        self._sim.schedule_at(
+            tx.end, lambda: self._enter_state(RadioState.RX), label="tx-done"
+        )
+        return tx.end
+
+    def power_off(self) -> None:
+        """Enter the sleep state (stops receiving)."""
+        if self._state is RadioState.TX:
+            raise RuntimeError("cannot power off mid-transmission")
+        self._enter_state(RadioState.OFF)
+
+    def power_on(self) -> None:
+        """Return to RX from sleep."""
+        if self._state is RadioState.OFF:
+            self._enter_state(RadioState.RX)
+
+    def _enter_state(self, state: RadioState) -> None:
+        self._energy.transition(state.value, self._sim.now)
+        self._state = state
+
+    # ------------------------------------------------------------------
+    # Channel-facing delivery (ChannelListener protocol)
+    # ------------------------------------------------------------------
+
+    def on_frame(self, frame: DataFrame | AckFrame, *, superposition: int = 1) -> None:
+        """Deliver a decoded frame (called by the channel)."""
+        if self._state is not RadioState.RX:
+            return
+        if isinstance(frame, AckFrame):
+            if self.ack_callback is not None:
+                self.ack_callback(frame, superposition)
+            return
+        # Hardware address recognition.
+        if frame.dst not in (self._short_address, BROADCAST_ADDR):
+            return
+        self._frames_received += 1
+        if (
+            self._auto_ack
+            and frame.ack_request
+            and frame.dst == self._short_address
+            and frame.dst != BROADCAST_ADDR
+        ):
+            self._schedule_hack(frame.seq)
+        if self.receive_callback is not None:
+            self.receive_callback(frame, superposition)
+
+    def on_channel_busy(self, start: float, end: float) -> None:
+        """Busy-period notification (called by the channel)."""
+        if self._state is not RadioState.RX:
+            return
+        if self.busy_callback is not None:
+            self.busy_callback(start, end)
+
+    def _schedule_hack(self, seq: int) -> None:
+        turnaround = self._channel.timing.turnaround_us
+
+        def fire() -> None:
+            # The radio may have been retasked (rebooted/readdressed) in
+            # the meantime; a real CC2420 would abort the pending ACK too
+            # if reconfigured, so only send from RX with auto-ack still on.
+            if self._state is not RadioState.RX or not self._auto_ack:
+                return
+            self._enter_state(RadioState.TX)
+            ack = AckFrame(seq=seq)
+            tx = self._channel.transmit(self, ack, power_dbm=self._tx_power_dbm)
+            self._acks_sent += 1
+            self._sim.schedule_at(
+                tx.end, lambda: self._enter_state(RadioState.RX), label="hack-done"
+            )
+
+        self._sim.schedule(turnaround, fire, label="hack")

@@ -1,0 +1,129 @@
+"""Per-radio energy accounting.
+
+WSN evaluations care about energy as much as latency; the ledger
+integrates current draw over the time a radio spends in each state so the
+benchmark harness can report per-query energy for tcast vs the baselines.
+Defaults are CC2420 datasheet values at 3 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Current draw per radio state (defaults: CC2420 @ 0 dBm, 3 V).
+
+    Attributes:
+        voltage_v: Supply voltage.
+        rx_ma: Receive / listen current (18.8 mA).
+        tx_ma: Transmit current at 0 dBm (17.4 mA).
+        idle_ma: Idle (crystal on, radio off) current (0.426 mA).
+        sleep_ma: Power-down current (~1 uA).
+    """
+
+    voltage_v: float = 3.0
+    rx_ma: float = 18.8
+    tx_ma: float = 17.4
+    idle_ma: float = 0.426
+    sleep_ma: float = 0.001
+
+    def current_ma(self, state: str) -> float:
+        """Current draw for a state name (``rx``/``tx``/``idle``/``sleep``).
+
+        Raises:
+            KeyError: For unknown state names.
+        """
+        table = {
+            "rx": self.rx_ma,
+            "tx": self.tx_ma,
+            "idle": self.idle_ma,
+            "sleep": self.sleep_ma,
+        }
+        return table[state]
+
+
+class EnergyLedger:
+    """Integrates a radio's energy use across state changes.
+
+    The owning radio calls :meth:`transition` at every state change; the
+    ledger accumulates microjoules per state.
+
+    Args:
+        profile: Current-draw profile.
+        initial_state: State at time zero.
+    """
+
+    def __init__(
+        self,
+        profile: EnergyProfile | None = None,
+        *,
+        initial_state: str = "idle",
+    ) -> None:
+        self._profile = profile or EnergyProfile()
+        self._profile.current_ma(initial_state)  # validate
+        self._state = initial_state
+        self._since_us = 0.0
+        self._by_state_uj: Dict[str, float] = {}
+        self._time_by_state_us: Dict[str, float] = {}
+
+    @property
+    def state(self) -> str:
+        """Current accounted state."""
+        return self._state
+
+    def transition(self, new_state: str, now_us: float) -> None:
+        """Close the current state's interval and enter ``new_state``.
+
+        Args:
+            new_state: One of ``rx``/``tx``/``idle``/``sleep``.
+            now_us: Current simulated time in microseconds.
+
+        Raises:
+            ValueError: If time runs backwards.
+            KeyError: For unknown state names.
+        """
+        self._profile.current_ma(new_state)  # validate before mutating
+        self._accumulate(now_us)
+        self._state = new_state
+
+    def finalize(self, now_us: float) -> None:
+        """Account the tail interval up to ``now_us`` (end of run)."""
+        self._accumulate(now_us)
+
+    def _accumulate(self, now_us: float) -> None:
+        if now_us < self._since_us:
+            raise ValueError(
+                f"time ran backwards: {now_us} < {self._since_us}"
+            )
+        dt_us = now_us - self._since_us
+        if dt_us > 0:
+            current_ma = self._profile.current_ma(self._state)
+            # uJ = mA * V * us / 1000
+            energy_uj = current_ma * self._profile.voltage_v * dt_us / 1000.0
+            self._by_state_uj[self._state] = (
+                self._by_state_uj.get(self._state, 0.0) + energy_uj
+            )
+            self._time_by_state_us[self._state] = (
+                self._time_by_state_us.get(self._state, 0.0) + dt_us
+            )
+        self._since_us = now_us
+
+    @property
+    def total_uj(self) -> float:
+        """Total accumulated energy in microjoules."""
+        return sum(self._by_state_uj.values())
+
+    def energy_uj(self, state: str) -> float:
+        """Accumulated energy for one state (0 if never entered)."""
+        return self._by_state_uj.get(state, 0.0)
+
+    def time_us(self, state: str) -> float:
+        """Accumulated time in one state (0 if never entered)."""
+        return self._time_by_state_us.get(state, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Per-state energy (microjoules) as a plain dict copy."""
+        return dict(self._by_state_uj)

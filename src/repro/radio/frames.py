@@ -1,0 +1,123 @@
+"""802.15.4-style frame records.
+
+Frames are simulation records rather than byte-exact encodings: they carry
+the fields the protocols act on (addresses, sequence number, ACK-request
+flag, payload) plus an accurate *length in bytes* so air times are right.
+Two ACK frames with the same sequence number are *identical on air* --
+the property backcast exploits for non-destructive HACK superposition --
+which :meth:`AckFrame.superposes_with` captures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: The 802.15.4 broadcast short address.
+BROADCAST_ADDR = 0xFFFF
+
+#: MAC header bytes for a data frame in our addressing mode
+#: (FCF 2 + seq 1 + PAN 2 + dst 2 + src 2) and the 2-byte FCS.
+_DATA_OVERHEAD_BYTES = 9 + 2
+
+#: An 802.15.4 immediate ACK MPDU: FCF 2 + seq 1 + FCS 2 = 5 bytes.
+_ACK_MPDU_BYTES = 5
+
+
+class FrameKind(enum.Enum):
+    """MAC frame type."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A data (or command) frame.
+
+    Attributes:
+        src: Sender short address.
+        dst: Destination short address (``BROADCAST_ADDR`` for broadcast).
+        seq: MAC sequence number (0..255).
+        ack_request: Whether the FCF requests an acknowledgement.  Frames
+            to the broadcast address must not request ACKs (standard rule;
+            backcast's whole point is to request them on *ephemeral
+            unicast* addresses shared by many receivers).
+        payload: Simulation-level payload fields (e.g. the predicate id
+            and bin member list of a tcast announce frame).
+        payload_bytes: Modelled payload length on air.
+    """
+
+    src: int
+    dst: int
+    seq: int
+    ack_request: bool = False
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    payload_bytes: int = 0
+
+    kind: FrameKind = field(default=FrameKind.DATA, init=False)
+
+    def __post_init__(self) -> None:
+        for label, addr in (("src", self.src), ("dst", self.dst)):
+            if not 0 <= addr <= 0xFFFF:
+                raise ValueError(f"{label} address must be 16-bit, got {addr}")
+        if not 0 <= self.seq <= 255:
+            raise ValueError(f"seq must be 0..255, got {self.seq}")
+        if self.payload_bytes < 0:
+            raise ValueError(
+                f"payload_bytes must be >= 0, got {self.payload_bytes}"
+            )
+        if self.dst == BROADCAST_ADDR and self.ack_request:
+            raise ValueError("broadcast frames must not request ACKs")
+        max_payload = 127 - _DATA_OVERHEAD_BYTES
+        if self.payload_bytes > max_payload:
+            raise ValueError(
+                f"payload of {self.payload_bytes} B exceeds the "
+                f"{max_payload} B maximum MPDU payload"
+            )
+
+    @property
+    def mpdu_bytes(self) -> int:
+        """MPDU length: MAC header + payload + FCS."""
+        return _DATA_OVERHEAD_BYTES + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """A hardware acknowledgement (HACK).
+
+    802.15.4 immediate ACKs carry no addresses -- only the sequence number
+    of the acknowledged frame -- so every radio acknowledging the same
+    frame emits a bit-identical waveform.
+
+    Attributes:
+        seq: Sequence number being acknowledged.
+        hardware: Whether the radio generated it autonomously (always true
+            for HACKs in this substrate; software ACKs would be jittered
+            and are modelled as :class:`DataFrame` replies instead).
+    """
+
+    seq: int
+    hardware: bool = True
+
+    kind: FrameKind = field(default=FrameKind.ACK, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.seq <= 255:
+            raise ValueError(f"seq must be 0..255, got {self.seq}")
+
+    @property
+    def mpdu_bytes(self) -> int:
+        """MPDU length of an immediate ACK (5 bytes)."""
+        return _ACK_MPDU_BYTES
+
+    def superposes_with(self, other: "AckFrame") -> bool:
+        """Whether two simultaneous ACKs interfere non-destructively.
+
+        True when both are hardware-generated and acknowledge the same
+        sequence number: identical bits, symbol-aligned launch (exactly one
+        turnaround after the acked frame), so a receiver can latch onto the
+        superposition as if it were a single transmission.
+        """
+        return self.hardware and other.hardware and self.seq == other.seq

@@ -1,0 +1,90 @@
+"""802.15.4 (2.4 GHz O-QPSK) timing constants.
+
+The CC2420 runs the 2.4 GHz PHY: 62.5 ksymbol/s (16 us per symbol), 4 bits
+per symbol, hence 32 us per byte on air.  The MAC turnaround time (RX->TX,
+the gap before a hardware ACK) is 12 symbols = 192 us.  All simulated
+times are in **microseconds**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhyTiming:
+    """PHY/MAC timing parameters (defaults: 802.15.4 @ 2.4 GHz / CC2420).
+
+    Attributes:
+        symbol_us: Duration of one PHY symbol in microseconds.
+        symbols_per_byte: Air symbols per payload byte (2 for O-QPSK's
+            4-bit symbols).
+        preamble_bytes: PHY preamble length (4) plus SFD (1).
+        phy_header_bytes: Frame-length byte of the PHY header.
+        turnaround_symbols: RX->TX turnaround (``aTurnaroundTime`` = 12
+            symbols); hardware ACKs launch exactly this long after the
+            end of the acknowledged frame -- which is what makes
+            simultaneous HACKs superpose.
+        backoff_period_symbols: One CSMA unit backoff period
+            (``aUnitBackoffPeriod`` = 20 symbols).
+        ack_wait_symbols: How long a transmitter waits for an ACK
+            (``macAckWaitDuration`` = 54 symbols).
+    """
+
+    symbol_us: float = 16.0
+    symbols_per_byte: int = 2
+    preamble_bytes: int = 5
+    phy_header_bytes: int = 1
+    turnaround_symbols: int = 12
+    backoff_period_symbols: int = 20
+    ack_wait_symbols: int = 54
+
+    def __post_init__(self) -> None:
+        if self.symbol_us <= 0:
+            raise ValueError(f"symbol_us must be > 0, got {self.symbol_us}")
+        if self.symbols_per_byte < 1:
+            raise ValueError(
+                f"symbols_per_byte must be >= 1, got {self.symbols_per_byte}"
+            )
+
+    @property
+    def byte_us(self) -> float:
+        """On-air duration of one byte in microseconds."""
+        return self.symbol_us * self.symbols_per_byte
+
+    @property
+    def turnaround_us(self) -> float:
+        """RX->TX turnaround in microseconds (192 us by default)."""
+        return self.turnaround_symbols * self.symbol_us
+
+    @property
+    def backoff_period_us(self) -> float:
+        """One CSMA backoff period in microseconds (320 us by default)."""
+        return self.backoff_period_symbols * self.symbol_us
+
+    @property
+    def ack_wait_us(self) -> float:
+        """ACK wait timeout in microseconds (864 us by default)."""
+        return self.ack_wait_symbols * self.symbol_us
+
+    def frame_airtime_us(self, mpdu_bytes: int) -> float:
+        """On-air duration of a frame whose MPDU is ``mpdu_bytes`` long.
+
+        Includes the synchronisation header (preamble + SFD) and the PHY
+        length byte.
+
+        Args:
+            mpdu_bytes: MAC protocol data unit length (header + payload +
+                FCS), 0..127.
+
+        Raises:
+            ValueError: If ``mpdu_bytes`` is outside the PHY's 0..127 range.
+        """
+        if not 0 <= mpdu_bytes <= 127:
+            raise ValueError(f"MPDU must be 0..127 bytes, got {mpdu_bytes}")
+        total = self.preamble_bytes + self.phy_header_bytes + mpdu_bytes
+        return total * self.byte_us
+
+
+#: Module-level default timing (802.15.4 @ 2.4 GHz).
+DEFAULT_TIMING = PhyTiming()

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+This package provides the generic machinery that the packet-level mote
+emulation is built on:
+
+* :mod:`repro.sim.kernel` -- the event heap and simulated clock.
+* :mod:`repro.sim.events` -- event records and handles.
+* :mod:`repro.sim.trace` -- structured trace recording.
+* :mod:`repro.sim.rng` -- deterministic, named random-number streams.
+
+The abstract (counting) query models in :mod:`repro.group_testing` do not
+need a clock and therefore do not depend on this package; only the
+packet-level substrate (:mod:`repro.radio`, :mod:`repro.motes`) does.
+"""
+
+from repro.sim.events import Event, EventHandle
+from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+    "derive_seed",
+]

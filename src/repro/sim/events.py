@@ -1,0 +1,77 @@
+"""Event records for the discrete-event kernel.
+
+Events are lightweight records placed on the simulator's heap.  Each event
+carries the simulated time at which it fires, a monotonically increasing
+sequence number (used to break time ties deterministically, FIFO within a
+timestamp), and the zero-argument callback to invoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is ``(time, seq)`` so that events at the same simulated time
+    fire in the order they were scheduled, which keeps runs deterministic.
+
+    Attributes:
+        time: Absolute simulated time (microseconds by convention in the
+            radio substrate, but the kernel is unit-agnostic).
+        seq: Tie-breaking sequence number assigned by the simulator.
+        callback: Zero-argument callable executed when the event fires.
+        cancelled: Set by :meth:`EventHandle.cancel`; cancelled events are
+            skipped (lazy deletion) when popped from the heap.
+        label: Optional human-readable tag used in traces and error
+            messages.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Cancellation handle returned by :meth:`Simulator.schedule`.
+
+    The handle keeps a reference to the underlying :class:`Event`; calling
+    :meth:`cancel` marks it so the kernel discards it instead of firing it.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time at which the event would fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The label given at scheduling time (may be empty)."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Safe to call multiple times and after the event has fired (in which
+        case it has no effect).
+        """
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time!r}, label={self.label!r}, {state})"

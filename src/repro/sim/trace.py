@@ -1,0 +1,115 @@
+"""Structured trace recording for simulations.
+
+A :class:`Tracer` collects timestamped, categorised records.  The mote
+emulation emits one record per interesting radio/MAC event (frame start,
+frame end, CCA sample, HACK detection, query verdict, ...) so tests can
+assert on the *sequence* of events, not just the final answer.
+
+Tracing is off by default in the hot experiment paths; the tracer is
+designed so a disabled tracer costs one attribute check per emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        time: Simulated time of the event.
+        category: Dotted event category, e.g. ``"radio.tx.start"``.
+        source: Identifier of the emitting component (mote id, "channel"...).
+        detail: Arbitrary key/value payload.
+    """
+
+    time: float
+    category: str
+    source: str
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def matches(self, category_prefix: str) -> bool:
+        """Whether this record's category starts with ``category_prefix``."""
+        return self.category.startswith(category_prefix)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries.
+
+    Args:
+        enabled: When ``False`` (the default for large sweeps),
+            :meth:`emit` is a no-op.
+        clock: Optional callable returning the current simulated time; when
+            omitted, callers must pass explicit times to :meth:`emit`.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._records: list[TraceRecord] = []
+
+    def emit(
+        self,
+        category: str,
+        source: str,
+        *,
+        time: Optional[float] = None,
+        **detail: Any,
+    ) -> None:
+        """Record an event (no-op when disabled).
+
+        Args:
+            category: Dotted event category.
+            source: Emitting component identifier.
+            time: Event time; defaults to the attached clock's reading.
+            **detail: Arbitrary payload stored on the record.
+        """
+        if not self.enabled:
+            return
+        if time is None:
+            time = self._clock() if self._clock is not None else 0.0
+        self._records.append(
+            TraceRecord(time=time, category=category, source=source, detail=detail)
+        )
+
+    def records(self, category_prefix: str = "") -> list[TraceRecord]:
+        """All records, optionally filtered by category prefix."""
+        if not category_prefix:
+            return list(self._records)
+        return [r for r in self._records if r.matches(category_prefix)]
+
+    def count(self, category_prefix: str = "") -> int:
+        """Number of records with the given category prefix."""
+        if not category_prefix:
+            return len(self._records)
+        return sum(1 for r in self._records if r.matches(category_prefix))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+    def categories(self) -> list[str]:
+        """Sorted unique categories seen so far."""
+        return sorted({r.category for r in self._records})
+
+    def format(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """Human-readable multi-line rendering (for debugging/tests)."""
+        rows = []
+        for r in self._records if records is None else records:
+            kv = " ".join(f"{k}={v!r}" for k, v in sorted(r.detail.items()))
+            rows.append(f"[{r.time:12.1f}] {r.category:<24} {r.source:<12} {kv}")
+        return "\n".join(rows)

@@ -1,0 +1,5 @@
+"""Dependency-free terminal visualisation helpers."""
+
+from repro.viz.ascii import ascii_chart, histogram, render_table
+
+__all__ = ["ascii_chart", "histogram", "render_table"]

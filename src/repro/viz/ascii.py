@@ -1,0 +1,156 @@
+"""ASCII charts and tables for experiment reports.
+
+The benchmark harness runs in terminals and CI, so figures are rendered
+as monospace line charts and aligned tables rather than image files.
+Rendering is intentionally simple: nearest-cell rasterisation of each
+series onto a character grid, one glyph per series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Glyphs assigned to series in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Args:
+        xs: Shared x grid.
+        series: Mapping of label -> y values (same length as ``xs``).
+        width: Plot-area width in characters.
+        height: Plot-area height in rows.
+        title: Optional chart title.
+        xlabel: X-axis label.
+        ylabel: Y-axis label (printed in the legend line).
+
+    Returns:
+        The rendered multi-line string.
+
+    Raises:
+        ValueError: On empty input or mismatched lengths.
+    """
+    if len(xs) == 0 or not series:
+        raise ValueError("need at least one point and one series")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points, expected {len(xs)}"
+            )
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+
+    x_arr = np.asarray(xs, dtype=np.float64)
+    all_y = np.concatenate(
+        [np.asarray(ys, dtype=np.float64) for ys in series.values()]
+    )
+    finite = all_y[np.isfinite(all_y)]
+    if finite.size == 0:
+        raise ValueError("no finite y values to plot")
+    y_min, y_max = float(finite.min()), float(finite.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_arr.min()), float(x_arr.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, ys), glyph in zip(series.items(), _GLYPHS):
+        y_arr = np.asarray(ys, dtype=np.float64)
+        for xv, yv in zip(x_arr, y_arr):
+            if not np.isfinite(yv):
+                continue
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{glyph}={label}" for (label, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append(f"{ylabel}  [{legend}]")
+    for i, row_chars in enumerate(grid):
+        y_val = y_max - i * (y_max - y_min) / (height - 1)
+        lines.append(f"{y_val:9.1f} |{''.join(row_chars)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f" {x_min:<12.4g}{xlabel:^{max(1, width - 26)}}{x_max:>12.4g}"
+    )
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 32,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a horizontal-bar histogram of ``values``.
+
+    Args:
+        values: Samples.
+        bins: Number of equal-width bins.
+        width: Maximum bar width in characters.
+        title: Optional title.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty sample")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(1, counts.max())
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{lo:8.1f},{hi:8.1f}) {count:6d} {bar}")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; floats are formatted with ``float_fmt``.
+        float_fmt: Format applied to float cells.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

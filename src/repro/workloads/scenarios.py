@@ -1,0 +1,171 @@
+"""Intrusion-detection scenario generation and sweep helpers.
+
+The paper's motivating application (Sec I): nodes spread over an area,
+an intruder triggers detections at every node whose sensing disc covers
+it, plus a sprinkle of false-positive detections elsewhere.  The
+initiator (the first detector) runs a threshold query over its singlehop
+neighbourhood to separate real events from false alarms.
+
+:class:`IntrusionField` generates spatial deployments and converts events
+into :class:`~repro.group_testing.population.Population` ground truths;
+:func:`x_sweep` provides the ``x`` grids the figure harness sweeps over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.group_testing.population import Population
+
+
+def x_sweep(n: int, *, points: Optional[int] = None) -> List[int]:
+    """Positive-count grid for a queries-vs-``x`` sweep.
+
+    Dense at the small-``x`` end (where the interesting buckling happens)
+    and logarithmically thinning toward ``n``; always includes 0 and
+    ``n``.
+
+    Args:
+        n: Population size.
+        points: Approximate number of grid points (default: a dense grid
+            of every integer up to 2 sqrt(n), then geometric).
+
+    Returns:
+        Sorted unique ``x`` values in ``[0, n]``.
+    """
+    if n < 1:
+        raise ValueError(f"population must be >= 1, got {n}")
+    dense_top = min(n, max(8, int(2 * np.sqrt(n))))
+    grid = set(range(0, dense_top + 1))
+    value = float(dense_top)
+    while value < n:
+        value *= 1.25
+        grid.add(min(n, int(round(value))))
+    grid.add(n)
+    out = sorted(grid)
+    if points is not None and points >= 2 and len(out) > points:
+        idx = np.linspace(0, len(out) - 1, points).round().astype(int)
+        out = sorted({out[i] for i in idx})
+    return out
+
+
+@dataclass(frozen=True)
+class IntrusionScenario:
+    """One intrusion event realised against a deployment.
+
+    Attributes:
+        population: The resulting ground truth (detectors are positive).
+        intruder_xy: Intruder position, or ``None`` for a no-event
+            (false alarms only) scenario.
+        true_detections: Nodes whose sensing disc covered the intruder.
+        false_detections: Nodes that mis-detected (noise).
+    """
+
+    population: Population
+    intruder_xy: Optional[tuple[float, float]]
+    true_detections: frozenset[int]
+    false_detections: frozenset[int]
+
+    @property
+    def x(self) -> int:
+        """Total positive (detecting) node count."""
+        return self.population.x
+
+
+class IntrusionField:
+    """A random uniform deployment over a square field.
+
+    Args:
+        num_nodes: Number of deployed sensor nodes.
+        field_size: Side length of the square deployment area (metres).
+        sensing_range: Detection disc radius (metres).
+        false_positive_rate: Per-node probability of a spurious detection
+            in any scenario.
+        rng: Randomness for node placement.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        field_size: float = 100.0,
+        sensing_range: float = 20.0,
+        false_positive_rate: float = 0.01,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if field_size <= 0 or sensing_range <= 0:
+            raise ValueError("field_size and sensing_range must be > 0")
+        if not 0.0 <= false_positive_rate <= 1.0:
+            raise ValueError(
+                f"false_positive_rate must be in [0,1], got {false_positive_rate}"
+            )
+        rng = rng or np.random.default_rng()
+        self._n = num_nodes
+        self._field = field_size
+        self._range = sensing_range
+        self._fp_rate = false_positive_rate
+        self._xy = rng.random((num_nodes, 2)) * field_size
+
+    @property
+    def num_nodes(self) -> int:
+        """Deployed node count."""
+        return self._n
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Node coordinates, shape ``(n, 2)`` (copy)."""
+        return self._xy.copy()
+
+    def event(
+        self,
+        rng: np.random.Generator,
+        *,
+        intruder: bool = True,
+    ) -> IntrusionScenario:
+        """Realise one scenario.
+
+        Args:
+            rng: Randomness for intruder placement and noise.
+            intruder: Whether a real intruder is present (``False`` gives
+                a false-alarm-only scenario).
+
+        Returns:
+            The scenario with ground truth attached.
+        """
+        true_det: set[int] = set()
+        intruder_xy: Optional[tuple[float, float]] = None
+        if intruder:
+            pos = rng.random(2) * self._field
+            intruder_xy = (float(pos[0]), float(pos[1]))
+            dist = np.linalg.norm(self._xy - pos, axis=1)
+            true_det = {int(i) for i in np.flatnonzero(dist <= self._range)}
+        noise = rng.random(self._n) < self._fp_rate
+        false_det = {int(i) for i in np.flatnonzero(noise)} - true_det
+        population = Population(
+            size=self._n, positives=frozenset(true_det | false_det)
+        )
+        return IntrusionScenario(
+            population=population,
+            intruder_xy=intruder_xy,
+            true_detections=frozenset(true_det),
+            false_detections=frozenset(false_det),
+        )
+
+    def neighbourhood(self, node: int, radio_range: float) -> List[int]:
+        """Ids of nodes within ``radio_range`` of ``node`` (excl. itself).
+
+        Used by the multihop example to pick a singlehop neighbourhood for
+        the initiating detector.
+        """
+        if not 0 <= node < self._n:
+            raise ValueError(f"node {node} outside [0, {self._n})")
+        if radio_range <= 0:
+            raise ValueError(f"radio_range must be > 0, got {radio_range}")
+        dist = np.linalg.norm(self._xy - self._xy[node], axis=1)
+        out = [int(i) for i in np.flatnonzero(dist <= radio_range)]
+        return [i for i in out if i != node]

@@ -1,0 +1,133 @@
+"""Temporal deployment traces: the bimodal model unrolled over time.
+
+Sec VI motivates the probabilistic scheme with deployment *history*: most
+query instants are quiet (a few false detections), and occasionally a
+real event drives many detections.  This module materialises that history
+as a timeline: real events arrive as a Poisson process, each lasting a
+random duration, and every periodic query instant samples a positive
+count from the appropriate mode of a :class:`~repro.analytic.bimodal.BimodalSpec`.
+
+The trace gives stream-processing tests and examples temporally coherent
+input (consecutive queries during one event see correlated activity),
+which the memoryless per-draw :class:`~repro.workloads.bimodal.BimodalWorkload`
+cannot provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.analytic.bimodal import BimodalSpec
+from repro.group_testing.population import Population
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One query instant of a deployment trace.
+
+    Attributes:
+        time_s: Query time (seconds from trace start).
+        population: The realised ground truth at this instant.
+        activity: Whether a real event was in progress (the label the
+            probabilistic scheme tries to recover).
+    """
+
+    time_s: float
+    population: Population
+    activity: bool
+
+    @property
+    def x(self) -> int:
+        """Positive count at this instant."""
+        return self.population.x
+
+
+class DeploymentTrace:
+    """A day-in-the-life event timeline for one deployment.
+
+    Args:
+        spec: The bimodal mixture governing per-instant positive counts
+            (quiet mode outside events, activity mode during them; the
+            mixture weight is ignored -- the duty cycle comes from the
+            event process instead).
+        horizon_s: Trace length in seconds.
+        query_interval_s: Spacing of query instants.
+        event_rate_per_hour: Poisson arrival rate of real events.
+        event_duration_s: Mean event duration (exponential).
+    """
+
+    def __init__(
+        self,
+        spec: BimodalSpec,
+        *,
+        horizon_s: float = 86_400.0,
+        query_interval_s: float = 60.0,
+        event_rate_per_hour: float = 0.5,
+        event_duration_s: float = 120.0,
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon_s}")
+        if query_interval_s <= 0:
+            raise ValueError(
+                f"query interval must be > 0, got {query_interval_s}"
+            )
+        if event_rate_per_hour < 0:
+            raise ValueError(
+                f"event rate must be >= 0, got {event_rate_per_hour}"
+            )
+        if event_duration_s <= 0:
+            raise ValueError(
+                f"event duration must be > 0, got {event_duration_s}"
+            )
+        self._spec = spec
+        self._horizon = horizon_s
+        self._interval = query_interval_s
+        self._rate = event_rate_per_hour
+        self._duration = event_duration_s
+
+    @property
+    def spec(self) -> BimodalSpec:
+        """The governing mixture parameters."""
+        return self._spec
+
+    def event_windows(
+        self, rng: np.random.Generator
+    ) -> List[tuple[float, float]]:
+        """Draw the real-event intervals for one trace realisation."""
+        windows: List[tuple[float, float]] = []
+        t = 0.0
+        rate_per_s = self._rate / 3600.0
+        if rate_per_s <= 0:
+            return windows
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_s))
+            if t >= self._horizon:
+                return windows
+            windows.append(
+                (t, t + float(rng.exponential(self._duration)))
+            )
+
+    def samples(self, rng: np.random.Generator) -> Iterator[TraceSample]:
+        """Generate the trace's query-instant samples in time order."""
+        windows = self.event_windows(rng)
+        s = self._spec
+        t = 0.0
+        while t < self._horizon:
+            active = any(lo <= t < hi for lo, hi in windows)
+            mu = s.mu2 if active else s.mu1
+            sigma = s.sigma2 if active else s.sigma1
+            raw = rng.normal(mu, sigma) if sigma > 0 else mu
+            x = int(np.clip(round(raw), 0, s.n))
+            yield TraceSample(
+                time_s=t,
+                population=Population.from_count(s.n, x, rng),
+                activity=active,
+            )
+            t += self._interval
+
+    def generate(self, rng: np.random.Generator) -> List[TraceSample]:
+        """Materialise the whole trace as a list."""
+        return list(self.samples(rng))

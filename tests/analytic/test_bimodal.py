@@ -1,0 +1,91 @@
+"""Unit tests for the bimodal separation analysis (Sec VI)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytic.bimodal import BimodalSpec, analyze_separation
+
+
+class TestBimodalSpec:
+    def test_boundaries(self):
+        spec = BimodalSpec(n=128, mu1=16, sigma1=2, mu2=96, sigma2=4)
+        assert spec.t_l == 20
+        assert spec.t_r == 88
+        assert spec.separated
+
+    def test_half_distance(self):
+        spec = BimodalSpec.symmetric(n=128, d=32, sigma=8)
+        assert spec.half_distance == 32
+        assert spec.mu1 == 32 and spec.mu2 == 96
+
+    def test_overlapping_modes_not_separated(self):
+        spec = BimodalSpec.symmetric(n=128, d=8, sigma=8)
+        # t_l = 64-8+16 = 72, t_r = 64+8-16 = 56 -> not separated
+        assert not spec.separated
+
+    def test_boundary_case_d_equals_two_sigma(self):
+        spec = BimodalSpec.symmetric(n=128, d=16, sigma=8)
+        assert spec.t_l == spec.t_r
+        assert not spec.separated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BimodalSpec(n=0, mu1=1, sigma1=1, mu2=2, sigma2=1)
+        with pytest.raises(ValueError):
+            BimodalSpec(n=10, mu1=5, sigma1=-1, mu2=8, sigma2=1)
+        with pytest.raises(ValueError):
+            BimodalSpec(n=10, mu1=9, sigma1=1, mu2=2, sigma2=1)
+        with pytest.raises(ValueError):
+            BimodalSpec(n=10, mu1=1, sigma1=1, mu2=2, sigma2=1, weight1=1.5)
+
+
+class TestAnalyzeSeparation:
+    def test_feasible_case(self):
+        spec = BimodalSpec(n=128, mu1=16, sigma1=0, mu2=96, sigma2=0)
+        a = analyze_separation(spec)
+        assert a.feasible
+        assert a.bins > 1
+        assert 0 < a.q1 < a.q2 < 1
+        assert a.eps == pytest.approx((a.q2 - a.q1) / 2)
+
+    def test_paper_example_repeats(self):
+        spec = BimodalSpec(n=128, mu1=16, sigma1=0, mu2=96, sigma2=0)
+        a = analyze_separation(spec)
+        assert a.repeats(0.01) == 19
+        assert a.repeats(0.05) == 12
+
+    def test_infeasible_case_still_usable(self):
+        spec = BimodalSpec.symmetric(n=128, d=8, sigma=8)
+        a = analyze_separation(spec)
+        assert not a.feasible
+        assert a.bins > 1
+        with pytest.raises(ValueError):
+            a.repeats(0.05)
+
+    def test_decision_midpoint(self):
+        spec = BimodalSpec(n=128, mu1=16, sigma1=0, mu2=96, sigma2=0)
+        a = analyze_separation(spec)
+        mid = a.decision_midpoint(10)
+        assert 10 * a.q1 < mid < 10 * a.q2
+
+    def test_decision_midpoint_rejects_bad_repeats(self):
+        spec = BimodalSpec(n=128, mu1=16, sigma1=0, mu2=96, sigma2=0)
+        a = analyze_separation(spec)
+        with pytest.raises(ValueError):
+            a.decision_midpoint(0)
+
+    @given(d=st.floats(min_value=17, max_value=63))
+    def test_repeats_shrink_with_separation(self, d):
+        sigma = 8.0
+        narrow = analyze_separation(BimodalSpec.symmetric(128, d, sigma))
+        wide = analyze_separation(BimodalSpec.symmetric(128, 64.0, sigma))
+        assert narrow.feasible and wide.feasible
+        assert wide.repeats(0.05) <= narrow.repeats(0.05)
+
+    def test_identical_means_degenerate(self):
+        spec = BimodalSpec(n=64, mu1=10, sigma1=0, mu2=10, sigma2=0)
+        a = analyze_separation(spec)
+        assert not a.feasible
+        assert a.eps == pytest.approx(0.0, abs=1e-9)

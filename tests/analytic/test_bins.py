@@ -1,0 +1,184 @@
+"""Unit and property tests for the bin-count mathematics (Sec V-A)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytic.bins import (
+    elimination_yield,
+    estimate_positives,
+    expected_empty_bins,
+    optimal_bins,
+    oracle_bins,
+    prob_bin_empty,
+)
+
+
+class TestProbBinEmpty:
+    def test_no_positives_means_certainly_empty(self):
+        assert prob_bin_empty(10, 0) == 1.0
+
+    def test_single_bin_with_positives_never_empty(self):
+        assert prob_bin_empty(1, 3) == 0.0
+
+    def test_single_bin_no_positives(self):
+        assert prob_bin_empty(1, 0) == 1.0
+
+    def test_matches_formula(self):
+        assert prob_bin_empty(4, 3) == pytest.approx((3 / 4) ** 3)
+
+    def test_monotone_decreasing_in_p(self):
+        probs = [prob_bin_empty(8, p) for p in range(0, 20)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_increasing_in_b(self):
+        probs = [prob_bin_empty(b, 5) for b in range(2, 50)]
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            prob_bin_empty(0, 1)
+        with pytest.raises(ValueError):
+            prob_bin_empty(2, -1)
+
+    @given(
+        b=st.floats(min_value=1.0, max_value=1e4),
+        p=st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_always_a_probability(self, b, p):
+        assert 0.0 <= prob_bin_empty(b, p) <= 1.0
+
+
+class TestEliminationYield:
+    def test_matches_eq2(self):
+        b, p, n = 5, 4, 100
+        expected = (1 - 1 / b) ** p * n / b
+        assert elimination_yield(b, p, n) == pytest.approx(expected)
+
+    def test_zero_population(self):
+        assert elimination_yield(3, 2, 0) == 0.0
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            elimination_yield(3, 2, -1)
+
+    @given(p=st.integers(min_value=1, max_value=200))
+    def test_eq4_optimum_beats_neighbours(self, p):
+        """b = p + 1 maximises g(b) over integer b (Eq 4)."""
+        n = 1000.0
+        best = elimination_yield(p + 1, p, n)
+        assert best >= elimination_yield(p, p, n) - 1e-12
+        assert best >= elimination_yield(p + 2, p, n) - 1e-12
+
+
+class TestOptimalBins:
+    def test_eq4(self):
+        assert optimal_bins(0) == 1
+        assert optimal_bins(7) == 8
+        assert optimal_bins(2.4) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            optimal_bins(-0.5)
+
+
+class TestExpectedEmptyBins:
+    def test_matches_eq5(self):
+        assert expected_empty_bins(8, 5) == pytest.approx((7 / 8) ** 5 * 8)
+
+    def test_all_empty_when_no_positives(self):
+        assert expected_empty_bins(6, 0) == 6.0
+
+
+class TestEstimatePositives:
+    def test_round_trips_eq5(self):
+        """estimate(e_expected(b, p)) recovers p."""
+        for b, p in [(8, 5), (16, 3), (32, 20), (4, 1)]:
+            e = expected_empty_bins(b, p)
+            assert estimate_positives(e, b) == pytest.approx(p, abs=1e-9)
+
+    def test_all_empty_gives_zero(self):
+        assert estimate_positives(8, 8) == 0.0
+
+    def test_zero_empty_bins_guard_gives_large_finite(self):
+        est = estimate_positives(0, 8)
+        assert math.isfinite(est)
+        # Larger than any p whose expectation would round to >= 1 bin.
+        assert est > estimate_positives(1, 8)
+
+    def test_clamped_to_max_estimate(self):
+        assert estimate_positives(0, 8, max_estimate=10.0) == 10.0
+
+    def test_b_equal_one_guards(self):
+        assert estimate_positives(1, 1) == 0.0
+        assert estimate_positives(0, 1, max_estimate=50.0) == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            estimate_positives(9, 8)
+        with pytest.raises(ValueError):
+            estimate_positives(-1, 8)
+        with pytest.raises(ValueError):
+            estimate_positives(0, 0)
+
+    @given(
+        b=st.integers(min_value=2, max_value=256),
+        e=st.integers(min_value=0, max_value=256),
+    )
+    def test_always_nonnegative_finite(self, b, e):
+        if e > b:
+            return
+        est = estimate_positives(e, b)
+        assert est >= 0.0
+        assert math.isfinite(est)
+
+    @given(b=st.integers(min_value=4, max_value=64))
+    def test_monotone_decreasing_in_empty_count(self, b):
+        ests = [estimate_positives(e, b) for e in range(0, b + 1)]
+        assert all(a >= z for a, z in zip(ests, ests[1:]))
+
+
+class TestOracleBins:
+    def test_elimination_regime(self):
+        assert oracle_bins(0, 16, 128) == 1
+        assert oracle_bins(8, 16, 128) == 9  # x == t/2 -> x + 1
+
+    def test_hard_regime(self):
+        # x == t -> 3t - t = 2t
+        assert oracle_bins(16, 16, 128) == 32
+
+    def test_confirmation_regime_endpoint(self):
+        # x == n -> exactly t bins
+        assert oracle_bins(128, 16, 128) == 16
+
+    def test_confirmation_regime_interpolates(self):
+        just_above = oracle_bins(17, 16, 128)
+        assert 16 <= just_above <= 32
+
+    def test_piecewise_is_continuous_at_t_over_2(self):
+        t, n = 16, 128
+        left = oracle_bins(t // 2, t, n)
+        right = 3 * (t // 2 + 1) - t
+        assert abs(left - right) <= 3  # interpolation seam, small jump ok
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            oracle_bins(-1, 4, 10)
+        with pytest.raises(ValueError):
+            oracle_bins(11, 4, 10)
+        with pytest.raises(ValueError):
+            oracle_bins(1, 0, 10)
+        with pytest.raises(ValueError):
+            oracle_bins(0, 1, 0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=512),
+        data=st.data(),
+    )
+    def test_always_at_least_one_bin(self, n, data):
+        t = data.draw(st.integers(min_value=1, max_value=n))
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        assert oracle_bins(x, t, n) >= 1

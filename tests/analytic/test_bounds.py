@@ -1,0 +1,73 @@
+"""Unit tests for the query-complexity bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytic.bounds import (
+    lower_bound_queries,
+    upper_bound_queries,
+    worst_case_rounds,
+)
+
+
+class TestWorstCaseRounds:
+    def test_small_population_single_round(self):
+        assert worst_case_rounds(10, 8) == 1
+        assert worst_case_rounds(16, 8) == 1
+
+    def test_log_growth(self):
+        assert worst_case_rounds(64, 8) == 2
+        assert worst_case_rounds(128, 8) == 3
+        assert worst_case_rounds(256, 8) == 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            worst_case_rounds(0, 1)
+        with pytest.raises(ValueError):
+            worst_case_rounds(1, 0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=100_000),
+        t=st.integers(min_value=1, max_value=1000),
+    )
+    def test_at_least_one_round(self, n, t):
+        assert worst_case_rounds(n, t) >= 1
+
+
+class TestUpperBound:
+    def test_formula(self):
+        # rounds(128, 16) = ceil(log2(4)) = 2 -> 2*16*3 = 96
+        assert upper_bound_queries(128, 16) == 96
+
+    @given(
+        n=st.integers(min_value=1, max_value=4096),
+        t=st.integers(min_value=1, max_value=256),
+    )
+    def test_dominates_lower_bound(self, n, t):
+        assert upper_bound_queries(n, t) >= lower_bound_queries(n, t)
+
+    @given(t=st.integers(min_value=1, max_value=64))
+    def test_monotone_in_n(self, t):
+        values = [upper_bound_queries(n, t) for n in (64, 256, 1024, 4096)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestLowerBound:
+    def test_zero_when_threshold_covers_population(self):
+        assert lower_bound_queries(8, 8) == 0.0
+        assert lower_bound_queries(8, 20) == 0.0
+
+    def test_positive_otherwise(self):
+        assert lower_bound_queries(128, 16) > 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lower_bound_queries(0, 1)
+        with pytest.raises(ValueError):
+            lower_bound_queries(4, 0)
+
+    def test_t_equals_one_reduces_to_binary_search_floor(self):
+        # t=1: t*log2(n)/max(log2(1),1) = log2(n)
+        assert lower_bound_queries(1024, 1) == pytest.approx(10.0)

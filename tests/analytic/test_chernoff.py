@@ -1,0 +1,120 @@
+"""Unit tests for the Eq 9/10 repeat-count analysis, including the
+paper's worked example."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytic.chernoff import (
+    failure_probability,
+    hoeffding_repeats,
+    mode_nonempty_probs,
+    optimal_sampling_bins,
+    paper_repeats,
+    separation_gap,
+)
+
+
+class TestOptimalSamplingBins:
+    def test_interior_optimum(self):
+        """The chosen b beats perturbed alternatives on the silent-gap."""
+        t_l, t_r = 16.0, 96.0
+        b = optimal_sampling_bins(t_l, t_r)
+
+        def gap(bins: float) -> float:
+            s = 1 - 1 / bins
+            return s**t_l - s**t_r
+
+        assert gap(b) >= gap(b * 1.05)
+        assert gap(b) >= gap(b * 0.95)
+
+    def test_rejects_unordered_boundaries(self):
+        with pytest.raises(ValueError):
+            optimal_sampling_bins(10, 10)
+        with pytest.raises(ValueError):
+            optimal_sampling_bins(0, 5)
+        with pytest.raises(ValueError):
+            optimal_sampling_bins(9, 5)
+
+    @given(
+        t_l=st.floats(min_value=0.5, max_value=100),
+        extra=st.floats(min_value=0.5, max_value=400),
+    )
+    def test_more_than_one_bin(self, t_l, extra):
+        assert optimal_sampling_bins(t_l, t_l + extra) > 1.0
+
+
+class TestModeProbs:
+    def test_ordering(self):
+        q1, q2 = mode_nonempty_probs(45.0, 16, 96)
+        assert 0 < q1 < q2 < 1
+
+    def test_rejects_degenerate_bin(self):
+        with pytest.raises(ValueError):
+            mode_nonempty_probs(1.0, 4, 8)
+
+
+class TestFailureProbability:
+    def test_decreases_with_repeats(self):
+        assert failure_probability(0.3, 20) < failure_probability(0.3, 5)
+
+    def test_matches_eq9(self):
+        assert failure_probability(0.25, 8) == pytest.approx(math.exp(-1.0))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            failure_probability(0.0, 5)
+        with pytest.raises(ValueError):
+            failure_probability(0.3, 0)
+
+
+class TestPaperExample:
+    """The worked example at the end of Sec VI-A."""
+
+    def setup_method(self):
+        self.b = optimal_sampling_bins(16, 96)
+        self.eps = separation_gap(self.b, 16, 96)
+
+    def test_delta_one_percent_needs_19_repeats(self):
+        assert paper_repeats(0.01, self.eps) == 19
+
+    def test_delta_five_percent_needs_12_repeats(self):
+        assert paper_repeats(0.05, self.eps) == 12
+
+
+class TestPaperRepeats:
+    def test_tighter_delta_needs_more_repeats(self):
+        assert paper_repeats(0.01, 0.3) >= paper_repeats(0.1, 0.3)
+
+    def test_wider_gap_needs_fewer_repeats(self):
+        assert paper_repeats(0.05, 0.5) <= paper_repeats(0.05, 0.1)
+
+    def test_at_least_one(self):
+        assert paper_repeats(0.5, 10.0) >= 1
+
+    def test_rejects_bad_args(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                paper_repeats(bad, 0.3)
+        with pytest.raises(ValueError):
+            paper_repeats(0.05, 0.0)
+
+
+class TestHoeffdingRepeats:
+    def test_monotonicity(self):
+        assert hoeffding_repeats(0.01, 0.3) >= hoeffding_repeats(0.1, 0.3)
+        assert hoeffding_repeats(0.05, 0.1) >= hoeffding_repeats(0.05, 0.3)
+
+    def test_satisfies_its_own_bound(self):
+        delta, eps = 0.05, 0.25
+        r = hoeffding_repeats(delta, eps)
+        assert 2 * math.exp(-2 * eps * eps * r) <= delta + 1e-9
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            hoeffding_repeats(0.0, 0.3)
+        with pytest.raises(ValueError):
+            hoeffding_repeats(0.05, 0.0)

@@ -1,0 +1,121 @@
+"""Validation of the mean-field 2tBins cost model against simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytic.cost_model import (
+    anchor_cost_all_negative,
+    anchor_cost_all_positive,
+    expected_queries_2tbins,
+    expected_rounds_2tbins,
+)
+from repro.core import TwoTBins
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+def simulated_mean(n, x, t, runs=100):
+    costs = np.empty(runs)
+    for s in range(runs):
+        pop = Population.from_count(n, x, np.random.default_rng(s))
+        model = OnePlusModel(pop, np.random.default_rng(s + 1))
+        costs[s] = TwoTBins().decide(
+            model, t, np.random.default_rng(s + 2)
+        ).queries
+    return float(costs.mean())
+
+
+class TestAnchors:
+    def test_all_negative_anchor(self):
+        assert anchor_cost_all_negative(128, 16) == pytest.approx(28.0)
+        assert anchor_cost_all_negative(16, 16) == 0.0
+
+    def test_all_positive_anchor(self):
+        assert anchor_cost_all_positive(16) == 16.0
+
+    def test_model_matches_anchors(self):
+        assert expected_queries_2tbins(128, 0, 16) == pytest.approx(
+            anchor_cost_all_negative(128, 16), rel=0.05
+        )
+        assert expected_queries_2tbins(128, 128, 16) == pytest.approx(
+            anchor_cost_all_positive(16), rel=0.01
+        )
+
+    def test_anchor_validation(self):
+        with pytest.raises(ValueError):
+            anchor_cost_all_negative(0, 1)
+        with pytest.raises(ValueError):
+            anchor_cost_all_positive(-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n,t", [(128, 16), (64, 8), (256, 24)])
+    def test_easy_regimes_within_10_percent(self, n, t):
+        for x in (0, 1, 2, t // 4, 4 * t, n // 2, n):
+            if not 0 <= x <= n:
+                continue
+            model = expected_queries_2tbins(n, x, t)
+            sim = simulated_mean(n, x, t)
+            assert model == pytest.approx(sim, rel=0.12), f"x={x}"
+
+    @pytest.mark.parametrize("n,t", [(128, 16), (64, 8)])
+    def test_critical_point_pessimistic_but_bounded(self, n, t):
+        """At x ~ t the model over-estimates (no variance benefit) but by
+        at most ~2x, and never under-estimates by more than noise."""
+        for x in (t - 1, t, t + 1):
+            model = expected_queries_2tbins(n, x, t)
+            sim = simulated_mean(n, x, t)
+            assert 0.85 * sim <= model <= 2.1 * sim, f"x={x}"
+
+
+class TestShape:
+    def test_peak_near_threshold(self):
+        n, t = 128, 16
+        costs = {x: expected_queries_2tbins(n, x, t) for x in range(0, n + 1, 4)}
+        peak_x = max(costs, key=costs.get)
+        assert t / 2 <= peak_x <= 2 * t
+
+    def test_cheap_at_extremes(self):
+        n, t = 128, 16
+        mid = expected_queries_2tbins(n, t, t)
+        assert expected_queries_2tbins(n, 0, t) < mid / 2
+        assert expected_queries_2tbins(n, n, t) < mid / 2
+
+    def test_trivial_cases_zero(self):
+        assert expected_queries_2tbins(16, 4, 0) == 0.0
+        assert expected_queries_2tbins(8, 2, 9) == 0.0
+        assert expected_rounds_2tbins(16, 4, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_queries_2tbins(-1, 0, 1)
+        with pytest.raises(ValueError):
+            expected_queries_2tbins(4, 5, 1)
+        with pytest.raises(ValueError):
+            expected_queries_2tbins(4, 1, -1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=1024),
+        data=st.data(),
+    )
+    def test_always_finite_nonnegative_and_bounded(self, n, data):
+        from repro.analytic.bounds import upper_bound_queries
+
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        t = data.draw(st.integers(min_value=1, max_value=n))
+        cost = expected_queries_2tbins(n, x, t)
+        assert 0.0 <= cost
+        # The estimate is clipped to the provable worst-case bound.
+        assert cost <= upper_bound_queries(n, t)
+
+    def test_rounds_consistent_with_queries(self):
+        n, t = 256, 16
+        for x in (0, 8, 64, 256):
+            rounds = expected_rounds_2tbins(n, x, t)
+            queries = expected_queries_2tbins(n, x, t)
+            assert rounds >= 1
+            assert queries <= rounds * 2 * t + 1

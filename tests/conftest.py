@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.group_testing.population import Population
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent fixed-seed generators."""
+
+    def make(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make
+
+
+@pytest.fixture
+def population_64_20(rng) -> Population:
+    """64 nodes, 20 random positives."""
+    return Population.from_count(64, 20, rng)

@@ -1,0 +1,158 @@
+"""Behavioural tests for ABNS and the probabilistic-probe variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.bins import optimal_bins
+from repro.core.abns import Abns, AbnsBinPolicy, ProbabilisticAbns
+from repro.core.two_t_bins import TwoTBins
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+def run(algo, n, x, t, seed=0):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+    return algo.decide(model, t, np.random.default_rng(seed + 2)), pop
+
+
+class TestConstruction:
+    def test_requires_exactly_one_p0_spec(self):
+        with pytest.raises(ValueError):
+            Abns()
+        with pytest.raises(ValueError):
+            Abns(p0=4.0, p0_multiple=1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Abns(p0=-1.0)
+        with pytest.raises(ValueError):
+            Abns(p0_multiple=-0.5)
+        with pytest.raises(ValueError):
+            Abns(p0=1.0, stagnation_limit=0)
+
+    def test_names(self):
+        assert Abns(p0=4.0).name == "ABNS(p0=4)"
+        assert Abns(p0_multiple=2.0).name == "ABNS(p0=2t)"
+
+    def test_with_threshold_multiple(self):
+        algo = Abns.with_threshold_multiple(1.0)
+        assert "1t" in algo.name
+
+
+class TestBinPolicy:
+    def test_first_round_uses_p0_plus_one(self):
+        result, _ = run(Abns(p0=6.0), 128, 3, 16, seed=2)
+        assert result.history[0].bins_requested == optimal_bins(6.0) == 7
+
+    def test_p0_multiple_resolves_against_threshold(self):
+        result, _ = run(Abns(p0_multiple=2.0), 128, 3, 8, seed=2)
+        # p0 = 16 -> 17 bins
+        assert result.history[0].bins_requested == 17
+
+    def test_p0_clamped_to_population(self):
+        result, _ = run(Abns(p0=500.0), 32, 3, 4, seed=2)
+        assert result.history[0].bins_requested <= 32
+
+    def test_hybrid_policy_caps_at_2t_in_confirmation_regime(self):
+        algo = Abns(p0_multiple=2.0, policy=AbnsBinPolicy.HYBRID)
+        result, _ = run(algo, 128, 100, 8, seed=3)
+        for rec in result.history:
+            assert rec.bins_requested <= 2 * 8
+
+    def test_paper_policy_tracks_p_plus_one(self):
+        algo = Abns(p0=4.0, policy=AbnsBinPolicy.PAPER)
+        result, _ = run(algo, 128, 60, 8, seed=3)
+        # Under the PAPER policy every requested bin count is estimate+1,
+        # clamped to the candidate count at the start of that round; the
+        # estimate recorded on a round is the one that sized it.
+        estimates = [rec.p_estimate for rec in result.history]
+        survivors = [128] + [rec.candidates_after for rec in result.history]
+        requested = [rec.bins_requested for rec in result.history]
+        assert requested[0] == 5
+        for est, cand, req in zip(estimates, survivors, requested):
+            assert req == min(max(cand, 1), optimal_bins(est))
+
+    def test_estimates_recorded_in_history(self):
+        result, _ = run(Abns(p0_multiple=1.0), 128, 10, 16, seed=5)
+        assert all(rec.p_estimate is not None for rec in result.history)
+
+
+class TestAdaptivity:
+    def test_estimate_tracks_x_upward(self):
+        """Starting with a tiny p0 on a dense population, the estimate
+        grows instead of looping."""
+        result, pop = run(Abns(p0=1.0), 128, 90, 16, seed=7)
+        assert result.decision
+        ests = [rec.p_estimate for rec in result.history]
+        assert ests[-1] > ests[0]
+
+    def test_stagnation_guard_escalates(self):
+        algo = Abns(p0=0.0, stagnation_limit=1)
+        result, _ = run(algo, 64, 64, 8, seed=9)
+        assert result.decision
+
+    def test_beats_2tbins_for_sparse_populations(self):
+        n, t, x = 128, 16, 0
+        abns_costs, two_costs = [], []
+        for seed in range(30):
+            r, _ = run(Abns(p0_multiple=1.0), n, x, t, seed=seed)
+            abns_costs.append(r.queries)
+            r2, _ = run(TwoTBins(), n, x, t, seed=seed)
+            two_costs.append(r2.queries)
+        assert np.mean(abns_costs) < np.mean(two_costs)
+
+
+class TestProbabilisticAbns:
+    def test_probe_is_charged(self):
+        """Total cost includes the probe query."""
+        pop = Population.from_count(64, 0, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        result = ProbabilisticAbns().decide(model, 8, np.random.default_rng(2))
+        assert result.queries == model.queries_used
+        assert result.history[0].bins_queried == 1  # the probe record
+
+    def test_silent_probe_routes_to_abns_quarter_t(self):
+        """With x = 0 the probe is always silent; round 1 after the probe
+        must use ABNS(p0=t/4) sized bins = t/4 + 1."""
+        t = 16
+        result_histories = []
+        for seed in range(5):
+            pop = Population.from_count(128, 0, np.random.default_rng(seed))
+            model = OnePlusModel(pop, np.random.default_rng(seed))
+            result = ProbabilisticAbns().decide(
+                model, t, np.random.default_rng(seed)
+            )
+            result_histories.append(result.history)
+        for history in result_histories:
+            assert history[1].bins_requested == optimal_bins(t / 4.0)
+
+    def test_nonempty_probe_routes_to_2tbins(self):
+        """With x = n the probe is (almost surely) non-empty; the rounds
+        after the probe must use 2t bins."""
+        t = 16
+        pop = Population.from_count(128, 128, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        result = ProbabilisticAbns().decide(model, t, np.random.default_rng(2))
+        assert result.history[1].bins_requested == 2 * t
+
+    def test_trivial_thresholds(self):
+        pop = Population.from_count(16, 4, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        algo = ProbabilisticAbns()
+        assert algo.decide(model, 0, np.random.default_rng(2)).decision
+        assert not algo.decide(model, 17, np.random.default_rng(2)).decision
+
+    def test_rejects_negative_threshold(self):
+        pop = Population.from_count(8, 1, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            ProbabilisticAbns().decide(model, -1, np.random.default_rng(2))
+
+    def test_rounds_include_probe(self):
+        pop = Population.from_count(64, 10, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        result = ProbabilisticAbns().decide(model, 8, np.random.default_rng(2))
+        assert result.rounds == len(result.history)

@@ -1,0 +1,67 @@
+"""Tests for the high-level facade API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ALGORITHMS, make_algorithm, threshold_query
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+class TestMakeAlgorithm:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_every_registered_name_instantiates(self, name):
+        algo = make_algorithm(name, x=5)
+        assert hasattr(algo, "decide")
+
+    def test_case_insensitive(self):
+        assert make_algorithm("2TBINS").name == "2tBins"
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError, match="2tbins"):
+            make_algorithm("nope")
+
+    def test_oracle_requires_x(self):
+        with pytest.raises(ValueError, match="oracle"):
+            make_algorithm("oracle")
+
+
+class TestThresholdQuery:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_correct_over_population(self, name):
+        pop = Population.from_count(64, 20, np.random.default_rng(0))
+        for t, truth in [(8, True), (20, True), (21, False)]:
+            result = threshold_query(pop, t, algorithm=name, seed=3)
+            assert result.decision == truth, f"{name} at t={t}"
+
+    def test_two_plus_collision_model(self):
+        pop = Population.from_count(64, 20, np.random.default_rng(0))
+        result = threshold_query(
+            pop, 8, algorithm="2tbins", collision_model="2+", seed=1
+        )
+        assert result.decision
+
+    def test_invalid_collision_model(self):
+        pop = Population.from_count(8, 2)
+        with pytest.raises(ValueError, match="collision_model"):
+            threshold_query(pop, 1, collision_model="3+")
+
+    def test_accepts_prebuilt_model(self):
+        pop = Population.from_count(32, 10, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        result = threshold_query(model, 5, algorithm="2tbins", seed=2)
+        assert result.decision
+        assert model.queries_used == result.queries
+
+    def test_oracle_x_hint_inferred_from_population(self):
+        pop = Population.from_count(32, 10, np.random.default_rng(0))
+        result = threshold_query(pop, 5, algorithm="oracle", seed=2)
+        assert result.decision
+
+    def test_deterministic_for_fixed_seed(self):
+        pop = Population.from_count(64, 12, np.random.default_rng(0))
+        a = threshold_query(pop, 8, seed=9)
+        b = threshold_query(pop, 8, seed=9)
+        assert a.queries == b.queries

@@ -1,0 +1,149 @@
+"""Property-based correctness tests for every exact tcast algorithm.
+
+The central invariant of the paper's exact algorithms: under ideal
+radios, for **every** population, threshold, collision model and random
+seed, the returned decision equals the ground truth ``x >= t``, and the
+query cost respects the theoretical upper bound (for 2tBins) and a
+generous safety envelope (for the adaptive variants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytic.bounds import upper_bound_queries
+from repro.core import (
+    Abns,
+    AbnsBinPolicy,
+    ExponentialIncrease,
+    FourFoldIncrease,
+    OracleBins,
+    PauseAndContinue,
+    ProbabilisticAbns,
+    TwoTBins,
+)
+from repro.group_testing.model import KPlusModel, OnePlusModel, TwoPlusModel
+from repro.group_testing.population import Population
+
+ALGORITHM_FACTORIES = {
+    "2tBins": lambda x: TwoTBins(),
+    "ExpIncrease": lambda x: ExponentialIncrease(),
+    "ABNS(t)": lambda x: Abns(p0_multiple=1.0),
+    "ABNS(2t)": lambda x: Abns(p0_multiple=2.0),
+    "ABNS-hybrid-policy": lambda x: Abns(
+        p0_multiple=2.0, policy=AbnsBinPolicy.HYBRID
+    ),
+    "ProbABNS": lambda x: ProbabilisticAbns(),
+    "Oracle": lambda x: OracleBins(x),
+    "PauseAndContinue": lambda x: PauseAndContinue(),
+    "FourFold": lambda x: FourFoldIncrease(),
+}
+
+MODEL_FACTORIES = {
+    "1+": lambda pop, seed: OnePlusModel(
+        pop, np.random.default_rng(seed), max_queries=200 * max(pop.size, 1)
+    ),
+    "2+": lambda pop, seed: TwoPlusModel(
+        pop, np.random.default_rng(seed), max_queries=200 * max(pop.size, 1)
+    ),
+    "k+4": lambda pop, seed: KPlusModel(
+        pop,
+        np.random.default_rng(seed),
+        k=4,
+        max_queries=200 * max(pop.size, 1),
+    ),
+}
+
+
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHM_FACTORIES))
+@pytest.mark.parametrize("model_name", sorted(MODEL_FACTORIES))
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=96),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_always_correct(algo_name, model_name, n, seed, data):
+    x = data.draw(st.integers(min_value=0, max_value=n))
+    t = data.draw(st.integers(min_value=0, max_value=n + 2))
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = MODEL_FACTORIES[model_name](pop, seed + 1)
+    algo = ALGORITHM_FACTORIES[algo_name](x)
+    result = algo.decide(model, t, np.random.default_rng(seed + 2))
+    assert result.decision == pop.truth(t), (
+        f"{algo_name}/{model_name} wrong at n={n}, x={x}, t={t}, seed={seed}"
+    )
+    assert result.queries == model.queries_used
+    assert result.exact
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=128),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_two_t_bins_respects_upper_bound(n, seed, data):
+    """2tBins never exceeds the Sec IV-A worst-case query bound."""
+    x = data.draw(st.integers(min_value=0, max_value=n))
+    t = data.draw(st.integers(min_value=1, max_value=max(1, n)))
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+    result = TwoTBins().decide(model, t, np.random.default_rng(seed + 2))
+    assert result.queries <= upper_bound_queries(n, t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=96),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_two_plus_never_costs_more_budget_violation(n, seed, data):
+    """The 2+ model's extra information never breaks correctness, and
+    confirmed positives are consistent with the ground truth."""
+    x = data.draw(st.integers(min_value=0, max_value=n))
+    t = data.draw(st.integers(min_value=1, max_value=max(1, n)))
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = TwoPlusModel(pop, np.random.default_rng(seed + 1))
+    result = TwoTBins().decide(model, t, np.random.default_rng(seed + 2))
+    assert result.decision == pop.truth(t)
+    assert result.confirmed_positives <= x
+
+
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHM_FACTORIES))
+def test_threshold_zero_is_trivially_true(algo_name, rng):
+    pop = Population.from_count(16, 0, rng)
+    model = OnePlusModel(pop, np.random.default_rng(0))
+    algo = ALGORITHM_FACTORIES[algo_name](0)
+    result = algo.decide(model, 0, np.random.default_rng(1))
+    assert result.decision
+    assert result.queries == 0
+
+
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHM_FACTORIES))
+def test_threshold_above_population_is_trivially_false(algo_name, rng):
+    pop = Population.from_count(16, 16, rng)
+    model = OnePlusModel(pop, np.random.default_rng(0))
+    algo = ALGORITHM_FACTORIES[algo_name](16)
+    result = algo.decide(model, 17, np.random.default_rng(1))
+    assert not result.decision
+    assert result.queries == 0
+
+
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHM_FACTORIES))
+def test_candidate_subset_restriction(algo_name):
+    """Restricting candidates answers the threshold over the subset."""
+    pop = Population(size=20, positives=frozenset(range(10)))  # x = 10
+    subset = list(range(8, 20))  # contains exactly 2 positives (8, 9)
+    algo = ALGORITHM_FACTORIES[algo_name](2)
+    model = OnePlusModel(pop, np.random.default_rng(0))
+    assert algo.decide(
+        model, 2, np.random.default_rng(1), candidates=subset
+    ).decision
+    model = OnePlusModel(pop, np.random.default_rng(0))
+    assert not algo.decide(
+        model, 3, np.random.default_rng(1), candidates=subset
+    ).decision

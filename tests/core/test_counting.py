@@ -1,0 +1,170 @@
+"""Tests for the adaptive splitting counter (group-testing baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counting import AdaptiveSplittingCounter
+from repro.core.two_t_bins import TwoTBins
+from repro.group_testing.model import OnePlusModel, TwoPlusModel
+from repro.group_testing.population import Population
+
+
+def make(n, x, seed=0, model_cls=OnePlusModel):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = model_cls(pop, np.random.default_rng(seed + 1))
+    return pop, model
+
+
+class TestExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=128),
+        seed=st.integers(min_value=0, max_value=5000),
+        data=st.data(),
+    )
+    def test_count_is_exact_one_plus(self, n, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        pop, model = make(n, x, seed)
+        result = AdaptiveSplittingCounter().count(
+            model, np.random.default_rng(seed + 2)
+        )
+        assert result.count == x
+        assert result.complete
+        assert set(result.positives) == pop.positives
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=96),
+        seed=st.integers(min_value=0, max_value=5000),
+        data=st.data(),
+    )
+    def test_count_is_exact_two_plus(self, n, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        pop, model = make(n, x, seed, model_cls=TwoPlusModel)
+        result = AdaptiveSplittingCounter().count(
+            model, np.random.default_rng(seed + 2)
+        )
+        assert result.count == x
+        assert set(result.positives) == pop.positives
+
+
+class TestCost:
+    def test_zero_positives_one_query(self):
+        _, model = make(128, 0)
+        result = AdaptiveSplittingCounter().count(model, np.random.default_rng(0))
+        assert result.queries == 1
+
+    def test_cost_scales_with_x_log_n_over_x(self):
+        """O(x log(N/x)): doubling x roughly doubles the cost."""
+        def mean_cost(x):
+            costs = []
+            for s in range(20):
+                _, model = make(256, x, seed=s)
+                costs.append(
+                    AdaptiveSplittingCounter()
+                    .count(model, np.random.default_rng(s))
+                    .queries
+                )
+            return np.mean(costs)
+
+        c4, c16, c64 = mean_cost(4), mean_cost(16), mean_cost(64)
+        assert c4 < c16 < c64
+        assert c16 < 16 * np.log2(256 / 16) * 2.5  # generous constant
+
+    def test_capture_accelerates_counting(self):
+        one_costs, two_costs = [], []
+        for s in range(25):
+            _, m1 = make(128, 20, seed=s, model_cls=OnePlusModel)
+            _, m2 = make(128, 20, seed=s, model_cls=TwoPlusModel)
+            counter = AdaptiveSplittingCounter()
+            one_costs.append(counter.count(m1, np.random.default_rng(s)).queries)
+            two_costs.append(counter.count(m2, np.random.default_rng(s)).queries)
+        assert np.mean(two_costs) < np.mean(one_costs)
+
+
+class TestStopAt:
+    def test_early_exit_certifies_lower_bound(self):
+        pop, model = make(128, 50, seed=2)
+        result = AdaptiveSplittingCounter().count(
+            model, np.random.default_rng(3), stop_at=5
+        )
+        assert result.count >= 5
+        assert not result.complete
+        assert all(pop.is_positive(v) for v in result.positives)
+
+    def test_stop_at_zero_costs_nothing(self):
+        _, model = make(64, 10)
+        result = AdaptiveSplittingCounter().count(
+            model, np.random.default_rng(0), stop_at=0
+        )
+        assert result.queries == 0
+
+    def test_stop_at_validation(self):
+        _, model = make(8, 1)
+        with pytest.raises(ValueError):
+            AdaptiveSplittingCounter().count(
+                model, np.random.default_rng(0), stop_at=-1
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=96),
+        seed=st.integers(min_value=0, max_value=2000),
+        data=st.data(),
+    )
+    def test_threshold_query_always_correct(self, n, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        t = data.draw(st.integers(min_value=0, max_value=n))
+        pop, model = make(n, x, seed)
+        answer = AdaptiveSplittingCounter().threshold_query(
+            model, t, np.random.default_rng(seed + 2)
+        )
+        assert answer == pop.truth(t)
+
+
+class TestVersusTcast:
+    def test_threshold_query_costs_more_than_tcast_when_counting_everything(self):
+        """The paper's motivation, quantified: certifying x < t by
+        counting costs far more than 2tBins when x is just below t."""
+        n, t, x = 256, 24, 20
+        count_costs, tcast_costs = [], []
+        for s in range(20):
+            pop, model = make(n, x, seed=s)
+            AdaptiveSplittingCounter().threshold_query(
+                model, t, np.random.default_rng(s)
+            )
+            count_costs.append(model.queries_used)
+            _, model2 = make(n, x, seed=s)
+            TwoTBins().decide(model2, t, np.random.default_rng(s))
+            tcast_costs.append(model2.queries_used)
+        # Counting must isolate every one of the 20 positives; tcast only
+        # shows >= t non-empty bins cannot be reached.
+        assert np.mean(count_costs) > np.mean(tcast_costs)
+
+    def test_verify_inferred_mode_exact_but_costlier(self):
+        default_costs, verified_costs = [], []
+        for s in range(20):
+            pop, model = make(128, 12, seed=s)
+            r1 = AdaptiveSplittingCounter().count(
+                model, np.random.default_rng(s)
+            )
+            _, model2 = make(128, 12, seed=s)
+            r2 = AdaptiveSplittingCounter(verify_inferred=True).count(
+                model2, np.random.default_rng(s)
+            )
+            assert r1.count == r2.count == 12
+            default_costs.append(r1.queries)
+            verified_costs.append(r2.queries)
+        assert np.mean(verified_costs) >= np.mean(default_costs)
+
+    def test_candidates_subset(self):
+        pop = Population(size=20, positives=frozenset(range(10)))
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        result = AdaptiveSplittingCounter().count(
+            model, np.random.default_rng(1), candidates=list(range(8, 20))
+        )
+        assert result.count == 2
+        assert set(result.positives) == {8, 9}

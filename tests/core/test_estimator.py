@@ -1,0 +1,92 @@
+"""Unit tests for the online positive-count estimator (Eq 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.bins import expected_empty_bins
+from repro.core.estimator import PositiveCountEstimator
+
+
+def test_initial_value():
+    est = PositiveCountEstimator(32.0)
+    assert est.value == 32.0
+    assert est.history == [32.0]
+
+
+def test_rejects_negative_initial():
+    with pytest.raises(ValueError):
+        PositiveCountEstimator(-1.0)
+
+
+def test_update_recovers_true_p_from_expectation():
+    est = PositiveCountEstimator(1.0)
+    p_true = 12
+    b = 16
+    e = expected_empty_bins(b, p_true)
+    est.update(round(e), b, candidates=1000)
+    assert est.value == pytest.approx(p_true, abs=1.5)
+
+
+def test_update_clamps_to_candidates():
+    est = PositiveCountEstimator(5.0)
+    est.update(0, 8, candidates=20)  # raw estimate would be large
+    assert est.value <= 20
+
+
+def test_all_empty_estimates_zero():
+    est = PositiveCountEstimator(10.0)
+    est.update(8, 8, candidates=100)
+    assert est.value == 0.0
+
+
+def test_history_accumulates():
+    est = PositiveCountEstimator(4.0)
+    est.update(2, 4, candidates=50)
+    est.update(1, 4, candidates=50)
+    assert len(est.history) == 3
+
+
+def test_update_validation():
+    est = PositiveCountEstimator(4.0)
+    with pytest.raises(ValueError):
+        est.update(1, 0, candidates=10)
+    with pytest.raises(ValueError):
+        est.update(5, 4, candidates=10)
+    with pytest.raises(ValueError):
+        est.update(-1, 4, candidates=10)
+    with pytest.raises(ValueError):
+        est.update(1, 4, candidates=-1)
+
+
+def test_escalate_raises_value():
+    est = PositiveCountEstimator(4.0)
+    est.escalate(10.0)
+    assert est.value == 10.0
+
+
+def test_escalate_never_lowers():
+    est = PositiveCountEstimator(12.0)
+    est.escalate(5.0)
+    assert est.value == 12.0
+    assert len(est.history) == 1  # no-op escalations are not recorded
+
+
+def test_monte_carlo_estimate_converges_near_x():
+    """Statistical consistency: across many random rounds, the Eq 6
+    estimate centres near the true positive count."""
+    import numpy as np
+
+    from repro.group_testing.binning import partition_random
+    from repro.group_testing.population import Population
+
+    n, x, b = 256, 24, 40
+    rng = np.random.default_rng(0)
+    pop = Population.from_count(n, x, rng)
+    estimates = []
+    for _ in range(300):
+        bins = partition_random(list(range(n)), b, rng)
+        empty = sum(1 for m in bins if pop.count_positives(m) == 0)
+        est = PositiveCountEstimator(1.0)
+        estimates.append(est.update(empty, len(bins), candidates=n))
+    assert abs(float(np.mean(estimates)) - x) < x * 0.15

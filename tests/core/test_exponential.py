@@ -1,0 +1,97 @@
+"""Behavioural tests for the Exponential Increase algorithm (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exponential import ExponentialIncrease
+from repro.core.two_t_bins import TwoTBins
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+def run(n, x, t, seed=0, **kwargs):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+    algo = ExponentialIncrease(**kwargs)
+    return algo.decide(model, t, np.random.default_rng(seed + 2))
+
+
+def test_bin_count_doubles_each_round():
+    result = run(256, 6, 8, seed=4)
+    requested = [rec.bins_requested for rec in result.history]
+    assert requested == [2 * 2**i for i in range(len(requested))]
+
+
+def test_cheap_for_x_much_less_than_t():
+    """x=1, t=2 was the paper's motivating example: 2tBins pays >= 2t in
+    round one; exponential increase resolves far cheaper on average."""
+    n, t, x = 256, 16, 0
+    exp_costs, two_costs = [], []
+    for seed in range(30):
+        exp_costs.append(run(n, x, t, seed=seed).queries)
+        pop = Population.from_count(n, x, np.random.default_rng(seed))
+        model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+        two_costs.append(
+            TwoTBins().decide(model, t, np.random.default_rng(seed + 2)).queries
+        )
+    assert np.mean(exp_costs) < np.mean(two_costs) / 2
+
+
+def test_worse_than_2tbins_for_x_much_greater_than_t():
+    """The initial small rounds are pure overhead when x >> t."""
+    n, t, x = 256, 8, 200
+    exp_costs, two_costs = [], []
+    for seed in range(30):
+        exp_costs.append(run(n, x, t, seed=seed).queries)
+        pop = Population.from_count(n, x, np.random.default_rng(seed))
+        model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+        two_costs.append(
+            TwoTBins().decide(model, t, np.random.default_rng(seed + 2)).queries
+        )
+    assert np.mean(exp_costs) > np.mean(two_costs)
+
+
+def test_custom_initial_bins():
+    result = run(128, 3, 4, seed=1, initial_bins=8)
+    assert result.history[0].bins_requested == 8
+
+
+def test_max_bins_cap():
+    result = run(256, 100, 8, seed=2, max_bins=32)
+    assert all(rec.bins_requested <= 32 for rec in result.history)
+
+
+def test_max_bins_cap_floored_at_threshold():
+    """A cap below t would make true instances undecidable; the runtime
+    floor keeps the algorithm complete."""
+    result = run(256, 100, 64, seed=2, max_bins=32)
+    assert result.decision
+    assert all(rec.bins_requested <= 64 for rec in result.history)
+
+
+def test_growth_factor_four():
+    result = run(256, 6, 8, seed=4, growth=4)
+    requested = [rec.bins_requested for rec in result.history]
+    for a, b in zip(requested, requested[1:]):
+        assert b == a * 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ExponentialIncrease(initial_bins=0)
+    with pytest.raises(ValueError):
+        ExponentialIncrease(growth=1)
+    with pytest.raises(ValueError):
+        ExponentialIncrease(initial_bins=8, max_bins=4)
+
+
+def test_state_resets_between_sessions():
+    """A reused instance must restart at initial_bins."""
+    algo = ExponentialIncrease()
+    for seed in range(2):
+        pop = Population.from_count(64, 5, np.random.default_rng(seed))
+        model = OnePlusModel(pop, np.random.default_rng(seed))
+        result = algo.decide(model, 8, np.random.default_rng(seed))
+        assert result.history[0].bins_requested == 2

@@ -1,0 +1,105 @@
+"""Tests for interval queries and band classification."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exponential import ExponentialIncrease
+from repro.core.interval import IntervalQuery
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+def make(n, x, seed=0):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    return pop, OnePlusModel(pop, np.random.default_rng(seed + 1))
+
+
+class TestInterval:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=80),
+        seed=st.integers(min_value=0, max_value=2000),
+        data=st.data(),
+    )
+    def test_always_correct(self, n, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        lo = data.draw(st.integers(min_value=0, max_value=n))
+        hi = data.draw(st.integers(min_value=lo + 1, max_value=n + 2))
+        _, model = make(n, x, seed)
+        result = IntervalQuery().decide(
+            model, lo, hi, np.random.default_rng(seed + 2)
+        )
+        assert result.in_interval == (lo <= x < hi)
+        assert result.queries == model.queries_used
+
+    def test_short_circuits_when_below_lo(self):
+        """x < lo resolves with the lower session alone."""
+        _, model = make(64, 2, seed=1)
+        result = IntervalQuery().decide(model, 20, 40, np.random.default_rng(3))
+        assert not result.in_interval
+        assert not result.at_least_lo
+        # One threshold session's worth of queries, not two.
+        assert result.queries < 64
+
+    def test_validation(self):
+        _, model = make(8, 2)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            IntervalQuery().decide(model, -1, 4, rng)
+        with pytest.raises(ValueError):
+            IntervalQuery().decide(model, 4, 4, rng)
+
+    def test_custom_algorithm(self):
+        _, model = make(64, 30, seed=2)
+        result = IntervalQuery(ExponentialIncrease).decide(
+            model, 10, 40, np.random.default_rng(5)
+        )
+        assert result.in_interval
+
+
+class TestClassify:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=80),
+        seed=st.integers(min_value=0, max_value=2000),
+        data=st.data(),
+    )
+    def test_band_always_correct(self, n, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        k = data.draw(st.integers(min_value=1, max_value=min(5, n)))
+        cuts = sorted(
+            data.draw(
+                st.sets(
+                    st.integers(min_value=1, max_value=n),
+                    min_size=k,
+                    max_size=k,
+                )
+            )
+        )
+        _, model = make(n, x, seed)
+        result = IntervalQuery().classify(
+            model, cuts, np.random.default_rng(seed + 2)
+        )
+        expected = sum(1 for b in cuts if x >= b)
+        assert result.band == expected
+
+    def test_session_count_is_logarithmic(self):
+        _, model = make(64, 30, seed=1)
+        cuts = [4, 8, 16, 24, 32, 40, 48]  # 8 bands
+        result = IntervalQuery().classify(model, cuts, np.random.default_rng(2))
+        assert result.sessions <= math.ceil(math.log2(len(cuts) + 1))
+
+    def test_validation(self):
+        _, model = make(8, 2)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            IntervalQuery().classify(model, [], rng)
+        with pytest.raises(ValueError):
+            IntervalQuery().classify(model, [0, 2], rng)
+        with pytest.raises(ValueError):
+            IntervalQuery().classify(model, [4, 4], rng)

@@ -1,0 +1,65 @@
+"""Behavioural tests for the oracle bin-selection baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.abns import Abns
+from repro.core.oracle import OracleBins
+from repro.core.two_t_bins import TwoTBins
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+def run(algo, n, x, t, seed=0):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+    return algo.decide(model, t, np.random.default_rng(seed + 2))
+
+
+def mean_cost(factory, n, x, t, runs=40):
+    return float(
+        np.mean([run(factory(x), n, x, t, seed=s).queries for s in range(runs)])
+    )
+
+
+def test_rejects_negative_x():
+    with pytest.raises(ValueError):
+        OracleBins(-1)
+
+
+def test_x_zero_resolves_in_one_query():
+    """b = 1: a single all-candidates bin reveals total silence."""
+    result = run(OracleBins(0), 128, 0, 16)
+    assert not result.decision
+    assert result.queries == 1
+
+
+def test_x_equals_n_resolves_in_t_queries():
+    result = run(OracleBins(128), 128, 128, 16)
+    assert result.decision
+    assert result.queries == 16
+
+
+def test_first_round_bins_match_formula():
+    result = run(OracleBins(4), 128, 4, 16, seed=1)
+    assert result.history[0].bins_requested == 5  # x + 1 regime
+
+
+def test_oracle_at_most_2tbins_on_average_at_extremes():
+    n, t = 128, 16
+    for x in (0, 2, 100, 128):
+        oracle = mean_cost(lambda x: OracleBins(x), n, x, t)
+        two = mean_cost(lambda x: TwoTBins(), n, x, t)
+        assert oracle <= two + 1.0, f"x={x}: oracle {oracle} vs 2tBins {two}"
+
+
+def test_oracle_lower_bounds_abns_for_small_x():
+    """Fig 5/6's framing: the oracle is the target the adaptive variants
+    chase in the x <= t/2 region."""
+    n, t = 128, 16
+    for x in (0, 4, 8):
+        oracle = mean_cost(lambda x: OracleBins(x), n, x, t)
+        abns = mean_cost(lambda x: Abns(p0_multiple=2.0), n, x, t)
+        assert oracle <= abns + 2.0, f"x={x}"

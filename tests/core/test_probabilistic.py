@@ -1,0 +1,114 @@
+"""Tests for the bimodal probabilistic scheme (Sec VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.bimodal import BimodalSpec
+from repro.core.probabilistic import ProbabilisticThreshold
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+from repro.workloads.bimodal import BimodalWorkload
+
+SEPARATED = BimodalSpec(n=128, mu1=16.0, sigma1=0.0, mu2=96.0, sigma2=0.0)
+
+
+class TestConstruction:
+    def test_repeats_from_eq10(self):
+        scheme = ProbabilisticThreshold(SEPARATED, delta=0.01)
+        assert scheme.repeats == 19
+
+    def test_explicit_repeats_override(self):
+        scheme = ProbabilisticThreshold(SEPARATED, repeats=3)
+        assert scheme.repeats == 3
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            ProbabilisticThreshold(SEPARATED, repeats=0)
+
+    def test_requires_delta_or_repeats(self):
+        with pytest.raises(ValueError):
+            ProbabilisticThreshold(SEPARATED, delta=None)
+
+    def test_unseparated_spec_falls_back_to_fixed_budget(self):
+        spec = BimodalSpec.symmetric(n=128, d=8, sigma=8)
+        scheme = ProbabilisticThreshold(spec, delta=0.05)
+        assert scheme.repeats >= 1
+
+
+class TestDecide:
+    def test_cost_is_exactly_r_queries(self, rng):
+        pop = Population.from_count(128, 96, rng)
+        scheme = ProbabilisticThreshold(SEPARATED, delta=0.05)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        result = scheme.decide(model, 64, np.random.default_rng(1))
+        assert result.queries == scheme.repeats
+        assert result.rounds == scheme.repeats
+        assert not result.exact
+
+    def test_cost_independent_of_x(self):
+        scheme = ProbabilisticThreshold(SEPARATED, delta=0.05)
+        costs = set()
+        for x in (0, 16, 64, 96, 128):
+            pop = Population.from_count(128, x, np.random.default_rng(0))
+            model = OnePlusModel(pop, np.random.default_rng(1))
+            costs.add(scheme.decide(model, 64, np.random.default_rng(2)).queries)
+        assert costs == {scheme.repeats}
+
+    def test_activity_mode_detected(self):
+        scheme = ProbabilisticThreshold(SEPARATED, delta=0.01)
+        pop = Population.from_count(128, 96, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        detail = scheme.decide_detailed(model, 64, np.random.default_rng(2))
+        assert detail.result.decision
+        assert detail.nonempty_probes > detail.midpoint
+
+    def test_quiet_mode_detected(self):
+        scheme = ProbabilisticThreshold(SEPARATED, delta=0.01)
+        pop = Population.from_count(128, 16, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        detail = scheme.decide_detailed(model, 64, np.random.default_rng(2))
+        assert not detail.result.decision
+
+    def test_rejects_negative_threshold(self, rng):
+        scheme = ProbabilisticThreshold(SEPARATED, repeats=2)
+        pop = Population.from_count(128, 5, rng)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            scheme.decide(model, -1, np.random.default_rng(1))
+
+
+class TestAccuracyGuarantee:
+    def test_measured_accuracy_beats_delta_when_separated(self):
+        """The Eq 10 guarantee, verified by Monte Carlo: accuracy must
+        exceed 1 - delta for a cleanly separated mixture."""
+        delta = 0.05
+        spec = BimodalSpec.symmetric(n=128, d=48, sigma=8)
+        scheme = ProbabilisticThreshold(spec, delta=delta)
+        workload = BimodalWorkload(spec)
+        rng = np.random.default_rng(3)
+        correct = 0
+        runs = 400
+        for _ in range(runs):
+            pop, draw = workload.draw_population(rng)
+            model = OnePlusModel(pop, rng)
+            result = scheme.decide(model, 64, rng)
+            correct += result.decision == draw.activity
+        assert correct / runs >= 1 - delta
+
+    def test_accuracy_improves_with_repeats(self):
+        spec = BimodalSpec.symmetric(n=128, d=24, sigma=8)
+        workload = BimodalWorkload(spec)
+
+        def accuracy(r: int) -> float:
+            scheme = ProbabilisticThreshold(spec, repeats=r)
+            rng = np.random.default_rng(9)
+            hits = 0
+            for _ in range(300):
+                pop, draw = workload.draw_population(rng)
+                model = OnePlusModel(pop, rng)
+                hits += scheme.decide(model, 64, rng).decision == draw.activity
+            return hits / 300
+
+        assert accuracy(9) >= accuracy(1) - 0.02

@@ -1,0 +1,72 @@
+"""Unit tests for result records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import RoundRecord, ThresholdResult
+
+
+def _record(**kw):
+    base = dict(
+        index=0,
+        bins_requested=4,
+        bins_queried=4,
+        silent_bins=2,
+        captured=0,
+        evidence=1,
+        eliminated=10,
+        candidates_after=20,
+    )
+    base.update(kw)
+    return RoundRecord(**base)
+
+
+class TestThresholdResult:
+    def test_summary_true(self):
+        r = ThresholdResult(
+            decision=True, queries=12, rounds=2, threshold=4, algorithm="2tBins"
+        )
+        s = r.summary()
+        assert "x >= t" in s and "12 queries" in s and "2tBins" in s
+
+    def test_summary_false(self):
+        r = ThresholdResult(decision=False, queries=3, rounds=1, threshold=4)
+        assert "x < t" in r.summary()
+
+    def test_eliminated_total(self):
+        r = ThresholdResult(
+            decision=True,
+            queries=5,
+            rounds=2,
+            threshold=2,
+            history=(_record(eliminated=10), _record(index=1, eliminated=5)),
+        )
+        assert r.eliminated_total == 15
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            ThresholdResult(decision=True, queries=-1, rounds=0, threshold=1)
+        with pytest.raises(ValueError):
+            ThresholdResult(decision=True, queries=0, rounds=-1, threshold=1)
+
+    def test_defaults(self):
+        r = ThresholdResult(decision=False, queries=0, rounds=0, threshold=0)
+        assert r.exact
+        assert r.confirmed_positives == 0
+        assert r.history == ()
+
+    def test_frozen(self):
+        r = ThresholdResult(decision=True, queries=1, rounds=1, threshold=1)
+        with pytest.raises(AttributeError):
+            r.queries = 5  # type: ignore[misc]
+
+
+class TestRoundRecord:
+    def test_fields(self):
+        rec = _record(p_estimate=3.5)
+        assert rec.p_estimate == 3.5
+        assert rec.bins_requested == 4
+
+    def test_default_estimate_none(self):
+        assert _record().p_estimate is None

@@ -1,0 +1,70 @@
+"""Tests for the pause-and-continue and four-fold ablation variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.variations import FourFoldIncrease, PauseAndContinue
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+def run(algo, n, x, t, seed=0):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+    return algo.decide(model, t, np.random.default_rng(seed + 2))
+
+
+class TestPauseAndContinue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PauseAndContinue(initial_bins=0)
+        with pytest.raises(ValueError):
+            PauseAndContinue(elimination_fraction=0.0)
+        with pytest.raises(ValueError):
+            PauseAndContinue(elimination_fraction=1.5)
+
+    def test_pauses_after_productive_round(self):
+        """x=0: round 1 with 2 bins eliminates everything it queries, so
+        the bin count must not double."""
+        result = run(PauseAndContinue(), 256, 0, 8, seed=1)
+        requested = [rec.bins_requested for rec in result.history]
+        if len(requested) >= 2:
+            assert requested[1] == requested[0]
+
+    def test_doubles_after_unproductive_round(self):
+        """x=n: nothing is ever eliminated, so every round doubles."""
+        result = run(PauseAndContinue(), 256, 256, 64, seed=1)
+        requested = [rec.bins_requested for rec in result.history]
+        for a, b in zip(requested, requested[1:]):
+            assert b == 2 * a
+
+    def test_name(self):
+        assert PauseAndContinue().name == "PauseAndContinue"
+
+
+class TestFourFold:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FourFoldIncrease(initial_bins=0)
+
+    def test_quadruples_after_all_nonempty_round(self):
+        result = run(FourFoldIncrease(), 256, 256, 64, seed=1)
+        requested = [rec.bins_requested for rec in result.history]
+        for a, b, rec in zip(requested, requested[1:], result.history):
+            if rec.silent_bins == 0:
+                assert b == 4 * a
+
+    def test_doubles_after_round_with_silence(self):
+        result = run(FourFoldIncrease(), 512, 3, 16, seed=2)
+        for rec, nxt in zip(result.history, result.history[1:]):
+            factor = 4 if rec.silent_bins == 0 else 2
+            assert nxt.bins_requested == rec.bins_requested * factor
+
+    def test_reaches_large_x_faster_than_plain_doubling(self):
+        """The quad path must reach >= 2t bins in fewer rounds when all
+        early rounds are saturated."""
+        result = run(FourFoldIncrease(), 512, 512, 64, seed=3)
+        assert result.decision
+        assert result.rounds <= 5

@@ -1,0 +1,79 @@
+"""Tests for the irregularity-model calibration (EXPERIMENTS.md C1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibration import (
+    PAPER_TARGET_RATE,
+    calibrate,
+    measure_false_negative_rate,
+)
+
+
+def test_zero_miss_gives_zero_rate():
+    rate, total = measure_false_negative_rate(
+        0.0, runs_per_cell=3, participants=6, thresholds=(2,), seed=1
+    )
+    assert rate == 0.0
+    assert total == 3 * 7  # runs x (participants + 1) x thresholds
+
+
+def test_certain_miss_gives_high_rate():
+    rate, _ = measure_false_negative_rate(
+        1.0,
+        decay=1.0,
+        runs_per_cell=3,
+        participants=6,
+        thresholds=(2,),
+        seed=1,
+    )
+    # Every true instance (x >= 2, i.e. 5 of 7 x values) is missed.
+    assert rate > 0.5
+
+
+def test_rate_monotone_in_p_single():
+    rates = []
+    for p in (0.0, 0.2, 0.8):
+        rate, _ = measure_false_negative_rate(
+            p, runs_per_cell=4, participants=6, thresholds=(2, 4), seed=2
+        )
+        rates.append(rate)
+    assert rates[0] <= rates[1] <= rates[2]
+
+
+def test_calibrate_selects_nearest_to_target():
+    result = calibrate(
+        grid=(0.0, 0.8),
+        participants=6,
+        runs_per_cell=3,
+        seed=3,
+    )
+    # Target ~1.4%: the zero-miss point (0%) is far closer than 0.8.
+    assert result.best_p_single == 0.0
+    assert len(result.table) == 2
+    assert result.target_rate == PAPER_TARGET_RATE
+
+
+def test_calibrate_report_renders():
+    result = calibrate(
+        grid=(0.0,), participants=4, runs_per_cell=2, seed=4
+    )
+    text = result.report()
+    assert "selected" in text
+    assert "102/7200" in text
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        calibrate(grid=())
+
+
+@pytest.mark.slow
+def test_shipped_default_lands_near_paper_rate():
+    """The (0.05, 0.1) default used by fig04 must land within a factor of
+    ~2.5 of the paper's 1.4% on a reduced suite."""
+    rate, _ = measure_false_negative_rate(
+        0.05, decay=0.1, runs_per_cell=10, seed=5
+    )
+    assert 0.004 <= rate <= 0.04

@@ -1,0 +1,103 @@
+"""Shape tests for the extension experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_interference, ext_latency
+
+
+@pytest.fixture(scope="session")
+def latency():
+    return ext_latency.run(runs=15, seed=1)
+
+
+@pytest.fixture(scope="session")
+def interference():
+    return ext_interference.run(runs=20, seed=2, rates=(0.0, 2.0, 6.0))
+
+
+class TestLatency:
+    def test_series_present(self, latency):
+        labels = {s.label for s in latency.series}
+        assert labels == {"tcast/backcast", "CSMA", "Sequential"}
+
+    def test_all_latencies_positive(self, latency):
+        for s in latency.series:
+            assert all(y > 0 for y in s.ys)
+
+    def test_tcast_beats_sequential_for_sparse_x(self, latency):
+        """The RCD advantage at the sparse end (x << t), where sequential
+        must scan nearly the whole schedule."""
+        tcast = latency.get_series("tcast/backcast")
+        seq = latency.get_series("Sequential")
+        assert tcast.y_at(0) < seq.y_at(0)
+
+    def test_tcast_competitive_with_csma_for_dense_x(self, latency):
+        """Measured CSMA terminates at the t-th reply, so it stays flat
+        past x = t; tcast must stay within a small factor of it there
+        (and, unlike CSMA, certifies its verdicts)."""
+        n = latency.parameters["participants"]
+        tcast = latency.get_series("tcast/backcast")
+        csma = latency.get_series("CSMA")
+        assert tcast.y_at(n) < csma.y_at(n) * 1.5
+
+    def test_csma_negative_verdicts_pay_the_quiet_floor(self, latency):
+        """With x = 0 the CSMA initiator can only time out: its latency
+        is pinned at the quiet period (8 ms in this experiment)."""
+        csma = latency.get_series("CSMA")
+        assert csma.y_at(0) == pytest.approx(8.0, abs=0.5)
+
+    def test_notes_report_energy_and_calibration(self, latency):
+        text = " ".join(latency.notes)
+        assert "initiator energy per session" in text
+        assert "tcast" in text and "CSMA" in text and "sequential" in text
+        assert "reply slot" in text
+
+
+class TestInterference:
+    def test_zero_rate_zero_errors(self, interference):
+        fn = interference.get_series("false-negative rate")
+        assert fn.y_at(0.0) == 0.0
+
+    def test_errors_grow_with_interference(self, interference):
+        fn = interference.get_series("false-negative rate")
+        assert fn.ys[-1] >= fn.ys[0]
+
+    def test_no_false_positives_ever(self, interference):
+        note = next(n for n in interference.notes if "false positives" in n)
+        assert note.split(":")[1].strip().split()[0] == "0"
+
+    def test_queries_reported(self, interference):
+        q = interference.get_series("mean queries")
+        assert all(y > 0 for y in q.ys)
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        from repro.experiments import ext_scaling
+
+        return ext_scaling.run(runs=40, seed=1, ns=(32, 128, 512))
+
+    def test_sequential_linear_in_n(self, scaling):
+        seq = scaling.get_series("Sequential")
+        # x = 0: exactly n - t + 1 slots, i.e. slope ~ 1 in N.
+        assert seq.y_at(512) / seq.y_at(32) > 10
+
+    def test_tcast_logarithmic_in_n(self, scaling):
+        two = scaling.get_series("2tBins")
+        # 16x growth in N buys only ~log growth in queries.
+        assert two.y_at(512) / two.y_at(32) < 4
+
+    def test_bound_dominates_measurements(self, scaling):
+        two = scaling.get_series("2tBins")
+        bound = scaling.get_series("2t(log2(N/2t)+1) bound")
+        for y, b in zip(two.ys, bound.ys):
+            assert y <= b
+
+    def test_crossover_tcast_wins_at_scale(self, scaling):
+        two = scaling.get_series("2tBins")
+        seq = scaling.get_series("Sequential")
+        assert two.y_at(512) < seq.y_at(512) / 5

@@ -1,0 +1,54 @@
+"""Tests for the experiment registry and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        figures = {
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+            "fig07", "fig08", "fig09", "fig10", "fig11",
+        }
+        extensions = {"ext_latency", "ext_interference", "ext_scaling"}
+        assert set(list_experiments()) == figures | extensions
+
+    def test_lookup(self):
+        runner = get_experiment("fig01")
+        assert callable(runner)
+
+    def test_unknown_id_lists_valid_ones(self):
+        with pytest.raises(KeyError, match="fig01"):
+            get_experiment("fig99")
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "fig11" in out
+
+    def test_run_single_experiment(self, capsys, tmp_path):
+        code = main(
+            ["run", "fig11", "--runs", "500", "--seed", "3",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert (tmp_path / "fig11.csv").exists()
+        assert (tmp_path / "fig11.txt").exists()
+        csv = (tmp_path / "fig11.csv").read_text()
+        assert csv.splitlines()[0].startswith("x (positive nodes)")
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,56 @@
+"""Reproducibility guarantees of the experiment harness.
+
+Every runner must be a pure function of its ``(runs, seed, parameters)``
+arguments: identical inputs produce byte-identical CSV output, and a
+different seed produces different draws.  This is what makes the
+EXPERIMENTS.md numbers re-checkable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig01_one_plus,
+    fig03_threshold_sweep,
+    fig09_accuracy,
+    fig11_distributions,
+)
+
+FAST_RUNNERS = {
+    "fig01": lambda seed: fig01_one_plus.run(runs=8, seed=seed),
+    "fig03": lambda seed: fig03_threshold_sweep.run(runs=8, seed=seed),
+    "fig09": lambda seed: fig09_accuracy.run(
+        runs=20, seed=seed, repeat_counts=(1, 3), d_grid=(8, 32)
+    ),
+    "fig11": lambda seed: fig11_distributions.run(runs=500, seed=seed),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FAST_RUNNERS))
+def test_same_seed_same_csv(name):
+    runner = FAST_RUNNERS[name]
+    assert runner(7).to_csv() == runner(7).to_csv()
+
+
+@pytest.mark.parametrize("name", sorted(FAST_RUNNERS))
+def test_different_seed_different_csv(name):
+    runner = FAST_RUNNERS[name]
+    assert runner(7).to_csv() != runner(8).to_csv()
+
+
+def test_testbed_experiment_reproducible():
+    from repro.experiments import fig04_testbed
+
+    a = fig04_testbed.run(runs=3, seed=5, thresholds=(2,))
+    b = fig04_testbed.run(runs=3, seed=5, thresholds=(2,))
+    assert a.to_csv() == b.to_csv()
+    assert a.notes == b.notes
+
+
+def test_extension_experiment_reproducible():
+    from repro.experiments import ext_interference
+
+    a = ext_interference.run(runs=5, seed=5, rates=(0.0, 2.0))
+    b = ext_interference.run(runs=5, seed=5, rates=(0.0, 2.0))
+    assert a.to_csv() == b.to_csv()

@@ -1,0 +1,134 @@
+"""Round-trip tests for the JSON serialisation layer."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TwoTBins
+from repro.core.result import RoundRecord, ThresholdResult
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.serialization import (
+    experiment_result_from_dict,
+    experiment_result_from_json,
+    experiment_result_to_dict,
+    experiment_result_to_json,
+    threshold_result_from_dict,
+    threshold_result_to_dict,
+)
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+
+
+class TestThresholdResultRoundTrip:
+    def test_real_session_round_trips(self):
+        pop = Population.from_count(64, 20, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        result = TwoTBins().decide(model, 8, np.random.default_rng(2))
+        restored = threshold_result_from_dict(threshold_result_to_dict(result))
+        assert restored == result
+
+    def test_dict_is_json_safe(self):
+        pop = Population.from_count(32, 5, np.random.default_rng(0))
+        model = OnePlusModel(pop, np.random.default_rng(1))
+        result = TwoTBins().decide(model, 4, np.random.default_rng(2))
+        json.dumps(threshold_result_to_dict(result))  # must not raise
+
+    @settings(max_examples=30)
+    @given(
+        decision=st.booleans(),
+        queries=st.integers(min_value=0, max_value=10_000),
+        rounds=st.integers(min_value=0, max_value=100),
+        threshold=st.integers(min_value=0, max_value=1000),
+        confirmed=st.integers(min_value=0, max_value=100),
+        exact=st.booleans(),
+        p_estimate=st.one_of(st.none(), st.floats(min_value=0, max_value=1e6)),
+    )
+    def test_arbitrary_results_round_trip(
+        self, decision, queries, rounds, threshold, confirmed, exact, p_estimate
+    ):
+        record = RoundRecord(
+            index=0,
+            bins_requested=4,
+            bins_queried=3,
+            silent_bins=1,
+            captured=0,
+            evidence=2,
+            eliminated=5,
+            candidates_after=10,
+            p_estimate=p_estimate,
+        )
+        result = ThresholdResult(
+            decision=decision,
+            queries=queries,
+            rounds=rounds,
+            threshold=threshold,
+            confirmed_positives=confirmed,
+            exact=exact,
+            history=(record,),
+            algorithm="test",
+        )
+        assert threshold_result_from_dict(threshold_result_to_dict(result)) == result
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            threshold_result_from_dict({"decision": True})
+
+
+class TestExperimentResultRoundTrip:
+    def _result(self):
+        return ExperimentResult(
+            exp_id="figXX",
+            title="demo",
+            parameters={"n": 4, "thresholds": (2, 4), "label": "x"},
+            series=(
+                Series(
+                    label="a",
+                    xs=(0.0, 1.0),
+                    ys=(1.5, 2.5),
+                    stderr=(0.1, 0.2),
+                ),
+            ),
+            notes=("hello",),
+        )
+
+    def test_round_trip_via_dict(self):
+        r = self._result()
+        restored = experiment_result_from_dict(experiment_result_to_dict(r))
+        assert restored.exp_id == r.exp_id
+        assert restored.series == r.series
+        assert restored.notes == r.notes
+
+    def test_round_trip_via_json(self):
+        r = self._result()
+        restored = experiment_result_from_json(experiment_result_to_json(r))
+        assert restored.get_series("a").ys == (1.5, 2.5)
+        assert restored.parameters["n"] == 4
+
+    def test_numpy_scalars_coerced(self):
+        r = ExperimentResult(
+            exp_id="f",
+            title="t",
+            parameters={"n": np.int64(4), "sigma": np.float64(2.5)},
+            series=(Series(label="s", xs=(0.0,), ys=(1.0,)),),
+        )
+        text = experiment_result_to_json(r)
+        parsed = json.loads(text)
+        assert parsed["parameters"]["n"] == 4
+        assert parsed["parameters"]["sigma"] == 2.5
+
+    def test_real_figure_round_trips(self):
+        from repro.experiments import fig11_distributions
+
+        result = fig11_distributions.run(runs=500, seed=1)
+        restored = experiment_result_from_json(
+            experiment_result_to_json(result)
+        )
+        assert restored.series == result.series
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(json.JSONDecodeError):
+            experiment_result_from_json("{not json")

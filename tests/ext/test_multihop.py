@@ -1,0 +1,69 @@
+"""Tests for the multihop-interference extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TwoTBins
+from repro.ext.multihop import InterferenceSource, InterferenceStudy
+from repro.motes.testbed import Testbed, TestbedConfig
+
+
+class TestInterferenceSource:
+    def test_injects_frames_over_time(self):
+        tb = Testbed(TestbedConfig(num_participants=4, seed=1))
+        source = InterferenceSource(tb, rate_per_ms=2.0)
+        tb.sim.run(until=20_000.0)  # 20 ms
+        assert source.frames_injected > 10
+
+    def test_zero_rate_injects_nothing(self):
+        tb = Testbed(TestbedConfig(num_participants=4, seed=1))
+        source = InterferenceSource(tb, rate_per_ms=0.0)
+        tb.sim.run(until=20_000.0)
+        assert source.frames_injected == 0
+
+    def test_rejects_negative_rate(self):
+        tb = Testbed(TestbedConfig(num_participants=4, seed=1))
+        with pytest.raises(ValueError):
+            InterferenceSource(tb, rate_per_ms=-1.0)
+
+    def test_interference_frames_never_trigger_participant_logic(self):
+        """Interference traffic is addressed off-net; no HACKs, no votes."""
+        tb = Testbed(TestbedConfig(num_participants=4, seed=2))
+        tb.configure_positives([0])
+        InterferenceSource(tb, rate_per_ms=5.0)
+        tb.sim.run(until=50_000.0)
+        assert tb.channel.hack_deliveries == 0
+
+
+class TestInterferenceStudy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterferenceStudy(participants=0)
+        with pytest.raises(ValueError):
+            InterferenceStudy(threshold=-1)
+
+    def test_no_interference_no_errors(self):
+        study = InterferenceStudy(participants=8, threshold=3, seed=5)
+        result = study.run_rate(0.0, runs=15)
+        assert result.false_negatives == 0
+        assert result.false_positives == 0
+        assert result.mean_queries > 0
+
+    def test_never_false_positive_under_interference(self):
+        """The backcast asymmetry claim (Sec III-B): interference can
+        suppress HACKs but never fabricate them."""
+        study = InterferenceStudy(participants=8, threshold=3, seed=6)
+        result = study.run_rate(3.0, runs=25)
+        assert result.false_positives == 0
+        assert result.frames_injected > 0
+
+    def test_sweep_returns_per_rate_results(self):
+        study = InterferenceStudy(participants=6, threshold=2, seed=7)
+        results = study.sweep([0.0, 1.0], runs=8)
+        assert [r.rate_per_ms for r in results] == [0.0, 1.0]
+
+    def test_false_negative_rate_property(self):
+        study = InterferenceStudy(participants=6, threshold=2, seed=8)
+        result = study.run_rate(0.0, runs=5)
+        assert result.false_negative_rate == 0.0

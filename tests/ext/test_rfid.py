@@ -1,0 +1,103 @@
+"""Tests for the RFID inventory extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ExponentialIncrease
+from repro.ext.rfid import (
+    Gen2InventoryBaseline,
+    RfidThresholdReader,
+    TagPopulation,
+)
+
+
+class TestTagPopulation:
+    def test_random_factory(self, rng):
+        tags = TagPopulation.random(100, 30, rng)
+        assert tags.x == 30
+        assert all(0 <= t < 100 for t in tags.matching)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            TagPopulation.random(10, 11, rng)
+        with pytest.raises(ValueError):
+            TagPopulation(size=5, matching=frozenset({5}))
+        with pytest.raises(ValueError):
+            TagPopulation(size=-1, matching=frozenset())
+
+    def test_as_population(self, rng):
+        tags = TagPopulation.random(50, 10, rng)
+        pop = tags.as_population()
+        assert pop.size == 50 and pop.x == 10
+
+
+class TestRfidThresholdReader:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=1000),
+        data=st.data(),
+    )
+    def test_always_correct(self, size, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=size))
+        t = data.draw(st.integers(min_value=0, max_value=size))
+        tags = TagPopulation.random(size, x, np.random.default_rng(seed))
+        reader = RfidThresholdReader()
+        result = reader.threshold_query(tags, t, np.random.default_rng(seed))
+        assert result.decision == (x >= t)
+
+    def test_custom_algorithm(self, rng):
+        tags = TagPopulation.random(64, 40, rng)
+        reader = RfidThresholdReader(ExponentialIncrease())
+        result = reader.threshold_query(tags, 8, np.random.default_rng(0))
+        assert result.decision
+
+
+class TestGen2Inventory:
+    def test_reads_every_tag(self, rng):
+        tags = TagPopulation.random(128, 50, rng)
+        outcome = Gen2InventoryBaseline().inventory(tags, np.random.default_rng(0))
+        assert outcome.tags_read == 50
+        assert outcome.slots >= 50
+
+    def test_empty_population(self, rng):
+        tags = TagPopulation.random(64, 0, rng)
+        outcome = Gen2InventoryBaseline().inventory(tags, np.random.default_rng(0))
+        assert outcome.tags_read == 0
+        assert outcome.rounds == 0
+
+    def test_early_exit(self, rng):
+        tags = TagPopulation.random(256, 200, rng)
+        engine = Gen2InventoryBaseline(early_exit_threshold=10)
+        outcome = engine.inventory(tags, np.random.default_rng(0))
+        assert 10 <= outcome.tags_read < 200
+
+    def test_threshold_query_correct(self, rng):
+        for x, t in [(0, 5), (5, 5), (30, 5), (4, 5)]:
+            tags = TagPopulation.random(64, x, np.random.default_rng(x))
+            result = Gen2InventoryBaseline().threshold_query(
+                tags, t, np.random.default_rng(1)
+            )
+            assert result.decision == (x >= t)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gen2InventoryBaseline(initial_q=16)
+        with pytest.raises(ValueError):
+            Gen2InventoryBaseline(max_rounds=0)
+        with pytest.raises(ValueError):
+            Gen2InventoryBaseline(early_exit_threshold=-1)
+
+    def test_tcast_beats_inventory_for_dense_matches(self, rng):
+        """The headline scalability claim of the RFID mapping."""
+        tags = TagPopulation.random(512, 400, rng)
+        tcast_cost = RfidThresholdReader().threshold_query(
+            tags, 20, np.random.default_rng(2)
+        ).queries
+        gen2_cost = Gen2InventoryBaseline().inventory(
+            tags, np.random.default_rng(3)
+        ).slots
+        assert tcast_cost < gen2_cost / 4

@@ -1,0 +1,109 @@
+"""Tests for the generalised k+ channel model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TwoTBins
+from repro.group_testing.model import KPlusModel, ObservationKind, OnePlusModel
+from repro.group_testing.population import Population
+
+
+@pytest.fixture
+def pop():
+    return Population(size=10, positives=frozenset({1, 3, 5, 7}))
+
+
+class TestSemantics:
+    def test_rejects_bad_k(self, pop, rng):
+        with pytest.raises(ValueError):
+            KPlusModel(pop, rng, k=0)
+
+    def test_silent_bin(self, pop, rng):
+        model = KPlusModel(pop, rng, k=3)
+        assert model.query([0, 2, 4]).silent
+
+    def test_exact_count_below_k(self, pop, rng):
+        model = KPlusModel(pop, rng, k=3)
+        obs = model.query([1, 3, 0])  # 2 positives < k
+        assert obs.kind is ObservationKind.ACTIVITY
+        assert obs.min_positives == 2
+
+    def test_saturates_at_k(self, pop, rng):
+        model = KPlusModel(pop, rng, k=3)
+        obs = model.query([1, 3, 5, 7])  # 4 positives >= k
+        assert obs.min_positives == 3
+
+    def test_k_equals_one_matches_one_plus(self, pop):
+        k1 = KPlusModel(pop, np.random.default_rng(0), k=1)
+        one = OnePlusModel(pop, np.random.default_rng(0))
+        for members in ([0], [1], [1, 3], list(range(10))):
+            a = k1.query(members)
+            b = one.query(members)
+            assert a.kind == b.kind
+            assert a.min_positives == b.min_positives
+
+    def test_never_reveals_identities(self, pop, rng):
+        model = KPlusModel(pop, rng, k=100)
+        assert model.query([1, 3]).captured_node is None
+
+    def test_property_k_exposed(self, pop, rng):
+        assert KPlusModel(pop, rng, k=7).k == 7
+
+
+class TestAlgorithmsOnKPlus:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=80),
+        k=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=3000),
+        data=st.data(),
+    )
+    def test_two_t_bins_always_correct(self, n, k, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        t = data.draw(st.integers(min_value=0, max_value=n))
+        pop = Population.from_count(n, x, np.random.default_rng(seed))
+        model = KPlusModel(pop, np.random.default_rng(seed + 1), k=k)
+        result = TwoTBins().decide(model, t, np.random.default_rng(seed + 2))
+        assert result.decision == pop.truth(t)
+
+    def test_stronger_channels_cost_no_more(self):
+        """Mean cost is monotone non-increasing in k (richer evidence)."""
+        n, t, x = 128, 16, 64
+
+        def mean_cost(k):
+            costs = []
+            for s in range(60):
+                pop = Population.from_count(n, x, np.random.default_rng(s))
+                model = KPlusModel(pop, np.random.default_rng(s + 1), k=k)
+                costs.append(
+                    TwoTBins().decide(
+                        model, t, np.random.default_rng(s + 2)
+                    ).queries
+                )
+            return np.mean(costs)
+
+        costs = [mean_cost(k) for k in (1, 2, 4, 16)]
+        for a, b in zip(costs, costs[1:]):
+            assert b <= a + 0.5
+
+    def test_diminishing_returns_past_t(self):
+        """Evidence saturates: k = t and k = infinity behave alike (a
+        single bin can contribute at most t useful evidence)."""
+        n, t, x = 128, 16, 64
+
+        def mean_cost(k):
+            costs = []
+            for s in range(60):
+                pop = Population.from_count(n, x, np.random.default_rng(s))
+                model = KPlusModel(pop, np.random.default_rng(s + 1), k=k)
+                costs.append(
+                    TwoTBins().decide(
+                        model, t, np.random.default_rng(s + 2)
+                    ).queries
+                )
+            return np.mean(costs)
+
+        assert mean_cost(t) == pytest.approx(mean_cost(10_000), abs=0.5)

@@ -1,0 +1,200 @@
+"""Unit tests for the 1+ and 2+ abstract query models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.group_testing.model import (
+    ObservationKind,
+    OnePlusModel,
+    QueryBudgetExceeded,
+    TwoPlusModel,
+    default_capture_probability,
+)
+from repro.group_testing.population import Population
+
+
+@pytest.fixture
+def pop():
+    return Population(size=10, positives=frozenset({1, 3, 5}))
+
+
+class TestOnePlus:
+    def test_silent_on_all_negative_bin(self, pop, rng):
+        model = OnePlusModel(pop, rng)
+        obs = model.query([0, 2, 4])
+        assert obs.kind is ObservationKind.SILENT
+        assert obs.silent
+        assert obs.min_positives == 0
+
+    def test_activity_on_any_positive(self, pop, rng):
+        model = OnePlusModel(pop, rng)
+        obs = model.query([0, 1, 2])
+        assert obs.kind is ObservationKind.ACTIVITY
+        assert obs.min_positives == 1
+        assert obs.captured_node is None
+
+    def test_activity_never_reveals_count(self, pop, rng):
+        model = OnePlusModel(pop, rng)
+        one = model.query([1])
+        three = model.query([1, 3, 5])
+        assert one.min_positives == three.min_positives == 1
+
+    def test_cost_ledger(self, pop, rng):
+        model = OnePlusModel(pop, rng)
+        assert model.queries_used == 0
+        model.query([0])
+        model.query([1])
+        assert model.queries_used == 2
+
+    def test_empty_bin_query_is_charged_and_silent(self, pop, rng):
+        """Sampled bins of unknown membership are charged (Sec V-D)."""
+        model = OnePlusModel(pop, rng)
+        obs = model.query([])
+        assert obs.silent
+        assert model.queries_used == 1
+
+    def test_budget_enforced(self, pop, rng):
+        model = OnePlusModel(pop, rng, max_queries=2)
+        model.query([0])
+        model.query([0])
+        with pytest.raises(QueryBudgetExceeded):
+            model.query([0])
+
+    def test_population_size(self, pop, rng):
+        assert OnePlusModel(pop, rng).population_size == 10
+
+    def test_detection_failure_forces_silence(self, pop):
+        model = OnePlusModel(
+            pop, np.random.default_rng(0), detection_failure=lambda k: 1.0
+        )
+        assert model.query([1, 3]).silent
+
+    def test_detection_failure_zero_is_ideal(self, pop):
+        model = OnePlusModel(
+            pop, np.random.default_rng(0), detection_failure=lambda k: 0.0
+        )
+        assert not model.query([1]).silent
+
+    def test_detection_failure_bad_value_raises(self, pop):
+        model = OnePlusModel(
+            pop, np.random.default_rng(0), detection_failure=lambda k: 2.0
+        )
+        with pytest.raises(ValueError):
+            model.query([1])
+
+    def test_failure_hook_never_creates_false_positive(self, pop):
+        model = OnePlusModel(
+            pop, np.random.default_rng(0), detection_failure=lambda k: 0.5
+        )
+        for _ in range(50):
+            assert model.query([0, 2]).silent
+
+
+class TestDefaultCapture:
+    def test_inverse_k(self):
+        assert default_capture_probability(1) == 1.0
+        assert default_capture_probability(4) == 0.25
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            default_capture_probability(0)
+
+
+class TestTwoPlus:
+    def test_silent_bin(self, pop, rng):
+        model = TwoPlusModel(pop, rng)
+        assert model.query([0, 2]).silent
+
+    def test_single_positive_always_captured(self, pop, rng):
+        model = TwoPlusModel(pop, rng)
+        for _ in range(20):
+            obs = model.query([0, 1, 2])
+            assert obs.kind is ObservationKind.CAPTURE
+            assert obs.captured_node == 1
+            assert obs.min_positives == 1
+
+    def test_collision_without_capture_proves_two(self, pop):
+        model = TwoPlusModel(
+            pop,
+            np.random.default_rng(0),
+            capture_probability=lambda k: 0.0,
+        )
+        obs = model.query([1, 3, 5])
+        assert obs.kind is ObservationKind.ACTIVITY
+        assert obs.min_positives == 2
+        assert obs.captured_node is None
+
+    def test_forced_capture_returns_a_positive_member(self, pop):
+        model = TwoPlusModel(
+            pop,
+            np.random.default_rng(0),
+            capture_probability=lambda k: 1.0,
+        )
+        for _ in range(20):
+            obs = model.query([1, 3, 5])
+            assert obs.kind is ObservationKind.CAPTURE
+            assert obs.captured_node in {1, 3, 5}
+
+    def test_default_capture_rate_matches_one_over_k(self, pop):
+        rng = np.random.default_rng(7)
+        model = TwoPlusModel(pop, rng)
+        captures = sum(
+            model.query([1, 3, 5]).kind is ObservationKind.CAPTURE
+            for _ in range(3000)
+        )
+        assert captures / 3000 == pytest.approx(1 / 3, abs=0.03)
+
+    def test_invalid_capture_probability_raises(self, pop, rng):
+        model = TwoPlusModel(pop, rng, capture_probability=lambda k: 1.5)
+        with pytest.raises(ValueError):
+            model.query([1, 3])
+
+    def test_budget_enforced(self, pop, rng):
+        model = TwoPlusModel(pop, rng, max_queries=1)
+        model.query([0])
+        with pytest.raises(QueryBudgetExceeded):
+            model.query([0])
+
+    def test_detection_failure_applies(self, pop):
+        model = TwoPlusModel(
+            pop, np.random.default_rng(0), detection_failure=lambda k: 1.0
+        )
+        assert model.query([1, 3]).silent
+
+
+@settings(max_examples=30)
+@given(
+    size=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=100),
+    data=st.data(),
+)
+def test_observation_soundness_property(size, seed, data):
+    """min_positives never exceeds the bin's true positive count, and
+    silence occurs only on truly-empty bins (ideal radios)."""
+    x = data.draw(st.integers(min_value=0, max_value=size))
+    rng = np.random.default_rng(seed)
+    pop = Population.from_count(size, x, rng)
+    members = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=size - 1),
+            max_size=size,
+            unique=True,
+        )
+    )
+    true_count = pop.count_positives(members)
+    for model in (
+        OnePlusModel(pop, np.random.default_rng(seed)),
+        TwoPlusModel(pop, np.random.default_rng(seed)),
+    ):
+        obs = model.query(members)
+        assert obs.min_positives <= true_count
+        if obs.silent:
+            assert true_count == 0
+        else:
+            assert true_count >= 1
+        if obs.captured_node is not None:
+            assert pop.is_positive(obs.captured_node)
+            assert obs.captured_node in members

@@ -1,0 +1,104 @@
+"""Unit tests for the hidden ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.group_testing.population import Population
+
+
+class TestConstruction:
+    def test_basic(self):
+        pop = Population(size=5, positives=frozenset({0, 3}))
+        assert pop.x == 2
+        assert list(pop.node_ids) == [0, 1, 2, 3, 4]
+
+    def test_coerces_iterables(self):
+        pop = Population(size=5, positives={1, 2})  # type: ignore[arg-type]
+        assert isinstance(pop.positives, frozenset)
+        assert pop.x == 2
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            Population(size=3, positives=frozenset({3}))
+        with pytest.raises(ValueError):
+            Population(size=3, positives=frozenset({-1}))
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Population(size=-1)
+
+    def test_empty_population(self):
+        pop = Population(size=0)
+        assert pop.x == 0
+        assert pop.truth(0)
+
+
+class TestQueries:
+    def test_is_positive(self):
+        pop = Population(size=4, positives=frozenset({2}))
+        assert pop.is_positive(2)
+        assert not pop.is_positive(1)
+
+    def test_count_positives(self):
+        pop = Population(size=6, positives=frozenset({0, 2, 4}))
+        assert pop.count_positives([0, 1, 2]) == 2
+        assert pop.count_positives([]) == 0
+        assert pop.count_positives(range(6)) == 3
+
+    def test_truth(self):
+        pop = Population(size=6, positives=frozenset({0, 2, 4}))
+        assert pop.truth(3)
+        assert pop.truth(0)
+        assert not pop.truth(4)
+
+    def test_truth_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            Population(size=2).truth(-1)
+
+
+class TestFactories:
+    def test_from_count_deterministic_without_rng(self):
+        pop = Population.from_count(10, 4)
+        assert pop.positives == frozenset(range(4))
+
+    def test_from_count_random(self, rng):
+        pop = Population.from_count(100, 30, rng)
+        assert pop.x == 30
+        assert all(0 <= v < 100 for v in pop.positives)
+
+    def test_from_count_extremes(self, rng):
+        assert Population.from_count(10, 0, rng).x == 0
+        assert Population.from_count(10, 10, rng).x == 10
+
+    def test_from_count_rejects_bad_x(self):
+        with pytest.raises(ValueError):
+            Population.from_count(5, 6)
+        with pytest.raises(ValueError):
+            Population.from_count(5, -1)
+
+    def test_from_probability_bounds(self, rng):
+        pop = Population.from_probability(200, 0.5, rng)
+        assert 0 < pop.x < 200
+
+    def test_from_probability_extremes(self, rng):
+        assert Population.from_probability(50, 0.0, rng).x == 0
+        assert Population.from_probability(50, 1.0, rng).x == 50
+
+    def test_from_probability_rejects_bad_prob(self, rng):
+        with pytest.raises(ValueError):
+            Population.from_probability(5, 1.5, rng)
+
+    @given(
+        size=st.integers(min_value=0, max_value=300),
+        data=st.data(),
+    )
+    def test_from_count_property(self, size, data):
+        x = data.draw(st.integers(min_value=0, max_value=size))
+        pop = Population.from_count(size, x, np.random.default_rng(0))
+        assert pop.x == x
+        assert pop.truth(x)
+        if x < size:
+            assert not pop.truth(x + 1)

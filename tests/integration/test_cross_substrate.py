@@ -1,0 +1,102 @@
+"""Cross-substrate consistency: the same algorithm must behave the same
+against the abstract 1+ model and the packet-level mote emulation.
+
+This is the reproduction's central fidelity claim: the packet-level
+testbed (Fig 4) and the abstract simulations (Figs 1-3, 5-7) are two
+implementations of the *same* information structure, so with ideal
+radios the decisions must be identical and the query counts must be
+statistically indistinguishable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExponentialIncrease, TwoTBins
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+from repro.motes.testbed import Testbed, TestbedConfig
+
+
+@pytest.mark.parametrize("algo_factory", [TwoTBins, ExponentialIncrease])
+def test_decisions_agree_with_ideal_radios(algo_factory):
+    n, t = 10, 3
+    for seed in range(12):
+        rng = np.random.default_rng(seed)
+        x = int(rng.integers(0, n + 1))
+        positives = [int(p) for p in rng.choice(n, size=x, replace=False)]
+
+        # Abstract substrate.
+        pop = Population(size=n, positives=frozenset(positives))
+        model = OnePlusModel(pop, np.random.default_rng(seed))
+        abstract = algo_factory().decide(
+            model, t, np.random.default_rng(1000 + seed)
+        )
+
+        # Packet-level substrate with the SAME bin randomness.
+        tb = Testbed(TestbedConfig(num_participants=n, seed=seed))
+        tb.configure_positives(positives)
+        run = tb.run_threshold_query(
+            algo_factory(), t, bin_rng=np.random.default_rng(1000 + seed)
+        )
+
+        assert abstract.decision == run.result.decision == (x >= t)
+        # Same bin RNG + same information structure => identical queries.
+        assert abstract.queries == run.result.queries
+
+
+def test_votecast_matches_abstract_two_plus_statistics():
+    """Packet-level votecast and the abstract 2+ model share the capture
+    model, so 2tBins cost distributions must agree statistically."""
+    from repro.group_testing.model import TwoPlusModel
+
+    n, t, x = 12, 4, 6
+    abstract_costs = []
+    packet_costs = []
+    for seed in range(25):
+        rng = np.random.default_rng(seed)
+        positives = [int(p) for p in rng.choice(n, size=x, replace=False)]
+        pop = Population(size=n, positives=frozenset(positives))
+        model = TwoPlusModel(pop, np.random.default_rng(seed))
+        result = TwoTBins().decide(model, t, np.random.default_rng(seed + 50))
+        assert result.decision
+        abstract_costs.append(result.queries)
+
+        tb = Testbed(
+            TestbedConfig(num_participants=n, seed=seed, primitive="votecast")
+        )
+        tb.configure_positives(positives)
+        run = tb.run_threshold_query(
+            TwoTBins(), t, bin_rng=np.random.default_rng(seed + 500)
+        )
+        assert run.result.decision
+        assert run.result.confirmed_positives <= x
+        packet_costs.append(run.result.queries)
+    assert np.mean(packet_costs) == pytest.approx(
+        np.mean(abstract_costs), rel=0.3
+    )
+
+
+def test_mean_costs_match_between_substrates():
+    """Across independent randomness the cost distributions must agree."""
+    n, t, x = 12, 4, 6
+    abstract_costs = []
+    packet_costs = []
+    for seed in range(25):
+        rng = np.random.default_rng(seed)
+        positives = [int(p) for p in rng.choice(n, size=x, replace=False)]
+        pop = Population(size=n, positives=frozenset(positives))
+        model = OnePlusModel(pop, np.random.default_rng(seed))
+        abstract_costs.append(
+            TwoTBins().decide(model, t, np.random.default_rng(seed + 50)).queries
+        )
+        tb = Testbed(TestbedConfig(num_participants=n, seed=seed))
+        tb.configure_positives(positives)
+        run = tb.run_threshold_query(
+            TwoTBins(), t, bin_rng=np.random.default_rng(seed + 500)
+        )
+        packet_costs.append(run.result.queries)
+    assert np.mean(packet_costs) == pytest.approx(
+        np.mean(abstract_costs), rel=0.25
+    )

@@ -1,0 +1,105 @@
+"""End-to-end scenarios stitching the whole library together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BimodalSpec,
+    OnePlusModel,
+    ProbabilisticAbns,
+    ProbabilisticThreshold,
+    TwoTBins,
+    upper_bound_queries,
+)
+from repro.group_testing.model import OnePlusModel as _OnePlus
+from repro.mac import CsmaBaseline, SequentialOrdering
+from repro.workloads.bimodal import BimodalWorkload
+from repro.workloads.scenarios import IntrusionField
+
+
+def test_intrusion_confirmation_pipeline():
+    """Detect -> confirm over the neighbourhood -> classify, end to end."""
+    rng = np.random.default_rng(0)
+    field = IntrusionField(
+        120, field_size=100.0, sensing_range=25.0,
+        false_positive_rate=0.01, rng=rng,
+    )
+    threshold = 5
+    confirmed = dismissed = 0
+    for i in range(40):
+        scenario = field.event(rng, intruder=(i % 2 == 0))
+        model = OnePlusModel(scenario.population, np.random.default_rng(i))
+        result = ProbabilisticAbns().decide(
+            model, threshold, np.random.default_rng(100 + i)
+        )
+        assert result.decision == scenario.population.truth(threshold)
+        assert result.queries <= upper_bound_queries(120, threshold) + 1
+        confirmed += result.decision
+        dismissed += not result.decision
+    assert confirmed > 0 and dismissed > 0
+
+
+def test_every_engine_agrees_on_exact_instances():
+    """tcast, sequential and (adaptive-quiet) CSMA must concur."""
+    from repro.mac.csma import CsmaConfig
+
+    rng = np.random.default_rng(1)
+    for seed in range(15):
+        n = 48
+        x = int(rng.integers(0, n + 1))
+        t = int(rng.integers(1, n + 1))
+        from repro.group_testing.population import Population
+
+        pop = Population.from_count(n, x, np.random.default_rng(seed))
+        truth = pop.truth(t)
+
+        model = _OnePlus(pop, np.random.default_rng(seed))
+        assert TwoTBins().decide(
+            model, t, np.random.default_rng(seed)
+        ).decision == truth
+        assert SequentialOrdering().decide(
+            pop, t, np.random.default_rng(seed)
+        ).decision == truth
+        assert CsmaBaseline(CsmaConfig(adaptive_quiet=True)).decide(
+            pop, t, np.random.default_rng(seed)
+        ).decision == truth
+
+
+def test_bimodal_monitoring_pipeline():
+    """Sec VI deployment loop: size r once, classify a stream of events."""
+    spec = BimodalSpec(n=96, mu1=3.0, sigma1=2.0, mu2=70.0, sigma2=8.0,
+                       weight1=0.8)
+    scheme = ProbabilisticThreshold(spec, delta=0.05)
+    workload = BimodalWorkload(spec)
+    rng = np.random.default_rng(5)
+    hits = 0
+    runs = 300
+    for _ in range(runs):
+        pop, draw = workload.draw_population(rng)
+        model = OnePlusModel(pop, rng)
+        result = scheme.decide(model, 48, rng)
+        hits += result.decision == draw.activity
+        assert result.queries == scheme.repeats
+    assert hits / runs >= 0.95
+
+
+@pytest.mark.parametrize(
+    "example",
+    ["quickstart", "intrusion_detection", "rfid_inventory"],
+)
+def test_examples_run_clean(example, capsys):
+    """The lightweight example scripts must execute without error."""
+    import importlib.util
+    import pathlib
+
+    path = (
+        pathlib.Path(__file__).resolve().parents[2] / "examples" / f"{example}.py"
+    )
+    spec = importlib.util.spec_from_file_location(f"example_{example}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100

@@ -1,0 +1,103 @@
+"""Protocol-level fuzzing: random rounds against ground truth.
+
+Hypothesis drives random bin assignments and positive sets through the
+full packet-level protocol stack (announce fragments, address binding,
+polls, HACK superposition) and asserts the initiator's observation
+matches ground-truth bin emptiness on every poll -- the end-to-end
+correctness contract of the backcast implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.motes.participant import ParticipantApp
+from repro.primitives.backcast import BackcastInitiator
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.sim.kernel import Simulator
+
+
+def build(n_participants, positives):
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(0))
+    init_radio = Cc2420Radio(sim, channel, address=500)
+    initiator = BackcastInitiator(sim, init_radio)
+    for i in range(n_participants):
+        radio = Cc2420Radio(sim, channel, address=i)
+        app = ParticipantApp(sim, radio)
+        app.boot()
+        app.configure(i in positives)
+    return initiator
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    data=st.data(),
+)
+def test_random_rounds_match_ground_truth(n, data):
+    positives = data.draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    # A random partition of a random subset of nodes into random bins.
+    members = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            unique=True,
+            max_size=n,
+        )
+    )
+    n_bins = data.draw(st.integers(min_value=1, max_value=max(1, len(members))))
+    bins: list[list[int]] = [[] for _ in range(n_bins)]
+    for idx, node in enumerate(members):
+        bins[idx % n_bins].append(node)
+
+    initiator = build(n, positives)
+    initiator.announce_round(bins)
+    # Poll in a random order -- binding must be order-independent.
+    order = data.draw(st.permutations(range(n_bins)))
+    for g in order:
+        outcome = initiator.poll_bin(g)
+        truth_nonempty = any(m in positives for m in bins[g])
+        assert outcome.nonempty == truth_nonempty, (
+            f"bin {g} ({bins[g]}) with positives {sorted(positives)}"
+        )
+        if truth_nonempty:
+            expected_k = sum(1 for m in bins[g] if m in positives)
+            assert outcome.superposition == expected_k
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    rounds=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+)
+def test_consecutive_rounds_never_leak_bindings(n, rounds, data):
+    positives = data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n
+        )
+    )
+    initiator = build(n, positives)
+    for _ in range(rounds):
+        members = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                unique=True,
+                min_size=1,
+                max_size=n,
+            )
+        )
+        n_bins = data.draw(
+            st.integers(min_value=1, max_value=len(members))
+        )
+        bins: list[list[int]] = [[] for _ in range(n_bins)]
+        for idx, node in enumerate(members):
+            bins[idx % n_bins].append(node)
+        initiator.announce_round(bins)
+        for g, bin_members in enumerate(bins):
+            truth = any(m in positives for m in bin_members)
+            assert initiator.poll_bin(g).nonempty == truth

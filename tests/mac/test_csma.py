@@ -1,0 +1,107 @@
+"""Tests for the slotted CSMA baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.group_testing.population import Population
+from repro.mac.csma import CsmaBaseline, CsmaConfig
+
+
+def run(n, x, t, seed=0, config=None):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    return CsmaBaseline(config).decide(pop, t, np.random.default_rng(seed + 1))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = CsmaConfig()
+        assert cfg.initial_window == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(initial_window=0)
+        with pytest.raises(ValueError):
+            CsmaConfig(max_window=4, initial_window=8)
+        with pytest.raises(ValueError):
+            CsmaConfig(quiet_slots=0)
+        with pytest.raises(ValueError):
+            CsmaConfig(loss_prob=1.0)
+        with pytest.raises(ValueError):
+            CsmaConfig(max_slots=0)
+
+
+class TestBehaviour:
+    def test_results_are_inexact(self):
+        assert not run(32, 5, 4).exact
+
+    def test_threshold_zero_free(self):
+        result = run(32, 5, 0)
+        assert result.decision
+        assert result.queries == 0
+
+    def test_no_positives_costs_quiet_period(self):
+        result = run(64, 0, 8)
+        assert not result.decision
+        assert result.queries == CsmaConfig().quiet_slots
+
+    def test_true_verdict_when_positives_abundant(self):
+        result = run(64, 60, 4, seed=3)
+        assert result.decision
+
+    def test_cost_grows_with_x(self):
+        """The paper's headline CSMA property: cost ~ x."""
+        def mean_cost(x):
+            return np.mean([run(256, x, 256, seed=s).queries for s in range(30)])
+
+        costs = [mean_cost(x) for x in (4, 16, 64, 128)]
+        assert costs == sorted(costs)
+        assert costs[-1] > 3 * costs[0]
+
+    def test_negative_threshold_rejected(self):
+        pop = Population.from_count(8, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            CsmaBaseline().decide(pop, -1, np.random.default_rng(1))
+
+    def test_premature_negatives_possible_with_fixed_quiet(self):
+        """Documents the paper's 'impossible to tell with certainty'
+        remark: with a fixed quiet period, some true instances are missed
+        under heavy contention."""
+        wrong = 0
+        for seed in range(120):
+            result = run(64, 40, 32, seed=seed)
+            if not result.decision:
+                wrong += 1
+        assert wrong > 0
+
+    def test_adaptive_quiet_makes_negative_verdicts_sound(self):
+        """With the adaptive drain rule and no losses, every verdict must
+        match the ground truth."""
+        cfg = CsmaConfig(adaptive_quiet=True)
+        for seed in range(60):
+            x = int(np.random.default_rng(seed).integers(0, 64))
+            pop = Population.from_count(64, x, np.random.default_rng(seed))
+            result = CsmaBaseline(cfg).decide(
+                pop, 16, np.random.default_rng(seed + 1)
+            )
+            assert result.decision == pop.truth(16), f"seed={seed}, x={x}"
+
+    def test_adaptive_quiet_costs_more_in_contention(self):
+        cfg = CsmaConfig(adaptive_quiet=True)
+        fixed = np.mean([run(64, 10, 16, seed=s).queries for s in range(30)])
+        adaptive = np.mean(
+            [run(64, 10, 16, seed=s, config=cfg).queries for s in range(30)]
+        )
+        assert adaptive >= fixed
+
+    def test_loss_prob_drops_replies(self):
+        """With certain loss... near-1 loss, few successes arrive."""
+        cfg = CsmaConfig(loss_prob=0.99)
+        result = run(32, 20, 4, seed=5, config=cfg)
+        assert not result.decision
+
+    def test_lossless_matches_truth_for_large_margin(self):
+        for seed in range(20):
+            result = run(64, 50, 8, seed=seed)
+            assert result.decision

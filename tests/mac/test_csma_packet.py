@@ -1,0 +1,142 @@
+"""Tests for the packet-level CSMA/CA collection on the emulated stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mac.csma_packet import CsmaCollector
+from repro.motes.testbed import Testbed, TestbedConfig
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.sim.kernel import Simulator
+
+
+def run_session(n, positives, threshold, seed=0, quiet_us=20_000.0):
+    tb = Testbed(TestbedConfig(num_participants=n, seed=seed))
+    tb.configure_positives(positives)
+    outcome = tb.run_csma_collection(threshold, quiet_us=quiet_us)
+    return outcome, tb
+
+
+class TestCollection:
+    def test_collects_all_positive_replies(self):
+        outcome, _ = run_session(8, [0, 2, 5], threshold=3)
+        assert outcome.decision
+        assert outcome.replies == 3
+
+    def test_true_at_threshold_before_all_replies(self):
+        outcome, _ = run_session(10, list(range(8)), threshold=3)
+        assert outcome.decision
+        assert 3 <= outcome.replies <= 8
+
+    def test_false_on_quiet_timeout(self):
+        outcome, _ = run_session(8, [1], threshold=3)
+        assert not outcome.decision
+        assert outcome.replies == 1
+
+    def test_no_positives_times_out_quietly(self):
+        outcome, _ = run_session(8, [], threshold=1, quiet_us=5_000.0)
+        assert not outcome.decision
+        assert outcome.replies == 0
+        assert outcome.duration_us >= 5_000.0
+
+    def test_threshold_zero_immediate(self):
+        outcome, _ = run_session(4, [0], threshold=0)
+        assert outcome.decision
+        assert outcome.duration_us < 1_000.0
+
+    def test_negative_threshold_rejected(self):
+        tb = Testbed(TestbedConfig(num_participants=4, seed=0))
+        with pytest.raises(ValueError):
+            tb.run_csma_collection(-1)
+
+    def test_quiet_us_validation(self):
+        sim = Simulator()
+        channel = Channel(sim, np.random.default_rng(0))
+        radio = Cc2420Radio(sim, channel, address=1)
+        with pytest.raises(ValueError):
+            CsmaCollector(sim, radio, quiet_us=0.0)
+
+
+class TestContention:
+    def test_heavy_contention_still_resolves(self):
+        """20 simultaneous contenders: BEB + retries must deliver t
+        distinct replies despite collisions."""
+        outcome, tb = run_session(20, list(range(20)), threshold=10, seed=3)
+        assert outcome.decision
+        assert outcome.replies >= 10
+
+    def test_duration_grows_with_contention(self):
+        sparse, _ = run_session(16, [0, 1], threshold=2, seed=1)
+        dense, _ = run_session(16, list(range(16)), threshold=16, seed=1)
+        assert dense.duration_us > sparse.duration_us
+
+    def test_collisions_happen_and_are_retried(self):
+        """With many contenders, the channel must see more transmissions
+        than distinct replies (retries), yet everyone gets through."""
+        tb = Testbed(TestbedConfig(num_participants=12, seed=7))
+        tb.configure_positives(list(range(12)))
+        outcome = tb.run_csma_collection(12)
+        assert outcome.decision
+        # poll + >= one reply per participant + ACKs.
+        assert tb.channel.frames_sent > 1 + 12
+
+    def test_multi_predicate_polls(self):
+        tb = Testbed(TestbedConfig(num_participants=8, seed=9))
+        tb.configure_positives([0, 1, 2], predicate_id=0)
+        tb.configure_positives([5], predicate_id=1)
+        first = tb.run_csma_collection(2, predicate_id=0)
+        assert first.decision
+        second = tb.run_csma_collection(2, predicate_id=1, quiet_us=10_000.0)
+        assert not second.decision
+        assert second.replies <= 1
+
+
+class TestContenderRetryBudget:
+    def test_gives_up_without_acks(self):
+        """With the initiator's auto-ack disabled, no reply is ever
+        acknowledged: the contender must exhaust its retries and stop."""
+        import numpy as np
+
+        from repro.mac.csma_packet import MAX_FRAME_RETRIES, CsmaContender
+        from repro.radio.cc2420 import Cc2420Radio
+        from repro.radio.channel import Channel
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        channel = Channel(sim, np.random.default_rng(0))
+        initiator = Cc2420Radio(sim, channel, address=100, auto_ack=False)
+        replier = Cc2420Radio(sim, channel, address=1)
+        contender = CsmaContender(
+            sim,
+            replier,
+            dst=100,
+            seq=1,
+            rng=np.random.default_rng(1),
+        )
+        sim.run_until_idle()
+        assert contender.given_up
+        assert not contender.done
+        # One transmission per retry round (all CCA-clear on an idle
+        # channel), capped by the budget.
+        assert channel.frames_sent <= MAX_FRAME_RETRIES + 1
+
+    def test_cancel_stops_future_attempts(self):
+        import numpy as np
+
+        from repro.mac.csma_packet import CsmaContender
+        from repro.radio.cc2420 import Cc2420Radio
+        from repro.radio.channel import Channel
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        channel = Channel(sim, np.random.default_rng(0))
+        Cc2420Radio(sim, channel, address=100, auto_ack=False)
+        replier = Cc2420Radio(sim, channel, address=1)
+        contender = CsmaContender(
+            sim, replier, dst=100, seq=1, rng=np.random.default_rng(1)
+        )
+        contender.cancel()
+        sim.run_until_idle()
+        assert channel.frames_sent == 0

@@ -1,0 +1,89 @@
+"""Tests for the sequential-ordering (TDMA) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.group_testing.population import Population
+from repro.mac.tdma import SequentialOrdering
+
+
+def run(n, x, t, seed=0, shuffle=True):
+    pop = Population.from_count(n, x, np.random.default_rng(seed))
+    algo = SequentialOrdering(shuffle=shuffle)
+    return algo.decide(pop, t, np.random.default_rng(seed + 1)), pop
+
+
+def test_exactness_flag():
+    result, _ = run(32, 5, 4)
+    assert result.exact
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=5000),
+    data=st.data(),
+)
+def test_always_correct(n, seed, data):
+    x = data.draw(st.integers(min_value=0, max_value=n))
+    t = data.draw(st.integers(min_value=0, max_value=n + 2))
+    result, pop = run(n, x, t, seed=seed)
+    assert result.decision == pop.truth(t)
+
+
+def test_trivial_thresholds_cost_nothing():
+    result, _ = run(16, 4, 0)
+    assert result.decision and result.queries == 0
+    result, _ = run(16, 4, 17)
+    assert not result.decision and result.queries == 0
+
+
+def test_early_true_exit_at_tth_positive():
+    """Without shuffle and positives at the front, cost == t."""
+    pop = Population.from_count(64, 10)  # deterministic: positives 0..9
+    algo = SequentialOrdering(shuffle=False)
+    result = algo.decide(pop, 4, np.random.default_rng(0))
+    assert result.decision
+    assert result.queries == 4
+
+
+def test_early_false_exit_cost():
+    """x = 0: stops once remaining slots cannot reach t, i.e. n - t + 1."""
+    n, t = 64, 8
+    result, _ = run(n, 0, t)
+    assert not result.decision
+    assert result.queries == n - t + 1
+
+
+def test_never_exceeds_n_slots():
+    for seed in range(20):
+        n = 50
+        x = int(np.random.default_rng(seed).integers(0, n + 1))
+        result, _ = run(n, x, 10, seed=seed)
+        assert result.queries <= n
+
+
+def test_cost_formula_for_sparse_x():
+    """For x << t the scheme must scan until impossibility: it stops at
+    slot n - t + s + 1 once all s = x positives have been seen, so the
+    cost concentrates at n - t + x + 1 (the Fig 1 left-edge plateau)."""
+    n, t, x = 128, 32, 4
+    costs = [run(n, x, t, seed=s)[0].queries for s in range(30)]
+    assert np.mean(costs) == pytest.approx(n - t + x + 1, abs=4)
+
+
+def test_rejects_negative_threshold():
+    pop = Population.from_count(8, 1, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        SequentialOrdering().decide(pop, -1, np.random.default_rng(1))
+
+
+def test_shuffle_false_is_deterministic():
+    pop = Population.from_count(40, 13)
+    algo = SequentialOrdering(shuffle=False)
+    a = algo.decide(pop, 5, np.random.default_rng(1))
+    b = algo.decide(pop, 5, np.random.default_rng(2))
+    assert a.queries == b.queries

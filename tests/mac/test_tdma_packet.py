@@ -1,0 +1,89 @@
+"""Tests for the packet-level TDMA collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.tdma_packet import slot_duration_us
+from repro.motes.testbed import Testbed, TestbedConfig
+from repro.radio.timing import DEFAULT_TIMING
+
+
+def run_session(n, positives, threshold, seed=0, schedule=None):
+    tb = Testbed(TestbedConfig(num_participants=n, seed=seed))
+    tb.configure_positives(positives)
+    return tb.run_tdma_collection(threshold, schedule=schedule), tb
+
+
+class TestVerdicts:
+    def test_true_at_tth_reply(self):
+        outcome, _ = run_session(8, [0, 1, 2, 3, 4], threshold=3)
+        assert outcome.decision
+        assert outcome.replies >= 3
+
+    def test_false_when_impossible(self):
+        outcome, _ = run_session(8, [5], threshold=3)
+        assert not outcome.decision
+
+    def test_trivial_thresholds(self):
+        outcome, _ = run_session(4, [0], threshold=0)
+        assert outcome.decision and outcome.slots_elapsed == 0
+        outcome, _ = run_session(4, [0, 1, 2, 3], threshold=5)
+        assert not outcome.decision and outcome.slots_elapsed == 0
+
+    def test_negative_threshold_rejected(self):
+        tb = Testbed(TestbedConfig(num_participants=4, seed=0))
+        with pytest.raises(ValueError):
+            tb.run_tdma_collection(-1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=500),
+        data=st.data(),
+    )
+    def test_always_matches_ground_truth(self, n, seed, data):
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        t = data.draw(st.integers(min_value=0, max_value=n))
+        rng = np.random.default_rng(seed)
+        positives = (
+            [int(p) for p in rng.choice(n, size=x, replace=False)] if x else []
+        )
+        outcome, _ = run_session(n, positives, t, seed=seed)
+        assert outcome.decision == (x >= t)
+
+
+class TestSlotAccounting:
+    def test_front_loaded_positives_stop_at_t(self):
+        outcome, _ = run_session(10, [0, 1, 2], threshold=3)
+        assert outcome.slots_elapsed == 3  # id-order schedule
+
+    def test_all_negative_scans_to_impossibility(self):
+        n, t = 10, 4
+        outcome, _ = run_session(n, [], threshold=t)
+        assert outcome.slots_elapsed == n - t + 1
+
+    def test_duration_matches_slot_arithmetic(self):
+        outcome, tb = run_session(6, [0, 1], threshold=2)
+        slot = slot_duration_us(DEFAULT_TIMING)
+        # schedule frame + turnaround + 2 slots.
+        assert outcome.duration_us >= 2 * slot
+        assert outcome.duration_us <= 4 * slot + 2_000
+
+    def test_custom_schedule_order(self):
+        # Positive node 5 scheduled first: one slot resolves t=1.
+        outcome, _ = run_session(
+            6, [5], threshold=1, schedule=[5, 0, 1, 2, 3, 4]
+        )
+        assert outcome.decision
+        assert outcome.slots_elapsed == 1
+
+    def test_no_collisions_ever(self):
+        """Slots are exclusive: replies never overlap on air, so the
+        channel sees exactly one frame per replying participant plus the
+        schedule broadcast."""
+        outcome, tb = run_session(8, list(range(8)), threshold=8, seed=2)
+        assert outcome.decision
+        assert tb.channel.frames_sent == 1 + 8

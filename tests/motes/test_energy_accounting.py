@@ -1,0 +1,61 @@
+"""Energy-accounting invariants across full testbed sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TwoTBins
+from repro.motes.testbed import Testbed, TestbedConfig
+
+
+def run(n, positives, t, seed=0):
+    tb = Testbed(TestbedConfig(num_participants=n, seed=seed))
+    tb.configure_positives(positives)
+    result = tb.run_threshold_query(TwoTBins(), t)
+    return result, tb
+
+
+def test_energy_tracks_session_length():
+    """A longer session (more queries) costs the initiator more energy."""
+    short, _ = run(12, list(range(12)), 2, seed=1)   # resolves in ~2 polls
+    long, _ = run(12, [0], 6, seed=1)                # must eliminate a lot
+    assert long.result.queries > short.result.queries
+    assert long.initiator_energy_uj > short.initiator_energy_uj
+
+
+def test_energy_rate_is_physically_plausible():
+    """The initiator is RX/TX the whole session at ~18-19 mA, 3 V: the
+    mean power must sit between the idle floor and the TX ceiling."""
+    result, _ = run(12, [0, 3, 7], 3, seed=2)
+    mean_power_mw = (
+        result.initiator_energy_uj / result.elapsed_us * 1000.0
+    )
+    assert 50.0 <= mean_power_mw <= 60.0  # 18.8 mA x 3 V = 56.4 mW
+
+
+def test_participants_spend_energy_too():
+    _, tb = run(6, [0, 1, 2], 2, seed=3)
+    for mote_id in range(6):
+        app_radio = tb._apps[mote_id]._radio  # noqa: SLF001
+        app_radio.energy.finalize(tb.sim.now)
+        assert app_radio.energy.total_uj > 0
+
+
+def test_positive_participants_spend_more_tx_than_negatives():
+    """Positive motes transmit HACKs; negative motes only listen."""
+    _, tb = run(8, [0, 1], 2, seed=4)
+    pos_radio = tb._apps[0]._radio  # noqa: SLF001
+    neg_radio = tb._apps[7]._radio  # noqa: SLF001
+    pos_radio.energy.finalize(tb.sim.now)
+    neg_radio.energy.finalize(tb.sim.now)
+    assert pos_radio.energy.time_us("tx") > 0
+    assert neg_radio.energy.time_us("tx") == 0
+
+
+def test_energy_ledger_consistent_with_clock():
+    result, tb = run(10, [1, 2, 3], 2, seed=5)
+    radio = tb.initiator_radio
+    radio.energy.finalize(tb.sim.now)
+    accounted = radio.energy.time_us("rx") + radio.energy.time_us("tx")
+    assert accounted == pytest.approx(tb.sim.now, rel=1e-9)

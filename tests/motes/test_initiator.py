@@ -1,0 +1,93 @@
+"""Unit tests for the initiator application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.group_testing.model import ObservationKind
+from repro.motes.initiator import InitiatorApp
+from repro.motes.participant import ParticipantApp
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.sim.kernel import Simulator
+
+
+def build(primitive="backcast", n=4, positives=()):
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(0))
+    init_radio = Cc2420Radio(sim, channel, address=100)
+    app = InitiatorApp(sim, init_radio, primitive=primitive)
+    for i in range(n):
+        radio = Cc2420Radio(sim, channel, address=i)
+        papp = ParticipantApp(sim, radio)
+        papp.boot()
+        papp.configure(i in positives)
+    return sim, app
+
+
+def test_unknown_primitive_rejected():
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(0))
+    radio = Cc2420Radio(sim, channel, address=1)
+    with pytest.raises(ValueError, match="primitive"):
+        InitiatorApp(sim, radio, primitive="smoke-signals")
+
+
+@pytest.mark.parametrize("primitive", ["backcast", "pollcast", "votecast"])
+def test_query_bin_maps_to_observations(primitive):
+    _, app = build(primitive=primitive, positives=(1,))
+    assert app.primitive == primitive
+    nonempty = app.query_bin([0, 1])
+    silent = app.query_bin([2, 3])
+    assert nonempty.kind in (ObservationKind.ACTIVITY, ObservationKind.CAPTURE)
+    assert silent.kind is ObservationKind.SILENT
+
+
+def test_counters_and_boot_reset():
+    _, app = build(positives=(0,))
+    app.query_bin([0])
+    app.query_bin([1])
+    assert app.queries_issued == 2
+    assert app.query_time_us > 0
+    app.boot()
+    assert app.queries_issued == 0
+    assert app.query_time_us == 0.0
+
+
+def test_begin_round_enables_bare_polls():
+    _, app = build(positives=(0, 2))
+    app.begin_round([[0, 1], [2, 3]])
+    before = app.query_time_us
+    obs = app.query_bin([0, 1])
+    per_poll = app.query_time_us - before
+    assert not obs.silent
+    # A bare poll is far cheaper than a full announce+poll exchange.
+    _, app2 = build(positives=(0, 2))
+    before2 = app2.query_time_us
+    app2.query_bin([0, 1])
+    one_shot = app2.query_time_us - before2
+    assert per_poll < one_shot * 0.75
+
+
+def test_unannounced_membership_falls_back_to_one_shot():
+    _, app = build(positives=(1,))
+    app.begin_round([[0], [1]])
+    # A member set that matches no announced bin still works (sampled
+    # probes take this path).
+    obs = app.query_bin([1, 2])
+    assert not obs.silent
+
+
+def test_begin_round_is_noop_for_pollcast():
+    _, app = build(primitive="pollcast", positives=(1,))
+    app.begin_round([[0, 1]])
+    assert app.query_time_us == 0.0
+    assert app.query_bin([0, 1]).kind is ObservationKind.ACTIVITY
+
+
+def test_votecast_capture_surfaces_node_id():
+    _, app = build(primitive="votecast", positives=(3,))
+    obs = app.query_bin([0, 1, 2, 3])
+    assert obs.kind is ObservationKind.CAPTURE
+    assert obs.captured_node == 3

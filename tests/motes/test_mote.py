@@ -1,0 +1,63 @@
+"""Tests for the generic mote and its reboot semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.motes.mote import Mote
+from repro.motes.participant import ParticipantApp
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.sim.kernel import Simulator
+
+
+def build():
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(0))
+    radio = Cc2420Radio(sim, channel, address=3)
+    app = ParticipantApp(sim, radio)
+    return sim, radio, app
+
+
+def test_construction_boots_app():
+    sim, radio, app = build()
+    mote = Mote(sim, radio, app)
+    assert mote.boot_count == 1
+    assert radio.receive_callback is not None
+
+
+def test_mote_id_is_radio_address():
+    sim, radio, app = build()
+    assert Mote(sim, radio, app).mote_id == 3
+
+
+def test_reboot_restores_radio_defaults():
+    sim, radio, app = build()
+    mote = Mote(sim, radio, app)
+    radio.set_short_address(0x9000)
+    radio.set_auto_ack(False)
+    radio.power_off()
+    mote.reboot()
+    assert radio.short_address == 3
+    assert radio.auto_ack
+    assert radio.state.value == "rx"
+    assert mote.boot_count == 2
+
+
+def test_mote_without_app():
+    sim, radio, _ = build()
+    mote = Mote(sim, radio, None)
+    assert mote.app is None
+    assert mote.boot_count == 0
+    mote.reboot()  # must not crash
+    assert mote.boot_count == 1
+
+
+def test_configuration_survives_reboot():
+    """The testbed configures then reboots -- per the module docstring the
+    predicate setting persists."""
+    sim, radio, app = build()
+    mote = Mote(sim, radio, app)
+    app.configure(True)
+    mote.reboot()
+    assert app.is_positive()

@@ -1,0 +1,136 @@
+"""Tests for the participant application's protocol reactions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.motes.participant import ParticipantApp
+from repro.primitives.backcast import ANNOUNCE_TYPE
+from repro.primitives.pollcast import POLL_TYPE
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.radio.frames import BROADCAST_ADDR, DataFrame
+from repro.sim.kernel import Simulator
+
+
+def build(n=3):
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(0))
+    sender = Cc2420Radio(sim, channel, address=100)
+    apps = []
+    radios = []
+    for i in range(n):
+        radio = Cc2420Radio(sim, channel, address=i)
+        app = ParticipantApp(sim, radio)
+        app.boot()
+        apps.append(app)
+        radios.append(radio)
+    return sim, sender, apps, radios
+
+
+def announce(sender, assignment, round_id=1, predicate=0, base=0x8000):
+    """Build a round-announce frame mapping node id -> bin index."""
+    return DataFrame(
+        src=sender.address,
+        dst=BROADCAST_ADDR,
+        seq=1,
+        payload={
+            "type": ANNOUNCE_TYPE,
+            "predicate": predicate,
+            "round": round_id,
+            "fragment": 0,
+            "fragments": 1,
+            "assignment": dict(assignment),
+            "ephemeral_base": base,
+        },
+        payload_bytes=8,
+    )
+
+
+def test_default_negative():
+    _, _, apps, _ = build()
+    assert not apps[0].is_positive()
+
+
+def test_configure_per_predicate():
+    _, _, apps, _ = build()
+    apps[0].configure(True, predicate_id=2)
+    assert apps[0].is_positive(2)
+    assert not apps[0].is_positive(0)
+
+
+def test_positive_member_adopts_its_bins_address():
+    sim, sender, apps, radios = build()
+    apps[1].configure(True)
+    sender.transmit(announce(sender, {0: 0, 1: 2}))
+    sim.run()
+    assert radios[1].short_address == 0x8000 + 2
+    assert radios[0].short_address == 0  # negative member keeps own id
+
+
+def test_positive_unassigned_keeps_own_address():
+    sim, sender, apps, radios = build()
+    apps[2].configure(True)
+    sender.transmit(announce(sender, {0: 0, 1: 1}))
+    sim.run()
+    assert radios[2].short_address == 2
+
+
+def test_next_round_resets_previous_binding():
+    """A node bound in round k but absent from round k+1's assignment
+    must unbind on the new round's first fragment (no stale HACKs)."""
+    sim, sender, apps, radios = build()
+    apps[1].configure(True)
+    sender.transmit(announce(sender, {1: 3}, round_id=1))
+    sim.run()
+    assert radios[1].short_address == 0x8003
+    sender.transmit(announce(sender, {0: 0, 2: 1}, round_id=2))
+    sim.run()
+    assert radios[1].short_address == 1
+
+
+def test_fragmented_round_binds_across_fragments():
+    """A node listed only in fragment 2 must not unbind itself twice or
+    miss its binding."""
+    sim, sender, apps, radios = build()
+    apps[2].configure(True)
+    frag0 = announce(sender, {0: 0, 1: 1}, round_id=7)
+    frag1 = announce(sender, {2: 1}, round_id=7)
+    sender.transmit(frag0)
+    sim.run()
+    sender.transmit(frag1)
+    sim.run()
+    assert radios[2].short_address == 0x8001
+
+
+def test_pollcast_vote_only_from_positive_members():
+    sim, sender, apps, radios = build()
+    apps[0].configure(True)
+    apps[1].configure(True)
+    poll = DataFrame(
+        src=sender.address,
+        dst=BROADCAST_ADDR,
+        seq=2,
+        payload={"type": POLL_TYPE, "predicate": 0, "members": (0, 2)},
+        payload_bytes=6,
+    )
+    sender.transmit(poll)
+    sim.run()
+    assert apps[0].votes_sent == 1   # positive member
+    assert apps[1].votes_sent == 0   # positive non-member
+    assert apps[2].votes_sent == 0   # negative member
+
+
+def test_unknown_frame_types_ignored():
+    sim, sender, apps, _ = build()
+    sender.transmit(
+        DataFrame(
+            src=sender.address,
+            dst=BROADCAST_ADDR,
+            seq=3,
+            payload={"type": "mystery"},
+            payload_bytes=2,
+        )
+    )
+    sim.run()  # must not raise
+    assert all(app.votes_sent == 0 for app in apps)

@@ -1,0 +1,148 @@
+"""Tests for the serial control plane (framing + command protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.motes.serial import (
+    ALGORITHM_CODES,
+    END,
+    ESC,
+    FrameDecoder,
+    SerialTestbedController,
+    encode_frame,
+)
+from repro.motes.testbed import Testbed, TestbedConfig
+
+
+class TestFraming:
+    @settings(max_examples=100)
+    @given(payload=st.binary(min_size=1, max_size=120))
+    def test_encode_decode_round_trip(self, payload):
+        frames = []
+        decoder = FrameDecoder(frames.append)
+        decoder.feed(encode_frame(payload))
+        assert frames == [payload]
+        assert decoder.dropped_frames == 0
+
+    @settings(max_examples=50)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=1, max_size=40), min_size=1, max_size=6
+        ),
+        chunk=st.integers(min_value=1, max_value=7),
+    )
+    def test_arbitrary_fragmentation(self, payloads, chunk):
+        """Byte streams may be split anywhere, including inside escapes."""
+        wire = b"".join(encode_frame(p) for p in payloads)
+        frames = []
+        decoder = FrameDecoder(frames.append)
+        for i in range(0, len(wire), chunk):
+            decoder.feed(wire[i : i + chunk])
+        assert frames == payloads
+
+    def test_special_bytes_escaped(self):
+        payload = bytes([END, ESC, 0x00, END])
+        wire = encode_frame(payload)
+        # No raw END except the terminator.
+        assert wire[:-1].count(END) == 0
+        frames = []
+        FrameDecoder(frames.append).feed(wire)
+        assert frames == [payload]
+
+    def test_corrupt_checksum_dropped(self):
+        wire = bytearray(encode_frame(b"\x01\x02\x03"))
+        wire[0] ^= 0xFF  # flip a payload byte
+        frames = []
+        decoder = FrameDecoder(frames.append)
+        decoder.feed(bytes(wire))
+        assert frames == []
+        assert decoder.dropped_frames == 1
+
+    def test_noise_between_frames_ignored(self):
+        good = encode_frame(b"\x42")
+        frames = []
+        decoder = FrameDecoder(frames.append)
+        decoder.feed(b"\x13\x37" + bytes([END]) + good)
+        assert frames == [b"\x42"]
+        assert decoder.dropped_frames == 1  # the noise pseudo-frame
+
+    def test_empty_frame_ignored(self):
+        frames = []
+        decoder = FrameDecoder(frames.append)
+        decoder.feed(bytes([END, END]))
+        assert frames == []
+
+    def test_empty_payload_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            encode_frame(b"")
+
+
+class TestController:
+    def _controller(self, n=8, seed=5):
+        tb = Testbed(TestbedConfig(num_participants=n, seed=seed))
+        return SerialTestbedController(tb), tb
+
+    def test_configure_over_the_wire(self):
+        ctrl, tb = self._controller()
+        ctrl.configure_positives([1, 4, 6])
+        assert tb.positives == frozenset({1, 4, 6})
+
+    def test_query_over_the_wire(self):
+        ctrl, tb = self._controller()
+        ctrl.configure_positives([0, 1, 2, 3, 4])
+        ctrl.reboot()
+        response = ctrl.query(3)
+        assert response.decision
+        assert response.queries > 0
+
+    def test_negative_verdict(self):
+        ctrl, _ = self._controller()
+        ctrl.configure_positives([2])
+        assert not ctrl.query(4).decision
+
+    @pytest.mark.parametrize("code", sorted(ALGORITHM_CODES))
+    def test_every_algorithm_code(self, code):
+        ctrl, _ = self._controller()
+        ctrl.configure_positives([0, 1, 2, 3, 4, 5])
+        assert ctrl.query(2, algorithm_code=code).decision
+
+    def test_unknown_algorithm_code_rejected(self):
+        ctrl, _ = self._controller()
+        with pytest.raises(ValueError, match="algorithm code"):
+            ctrl.query(2, algorithm_code=99)
+
+    def test_threshold_wire_range(self):
+        ctrl, _ = self._controller()
+        with pytest.raises(ValueError, match="one byte"):
+            ctrl.query(300)
+
+    def test_multi_predicate_over_the_wire(self):
+        ctrl, tb = self._controller()
+        ctrl.configure_positives([0, 1, 2], predicate_id=0)
+        ctrl.configure_positives([5], predicate_id=1)
+        assert ctrl.query(2, predicate_id=0).decision
+        assert not ctrl.query(2, predicate_id=1).decision
+
+    def test_reboot_over_the_wire_restores_radios(self):
+        ctrl, tb = self._controller()
+        tb._apps[0]._radio.set_short_address(0x9000)  # noqa: SLF001
+        ctrl.reboot()
+        assert tb._apps[0]._radio.short_address == 0  # noqa: SLF001
+
+    def test_wire_and_python_api_agree(self):
+        """A query over the serial protocol matches the direct API call
+        with the same bin randomness."""
+        from repro.core import TwoTBins
+
+        ctrl, tb = self._controller(seed=9)
+        ctrl.configure_positives([0, 3, 5, 7])
+        wire = ctrl.query(3)
+        direct = tb.run_threshold_query(
+            TwoTBins(),
+            3,
+            bin_rng=np.random.default_rng(tb.config.seed + 7_777),
+        )
+        assert wire.decision == direct.result.decision

@@ -1,0 +1,149 @@
+"""Integration tests for the testbed controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExponentialIncrease, TwoTBins
+from repro.motes.testbed import Testbed, TestbedConfig
+from repro.radio.irregularity import HackMissModel
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TestbedConfig(num_participants=0)
+
+
+def test_configure_positives_validation():
+    tb = Testbed(TestbedConfig(num_participants=4))
+    with pytest.raises(ValueError):
+        tb.configure_positives([4])
+    with pytest.raises(ValueError):
+        tb.configure_positives([-1])
+
+
+def test_configure_overwrites_previous():
+    tb = Testbed(TestbedConfig(num_participants=4))
+    tb.configure_positives([0, 1])
+    tb.configure_positives([2])
+    assert tb.positives == frozenset({2})
+
+
+def test_adapter_protocol():
+    tb = Testbed(TestbedConfig(num_participants=6, seed=1))
+    tb.configure_positives([1, 2])
+    adapter = tb.query_adapter()
+    assert adapter.population_size == 6
+    obs = adapter.query([0, 1])
+    assert not obs.silent
+    obs = adapter.query([3, 4])
+    assert obs.silent
+    assert adapter.queries_used == 2
+
+
+@pytest.mark.parametrize("primitive", ["backcast", "pollcast", "votecast"])
+def test_ideal_radios_always_correct(primitive):
+    for seed in range(10):
+        tb = Testbed(
+            TestbedConfig(num_participants=10, seed=seed, primitive=primitive)
+        )
+        rng = np.random.default_rng(seed)
+        x = int(rng.integers(0, 11))
+        tb.configure_positives(
+            int(p) for p in rng.choice(10, size=x, replace=False)
+        )
+        tb.reboot_all()
+        run = tb.run_threshold_query(TwoTBins(), 4)
+        assert run.result.decision == run.truth, f"{primitive} seed={seed}"
+        assert not run.false_negative and not run.false_positive
+
+
+def test_query_costs_match_abstract_scale():
+    """Packet-level query counts should be the same order as the abstract
+    1+ model (same algorithm, same information structure)."""
+    tb = Testbed(TestbedConfig(num_participants=12, seed=3))
+    tb.configure_positives([0, 1, 2, 3, 4, 5])
+    run = tb.run_threshold_query(TwoTBins(), 4)
+    assert run.result.decision
+    assert 4 <= run.result.queries <= 30
+
+
+def test_elapsed_time_and_energy_positive():
+    tb = Testbed(TestbedConfig(num_participants=8, seed=2))
+    tb.configure_positives([1, 5])
+    run = tb.run_threshold_query(ExponentialIncrease(), 2)
+    assert run.elapsed_us > 0
+    assert run.initiator_energy_uj > 0
+
+
+def test_irregular_radios_only_false_negatives():
+    fn = fp = 0
+    for seed in range(40):
+        tb = Testbed(
+            TestbedConfig(
+                num_participants=12,
+                seed=seed,
+                hack_miss=HackMissModel(p_single=0.3, decay=0.1),
+            )
+        )
+        rng = np.random.default_rng(seed)
+        x = int(rng.integers(0, 13))
+        tb.configure_positives(
+            int(p) for p in rng.choice(12, size=x, replace=False)
+        )
+        tb.reboot_all()
+        run = tb.run_threshold_query(TwoTBins(), 4)
+        fn += run.false_negative
+        fp += run.false_positive
+    assert fp == 0          # backcast cannot fabricate a HACK
+    assert fn > 0           # a 30% single-HACK miss rate must show up
+
+
+def test_reboot_between_runs_gives_fresh_sessions():
+    tb = Testbed(TestbedConfig(num_participants=8, seed=7))
+    tb.configure_positives([0, 1, 2])
+    tb.reboot_all()
+    first = tb.run_threshold_query(TwoTBins(), 2)
+    tb.reboot_all()
+    second = tb.run_threshold_query(TwoTBins(), 2)
+    assert first.result.decision and second.result.decision
+    # Counters reset: the second session's result stands on its own.
+    assert second.result.queries > 0
+
+
+def test_multiple_predicates_coexist():
+    """One deployment, two questions: per-predicate answer sets are
+    independent and each session queries only its own predicate."""
+    tb = Testbed(TestbedConfig(num_participants=10, seed=13))
+    tb.configure_positives([0, 1, 2, 3, 4, 5], predicate_id=0)   # x=6
+    tb.configure_positives([7], predicate_id=1)                  # x=1
+    run0 = tb.run_threshold_query(TwoTBins(), 4, predicate_id=0)
+    run1 = tb.run_threshold_query(TwoTBins(), 4, predicate_id=1)
+    assert run0.result.decision and run0.truth
+    assert not run1.result.decision and not run1.truth
+    assert tb.positives_for(0) == frozenset(range(6))
+    assert tb.positives_for(1) == frozenset({7})
+
+
+def test_reconfiguring_one_predicate_leaves_others():
+    tb = Testbed(TestbedConfig(num_participants=6, seed=14))
+    tb.configure_positives([0, 1], predicate_id=0)
+    tb.configure_positives([2], predicate_id=3)
+    tb.configure_positives([4, 5], predicate_id=0)  # overwrite pred 0
+    assert tb.positives_for(0) == frozenset({4, 5})
+    assert tb.positives_for(3) == frozenset({2})
+
+
+def test_hack_miss_diagnostics_reported():
+    tb = Testbed(
+        TestbedConfig(
+            num_participants=6,
+            seed=11,
+            hack_miss=HackMissModel(p_single=1.0, decay=1.0),
+        )
+    )
+    tb.configure_positives([0, 1, 2, 3, 4, 5])
+    run = tb.run_threshold_query(TwoTBins(), 2)
+    assert run.hack_misses > 0
+    assert run.false_negative  # every HACK suppressed -> reads all-silent

@@ -1,0 +1,182 @@
+"""Tests for the backcast primitive over the emulated radio stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motes.participant import ParticipantApp
+from repro.primitives.backcast import BackcastInitiator
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.radio.irregularity import HackMissModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+def build(n_participants=4, positives=(), seed=0, hack_miss=None, trace=False):
+    sim = Simulator()
+    tracer = Tracer(enabled=trace, clock=lambda: sim.now)
+    channel = Channel(
+        sim, np.random.default_rng(seed), hack_miss=hack_miss, tracer=tracer
+    )
+    init_radio = Cc2420Radio(sim, channel, address=100, tracer=tracer)
+    initiator = BackcastInitiator(sim, init_radio, tracer=tracer)
+    apps = []
+    for i in range(n_participants):
+        radio = Cc2420Radio(sim, channel, address=i, tracer=tracer)
+        app = ParticipantApp(sim, radio)
+        app.boot()
+        app.configure(i in positives)
+        apps.append(app)
+    return sim, initiator, apps, tracer, channel
+
+
+class TestVerdicts:
+    def test_silent_when_no_positive_members(self):
+        _, initiator, _, _, _ = build(4, positives=())
+        outcome = initiator.query([0, 1, 2, 3])
+        assert not outcome.nonempty
+        assert outcome.superposition == 0
+
+    def test_nonempty_with_one_positive(self):
+        _, initiator, _, _, _ = build(4, positives=(2,))
+        outcome = initiator.query([0, 1, 2, 3])
+        assert outcome.nonempty
+        assert outcome.superposition == 1
+
+    def test_superposition_counts_all_positives(self):
+        _, initiator, _, _, _ = build(5, positives=(0, 2, 4))
+        outcome = initiator.query([0, 1, 2, 3, 4])
+        assert outcome.nonempty
+        assert outcome.superposition == 3
+
+    def test_positive_nonmember_stays_silent(self):
+        _, initiator, _, _, _ = build(4, positives=(3,))
+        outcome = initiator.query([0, 1, 2])
+        assert not outcome.nonempty
+
+    def test_empty_member_list_is_silent(self):
+        _, initiator, _, _, _ = build(3, positives=(0, 1, 2))
+        outcome = initiator.query([])
+        assert not outcome.nonempty
+
+    def test_sequential_queries_reassign_groups(self):
+        """Bin membership must reset between queries: a node positive in
+        query 1 must not leak a HACK into query 2's different bin."""
+        _, initiator, _, _, _ = build(4, positives=(0,))
+        assert initiator.query([0, 1]).nonempty
+        assert not initiator.query([2, 3]).nonempty
+        assert initiator.query([0, 3]).nonempty
+
+
+class TestFailureModes:
+    def test_hack_miss_causes_false_negative_only(self):
+        _, initiator, _, _, channel = build(
+            4, positives=(1,), hack_miss=HackMissModel(p_single=1.0, decay=1.0)
+        )
+        outcome = initiator.query([0, 1, 2, 3])
+        assert not outcome.nonempty  # false negative
+        assert channel.hack_misses == 1
+
+    def test_no_false_positives_under_miss_model(self):
+        """A miss model can only suppress HACKs, never fabricate them."""
+        _, initiator, _, _, _ = build(
+            4, positives=(), hack_miss=HackMissModel(p_single=0.5, decay=0.5)
+        )
+        for _ in range(20):
+            assert not initiator.query([0, 1, 2, 3]).nonempty
+
+
+class TestProtocol:
+    def test_query_duration_is_bounded_and_positive(self):
+        sim, initiator, _, _, channel = build(4, positives=(1,))
+        outcome = initiator.query([0, 1])
+        assert outcome.duration_us > 0
+        # announce + gap + poll + ack-wait is well under 10 ms.
+        assert outcome.duration_us < 10_000
+
+    def test_queries_issued_counter(self):
+        _, initiator, _, _, _ = build(2)
+        initiator.query([0])
+        initiator.query([1])
+        assert initiator.queries_issued == 2
+
+    def test_trace_records_protocol_phases(self):
+        _, initiator, _, tracer, _ = build(2, positives=(0,), trace=True)
+        initiator.query([0, 1])
+        assert tracer.count("backcast.announce") == 1
+        assert tracer.count("backcast.poll") == 1
+        assert tracer.count("backcast.verdict") == 1
+
+    def test_guard_validation(self):
+        sim = Simulator()
+        channel = Channel(sim, np.random.default_rng(0))
+        radio = Cc2420Radio(sim, channel, address=1)
+        with pytest.raises(ValueError):
+            BackcastInitiator(sim, radio, guard_us=-1.0)
+
+    def test_many_queries_seq_wraps(self):
+        _, initiator, _, _, _ = build(2, positives=(0,))
+        for _ in range(300):  # wraps past seq 255
+            assert initiator.query([0]).nonempty
+
+
+class TestRoundOriented:
+    def test_round_announce_then_per_bin_polls(self):
+        _, initiator, _, _, _ = build(6, positives=(0, 4))
+        initiator.announce_round([[0, 1], [2, 3], [4, 5]])
+        assert initiator.poll_bin(0).nonempty       # holds positive 0
+        assert not initiator.poll_bin(1).nonempty   # all negative
+        assert initiator.poll_bin(2).nonempty       # holds positive 4
+
+    def test_poll_order_is_free(self):
+        _, initiator, _, _, _ = build(4, positives=(3,))
+        initiator.announce_round([[0, 1], [2, 3]])
+        assert initiator.poll_bin(1).nonempty
+        assert not initiator.poll_bin(0).nonempty
+
+    def test_unannounced_bin_rejected(self):
+        _, initiator, _, _, _ = build(2)
+        initiator.announce_round([[0, 1]])
+        with pytest.raises(IndexError):
+            initiator.poll_bin(1)
+
+    def test_duplicate_assignment_rejected(self):
+        _, initiator, _, _, _ = build(3)
+        with pytest.raises(ValueError):
+            initiator.announce_round([[0, 1], [1, 2]])
+
+    def test_round_polls_cheaper_than_one_shot_queries(self):
+        """The round-oriented protocol amortises the announce."""
+        _, initiator_a, _, _, _ = build(8, positives=(1, 5))
+        bins = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        initiator_a.announce_round(bins)
+        round_cost = sum(
+            initiator_a.poll_bin(i).duration_us for i in range(4)
+        )
+        _, initiator_b, _, _, _ = build(8, positives=(1, 5))
+        oneshot_cost = sum(
+            initiator_b.query(members).duration_us for members in bins
+        )
+        assert round_cost < oneshot_cost * 0.75
+
+    def test_stale_binding_cannot_alias_across_rounds(self):
+        """Node positive in round 1 bin 0 must not HACK round 2's bin 0
+        poll if it is no longer a candidate."""
+        _, initiator, _, _, _ = build(4, positives=(0,))
+        initiator.announce_round([[0], [1]])
+        assert initiator.poll_bin(0).nonempty
+        # Round 2 excludes node 0 entirely; bin 0 is now {1}.
+        initiator.announce_round([[1], [2, 3]])
+        assert not initiator.poll_bin(0).nonempty
+
+    def test_large_round_fragments_announce(self):
+        _, initiator, _, tracer, _ = build(
+            100, positives=(99,), trace=True
+        )
+        bins = [list(range(i, i + 10)) for i in range(0, 100, 10)]
+        initiator.announce_round(bins)
+        fragments = tracer.count("backcast.announce")
+        assert fragments >= 2  # 100 entries > one fragment's capacity
+        assert initiator.poll_bin(9).nonempty

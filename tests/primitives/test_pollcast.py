@@ -1,0 +1,88 @@
+"""Tests for the pollcast primitive over the emulated radio stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motes.participant import ParticipantApp
+from repro.primitives.pollcast import PollcastInitiator
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+def build(n_participants=4, positives=(), seed=0, trace=False):
+    sim = Simulator()
+    tracer = Tracer(enabled=trace, clock=lambda: sim.now)
+    channel = Channel(sim, np.random.default_rng(seed), tracer=tracer)
+    init_radio = Cc2420Radio(sim, channel, address=100, tracer=tracer)
+    initiator = PollcastInitiator(sim, init_radio, tracer=tracer)
+    apps = []
+    for i in range(n_participants):
+        radio = Cc2420Radio(sim, channel, address=i, tracer=tracer)
+        app = ParticipantApp(sim, radio)
+        app.boot()
+        app.configure(i in positives)
+        apps.append(app)
+    return sim, initiator, apps, tracer
+
+
+def test_silent_when_no_positive_members():
+    _, initiator, _, _ = build(4, positives=())
+    assert not initiator.query([0, 1, 2, 3]).nonempty
+
+
+def test_nonempty_with_one_positive():
+    _, initiator, _, _ = build(4, positives=(1,))
+    assert initiator.query([0, 1, 2, 3]).nonempty
+
+
+def test_nonempty_with_colliding_votes():
+    """Multiple simultaneous votes collide -- pollcast still detects the
+    energy (RCD's whole point)."""
+    _, initiator, apps, _ = build(5, positives=(0, 1, 2, 3, 4))
+    assert initiator.query([0, 1, 2, 3, 4]).nonempty
+    assert sum(app.votes_sent for app in apps) == 5
+
+
+def test_positive_nonmember_does_not_vote():
+    _, initiator, apps, _ = build(4, positives=(3,))
+    assert not initiator.query([0, 1, 2]).nonempty
+    assert apps[3].votes_sent == 0
+
+
+def test_queries_issued_counter():
+    _, initiator, _, _ = build(2)
+    initiator.query([0])
+    initiator.query([0, 1])
+    assert initiator.queries_issued == 2
+
+
+def test_duration_covers_vote_window():
+    _, initiator, _, _ = build(2, positives=(0,))
+    outcome = initiator.query([0, 1])
+    assert outcome.duration_us >= 640.0  # at least the vote window
+
+
+def test_trace_records():
+    _, initiator, _, tracer = build(2, positives=(0,), trace=True)
+    initiator.query([0, 1])
+    assert tracer.count("pollcast.poll") == 1
+    assert tracer.count("pollcast.verdict") == 1
+
+
+def test_vote_window_validation():
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(0))
+    radio = Cc2420Radio(sim, channel, address=1)
+    with pytest.raises(ValueError):
+        PollcastInitiator(sim, radio, vote_window_us=0.0)
+
+
+def test_back_to_back_queries_do_not_bleed():
+    """Votes from query 1 must not register as activity in query 2."""
+    _, initiator, _, _ = build(4, positives=(0,))
+    assert initiator.query([0]).nonempty
+    assert not initiator.query([1, 2, 3]).nonempty

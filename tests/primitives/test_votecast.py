@@ -1,0 +1,112 @@
+"""Tests for the votecast primitive (packet-level 2+ semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.group_testing.model import ObservationKind
+from repro.motes.participant import ParticipantApp
+from repro.primitives.votecast import VotecastInitiator
+from repro.radio.capture import ProbabilisticCaptureModel
+from repro.radio.cc2420 import Cc2420Radio
+from repro.radio.channel import Channel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+def build(n_participants=5, positives=(), seed=0, capture=None, trace=False):
+    sim = Simulator()
+    tracer = Tracer(enabled=trace, clock=lambda: sim.now)
+    channel = Channel(
+        sim, np.random.default_rng(seed), capture_model=capture, tracer=tracer
+    )
+    init_radio = Cc2420Radio(sim, channel, address=100, tracer=tracer)
+    initiator = VotecastInitiator(sim, init_radio, tracer=tracer)
+    apps = []
+    for i in range(n_participants):
+        radio = Cc2420Radio(sim, channel, address=i, tracer=tracer)
+        app = ParticipantApp(sim, radio)
+        app.boot()
+        app.configure(i in positives)
+        apps.append(app)
+    return sim, initiator, apps, tracer
+
+
+def test_silent_bin():
+    _, initiator, _, _ = build(4, positives=())
+    obs = initiator.query([0, 1, 2, 3]).observation
+    assert obs.kind is ObservationKind.SILENT
+    assert obs.min_positives == 0
+
+
+def test_single_voter_always_captured():
+    _, initiator, _, _ = build(4, positives=(2,))
+    obs = initiator.query([0, 1, 2, 3]).observation
+    assert obs.kind is ObservationKind.CAPTURE
+    assert obs.captured_node == 2
+    assert obs.min_positives == 1
+
+
+def test_collision_without_capture_proves_two():
+    _, initiator, _, _ = build(
+        5, positives=(1, 3), capture=ProbabilisticCaptureModel(lambda k: 0.0)
+    )
+    obs = initiator.query([0, 1, 2, 3, 4]).observation
+    assert obs.kind is ObservationKind.ACTIVITY
+    assert obs.min_positives == 2
+
+
+def test_forced_capture_identifies_a_real_voter():
+    _, initiator, _, _ = build(
+        5,
+        positives=(1, 3, 4),
+        capture=ProbabilisticCaptureModel(lambda k: 1.0),
+    )
+    obs = initiator.query([0, 1, 2, 3, 4]).observation
+    assert obs.kind is ObservationKind.CAPTURE
+    assert obs.captured_node in {1, 3, 4}
+
+
+def test_default_capture_rate_statistics():
+    """With the default 1/k capture model, three voters capture ~1/3 of
+    the time -- matching the abstract TwoPlusModel.  One testbed is
+    queried repeatedly so the draws come from a single RNG stream."""
+    _, initiator, _, _ = build(3, positives=(0, 1, 2), seed=42)
+    captures = 0
+    runs = 400
+    for _ in range(runs):
+        obs = initiator.query([0, 1, 2]).observation
+        assert obs.kind in (ObservationKind.CAPTURE, ObservationKind.ACTIVITY)
+        captures += obs.kind is ObservationKind.CAPTURE
+    assert captures / runs == pytest.approx(1 / 3, abs=0.06)
+
+
+def test_positive_nonmember_does_not_vote():
+    _, initiator, apps, _ = build(4, positives=(3,))
+    obs = initiator.query([0, 1, 2]).observation
+    assert obs.kind is ObservationKind.SILENT
+    assert apps[3].votes_sent == 0
+
+
+def test_trace_and_counters():
+    _, initiator, _, tracer = build(3, positives=(1,), trace=True)
+    initiator.query([0, 1, 2])
+    initiator.query([0, 2])
+    assert initiator.queries_issued == 2
+    assert tracer.count("votecast.poll") == 2
+    assert tracer.count("votecast.verdict") == 2
+
+
+def test_vote_window_validation():
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(0))
+    radio = Cc2420Radio(sim, channel, address=1)
+    with pytest.raises(ValueError):
+        VotecastInitiator(sim, radio, vote_window_us=0.0)
+
+
+def test_back_to_back_queries_do_not_bleed():
+    _, initiator, _, _ = build(4, positives=(0,))
+    assert initiator.query([0]).observation.kind is ObservationKind.CAPTURE
+    assert initiator.query([1, 2]).observation.kind is ObservationKind.SILENT

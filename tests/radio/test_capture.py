@@ -1,0 +1,85 @@
+"""Tests for capture-effect models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.capture import PowerCaptureModel, ProbabilisticCaptureModel
+
+
+class TestProbabilistic:
+    def test_single_transmission_always_captured(self, rng):
+        model = ProbabilisticCaptureModel()
+        assert model.select([0.0], rng) == 0
+
+    def test_empty_returns_none(self, rng):
+        assert ProbabilisticCaptureModel().select([], rng) is None
+
+    def test_rate_matches_one_over_k(self):
+        model = ProbabilisticCaptureModel()
+        rng = np.random.default_rng(1)
+        captures = sum(
+            model.select([0.0] * 4, rng) is not None for _ in range(4000)
+        )
+        assert captures / 4000 == pytest.approx(0.25, abs=0.02)
+
+    def test_winner_uniform_over_colliders(self):
+        model = ProbabilisticCaptureModel(probability=lambda k: 1.0)
+        rng = np.random.default_rng(2)
+        counts = np.zeros(3)
+        for _ in range(3000):
+            counts[model.select([0.0] * 3, rng)] += 1
+        assert np.all(np.abs(counts / 3000 - 1 / 3) < 0.05)
+
+    def test_custom_probability(self, rng):
+        never = ProbabilisticCaptureModel(probability=lambda k: 0.0)
+        assert never.select([0.0, 0.0], rng) is None
+
+    def test_invalid_probability_raises(self, rng):
+        bad = ProbabilisticCaptureModel(probability=lambda k: 2.0)
+        with pytest.raises(ValueError):
+            bad.select([0.0, 0.0], rng)
+
+
+class TestPowerCapture:
+    def test_single_always_captured(self, rng):
+        assert PowerCaptureModel().select([-70.0], rng) == 0
+
+    def test_empty_returns_none(self, rng):
+        assert PowerCaptureModel().select([], rng) is None
+
+    def test_dominant_signal_captured(self, rng):
+        model = PowerCaptureModel(sinr_threshold_db=3.0)
+        winner = model.select([-50.0, -80.0, -85.0], rng)
+        assert winner == 0
+
+    def test_equal_powers_not_captured(self, rng):
+        model = PowerCaptureModel(sinr_threshold_db=3.0)
+        assert model.select([-70.0, -70.0], rng) is None
+
+    def test_threshold_boundary(self, rng):
+        model = PowerCaptureModel(sinr_threshold_db=3.0)
+        # 3.1 dB margin over a single interferer -> captured.
+        assert model.select([-66.9, -70.0], rng) == 0
+        # 2.9 dB margin -> not captured.
+        assert model.select([-67.1, -70.0], rng) is None
+
+    def test_aggregate_interference_counts(self, rng):
+        model = PowerCaptureModel(sinr_threshold_db=3.0)
+        # 6 dB over each of two equal interferers is only 3 dB over their
+        # sum: borderline; 5 dB over each is below threshold.
+        assert model.select([-64.0, -70.0, -70.0], rng) in (0, None)
+        assert model.select([-65.0, -70.0, -70.0], rng) is None
+
+    def test_fading_randomises_outcome(self):
+        model = PowerCaptureModel(sinr_threshold_db=3.0, fading_sigma_db=6.0)
+        rng = np.random.default_rng(3)
+        outcomes = {model.select([-70.0, -70.0], rng) for _ in range(200)}
+        assert None in outcomes and (0 in outcomes or 1 in outcomes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerCaptureModel(sinr_threshold_db=-1)
+        with pytest.raises(ValueError):
+            PowerCaptureModel(fading_sigma_db=-1)

@@ -1,0 +1,168 @@
+"""Tests for the CC2420-like radio device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.cc2420 import Cc2420Radio, RadioState
+from repro.radio.channel import Channel
+from repro.radio.frames import AckFrame, BROADCAST_ADDR, DataFrame
+from repro.sim.kernel import Simulator
+
+
+def build(n=2, seed=0):
+    sim = Simulator()
+    channel = Channel(sim, np.random.default_rng(seed))
+    radios = [Cc2420Radio(sim, channel, address=i) for i in range(n)]
+    return sim, channel, radios
+
+
+class TestAddressing:
+    def test_power_on_short_address_is_hw_address(self):
+        _, _, (r0, r1) = build()
+        assert r1.short_address == 1
+
+    def test_set_short_address(self):
+        _, _, (r0, r1) = build()
+        r1.set_short_address(0x9000)
+        assert r1.short_address == 0x9000
+
+    def test_address_validation(self):
+        sim = Simulator()
+        channel = Channel(sim, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Cc2420Radio(sim, channel, address=0xFFFF)  # broadcast reserved
+        radio = Cc2420Radio(sim, channel, address=1)
+        with pytest.raises(ValueError):
+            radio.set_short_address(0xFFFF)
+
+    def test_unicast_filtered_by_short_address(self):
+        sim, _, (r0, r1) = build()
+        got = []
+        r1.receive_callback = lambda f, k: got.append(f)
+        r0.transmit(DataFrame(src=0, dst=0x1234, seq=0))
+        sim.run()
+        assert got == []
+        assert r1.frames_received == 0
+
+    def test_unicast_accepted_on_match(self):
+        sim, _, (r0, r1) = build()
+        got = []
+        r1.receive_callback = lambda f, k: got.append(f)
+        r1.set_short_address(0x1234)
+        r0.transmit(DataFrame(src=0, dst=0x1234, seq=0))
+        sim.run()
+        assert len(got) == 1
+        assert r1.frames_received == 1
+
+    def test_broadcast_always_accepted(self):
+        sim, _, (r0, r1) = build()
+        got = []
+        r1.receive_callback = lambda f, k: got.append(f)
+        r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=0))
+        sim.run()
+        assert len(got) == 1
+
+
+class TestAutoAck:
+    def test_hack_generated_on_match(self):
+        sim, _, (r0, r1) = build()
+        acks = []
+        r0.ack_callback = lambda a, k: acks.append((a, k))
+        r0.transmit(DataFrame(src=0, dst=1, seq=5, ack_request=True))
+        sim.run()
+        assert len(acks) == 1
+        assert acks[0][0].seq == 5
+        assert r1.acks_sent == 1
+
+    def test_no_hack_without_request(self):
+        sim, _, (r0, r1) = build()
+        acks = []
+        r0.ack_callback = lambda a, k: acks.append(a)
+        r0.transmit(DataFrame(src=0, dst=1, seq=5))
+        sim.run()
+        assert acks == []
+        assert r1.acks_sent == 0
+
+    def test_no_hack_when_disabled(self):
+        sim, _, (r0, r1) = build()
+        r1.set_auto_ack(False)
+        acks = []
+        r0.ack_callback = lambda a, k: acks.append(a)
+        r0.transmit(DataFrame(src=0, dst=1, seq=5, ack_request=True))
+        sim.run()
+        assert acks == []
+
+    def test_hack_launches_one_turnaround_after_frame(self):
+        sim, channel, (r0, r1) = build()
+        times = []
+        r0.ack_callback = lambda a, k: times.append(sim.now)
+        end = r0.transmit(DataFrame(src=0, dst=1, seq=5, ack_request=True))
+        sim.run()
+        timing = channel.timing
+        expected = end + timing.turnaround_us + timing.frame_airtime_us(5)
+        assert times[0] == pytest.approx(expected)
+
+    def test_pending_hack_aborted_by_power_off(self):
+        sim, _, (r0, r1) = build()
+        acks = []
+        r0.ack_callback = lambda a, k: acks.append(a)
+        end = r0.transmit(DataFrame(src=0, dst=1, seq=5, ack_request=True))
+        # Power r1 off right at frame end, before the turnaround elapses.
+        sim.schedule_at(end, r1.power_off)
+        sim.run()
+        assert acks == []
+
+
+class TestStateMachine:
+    def test_tx_state_during_transmission(self):
+        sim, _, (r0, r1) = build()
+        r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=0))
+        assert r0.state is RadioState.TX
+        assert r0.is_transmitting()
+        sim.run()
+        assert r0.state is RadioState.RX
+
+    def test_cannot_double_transmit(self):
+        sim, _, (r0, r1) = build()
+        r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=0))
+        with pytest.raises(RuntimeError):
+            r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=1))
+        sim.run()
+
+    def test_cca_requires_rx(self):
+        sim, _, (r0, r1) = build()
+        assert r0.cca()  # idle channel is clear
+        r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=0))
+        with pytest.raises(RuntimeError):
+            r0.cca()
+        assert not r1.cca()  # busy for the listener
+        sim.run()
+
+    def test_power_cycle(self):
+        sim, _, (r0, r1) = build()
+        r1.power_off()
+        assert r1.state is RadioState.OFF
+        got = []
+        r1.receive_callback = lambda f, k: got.append(f)
+        r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=0))
+        sim.run()
+        assert got == []  # off radios hear nothing
+        r1.power_on()
+        assert r1.state is RadioState.RX
+
+    def test_cannot_power_off_mid_tx(self):
+        sim, _, (r0, r1) = build()
+        r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=0))
+        with pytest.raises(RuntimeError):
+            r0.power_off()
+        sim.run()
+
+    def test_energy_tracks_states(self):
+        sim, _, (r0, r1) = build()
+        r0.transmit(DataFrame(src=0, dst=BROADCAST_ADDR, seq=0, payload_bytes=10))
+        sim.run()
+        r0.energy.finalize(sim.now)
+        assert r0.energy.time_us("tx") > 0
+        assert r0.energy.total_uj > 0

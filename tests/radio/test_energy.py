@@ -1,0 +1,87 @@
+"""Tests for the energy ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.energy import EnergyLedger, EnergyProfile
+
+
+def test_profile_lookup():
+    p = EnergyProfile()
+    assert p.current_ma("rx") == 18.8
+    assert p.current_ma("tx") == 17.4
+    with pytest.raises(KeyError):
+        p.current_ma("warp")
+
+
+def test_initial_state_validated():
+    with pytest.raises(KeyError):
+        EnergyLedger(initial_state="bogus")
+
+
+def test_energy_integration():
+    ledger = EnergyLedger(initial_state="rx")
+    ledger.transition("tx", 1000.0)  # 1000 us of rx
+    ledger.finalize(1000.0)
+    # uJ = 18.8 mA * 3 V * 1000 us / 1000
+    assert ledger.energy_uj("rx") == pytest.approx(18.8 * 3.0)
+    assert ledger.energy_uj("tx") == 0.0
+
+
+def test_total_accumulates_across_states():
+    ledger = EnergyLedger(initial_state="rx")
+    ledger.transition("tx", 500.0)
+    ledger.transition("rx", 700.0)
+    ledger.finalize(1000.0)
+    assert ledger.total_uj == pytest.approx(
+        18.8 * 3.0 * 0.5 + 17.4 * 3.0 * 0.2 + 18.8 * 3.0 * 0.3
+    )
+
+
+def test_time_accounting():
+    ledger = EnergyLedger(initial_state="idle")
+    ledger.transition("rx", 100.0)
+    ledger.finalize(300.0)
+    assert ledger.time_us("idle") == 100.0
+    assert ledger.time_us("rx") == 200.0
+    assert ledger.time_us("tx") == 0.0
+
+
+def test_time_cannot_run_backwards():
+    ledger = EnergyLedger(initial_state="rx")
+    ledger.transition("tx", 100.0)
+    with pytest.raises(ValueError):
+        ledger.transition("rx", 50.0)
+
+
+def test_unknown_state_rejected_without_corruption():
+    ledger = EnergyLedger(initial_state="rx")
+    with pytest.raises(KeyError):
+        ledger.transition("bogus", 100.0)
+    # State machine untouched by the failed transition.
+    assert ledger.state == "rx"
+
+
+def test_snapshot_is_a_copy():
+    ledger = EnergyLedger(initial_state="rx")
+    ledger.finalize(100.0)
+    snap = ledger.snapshot()
+    snap["rx"] = 0.0
+    assert ledger.energy_uj("rx") > 0
+
+
+def test_finalize_idempotent_at_same_time():
+    ledger = EnergyLedger(initial_state="rx")
+    ledger.finalize(100.0)
+    total = ledger.total_uj
+    ledger.finalize(100.0)
+    assert ledger.total_uj == total
+
+
+def test_sleep_draws_almost_nothing():
+    awake = EnergyLedger(initial_state="rx")
+    awake.finalize(1_000_000.0)
+    asleep = EnergyLedger(initial_state="sleep")
+    asleep.finalize(1_000_000.0)
+    assert asleep.total_uj < awake.total_uj / 1000

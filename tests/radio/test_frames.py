@@ -1,0 +1,70 @@
+"""Tests for frame records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.frames import AckFrame, BROADCAST_ADDR, DataFrame, FrameKind
+
+
+class TestDataFrame:
+    def test_basic(self):
+        f = DataFrame(src=1, dst=2, seq=7, payload={"k": 1}, payload_bytes=4)
+        assert f.kind is FrameKind.DATA
+        assert f.mpdu_bytes == 11 + 4
+
+    def test_broadcast_cannot_request_ack(self):
+        with pytest.raises(ValueError):
+            DataFrame(src=1, dst=BROADCAST_ADDR, seq=0, ack_request=True)
+
+    def test_broadcast_without_ack_ok(self):
+        f = DataFrame(src=1, dst=BROADCAST_ADDR, seq=0)
+        assert f.dst == 0xFFFF
+
+    def test_address_validation(self):
+        with pytest.raises(ValueError):
+            DataFrame(src=-1, dst=2, seq=0)
+        with pytest.raises(ValueError):
+            DataFrame(src=1, dst=0x10000, seq=0)
+
+    def test_seq_validation(self):
+        with pytest.raises(ValueError):
+            DataFrame(src=1, dst=2, seq=256)
+        with pytest.raises(ValueError):
+            DataFrame(src=1, dst=2, seq=-1)
+
+    def test_payload_size_cap(self):
+        DataFrame(src=1, dst=2, seq=0, payload_bytes=116)  # max ok
+        with pytest.raises(ValueError):
+            DataFrame(src=1, dst=2, seq=0, payload_bytes=117)
+        with pytest.raises(ValueError):
+            DataFrame(src=1, dst=2, seq=0, payload_bytes=-1)
+
+    def test_frozen(self):
+        f = DataFrame(src=1, dst=2, seq=0)
+        with pytest.raises(AttributeError):
+            f.seq = 9  # type: ignore[misc]
+
+
+class TestAckFrame:
+    def test_fixed_mpdu_size(self):
+        assert AckFrame(seq=3).mpdu_bytes == 5
+
+    def test_kind(self):
+        assert AckFrame(seq=3).kind is FrameKind.ACK
+
+    def test_seq_validation(self):
+        with pytest.raises(ValueError):
+            AckFrame(seq=300)
+
+    def test_superposition_same_seq(self):
+        assert AckFrame(seq=9).superposes_with(AckFrame(seq=9))
+
+    def test_no_superposition_different_seq(self):
+        assert not AckFrame(seq=9).superposes_with(AckFrame(seq=10))
+
+    def test_no_superposition_with_software_ack(self):
+        hw = AckFrame(seq=9)
+        sw = AckFrame(seq=9, hardware=False)
+        assert not hw.superposes_with(sw)
+        assert not sw.superposes_with(hw)

@@ -1,0 +1,54 @@
+"""Tests for radio-irregularity models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.irregularity import HackMissModel, IdealRadioModel
+
+
+class TestIdeal:
+    def test_never_misses(self):
+        model = IdealRadioModel()
+        for k in (1, 2, 10):
+            assert model.miss_probability(k) == 0.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            IdealRadioModel().miss_probability(0)
+
+
+class TestHackMiss:
+    def test_single_hack_miss(self):
+        model = HackMissModel(p_single=0.03, decay=0.1)
+        assert model.miss_probability(1) == 0.03
+
+    def test_geometric_decay(self):
+        model = HackMissModel(p_single=0.03, decay=0.1)
+        assert model.miss_probability(2) == pytest.approx(0.003)
+        assert model.miss_probability(3) == pytest.approx(0.0003)
+
+    def test_superposition_strictly_helps(self):
+        """The paper's 'error rate slashes down' observation."""
+        model = HackMissModel(p_single=0.05, decay=0.2)
+        probs = [model.miss_probability(k) for k in range(1, 8)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_properties(self):
+        model = HackMissModel(p_single=0.07, decay=0.5)
+        assert model.p_single == 0.07
+        assert model.decay == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HackMissModel(p_single=1.5)
+        with pytest.raises(ValueError):
+            HackMissModel(p_single=-0.1)
+        with pytest.raises(ValueError):
+            HackMissModel(decay=1.5)
+        with pytest.raises(ValueError):
+            HackMissModel().miss_probability(0)
+
+    def test_decay_one_means_constant_miss(self):
+        model = HackMissModel(p_single=0.1, decay=1.0)
+        assert model.miss_probability(5) == pytest.approx(0.1)

@@ -1,0 +1,63 @@
+"""Tests for 802.15.4 timing constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.timing import DEFAULT_TIMING, PhyTiming
+
+
+def test_default_symbol_rate():
+    t = PhyTiming()
+    assert t.symbol_us == 16.0
+    assert t.byte_us == 32.0
+
+
+def test_turnaround_is_192us():
+    assert PhyTiming().turnaround_us == 192.0
+
+
+def test_backoff_period_is_320us():
+    assert PhyTiming().backoff_period_us == 320.0
+
+
+def test_ack_wait_is_864us():
+    assert PhyTiming().ack_wait_us == 864.0
+
+
+def test_frame_airtime_includes_sync_header():
+    t = PhyTiming()
+    # 5 preamble+SFD + 1 length + 5 ACK MPDU = 11 bytes = 352 us
+    assert t.frame_airtime_us(5) == 352.0
+
+
+def test_frame_airtime_scales_linearly():
+    t = PhyTiming()
+    assert t.frame_airtime_us(20) - t.frame_airtime_us(10) == 10 * t.byte_us
+
+
+def test_frame_airtime_bounds():
+    t = PhyTiming()
+    with pytest.raises(ValueError):
+        t.frame_airtime_us(-1)
+    with pytest.raises(ValueError):
+        t.frame_airtime_us(128)
+    assert t.frame_airtime_us(127) > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PhyTiming(symbol_us=0)
+    with pytest.raises(ValueError):
+        PhyTiming(symbols_per_byte=0)
+
+
+def test_default_instance_shared():
+    assert DEFAULT_TIMING.symbol_us == 16.0
+
+
+def test_ack_fits_in_ack_wait():
+    """Turnaround + ACK air time must fit inside the ACK-wait window,
+    otherwise backcast could never see its HACK."""
+    t = PhyTiming()
+    assert t.turnaround_us + t.frame_airtime_us(5) < t.ack_wait_us

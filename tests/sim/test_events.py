@@ -1,0 +1,35 @@
+"""Direct tests for event records and handles."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, EventHandle
+
+
+def test_ordering_by_time_then_seq():
+    a = Event(time=1.0, seq=0, callback=lambda: None)
+    b = Event(time=1.0, seq=1, callback=lambda: None)
+    c = Event(time=0.5, seq=2, callback=lambda: None)
+    assert c < a < b
+
+
+def test_handle_exposes_metadata():
+    event = Event(time=3.0, seq=0, callback=lambda: None, label="tick")
+    handle = EventHandle(event)
+    assert handle.time == 3.0
+    assert handle.label == "tick"
+    assert not handle.cancelled
+
+
+def test_cancel_marks_event():
+    event = Event(time=3.0, seq=0, callback=lambda: None)
+    handle = EventHandle(event)
+    handle.cancel()
+    assert event.cancelled
+    assert handle.cancelled
+
+
+def test_callback_not_part_of_ordering():
+    # Different callbacks must not affect comparisons (field(compare=False)).
+    a = Event(time=1.0, seq=0, callback=lambda: 1)
+    b = Event(time=1.0, seq=0, callback=lambda: 2)
+    assert not a < b and not b < a

@@ -1,0 +1,213 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_fired == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+    assert sim.events_fired == 1
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(1.0, lambda tag=tag: order.append(tag))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_raises():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 3.0:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_until_stops_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=3.0)
+    assert fired == [1]
+    assert sim.now == 3.0
+    assert sim.pending == 1
+
+
+def test_run_until_includes_events_at_exact_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append(3))
+    sim.run(until=3.0)
+    assert fired == [3]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_resume_after_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=3.0)
+    sim.run()
+    assert fired == [1, 5]
+    assert sim.now == 5.0
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    sim.run(max_events=4)
+    assert sim.events_fired == 4
+    assert sim.pending == 6
+
+
+def test_run_until_idle_detects_runaway():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1.0, loop)
+
+    sim.schedule(1.0, loop)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run_until_idle(max_events=100)
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_step_skips_cancelled():
+    sim = Simulator()
+    fired = []
+    h = sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    h.cancel()
+    assert sim.step()
+    assert fired == [2]
+
+
+def test_reset_clears_everything():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(9.0, lambda: None)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_fired == 0
+    # Can schedule at "past" times again after reset.
+    sim.schedule_at(0.5, lambda: None)
+    sim.run()
+    assert sim.now == 0.5
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_handle_reports_time_and_label():
+    sim = Simulator()
+    h = sim.schedule(7.5, lambda: None, label="probe")
+    assert h.time == 7.5
+    assert h.label == "probe"
+    assert not h.cancelled

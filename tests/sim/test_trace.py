@@ -1,0 +1,82 @@
+"""Unit tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def test_emit_and_read_back():
+    tr = Tracer()
+    tr.emit("radio.tx", "mote1", time=1.5, frame="data")
+    assert len(tr) == 1
+    rec = tr.records()[0]
+    assert rec.time == 1.5
+    assert rec.category == "radio.tx"
+    assert rec.source == "mote1"
+    assert rec.detail["frame"] == "data"
+
+
+def test_disabled_tracer_is_noop():
+    tr = Tracer(enabled=False)
+    tr.emit("x", "y", time=0.0)
+    assert len(tr) == 0
+
+
+def test_clock_supplies_default_time():
+    now = [0.0]
+    tr = Tracer(clock=lambda: now[0])
+    now[0] = 42.0
+    tr.emit("a", "b")
+    assert tr.records()[0].time == 42.0
+
+
+def test_explicit_time_overrides_clock():
+    tr = Tracer(clock=lambda: 1.0)
+    tr.emit("a", "b", time=9.0)
+    assert tr.records()[0].time == 9.0
+
+
+def test_prefix_filtering_and_count():
+    tr = Tracer()
+    tr.emit("radio.tx.start", "m", time=0)
+    tr.emit("radio.tx.end", "m", time=1)
+    tr.emit("radio.rx", "m", time=2)
+    tr.emit("mac.backoff", "m", time=3)
+    assert tr.count("radio.tx") == 2
+    assert tr.count("radio") == 3
+    assert tr.count() == 4
+    assert len(tr.records("mac")) == 1
+
+
+def test_matches_prefix():
+    rec = TraceRecord(time=0, category="backcast.poll", source="m")
+    assert rec.matches("backcast")
+    assert not rec.matches("pollcast")
+
+
+def test_clear():
+    tr = Tracer()
+    tr.emit("a", "b", time=0)
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_categories_sorted_unique():
+    tr = Tracer()
+    for cat in ("b", "a", "b"):
+        tr.emit(cat, "s", time=0)
+    assert tr.categories() == ["a", "b"]
+
+
+def test_format_renders_all_records():
+    tr = Tracer()
+    tr.emit("cat", "src", time=1.0, k=2)
+    text = tr.format()
+    assert "cat" in text and "src" in text and "k=2" in text
+
+
+def test_iteration():
+    tr = Tracer()
+    tr.emit("a", "s", time=0)
+    tr.emit("b", "s", time=1)
+    assert [r.category for r in tr] == ["a", "b"]

@@ -1,0 +1,84 @@
+"""Tests for the ASCII rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.ascii import ascii_chart, histogram, render_table
+
+
+class TestAsciiChart:
+    def test_renders_series_glyphs(self):
+        out = ascii_chart([0, 1, 2], {"alpha": [1, 2, 3], "beta": [3, 2, 1]})
+        assert "o=alpha" in out and "x=beta" in out
+        assert "o" in out and "x" in out
+
+    def test_title_included(self):
+        out = ascii_chart([0, 1], {"s": [0, 1]}, title="my chart")
+        assert "my chart" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1, 2]}, width=2, height=2)
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_chart([0, 1, 2], {"flat": [5, 5, 5]})
+        assert "flat" in out
+
+    def test_nan_values_skipped(self):
+        out = ascii_chart([0, 1, 2], {"s": [1.0, float("nan"), 3.0]})
+        assert "s" in out
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [float("nan"), float("nan")]})
+
+    def test_dimensions(self):
+        out = ascii_chart([0, 1], {"s": [0, 10]}, width=40, height=10)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+
+
+class TestHistogram:
+    def test_basic(self):
+        out = histogram([1, 1, 2, 5, 5, 5], bins=4, title="h")
+        assert "h" in out
+        assert "#" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_counts_sum(self):
+        out = histogram(list(range(100)), bins=10)
+        counts = [
+            int(line.split(")")[1].split()[0]) for line in out.splitlines()
+        ]
+        assert sum(counts) == 100
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

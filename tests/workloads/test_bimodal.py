@@ -1,0 +1,70 @@
+"""Tests for the bimodal workload sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.bimodal import BimodalSpec
+from repro.workloads.bimodal import BimodalWorkload
+
+
+SPEC = BimodalSpec.symmetric(n=128, d=32, sigma=4)
+
+
+def test_draws_in_range(rng):
+    wl = BimodalWorkload(SPEC)
+    for _ in range(200):
+        d = wl.draw(rng)
+        assert 0 <= d.x <= 128
+
+
+def test_labels_match_modes(rng):
+    """With tight sigma, draws labelled 'activity' cluster near mu2."""
+    wl = BimodalWorkload(SPEC)
+    activity_xs, quiet_xs = [], []
+    for _ in range(500):
+        d = wl.draw(rng)
+        (activity_xs if d.activity else quiet_xs).append(d.x)
+    assert np.mean(activity_xs) == pytest.approx(96, abs=2)
+    assert np.mean(quiet_xs) == pytest.approx(32, abs=2)
+
+
+def test_mixture_weight(rng):
+    spec = BimodalSpec.symmetric(n=128, d=32, sigma=4, weight1=0.9)
+    wl = BimodalWorkload(spec)
+    quiet = sum(not wl.draw(rng).activity for _ in range(1000))
+    assert quiet / 1000 == pytest.approx(0.9, abs=0.04)
+
+
+def test_draw_population_consistent(rng):
+    wl = BimodalWorkload(SPEC)
+    pop, d = wl.draw_population(rng)
+    assert pop.x == d.x
+    assert pop.size == 128
+
+
+def test_sample_counts_vectorised(rng):
+    wl = BimodalWorkload(SPEC)
+    counts = wl.sample_counts(5000, rng)
+    assert counts.shape == (5000,)
+    assert counts.min() >= 0 and counts.max() <= 128
+    # Two modes -> mean near n/2 for symmetric equal weights.
+    assert counts.mean() == pytest.approx(64, abs=2)
+
+
+def test_sample_counts_zero_runs(rng):
+    assert BimodalWorkload(SPEC).sample_counts(0, rng).shape == (0,)
+
+
+def test_sample_counts_rejects_negative(rng):
+    with pytest.raises(ValueError):
+        BimodalWorkload(SPEC).sample_counts(-1, rng)
+
+
+def test_zero_sigma_is_deterministic_given_mode(rng):
+    spec = BimodalSpec(n=100, mu1=10, sigma1=0, mu2=90, sigma2=0)
+    wl = BimodalWorkload(spec)
+    for _ in range(50):
+        d = wl.draw(rng)
+        assert d.x == (90 if d.activity else 10)

@@ -1,0 +1,103 @@
+"""Tests for scenario generation and sweep grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.scenarios import IntrusionField, x_sweep
+
+
+class TestXSweep:
+    def test_includes_endpoints(self):
+        grid = x_sweep(128)
+        assert grid[0] == 0
+        assert grid[-1] == 128
+
+    def test_sorted_unique_in_range(self):
+        grid = x_sweep(200)
+        assert grid == sorted(set(grid))
+        assert all(0 <= x <= 200 for x in grid)
+
+    def test_dense_at_small_x(self):
+        grid = x_sweep(128)
+        dense_top = int(2 * np.sqrt(128))
+        assert grid[: dense_top + 1] == list(range(dense_top + 1))
+
+    def test_points_thinning(self):
+        full = x_sweep(512)
+        thin = x_sweep(512, points=10)
+        assert len(thin) <= 10 + 2
+        assert set(thin) <= set(full)
+
+    def test_tiny_population(self):
+        assert x_sweep(1) == [0, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            x_sweep(0)
+
+
+class TestIntrusionField:
+    def test_positions_in_field(self, rng):
+        field = IntrusionField(50, field_size=100.0, rng=rng)
+        pos = field.positions
+        assert pos.shape == (50, 2)
+        assert pos.min() >= 0 and pos.max() <= 100
+
+    def test_event_with_intruder(self, rng):
+        field = IntrusionField(
+            200, field_size=100.0, sensing_range=25.0,
+            false_positive_rate=0.0, rng=rng,
+        )
+        scenario = field.event(rng, intruder=True)
+        assert scenario.intruder_xy is not None
+        assert scenario.false_detections == frozenset()
+        # Detections are exactly the nodes within the sensing disc.
+        pos = field.positions
+        dists = np.linalg.norm(pos - np.array(scenario.intruder_xy), axis=1)
+        expected = {int(i) for i in np.flatnonzero(dists <= 25.0)}
+        assert scenario.true_detections == expected
+        assert scenario.population.positives == expected
+
+    def test_event_without_intruder(self, rng):
+        field = IntrusionField(
+            100, false_positive_rate=0.1, rng=rng,
+        )
+        scenario = field.event(rng, intruder=False)
+        assert scenario.intruder_xy is None
+        assert scenario.true_detections == frozenset()
+        assert scenario.x == len(scenario.false_detections)
+
+    def test_false_positive_rate_respected(self):
+        field = IntrusionField(
+            1000, false_positive_rate=0.05, rng=np.random.default_rng(0)
+        )
+        rng = np.random.default_rng(1)
+        rates = [
+            field.event(rng, intruder=False).x / 1000 for _ in range(50)
+        ]
+        assert np.mean(rates) == pytest.approx(0.05, abs=0.01)
+
+    def test_neighbourhood(self, rng):
+        field = IntrusionField(100, field_size=50.0, rng=rng)
+        hood = field.neighbourhood(0, radio_range=20.0)
+        assert 0 not in hood
+        pos = field.positions
+        for i in hood:
+            assert np.linalg.norm(pos[i] - pos[0]) <= 20.0
+
+    def test_neighbourhood_validation(self, rng):
+        field = IntrusionField(10, rng=rng)
+        with pytest.raises(ValueError):
+            field.neighbourhood(10, radio_range=5.0)
+        with pytest.raises(ValueError):
+            field.neighbourhood(0, radio_range=0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            IntrusionField(0, rng=rng)
+        with pytest.raises(ValueError):
+            IntrusionField(5, field_size=-1, rng=rng)
+        with pytest.raises(ValueError):
+            IntrusionField(5, false_positive_rate=2.0, rng=rng)

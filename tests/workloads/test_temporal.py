@@ -1,0 +1,121 @@
+"""Tests for the temporal deployment trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.bimodal import BimodalSpec
+from repro.workloads.temporal import DeploymentTrace
+
+SPEC = BimodalSpec(n=64, mu1=2.0, sigma1=1.5, mu2=50.0, sigma2=5.0)
+
+
+def make(**kwargs):
+    defaults = dict(
+        horizon_s=3600.0,
+        query_interval_s=30.0,
+        event_rate_per_hour=4.0,
+        event_duration_s=120.0,
+    )
+    defaults.update(kwargs)
+    return DeploymentTrace(SPEC, **defaults)
+
+
+def test_sample_count_matches_horizon():
+    trace = make().generate(np.random.default_rng(0))
+    assert len(trace) == 3600 // 30
+
+
+def test_samples_are_time_ordered():
+    trace = make().generate(np.random.default_rng(1))
+    times = [s.time_s for s in trace]
+    assert times == sorted(times)
+    assert all(0 <= s.x <= 64 for s in trace)
+
+
+def test_activity_samples_draw_from_activity_mode():
+    trace = make(event_rate_per_hour=20.0).generate(np.random.default_rng(2))
+    active = [s.x for s in trace if s.activity]
+    quiet = [s.x for s in trace if not s.activity]
+    assert active and quiet
+    assert np.mean(active) > 30
+    assert np.mean(quiet) < 10
+
+
+def test_events_create_correlated_runs():
+    """Consecutive samples inside one event are all labelled active --
+    the temporal coherence the memoryless sampler lacks."""
+    trace = make(
+        event_rate_per_hour=2.0,
+        event_duration_s=300.0,
+        query_interval_s=30.0,
+    ).generate(np.random.default_rng(3))
+    labels = [s.activity for s in trace]
+    # Find at least one run of >= 3 consecutive active samples.
+    run = best = 0
+    for flag in labels:
+        run = run + 1 if flag else 0
+        best = max(best, run)
+    assert best >= 3
+
+
+def test_zero_rate_means_all_quiet():
+    trace = make(event_rate_per_hour=0.0).generate(np.random.default_rng(4))
+    assert all(not s.activity for s in trace)
+
+
+def test_duty_cycle_scales_with_rate():
+    def duty(rate, seed):
+        trace = make(
+            event_rate_per_hour=rate, horizon_s=7200.0
+        ).generate(np.random.default_rng(seed))
+        return np.mean([s.activity for s in trace])
+
+    low = np.mean([duty(1.0, s) for s in range(5)])
+    high = np.mean([duty(10.0, s) for s in range(5)])
+    assert high > low
+
+
+def test_reproducible_for_fixed_seed():
+    a = make().generate(np.random.default_rng(9))
+    b = make().generate(np.random.default_rng(9))
+    assert [(s.time_s, s.x, s.activity) for s in a] == [
+        (s.time_s, s.x, s.activity) for s in b
+    ]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make(horizon_s=0)
+    with pytest.raises(ValueError):
+        make(query_interval_s=0)
+    with pytest.raises(ValueError):
+        make(event_rate_per_hour=-1)
+    with pytest.raises(ValueError):
+        make(event_duration_s=0)
+
+
+def test_stream_classification_over_a_trace():
+    """End to end: the Sec VI scheme tracks a temporal trace's labels."""
+    from repro.core.probabilistic import ProbabilisticThreshold
+    from repro.group_testing.model import OnePlusModel
+
+    spec = BimodalSpec(n=64, mu1=2.0, sigma1=1.5, mu2=50.0, sigma2=5.0)
+    scheme = ProbabilisticThreshold(spec, delta=0.05)
+    trace = DeploymentTrace(
+        spec,
+        horizon_s=3 * 3600.0,
+        query_interval_s=60.0,
+        event_rate_per_hour=3.0,
+        event_duration_s=240.0,
+    ).generate(np.random.default_rng(7))
+    rng = np.random.default_rng(8)
+    hits = sum(
+        scheme.decide(
+            OnePlusModel(s.population, rng), 32, rng
+        ).decision
+        == s.activity
+        for s in trace
+    )
+    assert hits / len(trace) >= 0.95
