@@ -67,6 +67,28 @@ def test_bench_counting_vs_threshold(benchmark):
     assert tcast < counting
 
 
+def test_bench_ext_faults(benchmark, record_figure):
+    """The ISSUE acceptance gate for the reliability layer: unwrapped
+    2tBins degrades with fault severity; the Chernoff-confirmed wrapper
+    holds accuracy >= 99% at <= 2x query cost for p_single <= 0.1."""
+    from repro.experiments import ext_faults
+
+    result = _one(benchmark, lambda: ext_faults.run(runs=300, seed=7))
+    record_figure(result)
+    plain = result.get_series("2tBins FN rate")
+    rel = result.get_series("reliable FN rate")
+    qp = result.get_series("2tBins mean queries")
+    qr = result.get_series("reliable mean queries")
+    # (a) the unwrapped algorithm's FN rate grows with severity.
+    assert plain.y_at(0.0) == 0.0
+    assert plain.y_at(0.05) > 0.0
+    assert plain.y_at(0.2) > plain.y_at(0.05)
+    # (b) the retry-wrapped variant holds the reliability contract.
+    for p in (0.0, 0.02, 0.05, 0.1):
+        assert rel.y_at(p) <= 0.01, f"accuracy < 99% at p_single={p}"
+        assert qr.y_at(p) <= 2.0 * qp.y_at(p), f"cost > 2x at p_single={p}"
+
+
 def test_bench_ext_scaling(benchmark, record_figure):
     from repro.experiments import ext_scaling
 

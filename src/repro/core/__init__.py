@@ -18,6 +18,15 @@ Probabilistic algorithm (bounded error, O(1) queries):
 
 * :class:`~repro.core.probabilistic.ProbabilisticThreshold` -- the
   bimodal sampling scheme of Sec VI.
+
+Reliability layer (beyond the paper; see DESIGN.md "Fault model &
+reliability knobs"):
+
+* :class:`~repro.core.reliable.ReliableThreshold` -- wraps any exact
+  algorithm with a silence-confirmation :class:`~repro.core.reliable.RetryPolicy`
+  (:class:`~repro.core.reliable.KRepeatConfirm`,
+  :class:`~repro.core.reliable.ChernoffConfirm`), attaching
+  :class:`~repro.core.result.ReliabilityInfo` degradation metadata.
 """
 
 from repro.core.abns import Abns, AbnsBinPolicy, ProbabilisticAbns
@@ -28,13 +37,23 @@ from repro.core.exponential import ExponentialIncrease
 from repro.core.interval import BandResult, IntervalQuery, IntervalResult
 from repro.core.oracle import OracleBins
 from repro.core.probabilistic import ProbabilisticDecision, ProbabilisticThreshold
-from repro.core.result import RoundRecord, ThresholdResult
+from repro.core.reliable import (
+    ChernoffConfirm,
+    ConfirmingModel,
+    KRepeatConfirm,
+    NoRetry,
+    ReliableThreshold,
+    RetryPolicy,
+)
+from repro.core.result import ReliabilityInfo, RoundRecord, ThresholdResult
 from repro.core.two_t_bins import TwoTBins
 from repro.core.variations import FourFoldIncrease, PauseAndContinue
 
 __all__ = [
     "Abns",
     "AdaptiveSplittingCounter",
+    "ChernoffConfirm",
+    "ConfirmingModel",
     "CountResult",
     "AbnsBinPolicy",
     "ExponentialIncrease",
@@ -42,12 +61,17 @@ __all__ = [
     "FourFoldIncrease",
     "IntervalQuery",
     "IntervalResult",
+    "KRepeatConfirm",
+    "NoRetry",
     "OracleBins",
     "PauseAndContinue",
     "PositiveCountEstimator",
     "ProbabilisticAbns",
     "ProbabilisticDecision",
     "ProbabilisticThreshold",
+    "ReliabilityInfo",
+    "ReliableThreshold",
+    "RetryPolicy",
     "RoundRecord",
     "ThresholdAlgorithm",
     "ThresholdResult",

@@ -1,0 +1,328 @@
+"""The reliable-query layer: retry policies over any tcast algorithm.
+
+The RCD substrate has exactly one organic error mode: a non-empty bin can
+*read silent* (missed HACK, interference, a crashed positive), which
+biases exact algorithms toward false negatives (Sec IV-D).  This module
+wraps any :class:`~repro.core.base.ThresholdAlgorithm` so that **silent**
+verdicts -- the only unsafe ones -- are re-queried before being believed:
+
+* :class:`KRepeatConfirm` accepts a silent verdict only after ``repeats``
+  consecutive silent reads of the same bin;
+* :class:`ChernoffConfirm` sizes that repeat count from a target residual
+  failure probability, reusing the paper's Chernoff machinery
+  (:func:`repro.analytic.chernoff.failure_probability`): with independent
+  per-read miss probability ``p``, accepting after ``r`` silent reads
+  leaves a residual miss of ``p**r = exp(-eps*r/2)`` at
+  ``eps = 2*ln(1/p)`` -- exactly Eq 9's form.
+
+Because a retried query is just another bin query, the wrapper works
+unchanged on the abstract models *and* on the packet-level testbed
+adapter (backcast re-polls an already-announced bin at per-poll cost).
+The resulting :class:`~repro.core.result.ThresholdResult` carries a
+:class:`~repro.core.result.ReliabilityInfo` with the retries spent,
+recovered faults, and a residual false-negative bound.
+
+On an ideal radio the wrapper is behaviour-preserving: a truly silent
+bin stays silent under re-query, so the decision (and the decision
+*path*) match the unwrapped algorithm -- only the charged cost grows.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analytic.chernoff import failure_probability
+from repro.core.base import ThresholdAlgorithm
+from repro.core.result import ReliabilityInfo, ThresholdResult
+from repro.group_testing.model import (
+    BinObservation,
+    ObservationKind,
+    QueryModel,
+)
+
+
+class RetryPolicy(abc.ABC):
+    """How many silent reads it takes to believe a silent verdict."""
+
+    #: Assumed per-read probability of missing a lone positive (used for
+    #: the residual bound; ``None`` = unknown, no bound reported).
+    assumed_p_single: Optional[float] = None
+
+    @abc.abstractmethod
+    def confirmations(self, bin_size: int) -> int:
+        """Total silent reads required for a bin of ``bin_size`` candidates.
+
+        Args:
+            bin_size: Number of candidate members in the queried bin.
+
+        Returns:
+            ``>= 1``; ``1`` means the first read is trusted outright.
+        """
+
+    def residual_miss(self, bin_size: int) -> Optional[float]:
+        """Residual per-bin miss probability after confirmation.
+
+        ``p**r`` for ``r = confirmations(bin_size)`` under the assumed
+        single-miss probability; ``None`` when no assumption is held.
+        """
+        if self.assumed_p_single is None:
+            return None
+        return float(self.assumed_p_single ** self.confirmations(bin_size))
+
+
+class NoRetry(RetryPolicy):
+    """Trust every verdict on first read (the unwrapped behaviour)."""
+
+    def confirmations(self, bin_size: int) -> int:
+        """Always 1."""
+        return 1
+
+
+class KRepeatConfirm(RetryPolicy):
+    """Accept silence only after a fixed number of consecutive silent reads.
+
+    Directly targets the paper's single-positive false-negative mode:
+    each extra read multiplies the residual miss probability by the
+    per-read miss, so ``r`` repeats drive it down like ``miss(k)**r``.
+
+    Args:
+        repeats: Total silent reads required (``>= 1``).
+        max_bin_size: Only confirm bins with at most this many candidate
+            members (``None`` = all bins).  Small bins are where lone
+            positives -- the dominant miss victims -- live.
+        assumed_p_single: Optional per-read lone-miss probability used to
+            report a residual false-negative bound.
+    """
+
+    def __init__(
+        self,
+        repeats: int = 2,
+        *,
+        max_bin_size: Optional[int] = None,
+        assumed_p_single: Optional[float] = None,
+    ) -> None:
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        if max_bin_size is not None and max_bin_size < 1:
+            raise ValueError(
+                f"max_bin_size must be >= 1, got {max_bin_size}"
+            )
+        if assumed_p_single is not None and not 0.0 <= assumed_p_single <= 1.0:
+            raise ValueError(
+                f"assumed_p_single must be in [0,1], got {assumed_p_single}"
+            )
+        self.repeats = repeats
+        self.max_bin_size = max_bin_size
+        self.assumed_p_single = assumed_p_single
+
+    def confirmations(self, bin_size: int) -> int:
+        """``repeats`` for eligible bins, else 1."""
+        if self.max_bin_size is not None and bin_size > self.max_bin_size:
+            return 1
+        return self.repeats
+
+
+class ChernoffConfirm(KRepeatConfirm):
+    """Chernoff-sized silence confirmation for a target residual error.
+
+    Chooses the smallest ``r`` with ``p_single**r <= delta`` via the
+    paper's Eq 9 bound: ``failure_probability(eps, r) = exp(-eps*r/2)``
+    equals ``p_single**r`` at ``eps = 2*ln(1/p_single)``, so ``r`` is the
+    smallest repeat count whose Eq 9 bound clears ``delta``.
+
+    Args:
+        p_single: Assumed per-read probability of missing a lone
+            positive (``0 < p_single < 1``).
+        delta: Target residual miss probability per accepted silent bin.
+        max_bin_size: As in :class:`KRepeatConfirm`.
+        max_repeats: Safety cap on the sized repeat count.
+    """
+
+    def __init__(
+        self,
+        p_single: float,
+        *,
+        delta: float = 0.01,
+        max_bin_size: Optional[int] = None,
+        max_repeats: int = 16,
+    ) -> None:
+        if not 0.0 < p_single < 1.0:
+            raise ValueError(
+                f"p_single must be in (0,1), got {p_single}"
+            )
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0,1), got {delta}")
+        if max_repeats < 1:
+            raise ValueError(f"max_repeats must be >= 1, got {max_repeats}")
+        eps = 2.0 * float(np.log(1.0 / p_single))
+        repeats = 1
+        while (
+            failure_probability(eps, repeats) > delta
+            and repeats < max_repeats
+        ):
+            repeats += 1
+        super().__init__(
+            repeats,
+            max_bin_size=max_bin_size,
+            assumed_p_single=p_single,
+        )
+        self.delta = delta
+
+
+class ConfirmingModel:
+    """A :class:`~repro.group_testing.model.QueryModel` wrapper that
+    re-queries silent bins per a :class:`RetryPolicy`.
+
+    The wrapped algorithm never sees a silent verdict that has not
+    survived the policy's confirmation count; any re-query that comes
+    back non-silent is returned instead (a detected-and-recovered fault).
+    Retries are charged on the underlying model's ledger, so
+    ``result.queries`` reflects the true on-air cost.
+
+    Args:
+        model: The underlying query model (abstract or testbed adapter).
+        policy: The confirmation policy.
+    """
+
+    def __init__(self, model: QueryModel, policy: RetryPolicy) -> None:
+        self._model = model
+        self._policy = policy
+        self.retries = 0
+        self.recovered_faults = 0
+        self.accepted_silent_bins = 0
+        self._residual_log1m: float = 0.0
+        self._residual_known = policy.assumed_p_single is not None
+
+    @property
+    def queries_used(self) -> int:
+        """Total queries charged, retries included."""
+        return self._model.queries_used
+
+    @property
+    def population_size(self) -> int:
+        """Participant count (delegated)."""
+        return self._model.population_size
+
+    def begin_round(self, bins: Sequence[Sequence[int]]) -> None:
+        """Forward the round hook when the wrapped model has one."""
+        hook = getattr(self._model, "begin_round", None)
+        if hook is not None:
+            hook(bins)
+
+    def residual_fn_bound(self, decision: bool) -> Optional[float]:
+        """Bound on P(wrong) for the session's final ``decision``.
+
+        A *true* verdict cannot be wrong under RCD semantics (activity is
+        never fabricated), so the bound is ``0.0``.  A *false* verdict is
+        wrong only if some accepted-silent bin actually held a positive
+        that was missed on every read: union bound over accepted bins,
+        ``1 - prod(1 - p**r_i)``.  ``None`` when the policy holds no
+        single-miss assumption.
+        """
+        if decision:
+            return 0.0
+        if not self._residual_known:
+            return None
+        return float(min(1.0, 1.0 - np.exp(self._residual_log1m)))
+
+    def query(self, members: Sequence[int]) -> BinObservation:
+        """Query a bin; silent verdicts are confirmed before acceptance."""
+        obs = self._model.query(members)
+        if obs.kind is not ObservationKind.SILENT or not members:
+            return obs
+        needed = self._policy.confirmations(len(members))
+        for _ in range(needed - 1):
+            self.retries += 1
+            again = self._model.query(members)
+            if again.kind is not ObservationKind.SILENT:
+                self.recovered_faults += 1
+                return again
+        self.accepted_silent_bins += 1
+        if self._residual_known:
+            residual = self._policy.residual_miss(len(members))
+            if residual is not None and residual < 1.0:
+                self._residual_log1m += float(np.log1p(-residual))
+        return obs
+
+
+class ReliableThreshold:
+    """Wrap any tcast algorithm with a silence-confirmation retry policy.
+
+    Exposes the same ``decide(model, threshold, rng)`` entry point as a
+    :class:`~repro.core.base.ThresholdAlgorithm`, so it drops into every
+    harness (sweep engine, testbed, serial controller) unchanged.  The
+    returned result carries :class:`~repro.core.result.ReliabilityInfo`.
+
+    Args:
+        algorithm: The wrapped exact algorithm.
+        policy: The retry policy (default :class:`NoRetry`, which makes
+            the wrapper a transparent pass-through).
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.core import TwoTBins
+        >>> from repro.core.reliable import ChernoffConfirm, ReliableThreshold
+        >>> from repro.group_testing.model import OnePlusModel
+        >>> from repro.group_testing.population import Population
+        >>> rng = np.random.default_rng(0)
+        >>> pop = Population.from_count(32, 8, rng)
+        >>> model = OnePlusModel(pop, rng)
+        >>> wrapped = ReliableThreshold(TwoTBins(), ChernoffConfirm(0.05))
+        >>> result = wrapped.decide(model, 4, rng)
+        >>> result.decision, result.reliability.residual_fn_bound
+        (True, 0.0)
+    """
+
+    def __init__(
+        self,
+        algorithm: ThresholdAlgorithm,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._algorithm = algorithm
+        self._policy = policy if policy is not None else NoRetry()
+
+    @property
+    def name(self) -> str:
+        """Composite name, e.g. ``"reliable(2tBins)"``."""
+        return f"reliable({self._algorithm.name})"
+
+    @property
+    def algorithm(self) -> ThresholdAlgorithm:
+        """The wrapped algorithm."""
+        return self._algorithm
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The active retry policy."""
+        return self._policy
+
+    def decide(
+        self,
+        model: QueryModel,
+        threshold: int,
+        rng: np.random.Generator,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> ThresholdResult:
+        """Run the wrapped algorithm with silence confirmation.
+
+        Args / return value match
+        :meth:`repro.core.base.ThresholdAlgorithm.decide`; the result
+        additionally carries ``reliability`` metadata and the composite
+        algorithm name.
+        """
+        confirming = ConfirmingModel(model, self._policy)
+        result = self._algorithm.decide(
+            confirming, threshold, rng, candidates=candidates
+        )
+        info = ReliabilityInfo(
+            retries=confirming.retries,
+            recovered_faults=confirming.recovered_faults,
+            accepted_silent_bins=confirming.accepted_silent_bins,
+            residual_fn_bound=confirming.residual_fn_bound(result.decision),
+        )
+        return replace(result, algorithm=self.name, reliability=info)

@@ -39,6 +39,43 @@ class RoundRecord:
 
 
 @dataclass(frozen=True)
+class ReliabilityInfo:
+    """Degradation metadata attached by the reliable-query layer.
+
+    Records how much extra work the :mod:`repro.core.reliable` wrappers
+    spent defending the verdict and how trustworthy the answer remains
+    under the assumed fault model.
+
+    Attributes:
+        retries: Extra bin queries spent confirming suspicious verdicts.
+        recovered_faults: Verdicts that changed under re-query (a silent
+            read that turned out active) -- detected-and-recovered faults.
+        accepted_silent_bins: Non-empty-candidate bins whose silent
+            verdict was accepted after confirmation; each contributes to
+            the residual false-negative bound.
+        residual_fn_bound: Upper bound on the probability this session's
+            *false* verdict is wrong, under the policy's assumed
+            single-miss probability (``None`` when the policy assumes
+            none, ``0.0`` for a *true* verdict -- RCD cannot fabricate
+            activity).
+        timeouts: Session attempts abandoned on a control-plane deadline.
+        reboots: Testbed-wide reboots issued to clear a wedged session.
+    """
+
+    retries: int = 0
+    recovered_faults: int = 0
+    accepted_silent_bins: int = 0
+    residual_fn_bound: Optional[float] = None
+    timeouts: int = 0
+    reboots: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the session saw any fault, timeout, or reboot."""
+        return bool(self.recovered_faults or self.timeouts or self.reboots)
+
+
+@dataclass(frozen=True)
 class ThresholdResult:
     """Outcome of one threshold-querying session.
 
@@ -53,6 +90,8 @@ class ThresholdResult:
             the probabilistic scheme whose answer carries an error bound.
         history: Per-round audit records.
         algorithm: Name of the producing algorithm.
+        reliability: Degradation metadata when the session ran under a
+            :mod:`repro.core.reliable` wrapper; ``None`` otherwise.
     """
 
     decision: bool
@@ -63,6 +102,7 @@ class ThresholdResult:
     exact: bool = True
     history: Tuple[RoundRecord, ...] = field(default_factory=tuple)
     algorithm: str = ""
+    reliability: Optional[ReliabilityInfo] = None
 
     def __post_init__(self) -> None:
         if self.queries < 0:
@@ -78,8 +118,11 @@ class ThresholdResult:
     def summary(self) -> str:
         """One-line human-readable summary."""
         verdict = "x >= t" if self.decision else "x < t"
+        tail = ""
+        if self.reliability is not None and self.reliability.degraded:
+            tail = " [degraded]"
         return (
             f"{self.algorithm or 'threshold-query'}: {verdict} "
             f"(t={self.threshold}) in {self.queries} queries / "
-            f"{self.rounds} rounds"
+            f"{self.rounds} rounds{tail}"
         )

@@ -1,0 +1,132 @@
+"""Extension experiment: fault injection vs the reliable-query layer.
+
+The paper's testbed runs show tcast's one error mode -- HACK detection
+failures turning active bins silent, i.e. false negatives (Sec IV-D).
+This experiment injects exactly that fault into the abstract 1+ model at
+a swept severity ``p_single`` (the lone-HACK miss probability of
+:class:`repro.radio.irregularity.HackMissModel`) and measures two arms
+under common random numbers:
+
+* **plain** -- :class:`repro.core.two_t_bins.TwoTBins` unwrapped: its
+  false-negative rate grows with ``p_single``.
+* **reliable** -- the same algorithm wrapped in
+  :class:`repro.core.reliable.ReliableThreshold` with a Chernoff-sized
+  silence-confirmation policy
+  (:class:`repro.core.reliable.ChernoffConfirm`): each silent bin is
+  re-queried until the residual miss probability drops below ``delta``,
+  which should hold accuracy near-perfect at well under 2x query cost
+  (re-queries only ever touch silent bins, so the multiplier is bounded
+  by the confirmation count).
+
+Workloads draw ``x`` uniformly from ``{t, ..., 2t}`` -- every run's
+ground truth is *True*, the only regime where false negatives exist, and
+the small margins keep single-bin misses consequential.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.reliable import ChernoffConfirm, NoRetry, ReliableThreshold
+from repro.core.two_t_bins import TwoTBins
+from repro.experiments.common import ExperimentResult, Series
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+from repro.radio.irregularity import HackMissModel
+from repro.sim.rng import RngRegistry
+
+DEFAULT_P_SINGLES = (0.0, 0.02, 0.05, 0.1, 0.15, 0.2)
+
+
+def run(
+    *,
+    runs: int = 400,
+    seed: int = 4041,
+    n: int = 24,
+    threshold: int = 4,
+    p_singles: Sequence[float] = DEFAULT_P_SINGLES,
+    decay: float = 0.1,
+    delta: float = 0.001,
+) -> ExperimentResult:
+    """Sweep fault severity against plain and reliability-wrapped 2tBins.
+
+    Args:
+        runs: Sessions per severity level and arm.
+        seed: Root seed.
+        n: Population size.
+        threshold: Threshold ``t``; workloads draw ``x`` in ``[t, 2t]``.
+        p_singles: Lone-HACK miss probabilities to sweep.
+        decay: Per-extra-HACK miss decay of the injected fault model.
+        delta: Residual per-bin miss target of the Chernoff policy.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    root = RngRegistry(seed)
+    fn_plain: list[float] = []
+    fn_reliable: list[float] = []
+    q_plain: list[float] = []
+    q_reliable: list[float] = []
+    retries_mean: list[float] = []
+    for p in p_singles:
+        miss = HackMissModel(p_single=p, decay=decay).miss_probability
+        policy = NoRetry() if p == 0.0 else ChernoffConfirm(p, delta=delta)
+        reliable = ReliableThreshold(TwoTBins(), policy)
+        errs_plain = errs_rel = 0
+        cost_plain = cost_rel = retries = 0
+        for r in range(runs):
+            reg = root.fork(f"p{p}/r{r}")
+            x = int(reg.stream("workload").integers(threshold, 2 * threshold + 1))
+            pop = Population.from_count(n, x, reg.stream("pop"))
+            # Common workload, independent fault draws per arm.
+            model_a = OnePlusModel(
+                pop, reg.stream("model.plain"), detection_failure=miss
+            )
+            model_b = OnePlusModel(
+                pop, reg.stream("model.rel"), detection_failure=miss
+            )
+            res_a = TwoTBins().decide(model_a, threshold, reg.stream("bins"))
+            res_b = reliable.decide(model_b, threshold, reg.stream("bins.rel"))
+            errs_plain += res_a.decision is not True
+            errs_rel += res_b.decision is not True
+            cost_plain += res_a.queries
+            cost_rel += res_b.queries
+            assert res_b.reliability is not None
+            retries += res_b.reliability.retries
+        fn_plain.append(errs_plain / runs)
+        fn_reliable.append(errs_rel / runs)
+        q_plain.append(cost_plain / runs)
+        q_reliable.append(cost_rel / runs)
+        retries_mean.append(retries / runs)
+    xs = tuple(float(p) for p in p_singles)
+    multipliers = tuple(
+        qr / qp if qp else 1.0 for qp, qr in zip(q_plain, q_reliable)
+    )
+    return ExperimentResult(
+        exp_id="ext_faults",
+        title="fault injection vs the reliable-query layer (2tBins)",
+        parameters={
+            "n": n,
+            "t": threshold,
+            "runs": runs,
+            "seed": seed,
+            "decay": decay,
+            "delta": delta,
+        },
+        series=(
+            Series(label="2tBins FN rate", xs=xs, ys=tuple(fn_plain)),
+            Series(label="reliable FN rate", xs=xs, ys=tuple(fn_reliable)),
+            Series(label="2tBins mean queries", xs=xs, ys=tuple(q_plain)),
+            Series(label="reliable mean queries", xs=xs, ys=tuple(q_reliable)),
+            Series(label="mean retries", xs=xs, ys=tuple(retries_mean)),
+        ),
+        xlabel="p_single (lone-HACK miss probability)",
+        ylabel="rate / queries",
+        notes=(
+            "cost multipliers (reliable/plain): "
+            + ", ".join(
+                f"p={p:g}: {m:.2f}x" for p, m in zip(xs, multipliers)
+            ),
+            "all errors are false negatives; x drawn uniformly in [t, 2t] "
+            "so ground truth is always True",
+        ),
+    )

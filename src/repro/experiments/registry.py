@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments import (
+    ext_faults,
     ext_interference,
     ext_latency,
     ext_scaling,
@@ -40,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext_latency": ext_latency.run,
     "ext_interference": ext_interference.run,
     "ext_scaling": ext_scaling.run,
+    "ext_faults": ext_faults.run,
 }
 
 

@@ -1,0 +1,52 @@
+"""Cross-layer fault injection for the tcast reproduction.
+
+The paper's testbed exhibits exactly one organic error mode -- missed
+single-HACK bins producing false-negative runs (Sec IV-D, Fig 4).  This
+package makes that fault, and several the paper could not produce on
+demand, first-class and *injectable*: a :class:`~repro.faults.plan.FaultPlan`
+holds a composable, seeded set of injectors and plugs them into the
+existing seams of the stack:
+
+* the abstract models' ``detection_failure`` hook
+  (:meth:`~repro.faults.plan.FaultPlan.detection_hook`) and a
+  query-observation wrapper (:meth:`~repro.faults.plan.FaultPlan.wrap_model`);
+* the packet-level channel's HACK-irregularity model
+  (:meth:`~repro.faults.plan.FaultPlan.wrap_hack_miss`);
+* the testbed's motes and medium -- scheduled crashes/reboots and a
+  babbling transmitter (:meth:`~repro.faults.plan.FaultPlan.arm_testbed`);
+* the serial control plane's wire bytes
+  (:meth:`~repro.faults.plan.FaultPlan.corrupt_wire`).
+
+Everything is zero-cost when disabled: :meth:`FaultPlan.none()
+<repro.faults.plan.FaultPlan.none>` (and any plan with no relevant
+injectors) returns the wrapped object *unchanged*, so default runs
+reproduce the paper figures bit-for-bit under the same seeds.
+
+The :mod:`repro.core.reliable` layer is the counterpart that *recovers*
+from these faults; ``experiments/ext_faults.py`` measures the
+accuracy-vs-cost trade-off between the two.
+"""
+
+from repro.faults.injectors import (
+    BinMissWindow,
+    HackMissBurst,
+    MoteCrash,
+    SerialByteCorruption,
+    StuckTransmitter,
+    VerdictFlip,
+    WindowedHackMiss,
+)
+from repro.faults.plan import FaultEvent, FaultPlan, FaultyModel
+
+__all__ = [
+    "BinMissWindow",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyModel",
+    "HackMissBurst",
+    "MoteCrash",
+    "SerialByteCorruption",
+    "StuckTransmitter",
+    "VerdictFlip",
+    "WindowedHackMiss",
+]

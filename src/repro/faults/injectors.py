@@ -1,0 +1,276 @@
+"""The individual fault injectors a :class:`~repro.faults.plan.FaultPlan`
+composes.
+
+Each injector is a small frozen dataclass describing *one* failure
+process.  Injectors are pure configuration -- all randomness comes from
+the plan's seeded streams, so a plan replays identically under the same
+root seed.  Two domains exist:
+
+* **abstract-model injectors** (:class:`VerdictFlip`,
+  :class:`BinMissWindow`) act on the counting models of
+  :mod:`repro.group_testing.model` -- per-bin verdict flips through the
+  ``detection_failure`` seam or an observation wrapper;
+* **testbed injectors** (:class:`HackMissBurst`, :class:`MoteCrash`,
+  :class:`StuckTransmitter`, :class:`SerialByteCorruption`) act on the
+  packet-level emulation -- the channel's HACK-irregularity seam, mote
+  power control, the shared medium, and the serial control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.radio.irregularity import HackMissModel, IdealRadioModel
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0,1], got {value}")
+
+
+# ---------------------------------------------------------------------------
+# Abstract-model injectors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerdictFlip:
+    """Stationary per-bin verdict flips for the abstract models.
+
+    ``p_drop`` makes a detected bin read silent (the physically plausible
+    direction -- radio irregularity, interference); ``p_fake`` fabricates
+    activity on a truly silent bin (physically impossible over backcast,
+    but injectable to stress algorithms' one-sided-error assumptions).
+
+    Attributes:
+        p_drop: Probability a non-silent bin observation is flipped to
+            silent.  Applied through the models' ``detection_failure``
+            seam, so it composes with any configured base miss model.
+        p_fake: Probability a silent observation is flipped to 1+
+            activity.  Applied by :class:`~repro.faults.plan.FaultyModel`
+            (the hook seam cannot fabricate activity).
+        only_single: Restrict ``p_drop`` to bins holding exactly one
+            positive -- the paper's dominant error mode.
+    """
+
+    p_drop: float = 0.0
+    p_fake: float = 0.0
+    only_single: bool = False
+
+    def __post_init__(self) -> None:
+        _check_probability("p_drop", self.p_drop)
+        _check_probability("p_fake", self.p_fake)
+
+    def drop_probability(self, k: int) -> float:
+        """Miss probability contributed for a bin with ``k`` positives."""
+        if self.only_single and k != 1:
+            return 0.0
+        return self.p_drop
+
+
+@dataclass(frozen=True)
+class BinMissWindow:
+    """A burst of dropped bin verdicts over a query-index window.
+
+    During queries ``start_query <= i < start_query + n_queries`` (indices
+    counted from the wrapping of the model), any non-silent observation is
+    flipped to silent with probability ``p_miss``.  Models an interference
+    burst hitting a contiguous stretch of the session.  Applied by
+    :class:`~repro.faults.plan.FaultyModel`, which sees every query and
+    can therefore count indices exactly.
+
+    Attributes:
+        start_query: First affected query index (0-based).
+        n_queries: Window length in queries (``>= 1``).
+        p_miss: Drop probability inside the window.
+    """
+
+    start_query: int
+    n_queries: int
+    p_miss: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_query < 0:
+            raise ValueError(f"start_query must be >= 0, got {self.start_query}")
+        if self.n_queries < 1:
+            raise ValueError(f"n_queries must be >= 1, got {self.n_queries}")
+        _check_probability("p_miss", self.p_miss)
+
+    def covers(self, query_index: int) -> bool:
+        """Whether ``query_index`` falls inside the burst window."""
+        return self.start_query <= query_index < self.start_query + self.n_queries
+
+
+# ---------------------------------------------------------------------------
+# Testbed injectors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HackMissBurst:
+    """A time window of elevated HACK-miss probability on the channel.
+
+    While ``start_us <= now < start_us + duration_us`` the channel's
+    irregularity model is overridden by a :class:`HackMissModel` with the
+    burst's parameters, composed with the configured base model (miss
+    events are independent, so probabilities combine as
+    ``1 - (1-base)(1-burst)``).
+
+    Attributes:
+        start_us: Burst start (simulated microseconds).
+        duration_us: Burst length (``> 0``).
+        p_single: Lone-HACK miss probability during the burst.
+        decay: Per-extra-HACK multiplicative miss reduction.
+    """
+
+    start_us: float
+    duration_us: float
+    p_single: float
+    decay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0:
+            raise ValueError(f"start_us must be >= 0, got {self.start_us}")
+        if self.duration_us <= 0:
+            raise ValueError(
+                f"duration_us must be > 0, got {self.duration_us}"
+            )
+        _check_probability("p_single", self.p_single)
+        _check_probability("decay", self.decay)
+
+    def covers(self, now_us: float) -> bool:
+        """Whether simulated time ``now_us`` falls inside the burst."""
+        return self.start_us <= now_us < self.start_us + self.duration_us
+
+    def miss_probability(self, k: int) -> float:
+        """The burst's own miss probability for ``k`` superposed HACKs."""
+        return HackMissModel(
+            p_single=self.p_single, decay=self.decay
+        ).miss_probability(k)
+
+
+class WindowedHackMiss:
+    """Irregularity model composing a base model with timed bursts.
+
+    Implements the same ``miss_probability(k)`` interface as
+    :class:`~repro.radio.irregularity.HackMissModel` but consults a clock:
+    inside a burst window the burst's miss probability is combined with
+    the base model's (independent events).
+
+    Args:
+        base: The always-on irregularity model (``None`` = ideal).
+        bursts: The timed burst windows.
+        clock: Callable returning the current simulated time in us.
+    """
+
+    def __init__(
+        self,
+        base: Optional[HackMissModel | IdealRadioModel],
+        bursts: Sequence[HackMissBurst],
+        clock: Callable[[], float],
+    ) -> None:
+        self._base = base if base is not None else IdealRadioModel()
+        self._bursts = tuple(bursts)
+        self._clock = clock
+
+    @property
+    def bursts(self) -> tuple[HackMissBurst, ...]:
+        """The configured burst windows."""
+        return self._bursts
+
+    def miss_probability(self, k: int) -> float:
+        """Combined miss probability for ``k`` HACKs at the current time."""
+        survive = 1.0 - self._base.miss_probability(k)
+        now = self._clock()
+        for burst in self._bursts:
+            if burst.covers(now):
+                survive *= 1.0 - burst.miss_probability(k)
+        return 1.0 - survive
+
+
+@dataclass(frozen=True)
+class MoteCrash:
+    """Crash (and optionally reboot) one participant mote at a set time.
+
+    A crashed mote's radio is powered off: it stops HACK-ing, voting and
+    receiving announces -- a positive participant that crashes therefore
+    silently disappears from the query results, the classic fail-silent
+    fault.  An optional scheduled reboot restores it (predicate
+    configuration survives, as on the real testbed).
+
+    Attributes:
+        mote_id: Participant to crash (``0..N-1``).
+        at_us: Crash time (simulated microseconds).
+        reboot_at_us: Optional restart time (must be ``> at_us``).
+    """
+
+    mote_id: int
+    at_us: float
+    reboot_at_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mote_id < 0:
+            raise ValueError(f"mote_id must be >= 0, got {self.mote_id}")
+        if self.at_us < 0:
+            raise ValueError(f"at_us must be >= 0, got {self.at_us}")
+        if self.reboot_at_us is not None and self.reboot_at_us <= self.at_us:
+            raise ValueError(
+                f"reboot_at_us ({self.reboot_at_us}) must be after "
+                f"at_us ({self.at_us})"
+            )
+
+
+@dataclass(frozen=True)
+class StuckTransmitter:
+    """A babbling transmitter jamming the shared medium for a window.
+
+    Models a wedged radio stuck in TX: from ``start_us`` until
+    ``start_us + duration_us`` an extra channel-attached radio transmits
+    frames back to back, keeping CCA busy.  Initiator announces/polls
+    defer (see :func:`repro.primitives.common.transmit_when_clear`) and,
+    if the jam outlasts the deferral bound, the session raises
+    :class:`repro.primitives.common.ChannelWedged` -- the wedge the
+    reliable control plane recovers from by rebooting and backing off.
+
+    Attributes:
+        start_us: Jam start (simulated microseconds).
+        duration_us: Jam length (``> 0``).
+        payload_bytes: Payload size of each jamming frame.
+    """
+
+    start_us: float
+    duration_us: float
+    payload_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0:
+            raise ValueError(f"start_us must be >= 0, got {self.start_us}")
+        if self.duration_us <= 0:
+            raise ValueError(
+                f"duration_us must be > 0, got {self.duration_us}"
+            )
+        if self.payload_bytes < 1:
+            raise ValueError(
+                f"payload_bytes must be >= 1, got {self.payload_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class SerialByteCorruption:
+    """Random bit flips on the serial control plane's wire bytes.
+
+    Each byte of an encoded frame has one of its bits flipped with
+    probability ``p_byte``.  The SLIP checksum catches the damage and the
+    NAK/retransmit handshake of
+    :class:`repro.motes.serial.SerialTestbedController` recovers -- up to
+    its bounded retry budget.
+
+    Attributes:
+        p_byte: Per-byte corruption probability.
+    """
+
+    p_byte: float
+
+    def __post_init__(self) -> None:
+        _check_probability("p_byte", self.p_byte)

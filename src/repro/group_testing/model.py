@@ -258,6 +258,16 @@ class TwoPlusModel(_BaseModel):
     so only the decoded sender itself may be excluded from future rounds
     (Sec III-A).
 
+    The ``detection_failure`` hook gates *detection of the aggregate
+    reply*, exactly as in :class:`OnePlusModel`: it receives the bin's
+    true positive count ``k`` and a draw below ``miss(k)`` makes the
+    whole bin read silent.  In particular a lone reply (``k == 1``) --
+    which an ideal 2+ radio would always capture and decode -- is lost
+    with probability ``miss(1)``, and a failed detection suppresses the
+    capture/collision branch entirely.  The hook is only consulted for
+    ``k >= 1``: an empty bin is silent unconditionally, so the hook can
+    never fabricate activity (false positives stay impossible).
+
     Args:
         population: Hidden ground truth.
         rng: Randomness for capture draws and sender selection.

@@ -41,6 +41,7 @@ class Mote:
         self._radio = radio
         self._app = app
         self._boot_count = 0
+        self._crashed = False
         if app is not None:
             self.reboot()
 
@@ -64,12 +65,36 @@ class Mote:
         """How many times the mote has (re)booted."""
         return self._boot_count
 
+    @property
+    def crashed(self) -> bool:
+        """Whether the mote is currently crashed (radio powered off)."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail-silent crash: power the radio off until the next reboot.
+
+        A crashed mote stops HACK-ing, voting and receiving announces.
+        If the radio is mid-transmission the power-down is deferred until
+        the frame leaves the air (a real power loss would truncate it;
+        the emulated channel has no partial-frame notion, so the nearest
+        faithful point is the frame boundary).  Used by
+        :class:`repro.faults.injectors.MoteCrash`.
+        """
+        if self._radio.is_transmitting():
+            self._sim.schedule(1.0, self.crash, label="crash-retry")
+            return
+        self._radio.power_off()
+        self._crashed = True
+
     def reboot(self) -> None:
         """Power-cycle the mote: reset radio defaults and re-boot the app.
 
         The paper reboots every mote between runs "to remove the effect of
-        the previous run"; the testbed does the same.
+        the previous run"; the testbed does the same.  A reboot also
+        recovers a :meth:`crash`-ed mote (its predicate configuration
+        survives, as on the real testbed).
         """
+        self._crashed = False
         self._radio.power_on()
         self._radio.set_short_address(self._radio.address)
         self._radio.set_auto_ack(True)

@@ -13,24 +13,32 @@ This module implements that control plane at the byte level:
   ``ESC ESC_ESC``), so arbitrary binary payloads survive the wire.
 * **Integrity** -- a 1-byte additive checksum trails every payload;
   corrupt frames are dropped and counted.
+* **Reliability** -- every command carries a 1-byte sequence number; a
+  receiver that drops a corrupt frame answers **NAK**, and the laptop
+  retransmits (bounded budget).  Duplicate sequence numbers are served
+  from the receiver's cached response without re-execution, so a lost
+  *response* never re-runs a non-idempotent QUERY.  Link health is
+  surfaced as :class:`SerialLinkStats`.
 * **Commands** -- CONFIGURE (predicate id + positive flag), REBOOT, and
   QUERY (threshold + algorithm code, initiator only); responses are ACK
   and RESULT (decision + query count).
 * :class:`SerialTestbedController` -- the laptop side: drives a
   :class:`repro.motes.testbed.Testbed` purely through encoded frames, so
   the whole experiment lifecycle is exercised over the wire format.
+  Byte corruption is injectable through a
+  :class:`repro.faults.plan.FaultPlan` carrying
+  :class:`~repro.faults.injectors.SerialByteCorruption`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
-
-import numpy as np
+from typing import Callable, Dict, List, Optional
 
 from repro.core.abns import ProbabilisticAbns
 from repro.core.exponential import ExponentialIncrease
 from repro.core.two_t_bins import TwoTBins
+from repro.faults.plan import FaultPlan
 from repro.motes.testbed import Testbed
 
 # ---------------------------------------------------------------------------
@@ -83,10 +91,18 @@ class FrameDecoder:
 
     Args:
         on_frame: Called with each valid decoded payload.
+        on_drop: Optional callback fired once per dropped frame -- the
+            hook the NAK handshake hangs off (the receiver answers
+            ``RSP_NAK`` so the sender retransmits).
     """
 
-    def __init__(self, on_frame: Callable[[bytes], None]) -> None:
+    def __init__(
+        self,
+        on_frame: Callable[[bytes], None],
+        on_drop: Optional[Callable[[], None]] = None,
+    ) -> None:
         self._on_frame = on_frame
+        self._on_drop = on_drop
         self._buffer = bytearray()
         self._escaping = False
         self._dropped = 0
@@ -95,6 +111,11 @@ class FrameDecoder:
     def dropped_frames(self) -> int:
         """Frames discarded due to checksum or escape violations."""
         return self._dropped
+
+    def _drop(self) -> None:
+        self._dropped += 1
+        if self._on_drop is not None:
+            self._on_drop()
 
     def feed(self, data: bytes) -> None:
         """Consume a chunk of wire bytes (any fragmentation)."""
@@ -124,11 +145,11 @@ class FrameDecoder:
         self._escaping = False
         if len(body) < 2:
             if body:
-                self._dropped += 1
+                self._drop()
             return
         payload, check = body[:-1], body[-1]
         if _checksum(payload) != check:
-            self._dropped += 1
+            self._drop()
             return
         self._on_frame(payload)
 
@@ -142,6 +163,11 @@ CMD_REBOOT = 0x02
 CMD_QUERY = 0x03
 RSP_ACK = 0x80
 RSP_RESULT = 0x81
+RSP_NAK = 0x82
+
+#: Placeholder sequence byte on NAK responses (the receiver could not
+#: recover the corrupt frame's sequence number).
+NAK_SEQ = 0xFF
 
 #: Algorithm codes for the QUERY command.
 ALGORITHM_CODES = {0: TwoTBins, 1: ExponentialIncrease, 2: ProbabilisticAbns}
@@ -160,6 +186,30 @@ class QueryResponse:
     queries: int
 
 
+@dataclass(frozen=True)
+class SerialLinkStats:
+    """Health counters for the serial link (surfaced per controller).
+
+    Attributes:
+        command_retransmissions: Commands the laptop re-sent after a NAK
+            or a missing response.
+        naks_received: NAK frames the laptop got back from motes.
+        duplicates_suppressed: Retransmitted commands a mote recognised
+            by sequence number and answered from its response cache
+            (i.e. lost *responses* recovered without re-execution).
+        laptop_dropped_frames: Response frames the laptop's decoder
+            discarded as corrupt.
+        mote_dropped_frames: Command frames mote decoders discarded as
+            corrupt (summed over all motes).
+    """
+
+    command_retransmissions: int = 0
+    naks_received: int = 0
+    duplicates_suppressed: int = 0
+    laptop_dropped_frames: int = 0
+    mote_dropped_frames: int = 0
+
+
 class SerialTestbedController:
     """The laptop: drives a testbed exclusively through serial frames.
 
@@ -167,41 +217,90 @@ class SerialTestbedController:
     :class:`FrameDecoder` on both directions, so the byte protocol --
     not just the Python API -- is what the tests exercise.
 
+    Commands carry a 1-byte sequence number.  A receiver that drops a
+    corrupt command answers ``RSP_NAK``; the laptop retransmits up to
+    ``max_retransmits`` times.  Motes cache their last response per
+    sequence number, so a retransmit caused by a lost *response* is
+    answered from the cache without re-running the command (QUERY is not
+    idempotent).
+
     Args:
         testbed: The emulated testbed to control.
+        fault_plan: Optional fault plan; its
+            :class:`~repro.faults.injectors.SerialByteCorruption`
+            injectors corrupt wire bytes in both directions.  ``None``
+            means a clean wire.
+        max_retransmits: Retransmission budget per command before the
+            verb fails with :class:`RuntimeError`.
     """
 
-    def __init__(self, testbed: Testbed) -> None:
+    def __init__(
+        self,
+        testbed: Testbed,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+        max_retransmits: int = 3,
+    ) -> None:
+        if max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
         self._testbed = testbed
+        self._plan = fault_plan if fault_plan is not None else FaultPlan.none()
+        self._max_retransmits = int(max_retransmits)
         self._responses: List[bytes] = []
         self._mote_decoders: Dict[int, FrameDecoder] = {}
         self._laptop_decoder = FrameDecoder(self._responses.append)
+        self._next_seq: Dict[int, int] = {}
+        self._response_cache: Dict[int, tuple] = {}
+        self._retransmits = 0
+        self._naks = 0
+        self._duplicates = 0
+
+    @property
+    def link_stats(self) -> SerialLinkStats:
+        """Current link-health counters (see :class:`SerialLinkStats`)."""
+        return SerialLinkStats(
+            command_retransmissions=self._retransmits,
+            naks_received=self._naks,
+            duplicates_suppressed=self._duplicates,
+            laptop_dropped_frames=self._laptop_decoder.dropped_frames,
+            mote_dropped_frames=sum(
+                d.dropped_frames for d in self._mote_decoders.values()
+            ),
+        )
 
     # -- mote side -------------------------------------------------------
 
     def _dispatch(self, mote_id: int, payload: bytes) -> None:
         """Execute one decoded command on a mote; emit the response."""
-        if not payload:
+        if len(payload) < 2:
             return
-        cmd = payload[0]
+        seq, cmd = payload[0], payload[1]
+        cached = self._response_cache.get(mote_id)
+        if cached is not None and cached[0] == seq:
+            # Retransmit of an already-executed command: the response
+            # was lost, not the command.  Serve the cache.
+            self._duplicates += 1
+            self._reply(cached[1])
+            return
+        body = payload[2:]
         if cmd == CMD_CONFIGURE:
-            predicate_id, positive = payload[1], bool(payload[2])
+            predicate_id, positive = body[0], bool(body[1])
             if mote_id < self._testbed.num_participants:
                 self._testbed.configure_one(
                     mote_id, positive, predicate_id=predicate_id
                 )
-            self._reply(bytes([RSP_ACK, cmd]))
+            response = bytes([seq, RSP_ACK, cmd])
         elif cmd == CMD_REBOOT:
             self._testbed.reboot_all()
-            self._reply(bytes([RSP_ACK, cmd]))
+            response = bytes([seq, RSP_ACK, cmd])
         elif cmd == CMD_QUERY:
             if mote_id != self._testbed.num_participants:
                 raise ValueError(
                     "only the initiator mote exposes the query verb"
                 )
-            threshold = payload[1]
-            algo_code = payload[2]
-            predicate_id = payload[3]
+            threshold = body[0]
+            algo_code = body[1]
+            predicate_id = body[2]
             try:
                 factory = ALGORITHM_CODES[algo_code]
             except KeyError:
@@ -210,41 +309,74 @@ class SerialTestbedController:
                 factory(),
                 threshold,
                 predicate_id=predicate_id,
-                bin_rng=np.random.default_rng(
-                    self._testbed.config.seed + 7_777
-                ),
+                bin_rng=self._testbed.rngs.stream("serial.bins"),
             )
-            self._reply(
-                bytes(
-                    [
-                        RSP_RESULT,
-                        1 if run.result.decision else 0,
-                        run.result.queries & 0xFF,
-                        (run.result.queries >> 8) & 0xFF,
-                    ]
-                )
+            response = bytes(
+                [
+                    seq,
+                    RSP_RESULT,
+                    1 if run.result.decision else 0,
+                    run.result.queries & 0xFF,
+                    (run.result.queries >> 8) & 0xFF,
+                ]
             )
         else:
             raise ValueError(f"unknown command byte 0x{cmd:02x}")
+        self._response_cache[mote_id] = (seq, response)
+        self._reply(response)
 
     def _reply(self, payload: bytes) -> None:
         # Mote -> laptop direction: encode, then decode on the laptop.
-        self._laptop_decoder.feed(encode_frame(payload))
+        self._laptop_decoder.feed(self._plan.corrupt_wire(encode_frame(payload)))
 
-    def _send(self, mote_id: int, payload: bytes) -> None:
-        # Laptop -> mote direction: encode, then decode on the mote.
+    def _nak(self) -> None:
+        # A mote decoder dropped a corrupt command frame: answer NAK so
+        # the laptop retransmits.  (The NAK traverses the same lossy
+        # wire; if it is lost too, the laptop's no-response path covers
+        # it.)
+        self._reply(bytes([NAK_SEQ, RSP_NAK]))
+
+    def _send(self, mote_id: int, payload: bytes) -> bytes:
+        """Deliver one command reliably; return its response payload.
+
+        The returned payload has the sequence byte stripped (it starts
+        with the ``RSP_*`` type byte).
+
+        Raises:
+            RuntimeError: If the retransmission budget is exhausted.
+        """
         decoder = self._mote_decoders.get(mote_id)
         if decoder is None:
             decoder = FrameDecoder(
-                lambda p, mote_id=mote_id: self._dispatch(mote_id, p)
+                lambda p, mote_id=mote_id: self._dispatch(mote_id, p),
+                on_drop=self._nak,
             )
             self._mote_decoders[mote_id] = decoder
-        decoder.feed(encode_frame(payload))
-
-    def _pop_response(self) -> bytes:
-        if not self._responses:
-            raise RuntimeError("no serial response received")
-        return self._responses.pop(0)
+        seq = self._next_seq.get(mote_id, 0)
+        self._next_seq[mote_id] = (seq + 1) & 0xFF
+        wire = encode_frame(bytes([seq]) + payload)
+        for attempt in range(1 + self._max_retransmits):
+            if attempt:
+                self._retransmits += 1
+            before = len(self._responses)
+            decoder.feed(self._plan.corrupt_wire(wire))
+            if len(self._responses) == before:
+                # Command or response lost outright (corrupt frame with
+                # the NAK lost too, or a corrupted END merging frames).
+                continue
+            rsp = self._responses.pop()
+            if len(rsp) >= 2 and rsp[1] == RSP_NAK:
+                self._naks += 1
+                continue
+            if rsp[0] != seq:
+                # A corrupted frame that slipped past the checksum, or a
+                # stale cached response: treat as lost.
+                continue
+            return rsp[1:]
+        raise RuntimeError(
+            f"serial command 0x{payload[0]:02x} to mote {mote_id} "
+            f"undeliverable after {self._max_retransmits} retransmissions"
+        )
 
     # -- laptop verbs ----------------------------------------------------
 
@@ -256,11 +388,10 @@ class SerialTestbedController:
         Raises:
             RuntimeError: If the mote does not acknowledge.
         """
-        self._send(
+        rsp = self._send(
             mote_id,
             bytes([CMD_CONFIGURE, predicate_id, 1 if positive else 0]),
         )
-        rsp = self._pop_response()
         if rsp[:2] != bytes([RSP_ACK, CMD_CONFIGURE]):
             raise RuntimeError(f"configure not acknowledged: {rsp.hex()}")
 
@@ -276,8 +407,7 @@ class SerialTestbedController:
 
     def reboot(self) -> None:
         """Reboot all motes over the wire (the between-runs hygiene)."""
-        self._send(self._testbed.num_participants, bytes([CMD_REBOOT]))
-        rsp = self._pop_response()
+        rsp = self._send(self._testbed.num_participants, bytes([CMD_REBOOT]))
         if rsp[:2] != bytes([RSP_ACK, CMD_REBOOT]):
             raise RuntimeError(f"reboot not acknowledged: {rsp.hex()}")
 
@@ -304,11 +434,10 @@ class SerialTestbedController:
         """
         if not 0 <= threshold <= 255:
             raise ValueError(f"threshold must fit one byte, got {threshold}")
-        self._send(
+        rsp = self._send(
             self._testbed.num_participants,
             bytes([CMD_QUERY, threshold, algorithm_code, predicate_id]),
         )
-        rsp = self._pop_response()
         if len(rsp) != 4 or rsp[0] != RSP_RESULT:
             raise RuntimeError(f"malformed query response: {rsp.hex()}")
         return QueryResponse(

@@ -15,17 +15,20 @@ emulated radios -- the key fidelity claim of this reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.base import ThresholdAlgorithm
+from repro.core.reliable import ReliableThreshold, RetryPolicy
 from repro.core.result import ThresholdResult
+from repro.faults.plan import FaultPlan
 from repro.group_testing.model import BinObservation
 from repro.motes.initiator import InitiatorApp, PrimitiveName
 from repro.motes.mote import Mote
 from repro.motes.participant import ParticipantApp
+from repro.primitives.common import ChannelWedged
 from repro.radio.capture import CaptureModel
 from repro.radio.cc2420 import Cc2420Radio
 from repro.radio.channel import Channel
@@ -34,6 +37,16 @@ from repro.radio.timing import DEFAULT_TIMING, PhyTiming
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+
+
+class QueryDeadlineExceeded(RuntimeError):
+    """A testbed session blew through its control-plane deadline.
+
+    Raised by :class:`TestbedQueryAdapter` when a query is attempted past
+    the session's ``deadline_us``.  :meth:`Testbed.run_reliable_query`
+    treats it -- like :class:`repro.primitives.common.ChannelWedged` --
+    as a wedged session and recovers by rebooting and backing off.
+    """
 
 
 @dataclass(frozen=True)
@@ -48,6 +61,11 @@ class TestbedConfig:
         capture_model: Collision capture model (``None`` = default 1/k).
         timing: PHY timing constants.
         trace: Enable structured tracing (slower; for tests/debugging).
+        fault_plan: Optional :class:`repro.faults.plan.FaultPlan` whose
+            testbed injectors (HACK-miss bursts, mote crashes, stuck
+            transmitters) are armed at construction.  ``None`` and
+            ``FaultPlan.none()`` are equivalent and leave every code
+            path untouched.
     """
 
     # Not a pytest test class despite the name.
@@ -60,6 +78,7 @@ class TestbedConfig:
     capture_model: Optional[CaptureModel] = None
     timing: PhyTiming = field(default_factory=lambda: DEFAULT_TIMING)
     trace: bool = False
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_participants < 1:
@@ -107,14 +126,24 @@ class TestbedQueryAdapter:
             independent positive/negative answer per predicate, so one
             deployment can serve several concurrent questions -- e.g. the
             paper's intruder *classification* use case).
+        deadline_us: Optional absolute simulated time after which further
+            queries raise :class:`QueryDeadlineExceeded` (the reliable
+            control plane's per-attempt timeout).
     """
 
     # Not a pytest test class despite the name.
     __test__ = False
 
-    def __init__(self, testbed: "Testbed", *, predicate_id: int = 0) -> None:
+    def __init__(
+        self,
+        testbed: "Testbed",
+        *,
+        predicate_id: int = 0,
+        deadline_us: Optional[float] = None,
+    ) -> None:
         self._testbed = testbed
         self._predicate_id = predicate_id
+        self._deadline_us = deadline_us
         self._queries = 0
 
     @property
@@ -136,7 +165,19 @@ class TestbedQueryAdapter:
         )
 
     def query(self, members: Sequence[int]) -> BinObservation:
-        """Execute one on-air bin query via the initiator mote."""
+        """Execute one on-air bin query via the initiator mote.
+
+        Raises:
+            QueryDeadlineExceeded: If the session's deadline has passed.
+        """
+        if (
+            self._deadline_us is not None
+            and self._testbed.sim.now > self._deadline_us
+        ):
+            raise QueryDeadlineExceeded(
+                f"session deadline {self._deadline_us:.0f}us passed "
+                f"(now {self._testbed.sim.now:.0f}us)"
+            )
         self._queries += 1
         return self._testbed.initiator_app.query_bin(
             list(members), predicate_id=self._predicate_id
@@ -166,12 +207,18 @@ class Testbed:
         self._rngs = RngRegistry(config.seed)
         self._sim = Simulator()
         self._tracer = Tracer(enabled=config.trace, clock=lambda: self._sim.now)
+        plan = config.fault_plan
+        hack_miss = config.hack_miss
+        if plan is not None:
+            # Zero-cost when the plan holds no HACK bursts: the wrapper
+            # returns `config.hack_miss` unchanged.
+            hack_miss = plan.wrap_hack_miss(hack_miss, lambda: self._sim.now)
         self._channel = Channel(
             self._sim,
             self._rngs.stream("channel"),
             timing=config.timing,
             capture_model=config.capture_model,
-            hack_miss=config.hack_miss,
+            hack_miss=hack_miss,
             tracer=self._tracer,
         )
 
@@ -193,10 +240,18 @@ class Testbed:
             radio = Cc2420Radio(
                 self._sim, self._channel, address=i, tracer=self._tracer
             )
-            app = ParticipantApp(self._sim, radio)
+            # Thread the testbed's seeded registry into each participant
+            # so packet-level runs replay from the single root seed.
+            app = ParticipantApp(
+                self._sim,
+                radio,
+                rng=self._rngs.stream(f"participant.{i}.backoff"),
+            )
             self._participants.append(Mote(self._sim, radio, app))
             self._apps.append(app)
         self._positives_by_predicate: dict[int, frozenset[int]] = {}
+        if plan is not None and plan.enabled:
+            plan.arm_testbed(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -216,6 +271,16 @@ class Testbed:
     def sim(self) -> Simulator:
         """The underlying simulator (for inspection)."""
         return self._sim
+
+    @property
+    def rngs(self) -> RngRegistry:
+        """The testbed's named random-stream registry (root-seeded)."""
+        return self._rngs
+
+    @property
+    def participants(self) -> tuple[Mote, ...]:
+        """The participant motes, indexed by mote id."""
+        return tuple(self._participants)
 
     @property
     def channel(self) -> Channel:
@@ -304,9 +369,16 @@ class Testbed:
         for mote in self._participants:
             mote.reboot()
 
-    def query_adapter(self, *, predicate_id: int = 0) -> TestbedQueryAdapter:
+    def query_adapter(
+        self,
+        *,
+        predicate_id: int = 0,
+        deadline_us: Optional[float] = None,
+    ) -> TestbedQueryAdapter:
         """A fresh ``QueryModel`` adapter for one session."""
-        return TestbedQueryAdapter(self, predicate_id=predicate_id)
+        return TestbedQueryAdapter(
+            self, predicate_id=predicate_id, deadline_us=deadline_us
+        )
 
     def run_csma_collection(
         self,
@@ -380,6 +452,7 @@ class Testbed:
         *,
         bin_rng: Optional[np.random.Generator] = None,
         predicate_id: int = 0,
+        deadline_us: Optional[float] = None,
     ) -> TestbedRun:
         """Run one complete tcast session on the emulated testbed.
 
@@ -389,12 +462,17 @@ class Testbed:
             bin_rng: Randomness for the algorithm's bin assignment;
                 defaults to the testbed's ``"bins"`` stream.
             predicate_id: Which configured predicate to query.
+            deadline_us: Optional absolute simulated-time deadline for
+                the session (queries past it raise
+                :class:`QueryDeadlineExceeded`).
 
         Returns:
             A :class:`TestbedRun` with the verdict and diagnostics.
         """
         rng = bin_rng if bin_rng is not None else self._rngs.stream("bins")
-        adapter = self.query_adapter(predicate_id=predicate_id)
+        adapter = self.query_adapter(
+            predicate_id=predicate_id, deadline_us=deadline_us
+        )
         start_us = self._sim.now
         misses_before = self._channel.hack_misses
         self._initiator.radio.energy.finalize(self._sim.now)
@@ -414,3 +492,88 @@ class Testbed:
             initiator_energy_uj=self._initiator.radio.energy.total_uj
             - energy_before,
         )
+
+    def run_reliable_query(
+        self,
+        algorithm: ThresholdAlgorithm,
+        threshold: int,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        bin_rng: Optional[np.random.Generator] = None,
+        predicate_id: int = 0,
+        max_attempts: int = 3,
+        attempt_timeout_us: Optional[float] = None,
+        backoff_us: float = 20_000.0,
+    ) -> TestbedRun:
+        """Run a tcast session under the reliable control plane.
+
+        Wraps ``algorithm`` in a
+        :class:`~repro.core.reliable.ReliableThreshold` (silent verdicts
+        re-confirmed per ``policy``) and guards each attempt with a
+        bounded timeout: a wedged session -- the channel never clearing
+        (:class:`~repro.primitives.common.ChannelWedged`, e.g. a stuck
+        transmitter) or the per-attempt deadline passing
+        (:class:`QueryDeadlineExceeded`) -- triggers the paper's
+        between-runs hygiene, a full :meth:`reboot_all`, plus an
+        exponential backoff in simulated time before the retry.
+
+        Args:
+            algorithm: The (unwrapped) tcast algorithm.
+            threshold: The threshold ``t``.
+            policy: Silence-confirmation retry policy (``None`` =
+                :class:`~repro.core.reliable.NoRetry`).
+            bin_rng: Bin-assignment randomness; defaults to the
+                testbed's ``"bins"`` stream.
+            predicate_id: Which configured predicate to query.
+            max_attempts: Session attempts before giving up (``>= 1``).
+            attempt_timeout_us: Per-attempt simulated-time budget
+                (``None`` = unbounded; wedge detection then relies on
+                ``ChannelWedged``).
+            backoff_us: Base backoff; attempt ``i`` waits
+                ``backoff_us * 2**i`` after a wedge.
+
+        Returns:
+            The successful attempt's :class:`TestbedRun`; its result's
+            :class:`~repro.core.result.ReliabilityInfo` additionally
+            counts the timeouts and reboots spent getting there.
+
+        Raises:
+            ValueError: If ``max_attempts < 1``.
+            ChannelWedged: If the final attempt still cannot clear the
+                medium.
+            QueryDeadlineExceeded: If the final attempt still blows its
+                deadline.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        reliable = ReliableThreshold(algorithm, policy)
+        timeouts = 0
+        reboots = 0
+        for attempt in range(max_attempts):
+            deadline = (
+                self._sim.now + attempt_timeout_us
+                if attempt_timeout_us is not None
+                else None
+            )
+            try:
+                run = self.run_threshold_query(
+                    reliable,
+                    threshold,
+                    bin_rng=bin_rng,
+                    predicate_id=predicate_id,
+                    deadline_us=deadline,
+                )
+            except (ChannelWedged, QueryDeadlineExceeded) as wedge:
+                if isinstance(wedge, QueryDeadlineExceeded):
+                    timeouts += 1
+                if attempt + 1 >= max_attempts:
+                    raise
+                self.reboot_all()
+                reboots += 1
+                self._sim.run(until=self._sim.now + backoff_us * 2**attempt)
+                continue
+            info = run.result.reliability
+            assert info is not None  # ReliableThreshold always attaches it
+            info = replace(info, timeouts=timeouts, reboots=reboots)
+            return replace(run, result=replace(run.result, reliability=info))
+        raise AssertionError("unreachable: loop returns or raises")

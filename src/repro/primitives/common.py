@@ -20,6 +20,17 @@ from repro.sim.kernel import Simulator
 MAX_DEFERRALS = 10_000
 
 
+class ChannelWedged(RuntimeError):
+    """The medium never cleared within the deferral bound.
+
+    Raised by :func:`transmit_when_clear` when a stuck/babbling
+    transmitter (or equivalent jam) keeps CCA busy for
+    :data:`MAX_DEFERRALS` consecutive backoff periods.  The reliable
+    control plane (:meth:`repro.motes.testbed.Testbed.run_reliable_query`)
+    catches exactly this to trigger its reboot-and-backoff recovery.
+    """
+
+
 def transmit_when_clear(
     sim: Simulator,
     radio: Cc2420Radio,
@@ -36,7 +47,7 @@ def transmit_when_clear(
         The frame's end-of-air time.
 
     Raises:
-        RuntimeError: If the channel never clears within
+        ChannelWedged: If the channel never clears within
             :data:`MAX_DEFERRALS` backoff periods.
     """
     period = radio.channel.timing.backoff_period_us
@@ -44,6 +55,6 @@ def transmit_when_clear(
         if radio.cca():
             return radio.transmit(frame)
         sim.run(until=sim.now + period)
-    raise RuntimeError(
+    raise ChannelWedged(
         f"channel never cleared within {MAX_DEFERRALS} backoff periods"
     )

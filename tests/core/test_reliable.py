@@ -1,0 +1,209 @@
+"""Properties of the reliable-query layer (retry policies + wrapper).
+
+The two ISSUE-mandated properties:
+
+* repeating a silent verdict ``r`` times drives the false-negative
+  probability down like ``miss(k)**r`` under the
+  :class:`~repro.radio.irregularity.HackMissModel`;
+* a :class:`~repro.core.reliable.RetryPolicy`-wrapped algorithm keeps
+  ``decision == (x >= t)`` exact on ideal radios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TwoTBins
+from repro.core.reliable import (
+    ChernoffConfirm,
+    ConfirmingModel,
+    KRepeatConfirm,
+    NoRetry,
+    ReliableThreshold,
+)
+from repro.group_testing.model import OnePlusModel
+from repro.group_testing.population import Population
+from repro.radio.irregularity import HackMissModel
+
+
+class TestPolicies:
+    def test_no_retry_is_single_read(self):
+        policy = NoRetry()
+        assert policy.confirmations(1) == policy.confirmations(100) == 1
+        assert policy.residual_miss(1) is None  # no assumption held
+
+    def test_k_repeat_validation(self):
+        with pytest.raises(ValueError, match="repeats"):
+            KRepeatConfirm(0)
+        with pytest.raises(ValueError, match="max_bin_size"):
+            KRepeatConfirm(2, max_bin_size=0)
+        with pytest.raises(ValueError, match="assumed_p_single"):
+            KRepeatConfirm(2, assumed_p_single=1.5)
+
+    def test_k_repeat_bin_size_gate(self):
+        policy = KRepeatConfirm(3, max_bin_size=4)
+        assert policy.confirmations(4) == 3
+        assert policy.confirmations(5) == 1
+
+    def test_k_repeat_residual(self):
+        policy = KRepeatConfirm(3, assumed_p_single=0.1)
+        assert policy.residual_miss(2) == pytest.approx(1e-3)
+
+    @pytest.mark.parametrize(
+        "p,delta,expected_repeats",
+        [
+            (0.1, 0.01, 2),  # 0.1**2 == 0.01
+            (0.1, 0.001, 3),
+            (0.05, 0.01, 2),
+            (0.5, 0.01, 7),  # 0.5**7 ~ 7.8e-3
+        ],
+    )
+    def test_chernoff_sizing_matches_geometric(self, p, delta, expected_repeats):
+        """Eq 9 at eps = 2*ln(1/p) is exactly p**r, so the sized repeat
+        count is the smallest r with p**r <= delta."""
+        policy = ChernoffConfirm(p, delta=delta)
+        assert policy.repeats == expected_repeats
+        # Float tolerance: 0.1**2 rounds a hair above 1e-2 while the
+        # Eq 9 exp/log path rounds a hair below; both mean "equal".
+        assert p**policy.repeats <= delta * (1 + 1e-9)
+        assert policy.repeats == 1 or p ** (policy.repeats - 1) > delta
+
+    def test_chernoff_validation(self):
+        with pytest.raises(ValueError, match="p_single"):
+            ChernoffConfirm(0.0)
+        with pytest.raises(ValueError, match="delta"):
+            ChernoffConfirm(0.1, delta=0.0)
+        with pytest.raises(ValueError, match="max_repeats"):
+            ChernoffConfirm(0.1, max_repeats=0)
+
+    def test_chernoff_repeat_cap(self):
+        policy = ChernoffConfirm(0.9, delta=1e-9, max_repeats=5)
+        assert policy.repeats == 5
+
+
+class TestGeometricDecay:
+    """P(accepted silent | k positives) ~ miss(k)**r."""
+
+    @pytest.mark.parametrize("repeats", [1, 2, 3])
+    def test_confirmation_decays_like_miss_power_r(self, repeats):
+        p_single = 0.4
+        trials = 3000
+        miss = HackMissModel(p_single=p_single, decay=0.1).miss_probability
+        rng = np.random.default_rng(1000 + repeats)
+        pop = Population.from_count(4, 1)  # one lone positive
+        accepted_silent = 0
+        for _ in range(trials):
+            model = OnePlusModel(pop, rng, detection_failure=miss)
+            confirming = ConfirmingModel(model, KRepeatConfirm(repeats))
+            accepted_silent += confirming.query([0, 1, 2, 3]).silent
+        rate = accepted_silent / trials
+        expected = p_single**repeats
+        sigma = np.sqrt(expected * (1 - expected) / trials)
+        assert rate == pytest.approx(expected, abs=4 * sigma + 0.005)
+
+    def test_recovered_faults_counted(self):
+        """With p=0.4 and 2 confirmations, a substantial share of first
+        reads that miss are recovered by the re-query."""
+        p_single = 0.4
+        miss = HackMissModel(p_single=p_single, decay=0.1).miss_probability
+        rng = np.random.default_rng(7)
+        pop = Population.from_count(4, 1)
+        recovered = 0
+        for _ in range(500):
+            model = OnePlusModel(pop, rng, detection_failure=miss)
+            confirming = ConfirmingModel(model, KRepeatConfirm(2))
+            confirming.query([0, 1, 2, 3])
+            recovered += confirming.recovered_faults
+        # E[recovered] = p*(1-p)*500 = 120; allow wide slack.
+        assert 60 <= recovered <= 180
+
+
+class TestExactOnIdealRadios:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        data=st.data(),
+        t=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_wrapped_decision_is_exact(self, n, data, t, seed):
+        """On an ideal radio the wrapper preserves exactness: silence is
+        truthful, so confirmation can never change an answer."""
+        x = data.draw(st.integers(min_value=0, max_value=n))
+        pop = Population.from_count(n, x, np.random.default_rng(seed))
+        model = OnePlusModel(pop, np.random.default_rng(seed + 1))
+        wrapped = ReliableThreshold(TwoTBins(), ChernoffConfirm(0.1, delta=0.001))
+        result = wrapped.decide(model, t, np.random.default_rng(seed + 2))
+        assert result.decision == (x >= t)
+        info = result.reliability
+        assert info is not None
+        assert info.recovered_faults == 0  # nothing to recover
+        assert not info.degraded
+
+    def test_wrapped_run_matches_unwrapped_decision_path(self):
+        """Same seeds, ideal radio: wrapped and unwrapped runs agree on
+        decision and round structure; only the charged cost grows."""
+        pop = Population.from_count(32, 6, np.random.default_rng(3))
+        t = 5
+        plain_model = OnePlusModel(pop, np.random.default_rng(11))
+        plain = TwoTBins().decide(plain_model, t, np.random.default_rng(17))
+        wrapped_model = OnePlusModel(pop, np.random.default_rng(11))
+        wrapped = ReliableThreshold(TwoTBins(), KRepeatConfirm(3)).decide(
+            wrapped_model, t, np.random.default_rng(17)
+        )
+        assert wrapped.decision == plain.decision
+        assert wrapped.rounds == plain.rounds
+        assert wrapped.queries > plain.queries  # confirmation is charged
+
+
+class TestReliableThresholdPlumbing:
+    def test_composite_name_and_metadata(self):
+        pop = Population.from_count(16, 4)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        result = ReliableThreshold(TwoTBins(), KRepeatConfirm(2)).decide(
+            model, 3, np.random.default_rng(1)
+        )
+        assert result.algorithm == "reliable(2tBins)"
+        info = result.reliability
+        assert info is not None
+        assert info.retries >= info.accepted_silent_bins  # r=2: 1 retry each
+
+    def test_true_verdict_residual_bound_is_zero(self):
+        pop = Population.from_count(16, 8)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        result = ReliableThreshold(
+            TwoTBins(), ChernoffConfirm(0.1)
+        ).decide(model, 2, np.random.default_rng(1))
+        assert result.decision is True
+        assert result.reliability.residual_fn_bound == 0.0
+
+    def test_false_verdict_bound_unions_accepted_bins(self):
+        pop = Population.from_count(16, 1)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        policy = ChernoffConfirm(0.1, delta=0.001)
+        result = ReliableThreshold(TwoTBins(), policy).decide(
+            model, 4, np.random.default_rng(1)
+        )
+        assert result.decision is False
+        bound = result.reliability.residual_fn_bound
+        k = result.reliability.accepted_silent_bins
+        assert bound is not None and 0.0 < bound <= k * 0.1**policy.repeats
+
+    def test_no_assumption_means_no_bound(self):
+        pop = Population.from_count(16, 1)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        result = ReliableThreshold(TwoTBins(), KRepeatConfirm(2)).decide(
+            model, 4, np.random.default_rng(1)
+        )
+        assert result.decision is False
+        assert result.reliability.residual_fn_bound is None
+
+    def test_retries_charged_on_underlying_ledger(self):
+        pop = Population.from_count(16, 1)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        confirming = ConfirmingModel(model, KRepeatConfirm(2))
+        confirming.query([4, 5, 6])  # silent bin: 1 + 1 confirmation
+        assert model.queries_used == 2
+        assert confirming.queries_used == 2

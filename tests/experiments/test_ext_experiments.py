@@ -101,3 +101,42 @@ class TestScaling:
         two = scaling.get_series("2tBins")
         seq = scaling.get_series("Sequential")
         assert two.y_at(512) < seq.y_at(512) / 5
+
+
+class TestFaults:
+    @pytest.fixture(scope="class")
+    def faults(self):
+        from repro.experiments import ext_faults
+
+        return ext_faults.run(runs=60, seed=5, p_singles=(0.0, 0.1, 0.2))
+
+    def test_series_present(self, faults):
+        labels = {s.label for s in faults.series}
+        assert labels == {
+            "2tBins FN rate",
+            "reliable FN rate",
+            "2tBins mean queries",
+            "reliable mean queries",
+            "mean retries",
+        }
+
+    def test_fault_free_cell_is_exact_for_both_arms(self, faults):
+        assert faults.get_series("2tBins FN rate").y_at(0.0) == 0.0
+        assert faults.get_series("reliable FN rate").y_at(0.0) == 0.0
+        assert faults.get_series("mean retries").y_at(0.0) == 0.0
+
+    def test_reliable_arm_beats_plain_under_faults(self, faults):
+        plain = faults.get_series("2tBins FN rate")
+        rel = faults.get_series("reliable FN rate")
+        assert plain.y_at(0.2) > 0.0
+        assert rel.y_at(0.2) < plain.y_at(0.2)
+
+    def test_retries_cost_queries(self, faults):
+        qp = faults.get_series("2tBins mean queries")
+        qr = faults.get_series("reliable mean queries")
+        retries = faults.get_series("mean retries")
+        assert retries.y_at(0.2) > 0.0
+        assert qr.y_at(0.2) > qp.y_at(0.2)
+
+    def test_cost_multiplier_note_present(self, faults):
+        assert any("cost multipliers" in n for n in faults.notes)

@@ -14,7 +14,9 @@ class TestRegistry:
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
             "fig07", "fig08", "fig09", "fig10", "fig11",
         }
-        extensions = {"ext_latency", "ext_interference", "ext_scaling"}
+        extensions = {
+            "ext_latency", "ext_interference", "ext_scaling", "ext_faults",
+        }
         assert set(list_experiments()) == figures | extensions
 
     def test_lookup(self):

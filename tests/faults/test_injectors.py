@@ -1,0 +1,117 @@
+"""Unit tests for the individual fault injectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injectors import (
+    BinMissWindow,
+    HackMissBurst,
+    MoteCrash,
+    SerialByteCorruption,
+    StuckTransmitter,
+    VerdictFlip,
+    WindowedHackMiss,
+)
+from repro.radio.irregularity import HackMissModel
+
+
+class TestVerdictFlip:
+    def test_defaults_are_inert(self):
+        flip = VerdictFlip()
+        assert flip.p_drop == 0.0 and flip.p_fake == 0.0
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError, match="p_drop"):
+            VerdictFlip(p_drop=1.5)
+        with pytest.raises(ValueError, match="p_fake"):
+            VerdictFlip(p_fake=-0.1)
+
+    def test_only_single_gates_drop(self):
+        flip = VerdictFlip(p_drop=0.3, only_single=True)
+        assert flip.drop_probability(1) == 0.3
+        assert flip.drop_probability(2) == 0.0
+        assert flip.drop_probability(5) == 0.0
+
+    def test_unrestricted_drop_applies_to_all_counts(self):
+        flip = VerdictFlip(p_drop=0.3)
+        assert flip.drop_probability(1) == flip.drop_probability(7) == 0.3
+
+
+class TestBinMissWindow:
+    def test_covers_half_open_interval(self):
+        win = BinMissWindow(start_query=3, n_queries=2)
+        assert not win.covers(2)
+        assert win.covers(3)
+        assert win.covers(4)
+        assert not win.covers(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="start_query"):
+            BinMissWindow(start_query=-1, n_queries=1)
+        with pytest.raises(ValueError, match="n_queries"):
+            BinMissWindow(start_query=0, n_queries=0)
+        with pytest.raises(ValueError, match="p_miss"):
+            BinMissWindow(start_query=0, n_queries=1, p_miss=2.0)
+
+
+class TestHackMissBurst:
+    def test_covers_and_miss(self):
+        burst = HackMissBurst(
+            start_us=100.0, duration_us=50.0, p_single=0.4, decay=0.5
+        )
+        assert burst.covers(100.0) and burst.covers(149.9)
+        assert not burst.covers(99.9) and not burst.covers(150.0)
+        assert burst.miss_probability(1) == pytest.approx(0.4)
+        assert burst.miss_probability(2) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duration_us"):
+            HackMissBurst(start_us=0.0, duration_us=0.0, p_single=0.1)
+
+
+class TestWindowedHackMiss:
+    def test_outside_window_equals_base(self):
+        base = HackMissModel(p_single=0.1, decay=0.1)
+        burst = HackMissBurst(start_us=10.0, duration_us=5.0, p_single=0.9)
+        clock = lambda: 0.0  # noqa: E731
+        model = WindowedHackMiss(base, (burst,), clock)
+        assert model.miss_probability(1) == pytest.approx(0.1)
+
+    def test_inside_window_combines_independently(self):
+        base = HackMissModel(p_single=0.1, decay=0.1)
+        burst = HackMissBurst(
+            start_us=10.0, duration_us=5.0, p_single=0.5, decay=0.1
+        )
+        model = WindowedHackMiss(base, (burst,), lambda: 12.0)
+        # 1 - (1 - 0.1)(1 - 0.5)
+        assert model.miss_probability(1) == pytest.approx(0.55)
+
+    def test_none_base_is_ideal(self):
+        burst = HackMissBurst(start_us=0.0, duration_us=5.0, p_single=0.5)
+        model = WindowedHackMiss(None, (burst,), lambda: 100.0)
+        assert model.miss_probability(1) == 0.0
+
+
+class TestMoteCrash:
+    def test_reboot_must_follow_crash(self):
+        with pytest.raises(ValueError, match="reboot_at_us"):
+            MoteCrash(mote_id=0, at_us=100.0, reboot_at_us=100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mote_id"):
+            MoteCrash(mote_id=-1, at_us=0.0)
+        with pytest.raises(ValueError, match="at_us"):
+            MoteCrash(mote_id=0, at_us=-1.0)
+
+
+class TestStuckTransmitterAndSerial:
+    def test_stuck_transmitter_validation(self):
+        with pytest.raises(ValueError, match="duration_us"):
+            StuckTransmitter(start_us=0.0, duration_us=-1.0)
+        with pytest.raises(ValueError, match="payload_bytes"):
+            StuckTransmitter(start_us=0.0, duration_us=1.0, payload_bytes=0)
+
+    def test_serial_corruption_validation(self):
+        with pytest.raises(ValueError, match="p_byte"):
+            SerialByteCorruption(p_byte=1.01)

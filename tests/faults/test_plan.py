@@ -1,0 +1,188 @@
+"""Tests for :class:`repro.faults.plan.FaultPlan` seam behaviour.
+
+The central contract: every seam method is an identity when the plan
+holds no injector relevant to that seam (zero-cost-when-disabled), and a
+faithful fault process when it does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TwoTBins
+from repro.faults import (
+    BinMissWindow,
+    FaultPlan,
+    HackMissBurst,
+    MoteCrash,
+    SerialByteCorruption,
+    VerdictFlip,
+)
+from repro.faults.injectors import WindowedHackMiss
+from repro.group_testing.model import ObservationKind, OnePlusModel
+from repro.group_testing.population import Population
+from repro.radio.irregularity import HackMissModel
+
+
+class TestZeroCostWhenDisabled:
+    """Every seam returns its argument unchanged on an empty plan."""
+
+    def test_none_plan_is_disabled(self):
+        plan = FaultPlan.none()
+        assert not plan.enabled
+        assert not plan
+        assert plan.injectors == ()
+
+    def test_detection_hook_identity(self):
+        plan = FaultPlan.none()
+        assert plan.detection_hook(None) is None
+        base = HackMissModel(p_single=0.1).miss_probability
+        assert plan.detection_hook(base) is base
+
+    def test_wrap_model_identity(self):
+        plan = FaultPlan.none()
+        model = OnePlusModel(Population.from_count(8, 2), np.random.default_rng(0))
+        assert plan.wrap_model(model) is model
+
+    def test_wrap_hack_miss_identity(self):
+        plan = FaultPlan.none()
+        base = HackMissModel(p_single=0.1)
+        assert plan.wrap_hack_miss(base, lambda: 0.0) is base
+        assert plan.wrap_hack_miss(None, lambda: 0.0) is None
+
+    def test_corrupt_wire_identity(self):
+        plan = FaultPlan.none()
+        data = b"\x01\x02\x03"
+        assert plan.corrupt_wire(data) is data
+
+    def test_irrelevant_injectors_leave_other_seams_alone(self):
+        """A plan with only serial corruption must not touch the model
+        or channel seams."""
+        plan = FaultPlan((SerialByteCorruption(p_byte=0.5),), seed=1)
+        model = OnePlusModel(Population.from_count(8, 2), np.random.default_rng(0))
+        assert plan.wrap_model(model) is model
+        assert plan.detection_hook(None) is None
+        base = HackMissModel()
+        assert plan.wrap_hack_miss(base, lambda: 0.0) is base
+
+    def test_abstract_run_identical_under_empty_plan(self):
+        """TwoTBins sees bit-identical observations through the empty
+        plan's seams."""
+        results = []
+        for plan in (None, FaultPlan.none()):
+            rng = np.random.default_rng(123)
+            pop = Population.from_count(24, 5, np.random.default_rng(7))
+            hook = None if plan is None else plan.detection_hook(None)
+            model = OnePlusModel(pop, rng, detection_failure=hook)
+            wrapped = model if plan is None else plan.wrap_model(model)
+            res = TwoTBins().decide(wrapped, 4, np.random.default_rng(99))
+            results.append((res.decision, res.queries, res.rounds))
+        assert results[0] == results[1]
+
+
+class TestDetectionHook:
+    def test_composes_with_base_as_independent_events(self):
+        base = lambda k: 0.2  # noqa: E731
+        plan = FaultPlan((VerdictFlip(p_drop=0.5),), seed=0)
+        hook = plan.detection_hook(base)
+        assert hook is not base
+        assert hook(1) == pytest.approx(1 - 0.8 * 0.5)
+
+    def test_only_single_restriction(self):
+        plan = FaultPlan((VerdictFlip(p_drop=0.5, only_single=True),), seed=0)
+        hook = plan.detection_hook(None)
+        assert hook(1) == pytest.approx(0.5)
+        assert hook(2) == 0.0
+
+    def test_fake_only_flip_does_not_create_hook(self):
+        plan = FaultPlan((VerdictFlip(p_fake=0.5),), seed=0)
+        assert plan.detection_hook(None) is None
+
+
+class TestFaultyModel:
+    def _model(self, positives, n=8):
+        pop = Population(size=n, positives=frozenset(positives))
+        return OnePlusModel(pop, np.random.default_rng(0))
+
+    def test_window_drops_activity_deterministically(self):
+        plan = FaultPlan(
+            (BinMissWindow(start_query=0, n_queries=2, p_miss=1.0),), seed=0
+        )
+        wrapped = plan.wrap_model(self._model({0, 1}))
+        assert wrapped.query([0]).silent  # in window: dropped
+        assert wrapped.query([1]).silent  # in window: dropped
+        assert not wrapped.query([0]).silent  # window over
+        assert any(e.kind == "bin-miss" for e in plan.events)
+
+    def test_window_never_touches_truly_silent_bins(self):
+        plan = FaultPlan(
+            (BinMissWindow(start_query=0, n_queries=100, p_miss=1.0),), seed=0
+        )
+        wrapped = plan.wrap_model(self._model({0}))
+        assert wrapped.query([3, 4]).silent
+        assert plan.events == ()  # nothing was dropped: it was silent anyway
+
+    def test_fake_fabricates_activity_on_silent_bin(self):
+        plan = FaultPlan((VerdictFlip(p_fake=1.0),), seed=0)
+        wrapped = plan.wrap_model(self._model({0}))
+        obs = wrapped.query([3, 4])  # truly silent bin
+        assert obs.kind is ObservationKind.ACTIVITY
+        assert any(e.kind == "bin-fake" for e in plan.events)
+
+    def test_ledger_delegated(self):
+        plan = FaultPlan((VerdictFlip(p_fake=1.0),), seed=0)
+        inner = self._model({0})
+        wrapped = plan.wrap_model(inner)
+        wrapped.query([0])
+        wrapped.query([1])
+        assert wrapped.queries_used == inner.queries_used == 2
+        assert wrapped.population_size == 8
+
+    def test_seeded_plan_replays(self):
+        def run(seed):
+            plan = FaultPlan(
+                (BinMissWindow(start_query=0, n_queries=50, p_miss=0.5),),
+                seed=seed,
+            )
+            wrapped = plan.wrap_model(self._model({0, 1, 2, 3}))
+            return [wrapped.query([i % 4]).silent for i in range(50)]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestCorruptWire:
+    def test_certain_corruption_changes_every_byte_span(self):
+        plan = FaultPlan((SerialByteCorruption(p_byte=1.0),), seed=0)
+        data = bytes(range(32))
+        out = plan.corrupt_wire(data)
+        assert out != data
+        assert len(out) == len(data)
+        # Single-bit flips: every byte differs in exactly one bit.
+        for a, b in zip(data, out):
+            assert bin(a ^ b).count("1") == 1
+        assert any(e.kind == "serial-corruption" for e in plan.events)
+
+    def test_zero_probability_is_identity(self):
+        plan = FaultPlan((SerialByteCorruption(p_byte=0.0),), seed=0)
+        data = b"\x10\x20"
+        assert plan.corrupt_wire(data) == data
+
+
+class TestArmValidation:
+    def test_crash_id_out_of_range_rejected(self):
+        from repro.motes.testbed import Testbed, TestbedConfig
+
+        plan = FaultPlan((MoteCrash(mote_id=99, at_us=0.0),), seed=0)
+        with pytest.raises(ValueError, match="outside"):
+            Testbed(TestbedConfig(num_participants=4, seed=1, fault_plan=plan))
+
+    def test_hack_burst_plan_wraps_channel_model(self):
+        plan = FaultPlan(
+            (HackMissBurst(start_us=0.0, duration_us=10.0, p_single=0.5),),
+            seed=0,
+        )
+        wrapped = plan.wrap_hack_miss(None, lambda: 5.0)
+        assert isinstance(wrapped, WindowedHackMiss)
+        assert wrapped.miss_probability(1) == pytest.approx(0.5)

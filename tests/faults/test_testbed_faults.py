@@ -1,0 +1,186 @@
+"""Packet-level fault injection and the reliable control plane.
+
+Covers the testbed seams (mote crash/reboot, HACK-miss bursts, stuck
+transmitters), the zero-cost bit-for-bit guarantee of an empty plan, and
+:meth:`repro.motes.testbed.Testbed.run_reliable_query`'s timeout /
+reboot-on-wedge recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TwoTBins
+from repro.faults import (
+    FaultPlan,
+    HackMissBurst,
+    MoteCrash,
+    StuckTransmitter,
+)
+from repro.motes.testbed import (
+    QueryDeadlineExceeded,
+    Testbed,
+    TestbedConfig,
+)
+from repro.primitives.common import ChannelWedged
+from repro.radio.irregularity import HackMissModel
+
+
+def _testbed(plan=None, *, n=8, seed=21, hack_miss=None):
+    return Testbed(
+        TestbedConfig(
+            num_participants=n, seed=seed, fault_plan=plan, hack_miss=hack_miss
+        )
+    )
+
+
+class TestBitForBit:
+    """FaultPlan.none() runs reproduce no-plan runs bit for bit."""
+
+    @pytest.mark.parametrize("hack_miss", [None, HackMissModel(p_single=0.05)])
+    def test_run_identical_with_and_without_empty_plan(self, hack_miss):
+        runs = []
+        for plan in (None, FaultPlan.none()):
+            tb = _testbed(plan, hack_miss=hack_miss)
+            tb.configure_positives([1, 3, 5, 6])
+            runs.append(tb.run_threshold_query(TwoTBins(), 3))
+        a, b = runs
+        assert a.result.decision == b.result.decision
+        assert a.result.queries == b.result.queries
+        assert a.result.rounds == b.result.rounds
+        assert a.elapsed_us == b.elapsed_us
+        assert a.hack_misses == b.hack_misses
+        assert a.initiator_energy_uj == b.initiator_energy_uj
+
+
+class TestMoteCrash:
+    def test_crashed_positive_disappears_silently(self):
+        """A fail-silent crash of a positive makes the testbed read one
+        fewer positive -- the classic false-negative cause."""
+        plan = FaultPlan((MoteCrash(mote_id=1, at_us=0.0),), seed=0)
+        tb = _testbed(plan)
+        tb.configure_positives([1, 3, 5])
+        run = tb.run_threshold_query(TwoTBins(), 3)
+        assert tb.participants[1].crashed
+        assert run.truth is True  # ground truth still counts the crashed mote
+        assert run.result.decision is False  # but it cannot HACK
+        assert run.false_negative
+        assert any(e.kind == "mote-crash" for e in plan.events)
+
+    def test_scheduled_reboot_recovers_the_mote(self):
+        plan = FaultPlan(
+            (MoteCrash(mote_id=1, at_us=0.0, reboot_at_us=10.0),), seed=0
+        )
+        tb = _testbed(plan)
+        tb.configure_positives([1, 3, 5])
+        tb.sim.run(until=50.0)  # crash at 0, reboot at 10
+        assert not tb.participants[1].crashed
+        run = tb.run_threshold_query(TwoTBins(), 3)
+        assert run.result.decision is True
+        kinds = [e.kind for e in plan.events]
+        assert "mote-crash" in kinds and "mote-reboot" in kinds
+
+    def test_crash_of_negative_mote_is_harmless(self):
+        plan = FaultPlan((MoteCrash(mote_id=0, at_us=0.0),), seed=0)
+        tb = _testbed(plan)
+        tb.configure_positives([1, 3, 5])
+        run = tb.run_threshold_query(TwoTBins(), 3)
+        assert run.result.decision is True
+        assert not run.false_negative
+
+
+class TestHackMissBurst:
+    def test_burst_covering_session_forces_false_negative(self):
+        """p_single=1.0 during the whole session: every lone HACK is
+        lost, so a single-positive query must read silent."""
+        plan = FaultPlan(
+            (HackMissBurst(start_us=0.0, duration_us=1e9, p_single=1.0),),
+            seed=0,
+        )
+        tb = _testbed(plan)
+        tb.configure_positives([4])
+        run = tb.run_threshold_query(TwoTBins(), 1)
+        assert run.truth is True
+        assert run.result.decision is False
+        assert run.false_negative
+        assert run.hack_misses > 0
+
+    def test_burst_in_the_past_changes_nothing(self):
+        """A burst window that closed before the session starts leaves
+        the run fault-free."""
+        plan = FaultPlan(
+            (HackMissBurst(start_us=0.0, duration_us=1.0, p_single=1.0),),
+            seed=0,
+        )
+        tb = _testbed(plan)
+        tb.configure_positives([4])
+        tb.sim.run(until=10.0)  # move past the burst
+        run = tb.run_threshold_query(TwoTBins(), 1)
+        assert run.result.decision is True
+
+
+class TestStuckTransmitter:
+    def test_long_jam_wedges_a_plain_session(self):
+        plan = FaultPlan(
+            (StuckTransmitter(start_us=0.0, duration_us=1e8),), seed=0
+        )
+        tb = _testbed(plan)
+        tb.configure_positives([1, 3, 5])
+        with pytest.raises(ChannelWedged):
+            tb.run_threshold_query(TwoTBins(), 3)
+
+    def test_reliable_query_rides_out_a_bounded_jam(self):
+        """A jam shorter than the wedge bound delays the first queries;
+        the per-attempt deadline catches it and the control plane
+        reboots, backs off, and answers correctly on a later attempt."""
+        plan = FaultPlan(
+            (StuckTransmitter(start_us=0.0, duration_us=100_000.0),), seed=0
+        )
+        tb = _testbed(plan)
+        tb.configure_positives([1, 3, 5])
+        run = tb.run_reliable_query(
+            TwoTBins(), 3, attempt_timeout_us=50_000.0
+        )
+        assert run.result.decision is True
+        info = run.result.reliability
+        assert info is not None
+        assert info.timeouts >= 1
+        assert info.reboots >= 1
+        assert info.degraded
+        assert "[degraded]" in run.result.summary()
+
+    def test_reliable_query_exhausts_attempts_and_reraises(self):
+        plan = FaultPlan(
+            (StuckTransmitter(start_us=0.0, duration_us=1e10),), seed=0
+        )
+        tb = _testbed(plan)
+        tb.configure_positives([1, 3, 5])
+        with pytest.raises(ChannelWedged):
+            tb.run_reliable_query(TwoTBins(), 3, max_attempts=2)
+
+
+class TestReliableControlPlane:
+    def test_fault_free_reliable_run_is_undegraded(self):
+        tb = _testbed()
+        tb.configure_positives([1, 3, 5])
+        run = tb.run_reliable_query(TwoTBins(), 3)
+        info = run.result.reliability
+        assert info is not None
+        assert info.timeouts == 0 and info.reboots == 0
+        assert not info.degraded
+        assert run.result.decision is True
+        assert run.result.algorithm == "reliable(2tBins)"
+
+    def test_deadline_exceeded_surfaces_after_final_attempt(self):
+        tb = _testbed()
+        tb.configure_positives([1, 3, 5])
+        tb.sim.run(until=10.0)
+        with pytest.raises(QueryDeadlineExceeded):
+            tb.run_reliable_query(
+                TwoTBins(), 3, max_attempts=2, attempt_timeout_us=0.0
+            )
+
+    def test_max_attempts_validated(self):
+        tb = _testbed()
+        with pytest.raises(ValueError, match="max_attempts"):
+            tb.run_reliable_query(TwoTBins(), 1, max_attempts=0)

@@ -198,3 +198,64 @@ def test_observation_soundness_property(size, seed, data):
         if obs.captured_node is not None:
             assert pop.is_positive(obs.captured_node)
             assert obs.captured_node in members
+
+
+class TestTwoPlusDetectionFailure:
+    """The ``detection_failure`` hook on the 2+ capture path (Sec IV-D's
+    irregularity, applied to capture-effect radios)."""
+
+    def test_certain_miss_silences_a_lone_capture(self, pop, rng):
+        """A lone reply -- normally always captured and decoded -- is
+        lost when the hook fires, and no sender id leaks."""
+        model = TwoPlusModel(pop, rng, detection_failure=lambda k: 1.0)
+        obs = model.query([1, 0, 2])  # exactly one positive: node 1
+        assert obs.kind is ObservationKind.SILENT
+        assert obs.captured_node is None
+        assert obs.min_positives == 0
+
+    def test_certain_miss_suppresses_collisions_too(self, pop, rng):
+        model = TwoPlusModel(pop, rng, detection_failure=lambda k: 1.0)
+        obs = model.query([1, 3, 5])  # three positives
+        assert obs.kind is ObservationKind.SILENT
+
+    def test_hook_receives_true_positive_count(self, pop, rng):
+        seen = []
+
+        def hook(k):
+            seen.append(k)
+            return 0.0
+
+        model = TwoPlusModel(pop, rng, detection_failure=hook)
+        model.query([1, 0, 2])
+        model.query([1, 3, 5])
+        assert seen == [1, 3]
+
+    def test_empty_bin_never_consults_hook(self, pop, rng):
+        def hook(k):  # pragma: no cover - the assertion is that it never runs
+            raise AssertionError("hook consulted for an empty bin")
+
+        model = TwoPlusModel(pop, rng, detection_failure=hook)
+        obs = model.query([0, 2, 4])  # no positives
+        assert obs.silent
+
+    def test_zero_miss_hook_preserves_ideal_behaviour(self, pop, rng):
+        plain = TwoPlusModel(pop, np.random.default_rng(5))
+        hooked = TwoPlusModel(
+            pop, np.random.default_rng(5), detection_failure=lambda k: 0.0
+        )
+        for members in ([1, 0, 2], [1, 3, 5], [0, 2, 4]):
+            a = plain.query(list(members))
+            b = hooked.query(list(members))
+            assert a.kind == b.kind
+            assert a.captured_node == b.captured_node
+
+    def test_single_positive_miss_rate_matches_hook(self, pop):
+        """Statistical check: a 0.3 lone-miss hook silences ~30% of
+        lone-capture queries and never touches multi-positive bins."""
+        rng = np.random.default_rng(42)
+        miss = lambda k: 0.3 if k == 1 else 0.0  # noqa: E731
+        model = TwoPlusModel(pop, rng, detection_failure=miss)
+        lone_silent = sum(model.query([1, 0, 2]).silent for _ in range(2000))
+        multi_silent = sum(model.query([1, 3, 5]).silent for _ in range(500))
+        assert 500 <= lone_silent <= 700  # ~600 expected
+        assert multi_silent == 0

@@ -136,6 +136,7 @@ class TestController:
         """A query over the serial protocol matches the direct API call
         with the same bin randomness."""
         from repro.core import TwoTBins
+        from repro.sim.rng import derive_seed
 
         ctrl, tb = self._controller(seed=9)
         ctrl.configure_positives([0, 3, 5, 7])
@@ -143,6 +144,91 @@ class TestController:
         direct = tb.run_threshold_query(
             TwoTBins(),
             3,
-            bin_rng=np.random.default_rng(tb.config.seed + 7_777),
+            bin_rng=np.random.default_rng(
+                derive_seed(tb.config.seed, "serial.bins")
+            ),
         )
         assert wire.decision == direct.result.decision
+
+
+class TestReliableLink:
+    def _controller(self, p_byte, n=6, seed=11, retries=3):
+        from repro.faults import FaultPlan, SerialByteCorruption
+
+        tb = Testbed(TestbedConfig(num_participants=n, seed=seed))
+        plan = FaultPlan((SerialByteCorruption(p_byte=p_byte),), seed=seed)
+        ctrl = SerialTestbedController(
+            tb, fault_plan=plan, max_retransmits=retries
+        )
+        return ctrl, tb
+
+    def test_clean_wire_has_zero_overhead(self):
+        tb = Testbed(TestbedConfig(num_participants=6, seed=11))
+        ctrl = SerialTestbedController(tb)
+        ctrl.configure_positives([0, 2, 4])
+        assert ctrl.query(2).decision
+        stats = ctrl.link_stats
+        assert stats.command_retransmissions == 0
+        assert stats.naks_received == 0
+        assert stats.duplicates_suppressed == 0
+        assert stats.laptop_dropped_frames == 0
+        assert stats.mote_dropped_frames == 0
+
+    def test_retransmit_recovers_corruption(self):
+        """A lossy wire still delivers every verb, and the retry
+        counters surface the recovery work."""
+        ctrl, tb = self._controller(p_byte=0.02)
+        ctrl.configure_positives([0, 1, 3])
+        ctrl.reboot()
+        assert ctrl.query(2).decision
+        assert tb.positives == frozenset({0, 1, 3})
+        stats = ctrl.link_stats
+        # With ~2% byte corruption over dozens of frames, at least one
+        # retransmission must have happened (deterministic given seeds).
+        assert stats.command_retransmissions > 0
+        assert (
+            stats.mote_dropped_frames + stats.laptop_dropped_frames > 0
+        )
+
+    def test_duplicate_suppression_never_reruns_query(self):
+        """A replayed QUERY command (a retransmit after a lost response)
+        is served from the sequence cache, not re-executed."""
+        from repro.motes.serial import CMD_QUERY, RSP_RESULT
+
+        tb = Testbed(TestbedConfig(num_participants=4, seed=3))
+        ctrl = SerialTestbedController(tb)
+        ctrl.configure_positives([0, 1, 2])
+        rsp = ctrl.query(2)
+        init = tb.num_participants
+        seq_used = (ctrl._next_seq[init] - 1) & 0xFF  # noqa: SLF001
+        wire = encode_frame(bytes([seq_used, CMD_QUERY, 2, 0, 0]))
+        ctrl._mote_decoders[init].feed(wire)  # noqa: SLF001
+        assert ctrl.link_stats.duplicates_suppressed == 1
+        cached = ctrl._responses.pop()  # noqa: SLF001
+        # The cached response is byte-identical to the original result:
+        # the query did not run a second time.
+        assert cached[1] == RSP_RESULT
+        assert bool(cached[2]) == rsp.decision
+        assert cached[3] | (cached[4] << 8) == rsp.queries
+
+    def test_budget_exhaustion_raises(self):
+        ctrl, _ = self._controller(p_byte=1.0, retries=2)
+        with pytest.raises(RuntimeError, match="undeliverable"):
+            ctrl.configure(0, True)
+        assert ctrl.link_stats.command_retransmissions == 2
+
+    def test_nak_triggers_retransmit(self):
+        """A single corrupted command elicits a NAK and a successful
+        retransmission."""
+        tb = Testbed(TestbedConfig(num_participants=4, seed=3))
+        ctrl = SerialTestbedController(tb)
+        # Corrupt the first command frame by hand: feed garbage straight
+        # into the mote decoder, then drive a clean verb.
+        ctrl.configure(0, True)
+        decoder = ctrl._mote_decoders[0]  # noqa: SLF001
+        decoder.feed(b"\x99\x98\x97" + bytes([0xC0]))
+        assert ctrl.link_stats.mote_dropped_frames == 1
+        # The NAK response is sitting in the laptop buffer; the next
+        # verb's send loop consumes and survives it.
+        ctrl.configure(0, False)
+        assert tb.positives == frozenset()
