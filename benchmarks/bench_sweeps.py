@@ -1,0 +1,193 @@
+"""Sweep-throughput benchmark: serial vs parallel fig01, plus cache.
+
+Standalone script (not collected by pytest) that exercises the three
+throughput features of the sweep engine and emits a machine-readable
+summary:
+
+1. **Parity** -- runs fig01 at a reduced trial count with ``jobs=1`` and
+   ``jobs=N`` and asserts the resulting :class:`ExperimentResult` series
+   (and their CSV rendering) are byte-identical.  Parallelism must never
+   change the numbers.
+2. **Throughput** -- times the full fig01 sweep (default 1000 trials per
+   grid point, the paper's count) serial and parallel and reports
+   wall-clock, trials/sec and the speedup factor.
+3. **Cache** -- times a cold ``run_experiment`` against a fresh
+   :class:`ResultCache` directory, then a warm one, and reports the hit
+   rate and warm/cold ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweeps.py [--runs 1000]
+        [--jobs 0] [--out BENCH_sweeps.json] [--quick]
+
+The JSON lands at the repo root as ``BENCH_sweeps.json`` by default so
+CI can upload it as an artifact.  ``cpu_count`` is recorded alongside
+the timings: on a single-core box the parallel path degenerates to one
+worker and no speedup is expected (or claimed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.cache import ResultCache  # noqa: E402
+from repro.experiments.common import resolve_jobs, shutdown_executors  # noqa: E402
+from repro.experiments.fig01_one_plus import run as run_fig01  # noqa: E402
+from repro.experiments.registry import run_experiment  # noqa: E402
+
+#: fig01's grid has 31 x-points and four curves; every (x, run) pair of
+#: every curve is one trial (one full threshold-query session).
+FIG01_CURVES = 4
+FIG01_GRID = 31
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def check_parity(runs: int, jobs: int) -> dict:
+    """fig01 serial vs parallel must agree bit for bit."""
+    serial, serial_s = _time(lambda: run_fig01(runs=runs, jobs=1))
+    parallel, parallel_s = _time(lambda: run_fig01(runs=runs, jobs=jobs))
+    series_equal = serial.series == parallel.series
+    csv_equal = serial.to_csv() == parallel.to_csv()
+    if not (series_equal and csv_equal):
+        raise AssertionError(
+            f"fig01 parallel (jobs={jobs}) diverged from serial: "
+            f"series_equal={series_equal} csv_equal={csv_equal}"
+        )
+    return {
+        "runs": runs,
+        "jobs": jobs,
+        "series_identical": series_equal,
+        "csv_identical": csv_equal,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+    }
+
+
+def bench_throughput(runs: int, jobs: int) -> dict:
+    """Time the full fig01 sweep serial and parallel."""
+    trials = FIG01_CURVES * FIG01_GRID * runs
+    _, serial_s = _time(lambda: run_fig01(runs=runs, jobs=1))
+    _, parallel_s = _time(lambda: run_fig01(runs=runs, jobs=jobs))
+    return {
+        "experiment": "fig01",
+        "runs": runs,
+        "jobs": jobs,
+        "trials": trials,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "trials_per_second_serial": round(trials / serial_s, 1),
+        "trials_per_second_parallel": round(trials / parallel_s, 1),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+def bench_cache(runs: int) -> dict:
+    """Cold vs warm run_experiment through the on-disk result cache."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(pathlib.Path(tmp))
+        (cold_result, cold_hit), cold_s = _time(
+            lambda: run_experiment("fig01", cache=cache, runs=runs)
+        )
+        (warm_result, warm_hit), warm_s = _time(
+            lambda: run_experiment("fig01", cache=cache, runs=runs)
+        )
+        if cold_hit or not warm_hit:
+            raise AssertionError(
+                f"cache misbehaved: cold hit={cold_hit} warm hit={warm_hit}"
+            )
+        if cold_result.series != warm_result.series:
+            raise AssertionError("cached result differs from computed result")
+        return {
+            "runs": runs,
+            "cold_seconds": round(cold_s, 3),
+            "warm_seconds": round(warm_s, 3),
+            "warm_over_cold": round(warm_s / cold_s, 4),
+            "hit_rate": cache.hit_rate,
+            "hits": cache.hits,
+            "misses": cache.misses,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--runs", type=int, default=1000,
+        help="trials per grid point for the throughput sweep (paper: 1000)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes for the parallel legs (0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=REPO_ROOT / "BENCH_sweeps.json",
+        help="where to write the JSON summary",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink every leg (CI smoke / local sanity)",
+    )
+    args = parser.parse_args(argv)
+
+    # At least two workers, even on a single-core box: the point is to
+    # exercise the process-pool path; speedup is only expected when
+    # cpu_count allows it (and the JSON records cpu_count for context).
+    jobs = max(2, resolve_jobs(args.jobs if args.jobs else None))
+    parity_runs = 20 if args.quick else 60
+    sweep_runs = 60 if args.quick else args.runs
+    cache_runs = 20 if args.quick else 60
+
+    print(f"[bench_sweeps] cpu_count={os.cpu_count()} jobs={jobs}")
+
+    print(f"[bench_sweeps] parity: fig01 runs={parity_runs} ...")
+    parity = check_parity(parity_runs, jobs)
+    print(f"[bench_sweeps]   serial=={jobs}-way parallel: OK")
+
+    print(f"[bench_sweeps] throughput: fig01 runs={sweep_runs} ...")
+    throughput = bench_throughput(sweep_runs, jobs)
+    print(
+        f"[bench_sweeps]   serial {throughput['serial_seconds']}s, "
+        f"parallel {throughput['parallel_seconds']}s "
+        f"(speedup {throughput['speedup']}x, "
+        f"{throughput['trials_per_second_parallel']} trials/s)"
+    )
+
+    print(f"[bench_sweeps] cache: fig01 runs={cache_runs} ...")
+    cache = bench_cache(cache_runs)
+    print(
+        f"[bench_sweeps]   cold {cache['cold_seconds']}s, "
+        f"warm {cache['warm_seconds']}s, hit rate {cache['hit_rate']:.2f}"
+    )
+
+    payload = {
+        "benchmark": "sweeps",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "quick": args.quick,
+        "parity": parity,
+        "throughput": throughput,
+        "cache": cache,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_sweeps] wrote {args.out}")
+    shutdown_executors()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,7 +30,7 @@ reliability knobs"):
 """
 
 from repro.core.abns import Abns, AbnsBinPolicy, ProbabilisticAbns
-from repro.core.base import ThresholdAlgorithm
+from repro.core.base import ThresholdAlgorithm, ThresholdDecider
 from repro.core.counting import AdaptiveSplittingCounter, CountResult
 from repro.core.estimator import PositiveCountEstimator
 from repro.core.exponential import ExponentialIncrease
@@ -74,6 +74,7 @@ __all__ = [
     "RetryPolicy",
     "RoundRecord",
     "ThresholdAlgorithm",
+    "ThresholdDecider",
     "ThresholdResult",
     "TwoTBins",
 ]

@@ -24,13 +24,42 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.core.result import RoundRecord, ThresholdResult
 from repro.group_testing.binning import partition_deterministic, partition_random
 from repro.group_testing.model import ObservationKind, QueryModel
+
+
+@runtime_checkable
+class ThresholdDecider(Protocol):
+    """Anything that can answer a threshold query over a query model.
+
+    The structural contract shared by the exact algorithms
+    (:class:`ThresholdAlgorithm` subclasses), the probabilistic scheme
+    (:class:`repro.core.probabilistic.ProbabilisticThreshold`), and the
+    reliability wrapper (:class:`repro.core.reliable.ReliableThreshold`).
+    The high-level API (:mod:`repro.api`) and the sweep engine
+    (:mod:`repro.experiments.common`) accept any implementation.
+    """
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name (used in results and reports)."""
+        ...
+
+    def decide(
+        self,
+        model: QueryModel,
+        threshold: int,
+        rng: np.random.Generator,
+        *,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> ThresholdResult:
+        """Answer ``x >= threshold`` and return the session's result."""
+        ...
 
 
 @dataclass

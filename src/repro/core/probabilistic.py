@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.analytic.bimodal import BimodalSpec, SeparationAnalysis, analyze_separation
 from repro.core.result import ThresholdResult
-from repro.group_testing.binning import sample_bin
+from repro.group_testing.binning import sample_bins
 from repro.group_testing.model import QueryModel
 
 
@@ -151,13 +151,19 @@ class ProbabilisticThreshold:
         inclusion = 1.0 / self._analysis.bins if ids else 0.0
         inclusion = min(1.0, max(0.0, inclusion))
 
+        # The probe set is non-adaptive, so all bins can be sampled in one
+        # vectorized draw and answered in one batch.  The sampling rng and
+        # the model's rng are separate generators, so the reordering
+        # (sample all, then query all) is bit-identical to the interleaved
+        # per-probe loop it replaces.
         start_queries = model.queries_used
-        nonempty = 0
-        for _ in range(self._repeats):
-            members = sample_bin(ids, inclusion, rng)
-            obs = model.query(members)
-            if not obs.silent:
-                nonempty += 1
+        probes = sample_bins(ids, inclusion, self._repeats, rng)
+        query_batch = getattr(model, "query_batch", None)
+        if callable(query_batch):
+            observations = query_batch(probes)
+        else:
+            observations = [model.query(members) for members in probes]
+        nonempty = sum(1 for obs in observations if not obs.silent)
 
         midpoint = self._analysis.decision_midpoint(self._repeats)
         decision = nonempty > midpoint

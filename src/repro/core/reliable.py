@@ -36,7 +36,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.analytic.chernoff import failure_probability
-from repro.core.base import ThresholdAlgorithm
+from repro.core.base import ThresholdDecider
 from repro.core.result import ReliabilityInfo, ThresholdResult
 from repro.group_testing.model import (
     BinObservation,
@@ -258,7 +258,8 @@ class ReliableThreshold:
     returned result carries :class:`~repro.core.result.ReliabilityInfo`.
 
     Args:
-        algorithm: The wrapped exact algorithm.
+        algorithm: The wrapped algorithm -- any
+            :class:`~repro.core.base.ThresholdDecider`.
         policy: The retry policy (default :class:`NoRetry`, which makes
             the wrapper a transparent pass-through).
 
@@ -279,7 +280,7 @@ class ReliableThreshold:
 
     def __init__(
         self,
-        algorithm: ThresholdAlgorithm,
+        algorithm: ThresholdDecider,
         policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._algorithm = algorithm
@@ -291,7 +292,7 @@ class ReliableThreshold:
         return f"reliable({self._algorithm.name})"
 
     @property
-    def algorithm(self) -> ThresholdAlgorithm:
+    def algorithm(self) -> ThresholdDecider:
         """The wrapped algorithm."""
         return self._algorithm
 

@@ -8,22 +8,36 @@ runners; :mod:`repro.experiments.cli` is the ``tcast-experiments``
 console entry point.
 """
 
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, code_fingerprint
 from repro.experiments.common import (
     ExperimentResult,
     Series,
     SweepEngine,
     baseline_curve,
     mean_query_curve,
+    resolve_jobs,
+    shutdown_executors,
 )
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
     "EXPERIMENTS",
     "ExperimentResult",
+    "ResultCache",
     "Series",
     "SweepEngine",
     "baseline_curve",
+    "code_fingerprint",
     "get_experiment",
     "list_experiments",
     "mean_query_curve",
+    "resolve_jobs",
+    "run_experiment",
+    "shutdown_executors",
 ]

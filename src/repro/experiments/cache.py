@@ -1,0 +1,176 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Re-running ``fig01`` with the same configuration recomputes hundreds of
+thousands of trials that are fully determined by ``(experiment, config,
+seed, code)``.  The cache stores each finished
+:class:`~repro.experiments.common.ExperimentResult` as JSON under
+``results/cache/``, keyed by a SHA-256 over:
+
+* the experiment id,
+* the runner's keyword configuration (``runs``, ``seed``, ...), and
+* a fingerprint of the package's source tree (every ``.py`` under
+  ``src/repro``), so **any** code change invalidates every entry --
+  coarse but sound, and invalidation needs no bookkeeping.
+
+Backend-only knobs (``jobs``) are excluded from the key: parallel and
+serial runs produce bit-identical results, so they share entries.
+Corrupt or unreadable cache files count as misses and are ignored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.serialization import (
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+)
+
+#: Default cache directory, relative to the repository root (the cwd the
+#: CLI is normally invoked from).
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+#: Configuration keys that select the execution backend rather than the
+#: computation; they never affect results and are excluded from keys.
+_BACKEND_KEYS = frozenset({"jobs", "cache"})
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the package's source tree (cached per process).
+
+    Hashes the relative path and contents of every ``*.py`` under the
+    installed ``repro`` package, in sorted order, so any source edit --
+    including to modules an experiment does not import directly --
+    changes the fingerprint.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def cache_key(exp_id: str, params: Mapping[str, Any]) -> str:
+    """Content hash identifying one experiment computation.
+
+    Args:
+        exp_id: Experiment id, e.g. ``"fig01"``.
+        params: The runner's keyword configuration.  Backend-only keys
+            (``jobs``) are dropped; the rest must be JSON-serialisable.
+
+    Returns:
+        A hex digest; equal keys guarantee bit-identical results.
+    """
+    payload = {
+        "exp_id": exp_id,
+        "params": {
+            k: params[k] for k in sorted(params) if k not in _BACKEND_KEYS
+        },
+        "code": code_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """A directory of cached :class:`ExperimentResult` JSON files.
+
+    Args:
+        directory: Cache root (created lazily on first store).
+
+    Example:
+        >>> cache = ResultCache("/tmp/doctest-cache")
+        >>> cache.load("fig01", {"runs": 2}) is None
+        True
+    """
+
+    def __init__(self, directory: os.PathLike | str = DEFAULT_CACHE_DIR) -> None:
+        self._dir = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path:
+        """The cache root."""
+        return self._dir
+
+    def _path(self, key: str) -> Path:
+        return self._dir / f"{key}.json"
+
+    def load(
+        self, exp_id: str, params: Mapping[str, Any]
+    ) -> Optional[ExperimentResult]:
+        """Return the cached result for this computation, or ``None``.
+
+        Malformed entries are treated as misses (and left for the next
+        :meth:`store` to overwrite).
+        """
+        path = self._path(cache_key(exp_id, params))
+        try:
+            data = json.loads(path.read_text())
+            result = experiment_result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(
+        self, exp_id: str, params: Mapping[str, Any], result: ExperimentResult
+    ) -> Path:
+        """Write ``result`` under its content key; returns the file path.
+
+        The envelope records the id and key inputs alongside the result
+        so entries are self-describing when inspected by hand.
+        """
+        key = cache_key(exp_id, params)
+        path = self._path(key)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "exp_id": exp_id,
+            "key": key,
+            "code": code_fingerprint(),
+            "result": experiment_result_to_dict(result),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(envelope, indent=2))
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        if self._dir.is_dir():
+            for path in self._dir.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` observed by this instance."""
+        return self.hits, self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        if not self._dir.is_dir():
+            return 0
+        return sum(1 for _ in self._dir.glob("*.json"))

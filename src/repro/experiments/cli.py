@@ -3,8 +3,16 @@
 Examples::
 
     tcast-experiments list
-    tcast-experiments run fig01 --runs 1000
-    tcast-experiments run all --runs 200 --out results/
+    tcast-experiments run fig01 --runs 1000 --jobs 4
+    tcast-experiments run all --runs 200 --out results/ --no-cache
+    tcast-experiments cache info
+    tcast-experiments cache clear
+
+Finished results are cached under ``results/cache/`` keyed by
+(experiment, config, seed, code version); re-running an unchanged
+configuration loads from disk.  ``--no-cache`` bypasses the cache both
+ways, ``--jobs N`` shards sweep trials over ``N`` worker processes
+(``--jobs 0`` = all CPUs) with bit-identical results.
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments.registry import list_experiments, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,12 +37,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    def add_shared(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--runs", type=int, default=None, help="repetitions per grid point"
+        )
+        p.add_argument("--seed", type=int, default=None, help="root seed")
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for sweeps (0 = all CPUs; default serial)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="neither read nor write the on-disk result cache",
+        )
+        p.add_argument(
+            "--cache-dir",
+            type=pathlib.Path,
+            default=DEFAULT_CACHE_DIR,
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment", help="figure id (e.g. fig01) or 'all'")
-    run_p.add_argument(
-        "--runs", type=int, default=None, help="repetitions per grid point"
-    )
-    run_p.add_argument("--seed", type=int, default=None, help="root seed")
+    add_shared(run_p)
     run_p.add_argument(
         "--out",
         type=pathlib.Path,
@@ -45,17 +74,27 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="regenerate every figure and grade the paper's claims",
     )
-    rep_p.add_argument(
-        "--runs", type=int, default=None, help="repetitions per grid point"
-    )
-    rep_p.add_argument("--seed", type=int, default=None, help="root seed")
+    add_shared(rep_p)
     rep_p.add_argument(
         "--out",
         type=pathlib.Path,
         default=None,
         help="file to write the graded report into",
     )
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
     return parser
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    return None if args.no_cache else ResultCache(args.cache_dir)
 
 
 def _run_one(
@@ -63,18 +102,23 @@ def _run_one(
     runs: Optional[int],
     seed: Optional[int],
     out: Optional[pathlib.Path],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> None:
-    runner = get_experiment(exp_id)
     kwargs = {}
     if runs is not None:
         kwargs["runs"] = runs
     if seed is not None:
         kwargs["seed"] = seed
     started = time.perf_counter()
-    result = runner(**kwargs)
+    result, from_cache = run_experiment(
+        exp_id, cache=cache, jobs=jobs, **kwargs
+    )
     elapsed = time.perf_counter() - started
     print(result.report())
-    print(f"[{exp_id} completed in {elapsed:.1f}s]")
+    source = "cache" if from_cache else "computed"
+    print(f"[{exp_id} completed in {elapsed:.1f}s ({source})]")
     print()
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
@@ -93,18 +137,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         targets = (
             list_experiments() if args.experiment == "all" else [args.experiment]
         )
+        cache = _make_cache(args)
         for exp_id in targets:
-            _run_one(exp_id, args.runs, args.seed, args.out)
+            _run_one(
+                exp_id,
+                args.runs,
+                args.seed,
+                args.out,
+                jobs=args.jobs,
+                cache=cache,
+            )
         return 0
     if args.command == "report":
         from repro.experiments.report import generate_report
 
-        text = generate_report(runs=args.runs, seed=args.seed)
+        text = generate_report(
+            runs=args.runs,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
         print(text)
         if args.out is not None:
             args.out.parent.mkdir(parents=True, exist_ok=True)
             args.out.write_text(text + "\n")
         return 0 if "ATTENTION" not in text else 1
+    if args.command == "cache":
+        cache = ResultCache(args.cache_dir)
+        if args.action == "clear":
+            removed = cache.clear()
+            print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        else:
+            print(f"cache directory: {cache.directory}")
+            print(f"entries: {cache.entry_count()}")
+        return 0
     return 2  # pragma: no cover - argparse enforces the subcommands
 
 

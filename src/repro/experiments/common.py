@@ -7,15 +7,31 @@ times (1000 in the paper), and plot the average query cost per algorithm.
 seeding so every algorithm faces the *same* sequence of workload
 realisations (common random numbers -- variance reduction for the
 comparisons the figures make).
+
+Because every ``(cell, run)`` derives its streams purely from
+``(seed, label, x, run)`` -- :meth:`repro.sim.rng.RngRegistry.fork` is a
+stateless SHA-256 derivation -- trials can be recomputed anywhere, in any
+order.  The engine exploits this with an optional process-pool backend
+(``jobs > 1``): runs are sharded into blocks across worker processes and
+stitched back in run order, so parallel results are **bit-identical** to
+serial ones.  Factories must be picklable for the parallel path (use
+:func:`repro.api.algorithm_factory` and
+:class:`repro.group_testing.model.ModelSpec` instead of closures);
+unpicklable factories degrade to serial execution with a warning.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.base import ThresholdDecider
 from repro.core.result import ThresholdResult
 from repro.group_testing.model import QueryModel
 from repro.group_testing.population import Population
@@ -23,13 +39,16 @@ from repro.sim.rng import RngRegistry
 from repro.viz.ascii import ascii_chart, render_table
 
 #: An algorithm factory: given the true ``x`` of the sweep cell (only the
-#: oracle uses it), return a fresh algorithm object with a
-#: ``decide(model, threshold, rng)`` method.
-AlgorithmFactory = Callable[[int], object]
+#: oracle uses it), return a fresh :class:`ThresholdDecider`.
+AlgorithmFactory = Callable[[int], ThresholdDecider]
 
 #: A model factory: given the cell's population and a seeded generator,
 #: return the query model the algorithm will face.
 ModelFactory = Callable[[Population, np.random.Generator], QueryModel]
+
+#: A MAC-baseline factory: no arguments, returns a decider whose
+#: ``decide`` takes the population directly.
+BaselineFactory = Callable[[], ThresholdDecider]
 
 
 @dataclass(frozen=True)
@@ -142,6 +161,95 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` mean all CPUs.
+
+    Raises:
+        ValueError: For negative values.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
+
+
+#: Process-pool cache, one executor per worker count; workers are reused
+#: across curves and experiments within a process.
+_EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_executor(jobs: int) -> ProcessPoolExecutor:
+    ex = _EXECUTORS.get(jobs)
+    if ex is None:
+        ex = ProcessPoolExecutor(max_workers=jobs)
+        _EXECUTORS[jobs] = ex
+    return ex
+
+
+def shutdown_executors() -> None:
+    """Tear down all cached worker pools (test/interpreter hygiene)."""
+    while _EXECUTORS:
+        _, ex = _EXECUTORS.popitem()
+        ex.shutdown(wait=True, cancel_futures=True)
+
+
+@dataclass(frozen=True)
+class _SweepCellTask:
+    """One shard of a sweep curve: runs ``[run_lo, run_hi)`` of one cell.
+
+    Carries everything a worker process needs to recompute its trials
+    from scratch -- cell streams derive statelessly from
+    ``(seed, label, x, run)``, so a shard's costs are identical no matter
+    which process computes them.
+    """
+
+    seed: int
+    label: str
+    x: int
+    n: int
+    threshold: int
+    run_lo: int
+    run_hi: int
+    baseline: bool
+    factory: Callable[..., ThresholdDecider]
+    model_factory: Optional[ModelFactory] = None
+    check_exactness: bool = False
+
+
+def _run_sweep_cell(task: _SweepCellTask) -> List[float]:
+    """Compute one shard's per-run query costs (module-level: picklable).
+
+    This is the single trial loop behind both the serial and the parallel
+    backend, which is what makes them bit-identical by construction.
+    """
+    root = RngRegistry(task.seed)
+    costs: List[float] = []
+    for run in range(task.run_lo, task.run_hi):
+        reg = root.fork(f"{task.label}/x{task.x}/r{run}")
+        pop = Population.from_count(task.n, task.x, reg.stream("pop"))
+        if task.baseline:
+            baseline = task.factory()
+            result: ThresholdResult = baseline.decide(
+                pop, task.threshold, reg.stream("mac")
+            )
+        else:
+            assert task.model_factory is not None
+            model = task.model_factory(pop, reg.stream("model"))
+            algo = task.factory(task.x)
+            result = algo.decide(model, task.threshold, reg.stream("bins"))
+            if task.check_exactness and result.exact:
+                truth = pop.truth(task.threshold)
+                if result.decision != truth:
+                    raise AssertionError(
+                        f"{task.label}: wrong answer at x={task.x}, "
+                        f"t={task.threshold}, run={run}: got "
+                        f"{result.decision}, truth {truth}"
+                    )
+        costs.append(float(result.queries))
+    return costs
+
+
 class SweepEngine:
     """Deterministic multi-run sweep executor.
 
@@ -150,15 +258,33 @@ class SweepEngine:
         threshold: Threshold ``t`` (per-cell overridable in the t-sweep).
         runs: Repetitions per grid cell (paper: 1000).
         seed: Root seed; every (cell, run) derives its own streams.
+        jobs: Worker processes (``1`` = in-process serial; ``0``/``None``
+            = one per CPU).  Parallel output is bit-identical to serial;
+            factories must be picklable or the engine falls back to
+            serial with a warning.
     """
 
-    def __init__(self, n: int, threshold: int, *, runs: int, seed: int) -> None:
+    #: Target task count per worker; oversubscription smooths out
+    #: uneven per-shard runtimes (cheap cells finish early).
+    _OVERSUBSCRIBE = 4
+
+    def __init__(
+        self,
+        n: int,
+        threshold: int,
+        *,
+        runs: int,
+        seed: int,
+        jobs: Optional[int] = 1,
+    ) -> None:
         if runs < 1:
             raise ValueError(f"runs must be >= 1, got {runs}")
         self._n = n
         self._threshold = threshold
         self._runs = runs
+        self._seed = int(seed)
         self._root = RngRegistry(seed)
+        self._jobs = resolve_jobs(jobs)
 
     @property
     def n(self) -> int:
@@ -174,6 +300,101 @@ class SweepEngine:
     def runs(self) -> int:
         """Repetitions per cell."""
         return self._runs
+
+    @property
+    def jobs(self) -> int:
+        """Resolved worker-process count (1 = serial)."""
+        return self._jobs
+
+    def _shards(self, xs: Sequence[int]) -> List[Tuple[int, int, int]]:
+        """Split the sweep grid into ``(x, run_lo, run_hi)`` shards.
+
+        Serial runs get one shard per cell.  Parallel runs split each
+        cell's run range into enough blocks to keep every worker busy
+        even on single-cell curves (the t- and n-sweeps call the engine
+        one cell at a time).  Shard boundaries never affect results --
+        only which process computes which runs.
+        """
+        if self._jobs <= 1:
+            blocks_per_x = 1
+        else:
+            target = self._jobs * self._OVERSUBSCRIBE
+            blocks_per_x = min(self._runs, max(1, -(-target // len(xs))))
+        shards: List[Tuple[int, int, int]] = []
+        for x in xs:
+            base, extra = divmod(self._runs, blocks_per_x)
+            lo = 0
+            for i in range(blocks_per_x):
+                hi = lo + base + (1 if i < extra else 0)
+                if hi > lo:
+                    shards.append((int(x), lo, hi))
+                lo = hi
+        return shards
+
+    def _run_tasks(self, tasks: List[_SweepCellTask]) -> List[List[float]]:
+        """Execute shards serially or on the process pool (in order)."""
+        if self._jobs <= 1 or len(tasks) <= 1:
+            return [_run_sweep_cell(task) for task in tasks]
+        try:
+            pickle.dumps(tasks[0])
+        except Exception:
+            warnings.warn(
+                "sweep factories are not picklable; running serially "
+                "(use repro.api.algorithm_factory / ModelSpec for the "
+                "parallel backend)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [_run_sweep_cell(task) for task in tasks]
+        executor = _get_executor(self._jobs)
+        return list(executor.map(_run_sweep_cell, tasks))
+
+    def _sweep(
+        self,
+        label: str,
+        xs: Sequence[int],
+        factory: Callable[..., ThresholdDecider],
+        model_factory: Optional[ModelFactory],
+        threshold: Optional[int],
+        *,
+        baseline: bool,
+        check_exactness: bool = False,
+    ) -> Series:
+        t = self._threshold if threshold is None else threshold
+        shards = self._shards(xs)
+        tasks = [
+            _SweepCellTask(
+                seed=self._seed,
+                label=label,
+                x=x,
+                n=self._n,
+                threshold=t,
+                run_lo=lo,
+                run_hi=hi,
+                baseline=baseline,
+                factory=factory,
+                model_factory=model_factory,
+                check_exactness=check_exactness,
+            )
+            for (x, lo, hi) in shards
+        ]
+        blocks = self._run_tasks(tasks)
+        by_x: Dict[int, List[float]] = {int(x): [] for x in xs}
+        for (x, _, _), block in zip(shards, blocks):
+            by_x[x].extend(block)
+        means: List[float] = []
+        errs: List[float] = []
+        for x in xs:
+            costs = np.asarray(by_x[int(x)], dtype=np.float64)
+            means.append(float(costs.mean()))
+            errs.append(float(costs.std(ddof=1) / np.sqrt(self._runs))
+                        if self._runs > 1 else 0.0)
+        return Series(
+            label=label,
+            xs=tuple(float(x) for x in xs),
+            ys=tuple(means),
+            stderr=tuple(errs),
+        )
 
     def query_curve(
         self,
@@ -200,68 +421,27 @@ class SweepEngine:
         Returns:
             The mean-cost series with standard errors.
         """
-        t = self._threshold if threshold is None else threshold
-        means: List[float] = []
-        errs: List[float] = []
-        for x in xs:
-            costs = np.empty(self._runs, dtype=np.float64)
-            for run in range(self._runs):
-                reg = self._root.fork(f"{label}/x{x}/r{run}")
-                pop = Population.from_count(self._n, x, reg.stream("pop"))
-                model = model_factory(pop, reg.stream("model"))
-                algo = algorithm_factory(x)
-                result: ThresholdResult = algo.decide(  # type: ignore[attr-defined]
-                    model, t, reg.stream("bins")
-                )
-                if check_exactness and result.exact:
-                    truth = pop.truth(t)
-                    if result.decision != truth:
-                        raise AssertionError(
-                            f"{label}: wrong answer at x={x}, t={t}, "
-                            f"run={run}: got {result.decision}, "
-                            f"truth {truth}"
-                        )
-                costs[run] = result.queries
-            means.append(float(costs.mean()))
-            errs.append(float(costs.std(ddof=1) / np.sqrt(self._runs))
-                        if self._runs > 1 else 0.0)
-        return Series(
-            label=label,
-            xs=tuple(float(x) for x in xs),
-            ys=tuple(means),
-            stderr=tuple(errs),
+        return self._sweep(
+            label,
+            xs,
+            algorithm_factory,
+            model_factory,
+            threshold,
+            baseline=False,
+            check_exactness=check_exactness,
         )
 
     def baseline_curve(
         self,
         label: str,
         xs: Sequence[int],
-        baseline_factory: Callable[[], object],
+        baseline_factory: BaselineFactory,
         *,
         threshold: Optional[int] = None,
     ) -> Series:
         """Mean slot cost of a MAC baseline (CSMA / sequential) sweep."""
-        t = self._threshold if threshold is None else threshold
-        means: List[float] = []
-        errs: List[float] = []
-        for x in xs:
-            costs = np.empty(self._runs, dtype=np.float64)
-            for run in range(self._runs):
-                reg = self._root.fork(f"{label}/x{x}/r{run}")
-                pop = Population.from_count(self._n, x, reg.stream("pop"))
-                baseline = baseline_factory()
-                result: ThresholdResult = baseline.decide(  # type: ignore[attr-defined]
-                    pop, t, reg.stream("mac")
-                )
-                costs[run] = result.queries
-            means.append(float(costs.mean()))
-            errs.append(float(costs.std(ddof=1) / np.sqrt(self._runs))
-                        if self._runs > 1 else 0.0)
-        return Series(
-            label=label,
-            xs=tuple(float(x) for x in xs),
-            ys=tuple(means),
-            stderr=tuple(errs),
+        return self._sweep(
+            label, xs, baseline_factory, None, threshold, baseline=True
         )
 
 
@@ -275,22 +455,24 @@ def mean_query_curve(
     threshold: int,
     runs: int,
     seed: int,
+    jobs: Optional[int] = 1,
 ) -> Series:
     """One-shot convenience wrapper around :class:`SweepEngine`."""
-    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed, jobs=jobs)
     return engine.query_curve(label, xs, algorithm_factory, model_factory)
 
 
 def baseline_curve(
     label: str,
     xs: Sequence[int],
-    baseline_factory: Callable[[], object],
+    baseline_factory: BaselineFactory,
     *,
     n: int,
     threshold: int,
     runs: int,
     seed: int,
+    jobs: Optional[int] = 1,
 ) -> Series:
     """One-shot convenience wrapper for MAC baselines."""
-    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed, jobs=jobs)
     return engine.baseline_curve(label, xs, baseline_factory)

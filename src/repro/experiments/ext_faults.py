@@ -25,7 +25,7 @@ the small margins keep single-bin misses consequential.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.reliable import ChernoffConfirm, NoRetry, ReliableThreshold
 from repro.core.two_t_bins import TwoTBins
@@ -47,6 +47,7 @@ def run(
     p_singles: Sequence[float] = DEFAULT_P_SINGLES,
     decay: float = 0.1,
     delta: float = 0.001,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Sweep fault severity against plain and reliability-wrapped 2tBins.
 
@@ -58,6 +59,8 @@ def run(
         p_singles: Lone-HACK miss probabilities to sweep.
         decay: Per-extra-HACK miss decay of the injected fault model.
         delta: Residual per-bin miss target of the Chernoff policy.
+        jobs: Accepted for interface uniformity; this runner is not
+            sweep-engine based and executes serially.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")

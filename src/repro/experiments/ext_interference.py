@@ -9,7 +9,7 @@ the interference rate and measures exactly that.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.common import ExperimentResult, Series
 from repro.ext.multihop import InterferenceStudy
@@ -24,6 +24,7 @@ def run(
     participants: int = 12,
     threshold: int = 4,
     rates: Sequence[float] = DEFAULT_RATES,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Sweep interference rates against full tcast sessions.
 
@@ -33,6 +34,8 @@ def run(
         participants: Neighbourhood size.
         threshold: Threshold ``t``.
         rates: Interference rates (frames per millisecond).
+        jobs: Accepted for interface uniformity; this runner is not
+            sweep-engine based and executes serially.
     """
     study = InterferenceStudy(
         participants=participants, threshold=threshold, seed=seed

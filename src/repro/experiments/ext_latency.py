@@ -35,7 +35,7 @@ verdicts.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -66,6 +66,7 @@ def run(
     seed: int = 2030,
     participants: int = DEFAULT_PARTICIPANTS,
     threshold: int = DEFAULT_T,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Measure per-scheme session latency (ms) across the ``x`` sweep.
 
@@ -74,6 +75,8 @@ def run(
         seed: Root seed.
         participants: Neighbourhood size (testbed scale).
         threshold: Threshold ``t``.
+        jobs: Accepted for interface uniformity; this runner is not
+            sweep-engine based and executes serially.
     """
     xs = x_sweep(participants, points=16)
     tcast_ms: List[float] = []

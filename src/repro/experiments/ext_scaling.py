@@ -11,12 +11,12 @@ whole schedule while tcast discards log-many halves), alongside the
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analytic.bounds import upper_bound_queries
-from repro.core import ProbabilisticAbns, TwoTBins
+from repro.api import algorithm_factory
 from repro.experiments.common import ExperimentResult, Series, SweepEngine
-from repro.group_testing.model import OnePlusModel
+from repro.group_testing.model import ModelSpec
 from repro.mac import SequentialOrdering
 
 DEFAULT_T = 8
@@ -31,6 +31,7 @@ def run(
     threshold: int = DEFAULT_T,
     ns: Sequence[int] = DEFAULT_NS,
     x: int = DEFAULT_X,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Measure query cost vs population size at fixed ``t`` and ``x``.
 
@@ -41,27 +42,24 @@ def run(
         ns: Population sizes to sweep.
         x: Fixed positive count (default 0: the certification-heavy
             regime where the scaling gap is widest).
+        jobs: Worker processes for the sweep (bit-identical to serial).
     """
     tcast_ys: List[float] = []
     prob_ys: List[float] = []
     seq_ys: List[float] = []
     bound_ys: List[float] = []
+    two_t = algorithm_factory("2tbins")
+    prob_abns = algorithm_factory("prob-abns")
 
     for n in ns:
-        engine = SweepEngine(n, threshold, runs=runs, seed=seed + n)
-
-        def one_plus(pop, rng):
-            return OnePlusModel(pop, rng, max_queries=100 * max(pop.size, 1))
+        engine = SweepEngine(n, threshold, runs=runs, seed=seed + n, jobs=jobs)
+        one_plus = ModelSpec(kind="1+", max_queries=100 * max(n, 1))
 
         tcast_ys.append(
-            engine.query_curve(
-                "2tBins", [x], lambda _x: TwoTBins(), one_plus
-            ).ys[0]
+            engine.query_curve("2tBins", [x], two_t, one_plus).ys[0]
         )
         prob_ys.append(
-            engine.query_curve(
-                "ProbABNS", [x], lambda _x: ProbabilisticAbns(), one_plus
-            ).ys[0]
+            engine.query_curve("ProbABNS", [x], prob_abns, one_plus).ys[0]
         )
         seq_ys.append(
             engine.baseline_curve("Sequential", [x], SequentialOrdering).ys[0]

@@ -20,9 +20,11 @@ Expected shape (Sec IV-C):
 
 from __future__ import annotations
 
-from repro.core import ExponentialIncrease, TwoTBins
+from typing import Optional
+
+from repro.api import algorithm_factory
 from repro.experiments.common import ExperimentResult, SweepEngine
-from repro.group_testing.model import OnePlusModel
+from repro.group_testing.model import ModelSpec
 from repro.mac import CsmaBaseline, SequentialOrdering
 from repro.workloads.scenarios import x_sweep
 
@@ -39,6 +41,7 @@ def run(
     seed: int = 2011,
     n: int = DEFAULT_N,
     threshold: int = DEFAULT_T,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 1's series.
 
@@ -47,20 +50,19 @@ def run(
         seed: Root seed.
         n: Population size.
         threshold: Threshold ``t``.
+        jobs: Worker processes for the sweep (bit-identical to serial).
 
     Returns:
         The four curves on a shared ``x`` grid.
     """
     xs = x_sweep(n)
-    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
-
-    def one_plus(pop, rng):
-        return OnePlusModel(pop, rng, max_queries=50 * n)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed, jobs=jobs)
+    one_plus = ModelSpec(kind="1+", max_queries=50 * n)
 
     series = (
-        engine.query_curve("2tBins", xs, lambda x: TwoTBins(), one_plus),
+        engine.query_curve("2tBins", xs, algorithm_factory("2tbins"), one_plus),
         engine.query_curve(
-            "ExpIncrease", xs, lambda x: ExponentialIncrease(), one_plus
+            "ExpIncrease", xs, algorithm_factory("exponential"), one_plus
         ),
         engine.baseline_curve("CSMA", xs, CsmaBaseline),
         engine.baseline_curve("Sequential", xs, SequentialOrdering),

@@ -12,9 +12,11 @@ probability ``1/k``.
 
 from __future__ import annotations
 
-from repro.core import ExponentialIncrease, TwoTBins
+from typing import Optional
+
+from repro.api import algorithm_factory
 from repro.experiments.common import ExperimentResult, SweepEngine
-from repro.group_testing.model import OnePlusModel, TwoPlusModel
+from repro.group_testing.model import ModelSpec
 from repro.workloads.scenarios import x_sweep
 
 DEFAULT_N = 128
@@ -27,6 +29,7 @@ def run(
     seed: int = 2012,
     n: int = DEFAULT_N,
     threshold: int = DEFAULT_T,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 2's series.
 
@@ -35,25 +38,20 @@ def run(
         seed: Root seed.
         n: Population size.
         threshold: Threshold ``t``.
+        jobs: Worker processes for the sweep (bit-identical to serial).
     """
     xs = x_sweep(n)
-    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
-
-    def one_plus(pop, rng):
-        return OnePlusModel(pop, rng, max_queries=50 * n)
-
-    def two_plus(pop, rng):
-        return TwoPlusModel(pop, rng, max_queries=50 * n)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed, jobs=jobs)
+    one_plus = ModelSpec(kind="1+", max_queries=50 * n)
+    two_plus = ModelSpec(kind="2+", max_queries=50 * n)
+    two_t = algorithm_factory("2tbins")
+    exp_inc = algorithm_factory("exponential")
 
     series = (
-        engine.query_curve("2tBins 1+", xs, lambda x: TwoTBins(), one_plus),
-        engine.query_curve("2tBins 2+", xs, lambda x: TwoTBins(), two_plus),
-        engine.query_curve(
-            "ExpIncrease 1+", xs, lambda x: ExponentialIncrease(), one_plus
-        ),
-        engine.query_curve(
-            "ExpIncrease 2+", xs, lambda x: ExponentialIncrease(), two_plus
-        ),
+        engine.query_curve("2tBins 1+", xs, two_t, one_plus),
+        engine.query_curve("2tBins 2+", xs, two_t, two_plus),
+        engine.query_curve("ExpIncrease 1+", xs, exp_inc, one_plus),
+        engine.query_curve("ExpIncrease 2+", xs, exp_inc, two_plus),
     )
     return ExperimentResult(
         exp_id="fig02",

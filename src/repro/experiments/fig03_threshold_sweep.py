@@ -17,11 +17,11 @@ EXPERIMENTS.md documents this deviation.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from repro.core import TwoTBins
+from repro.api import algorithm_factory
 from repro.experiments.common import ExperimentResult, Series, SweepEngine
-from repro.group_testing.model import OnePlusModel, TwoPlusModel
+from repro.group_testing.model import ModelSpec
 
 DEFAULT_N = 16
 DEFAULT_X = 4
@@ -39,6 +39,7 @@ def run(
     seed: int = 2013,
     n: int = DEFAULT_N,
     x: int = DEFAULT_X,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 3's series.
 
@@ -47,24 +48,23 @@ def run(
         seed: Root seed.
         n: Population size.
         x: Fixed positive count (paper: 4).
+        jobs: Worker processes for the sweep (bit-identical to serial).
     """
     ts = threshold_grid(n)
+    two_t = algorithm_factory("2tbins")
 
-    def one_plus(pop, rng):
-        return OnePlusModel(pop, rng, max_queries=80 * n)
-
-    def two_plus(pop, rng):
-        return TwoPlusModel(pop, rng, max_queries=80 * n)
-
-    curves = {"2tBins 1+": one_plus, "2tBins 2+": two_plus}
+    curves = {
+        "2tBins 1+": ModelSpec(kind="1+", max_queries=80 * n),
+        "2tBins 2+": ModelSpec(kind="2+", max_queries=80 * n),
+    }
     series = []
     for label, model_factory in curves.items():
         ys = []
         errs = []
         for t in ts:
-            engine = SweepEngine(n, t, runs=runs, seed=seed)
+            engine = SweepEngine(n, t, runs=runs, seed=seed, jobs=jobs)
             s = engine.query_curve(
-                f"{label}/t{t}", [x], lambda _x: TwoTBins(), model_factory
+                f"{label}/t{t}", [x], two_t, model_factory
             )
             ys.append(s.ys[0])
             errs.append(s.stderr[0])

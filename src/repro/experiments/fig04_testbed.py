@@ -19,7 +19,7 @@ decay=0.1)`` -- calibrated so this suite lands near the paper's 1.4 %
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -44,6 +44,7 @@ def run(
     p_single: float = DEFAULT_P_SINGLE,
     decay: float = DEFAULT_DECAY,
     primitive: str = "backcast",
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 4's series on the packet-level testbed.
 
@@ -57,6 +58,8 @@ def run(
         primitive: RCD primitive for bin queries (the paper's experiment
             uses backcast; pollcast/votecast variants are available for
             comparison -- the miss model only affects backcast's HACKs).
+        jobs: Accepted for interface uniformity; this runner is not
+            sweep-engine based and executes serially.
 
     Returns:
         One mean-query curve per threshold, plus error-rate notes.

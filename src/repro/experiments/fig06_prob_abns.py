@@ -12,9 +12,11 @@ Implicit parameters: ``N = 128``, ``t = 16``.
 
 from __future__ import annotations
 
-from repro.core import Abns, OracleBins, ProbabilisticAbns
+from typing import Optional
+
+from repro.api import algorithm_factory
 from repro.experiments.common import ExperimentResult, SweepEngine
-from repro.group_testing.model import OnePlusModel
+from repro.group_testing.model import ModelSpec
 from repro.workloads.scenarios import x_sweep
 
 DEFAULT_N = 128
@@ -27,6 +29,7 @@ def run(
     seed: int = 2016,
     n: int = DEFAULT_N,
     threshold: int = DEFAULT_T,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 6's series.
 
@@ -35,24 +38,23 @@ def run(
         seed: Root seed.
         n: Population size.
         threshold: Threshold ``t``.
+        jobs: Worker processes for the sweep (bit-identical to serial).
     """
     xs = x_sweep(n)
-    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
-
-    def one_plus(pop, rng):
-        return OnePlusModel(pop, rng, max_queries=80 * n)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed, jobs=jobs)
+    one_plus = ModelSpec(kind="1+", max_queries=80 * n)
 
     series = (
         engine.query_curve(
-            "ProbABNS", xs, lambda x: ProbabilisticAbns(), one_plus
+            "ProbABNS", xs, algorithm_factory("prob-abns"), one_plus
         ),
         engine.query_curve(
-            "ABNS(p0=t)", xs, lambda x: Abns(p0_multiple=1.0), one_plus
+            "ABNS(p0=t)", xs, algorithm_factory("abns", p0_multiple=1.0), one_plus
         ),
         engine.query_curve(
-            "ABNS(p0=2t)", xs, lambda x: Abns(p0_multiple=2.0), one_plus
+            "ABNS(p0=2t)", xs, algorithm_factory("abns", p0_multiple=2.0), one_plus
         ),
-        engine.query_curve("Oracle", xs, OracleBins, one_plus),
+        engine.query_curve("Oracle", xs, algorithm_factory("oracle"), one_plus),
     )
     return ExperimentResult(
         exp_id="fig06",

@@ -8,9 +8,11 @@ reply; tcast's cost *falls* once positives are abundant).
 
 from __future__ import annotations
 
-from repro.core import ProbabilisticAbns
+from typing import Optional
+
+from repro.api import algorithm_factory
 from repro.experiments.common import ExperimentResult, SweepEngine
-from repro.group_testing.model import OnePlusModel
+from repro.group_testing.model import ModelSpec
 from repro.mac import CsmaBaseline
 
 #: Stated in the paper.
@@ -24,6 +26,7 @@ def run(
     seed: int = 2017,
     n: int = DEFAULT_N,
     threshold: int = DEFAULT_T,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 7's series.
 
@@ -32,16 +35,15 @@ def run(
         seed: Root seed.
         n: Population size (paper: 32).
         threshold: Threshold ``t`` (paper: 8).
+        jobs: Worker processes for the sweep (bit-identical to serial).
     """
     xs = list(range(n + 1))
-    engine = SweepEngine(n, threshold, runs=runs, seed=seed)
-
-    def one_plus(pop, rng):
-        return OnePlusModel(pop, rng, max_queries=80 * n)
+    engine = SweepEngine(n, threshold, runs=runs, seed=seed, jobs=jobs)
+    one_plus = ModelSpec(kind="1+", max_queries=80 * n)
 
     series = (
         engine.query_curve(
-            "ProbABNS", xs, lambda x: ProbabilisticAbns(), one_plus
+            "ProbABNS", xs, algorithm_factory("prob-abns"), one_plus
         ),
         engine.baseline_curve("CSMA", xs, CsmaBaseline),
     )

@@ -17,7 +17,7 @@ monotonically with the separation.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analytic.bimodal import BimodalSpec, analyze_separation
 from repro.experiments.common import ExperimentResult, Series
@@ -34,6 +34,7 @@ def run(
     n: int = DEFAULT_N,
     sigma: float = DEFAULT_SIGMA,
     d_grid: Sequence[int] = DEFAULT_D_GRID,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Compute Fig 8's gap quantities across the separation sweep.
 
@@ -43,6 +44,9 @@ def run(
         n: Population size.
         sigma: Common mode standard deviation.
         d_grid: Half peak distances (all must exceed ``2*sigma``).
+
+        jobs: Accepted for interface uniformity; this runner is not
+            sweep-engine based and executes serially.
 
     Returns:
         Three exact series over ``d``: ``q1``, ``q2`` and ``eps``.

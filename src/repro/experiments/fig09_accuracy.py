@@ -18,13 +18,18 @@ this scale), equal mixture weights.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analytic.bimodal import BimodalSpec
 from repro.core.probabilistic import ProbabilisticThreshold
-from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    _get_executor,
+    resolve_jobs,
+)
 from repro.group_testing.model import OnePlusModel
 from repro.sim.rng import derive_seed
 from repro.workloads.bimodal import BimodalWorkload
@@ -67,6 +72,12 @@ def measure_accuracy(
     return correct / runs
 
 
+def _accuracy_cell(task: Tuple[BimodalSpec, int, int, int]) -> float:
+    """One (spec, r) cell for the process pool (module-level: picklable)."""
+    spec, repeats, runs, seed = task
+    return measure_accuracy(spec, repeats, runs=runs, seed=seed)
+
+
 def run(
     *,
     runs: int = 400,
@@ -75,6 +86,7 @@ def run(
     sigma: float = DEFAULT_SIGMA,
     repeat_counts: Sequence[int] = DEFAULT_REPEATS,
     d_grid: Sequence[int] = DEFAULT_D_GRID,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 9's series.
 
@@ -85,17 +97,27 @@ def run(
         sigma: Common mode standard deviation.
         repeat_counts: The ``r`` values to sweep.
         d_grid: Half peak distances to sweep.
+        jobs: Worker processes; the (d, r) cells are independent Monte
+            Carlo estimates, so sharding them is bit-identical to serial.
     """
+    tasks = [
+        (
+            BimodalSpec.symmetric(n=n, d=float(d), sigma=sigma),
+            r,
+            runs,
+            derive_seed(seed, f"d{d}"),
+        )
+        for r in repeat_counts
+        for d in d_grid
+    ]
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and len(tasks) > 1:
+        accuracies = list(_get_executor(n_jobs).map(_accuracy_cell, tasks))
+    else:
+        accuracies = [_accuracy_cell(task) for task in tasks]
     series: List[Series] = []
-    for r in repeat_counts:
-        ys = []
-        for d in d_grid:
-            spec = BimodalSpec.symmetric(n=n, d=float(d), sigma=sigma)
-            ys.append(
-                measure_accuracy(
-                    spec, r, runs=runs, seed=derive_seed(seed, f"d{d}")
-                )
-            )
+    for i, r in enumerate(repeat_counts):
+        ys = accuracies[i * len(d_grid) : (i + 1) * len(d_grid)]
         series.append(
             Series(
                 label=f"r={r}",

@@ -14,10 +14,15 @@ A second, Monte-Carlo series cross-checks the analytic sizing: for each
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analytic.bimodal import BimodalSpec, analyze_separation
-from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    _get_executor,
+    resolve_jobs,
+)
 from repro.experiments.fig09_accuracy import measure_accuracy
 from repro.sim.rng import derive_seed
 
@@ -39,6 +44,21 @@ def analytic_repeats(
     return analysis.repeats(delta)
 
 
+def _min_repeats_cell(task: Tuple[BimodalSpec, int, int, float]) -> float:
+    """Search the repeat grid for one ``d`` (module-level: picklable).
+
+    Runs the same early-exit search the serial path uses, so the result
+    (and the Monte-Carlo evaluations performed) are identical regardless
+    of which process computes it.
+    """
+    spec, runs, seed, delta = task
+    for candidate in _SEARCH_GRID:
+        acc = measure_accuracy(spec, candidate, runs=runs, seed=seed)
+        if acc >= 1.0 - delta:
+            return float(candidate)
+    return float("nan")
+
+
 def run(
     *,
     runs: int = 300,
@@ -47,6 +67,7 @@ def run(
     sigma: float = DEFAULT_SIGMA,
     delta: float = DEFAULT_DELTA,
     d_grid: Sequence[int] = DEFAULT_D_GRID,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 10's series.
 
@@ -59,26 +80,32 @@ def run(
         delta: Target failure probability (paper: 5 %).
         d_grid: Half peak distances (all must exceed ``2*sigma`` so the
             boundaries are separated).
+        jobs: Worker processes; the per-``d`` searches are independent,
+            so sharding them is bit-identical to serial.
     """
-    analytic_ys: List[float] = []
+    analytic_ys: List[float] = [
+        float(r) if (r := analytic_repeats(n, float(d), sigma, delta)) is not None
+        else float("nan")
+        for d in d_grid
+    ]
     measured_ys: List[float] = []
-    for d in d_grid:
-        r = analytic_repeats(n, float(d), sigma, delta)
-        analytic_ys.append(float(r) if r is not None else float("nan"))
-        if runs > 0:
-            spec = BimodalSpec.symmetric(n=n, d=float(d), sigma=sigma)
-            found = float("nan")
-            for candidate in _SEARCH_GRID:
-                acc = measure_accuracy(
-                    spec,
-                    candidate,
-                    runs=runs,
-                    seed=derive_seed(seed, f"d{d}"),
-                )
-                if acc >= 1.0 - delta:
-                    found = float(candidate)
-                    break
-            measured_ys.append(found)
+    if runs > 0:
+        tasks = [
+            (
+                BimodalSpec.symmetric(n=n, d=float(d), sigma=sigma),
+                runs,
+                derive_seed(seed, f"d{d}"),
+                delta,
+            )
+            for d in d_grid
+        ]
+        n_jobs = resolve_jobs(jobs)
+        if n_jobs > 1 and len(tasks) > 1:
+            measured_ys = list(
+                _get_executor(n_jobs).map(_min_repeats_cell, tasks)
+            )
+        else:
+            measured_ys = [_min_repeats_cell(task) for task in tasks]
 
     series = [
         Series(

@@ -8,7 +8,7 @@ accuracy collapses -- while at ``d = 16`` two distinct peaks emerge.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,7 @@ def run(
     n: int = DEFAULT_N,
     sigma: float = DEFAULT_SIGMA,
     ds: Sequence[float] = DEFAULT_DS,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 11's empirical densities.
 
@@ -38,6 +39,8 @@ def run(
         n: Population size.
         sigma: Common mode standard deviation.
         ds: Half peak distances to contrast (paper: 8 and 16).
+        jobs: Accepted for interface uniformity; this runner is not
+            sweep-engine based and executes serially.
     """
     xs = tuple(float(v) for v in range(n + 1))
     series = []

@@ -1,8 +1,16 @@
-"""Experiment registry: figure id -> runner."""
+"""Experiment registry: figure id -> runner, plus the cached entry point.
+
+:func:`run_experiment` is the one seam every consumer (CLI, report,
+benchmarks, tests) goes through: it resolves the runner, consults the
+optional on-disk :class:`~repro.experiments.cache.ResultCache`, and
+threads the ``jobs`` backend knob to runners that sweep.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments.cache import ResultCache
 
 from repro.experiments import (
     ext_faults,
@@ -62,3 +70,38 @@ def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
         raise KeyError(
             f"unknown experiment {exp_id!r}; valid: {list_experiments()}"
         ) from None
+
+
+def run_experiment(
+    exp_id: str,
+    *,
+    cache: Optional[ResultCache] = None,
+    jobs: Optional[int] = None,
+    **kwargs: Any,
+) -> Tuple[ExperimentResult, bool]:
+    """Run (or load) one experiment.
+
+    Args:
+        exp_id: Figure id, e.g. ``"fig01"``.
+        cache: Optional result cache; hits skip the computation entirely.
+            ``jobs`` is excluded from cache keys (it cannot change
+            results), so serial and parallel runs share entries.
+        jobs: Worker processes for the sweep backend (``None`` = runner
+            default, i.e. serial).
+        **kwargs: Forwarded to the runner (``runs=``, ``seed=``, ...).
+
+    Returns:
+        ``(result, from_cache)``.
+    """
+    runner = get_experiment(exp_id)
+    params = dict(kwargs)
+    if jobs is not None:
+        params["jobs"] = jobs
+    if cache is not None:
+        cached = cache.load(exp_id, params)
+        if cached is not None:
+            return cached, True
+    result = runner(**params)
+    if cache is not None:
+        cache.store(exp_id, params, result)
+    return result, False

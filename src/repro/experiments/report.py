@@ -14,8 +14,9 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.common import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import run_experiment
 from repro.viz.ascii import render_table
 
 
@@ -299,6 +300,8 @@ def generate_report(
     runs: Optional[int] = None,
     seed: Optional[int] = None,
     figures: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> str:
     """Regenerate the evaluation and render the graded claim table.
 
@@ -306,6 +309,8 @@ def generate_report(
         runs: Repetitions per grid point (``None`` = per-figure default).
         seed: Root seed override.
         figures: Figure ids to include (default: every checked figure).
+        jobs: Worker processes for the sweep backend (``None`` = serial).
+        cache: Optional on-disk result cache consulted per figure.
 
     Returns:
         The rendered report text (claim table + verdict line).
@@ -318,7 +323,9 @@ def generate_report(
             kwargs["runs"] = runs
         if seed is not None:
             kwargs["seed"] = seed
-        results[fig_id] = EXPERIMENTS[fig_id](**kwargs)
+        results[fig_id], _ = run_experiment(
+            fig_id, cache=cache, jobs=jobs, **kwargs
+        )
 
     checks = run_shape_checks(results)
     rows = [

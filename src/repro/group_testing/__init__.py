@@ -17,10 +17,12 @@ from repro.group_testing.binning import (
     partition_deterministic,
     partition_random,
     sample_bin,
+    sample_bins,
 )
 from repro.group_testing.model import (
     BinObservation,
     KPlusModel,
+    ModelSpec,
     ObservationKind,
     OnePlusModel,
     QueryBudgetExceeded,
@@ -32,6 +34,7 @@ from repro.group_testing.population import Population
 __all__ = [
     "BinObservation",
     "KPlusModel",
+    "ModelSpec",
     "ObservationKind",
     "OnePlusModel",
     "Population",
@@ -41,4 +44,5 @@ __all__ = [
     "partition_deterministic",
     "partition_random",
     "sample_bin",
+    "sample_bins",
 ]

@@ -54,7 +54,7 @@ def partition_random(
     start = 0
     for i in range(effective):
         size = base + (1 if i < extra else 0)
-        out.append([int(v) for v in arr[start : start + size]])
+        out.append(arr[start : start + size].tolist())
         start += size
     return out
 
@@ -122,4 +122,43 @@ def sample_bin(
         return []
     draws = rng.random(len(candidates)) < inclusion_prob
     arr = np.asarray(candidates, dtype=np.int64)
-    return [int(v) for v in arr[draws]]
+    return arr[draws].tolist()
+
+
+def sample_bins(
+    candidates: Sequence[int],
+    inclusion_prob: float,
+    count: int,
+    rng: np.random.Generator,
+) -> List[List[int]]:
+    """Sample ``count`` independent inclusion bins in one vectorized draw.
+
+    Bit-identical to ``count`` successive :func:`sample_bin` calls on the
+    same generator (numpy fills a 2-D ``random`` draw in C order, i.e.
+    row-by-row), but one matrix comparison replaces the per-probe Python
+    loop.  Used by the probabilistic scheme's repeated probes.
+
+    Args:
+        candidates: Node ids eligible for the probes.
+        inclusion_prob: Per-node inclusion probability in ``[0, 1]``.
+        count: Number of bins to sample (``>= 0``).
+        rng: Randomness source.
+
+    Returns:
+        ``count`` member lists (each possibly empty).
+
+    Raises:
+        ValueError: If ``inclusion_prob`` is outside ``[0, 1]`` or
+            ``count`` is negative.
+    """
+    if not 0.0 <= inclusion_prob <= 1.0:
+        raise ValueError(
+            f"inclusion probability must be in [0,1], got {inclusion_prob}"
+        )
+    if count < 0:
+        raise ValueError(f"bin count must be >= 0, got {count}")
+    if len(candidates) == 0 or inclusion_prob == 0.0:
+        return [[] for _ in range(count)]
+    draws = rng.random((count, len(candidates))) < inclusion_prob
+    arr = np.asarray(candidates, dtype=np.int64)
+    return [arr[row].tolist() for row in draws]

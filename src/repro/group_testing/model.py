@@ -23,11 +23,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Optional, Protocol, Sequence
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from repro.group_testing.population import Population
+
+#: Minimum total membership of a round before :meth:`_BaseModel.begin_round`
+#: prefetches counts vectorized; below it the numpy call overhead beats the
+#: per-bin set-membership loops it replaces.
+_PREFETCH_MIN_MEMBERS = 64
 
 
 class QueryBudgetExceeded(RuntimeError):
@@ -116,7 +121,24 @@ def default_capture_probability(k: int) -> float:
 
 
 class _BaseModel:
-    """Shared cost-ledger plumbing for the abstract models."""
+    """Shared cost-ledger plumbing for the abstract models.
+
+    Beyond the ledger this base carries the two vectorized batch-trial
+    paths (the hottest loops of every sweep):
+
+    * :meth:`begin_round` prefetches all of a round's per-bin positive
+      counts in one numpy pass over the concatenated membership; the
+      subsequent :meth:`query` calls consume the cache in order.  Cost
+      charging, early termination and every RNG draw stay exactly where
+      they were, so results are bit-identical to the unprimed path.
+    * :meth:`query_batch` answers a whole batch of bins at once (used by
+      the non-adaptive probabilistic scheme, whose probe set is fixed up
+      front).
+    """
+
+    #: Whether the subclass's observation logic needs the positive member
+    #: ids (not just the count) -- true only for the 2+ capture draw.
+    _wants_positive_members = False
 
     def __init__(
         self,
@@ -131,6 +153,10 @@ class _BaseModel:
         self._queries = 0
         self._max_queries = max_queries
         self._detection_failure = detection_failure
+        self._round_bins: Optional[List[Sequence[int]]] = None
+        self._round_counts: Optional[np.ndarray] = None
+        self._round_pos: Optional[List[np.ndarray]] = None
+        self._round_next = 0
 
     @property
     def population(self) -> Population:
@@ -165,6 +191,89 @@ class _BaseModel:
             raise ValueError(f"detection-failure hook returned {miss}")
         return bool(self._rng.random() >= miss)
 
+    # ------------------------------------------------------------------
+    # Vectorized batch-trial paths
+    # ------------------------------------------------------------------
+
+    def begin_round(self, bins: Sequence[Sequence[int]]) -> None:
+        """Prefetch the round's per-bin positive counts in one numpy pass.
+
+        Called by the round executor before the per-bin queries (the same
+        hook the packet-level substrate uses for its round announcement).
+        Purely a performance seam: no cost is charged and no randomness is
+        consumed here, so a primed round is bit-identical to an unprimed
+        one.  Holding references to the bin lists keeps their ids unique
+        for the in-order identity match in :meth:`_take_counted`.
+        """
+        self._round_bins = None
+        self._round_pos = None
+        self._round_next = 0
+        if not bins or sum(len(b) for b in bins) < _PREFETCH_MIN_MEMBERS:
+            return
+        counts, pos = self._population.scan_bins(
+            bins, want_positives=self._wants_positive_members
+        )
+        self._round_bins = list(bins)
+        self._round_counts = counts
+        self._round_pos = pos
+
+    def _take_counted(
+        self, members: Sequence[int]
+    ) -> Optional[Tuple[int, Optional[np.ndarray]]]:
+        """Pop the prefetched ``(count, positives)`` entry for ``members``.
+
+        Matches strictly in round order and by object identity, so
+        re-queries (retry policies) and out-of-round probes fall back to
+        direct counting with no risk of stale data.
+        """
+        cached = self._round_bins
+        i = self._round_next
+        if cached is None or i >= len(cached) or cached[i] is not members:
+            return None
+        self._round_next = i + 1
+        assert self._round_counts is not None
+        pos = self._round_pos[i] if self._round_pos is not None else None
+        return int(self._round_counts[i]), pos
+
+    def query_batch(
+        self, bins: Sequence[Sequence[int]]
+    ) -> List[BinObservation]:
+        """Query a batch of bins; charges one cost unit per bin.
+
+        The per-bin positive counts are evaluated in a single vectorized
+        pass; observations (and any detection/capture draws) are then
+        produced bin-by-bin in order, so the result -- including the RNG
+        stream consumption -- is identical to looping over
+        :meth:`query`.
+        """
+        counts, pos = self._population.scan_bins(
+            bins, want_positives=self._wants_positive_members
+        )
+        out: List[BinObservation] = []
+        for i, members in enumerate(bins):
+            self._charge()
+            out.append(
+                self._observe(
+                    members,
+                    int(counts[i]),
+                    pos[i] if pos is not None else None,
+                )
+            )
+        return out
+
+    def _observe(
+        self,
+        members: Sequence[int],
+        npos: int,
+        pos: Optional[Sequence[int]],
+    ) -> BinObservation:
+        """Produce the observation for a bin with ``npos`` positives.
+
+        ``pos`` carries the positive member ids in membership order when
+        :attr:`_wants_positive_members` is set (2+ capture), else ``None``.
+        """
+        raise NotImplementedError
+
 
 class OnePlusModel(_BaseModel):
     """The 1+ collision model: silence vs undecodable activity.
@@ -185,7 +294,20 @@ class OnePlusModel(_BaseModel):
     def query(self, members: Sequence[int]) -> BinObservation:
         """Query a bin under 1+ semantics; charges one cost unit."""
         self._charge()
-        npos = self._population.count_positives(members)
+        cached = self._take_counted(members)
+        npos = (
+            cached[0]
+            if cached is not None
+            else self._population.count_positives(members)
+        )
+        return self._observe(members, npos, None)
+
+    def _observe(
+        self,
+        members: Sequence[int],
+        npos: int,
+        pos: Optional[Sequence[int]],
+    ) -> BinObservation:
         if self._detected(npos):
             return BinObservation(kind=ObservationKind.ACTIVITY, min_positives=1)
         return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
@@ -238,7 +360,20 @@ class KPlusModel(_BaseModel):
     def query(self, members: Sequence[int]) -> BinObservation:
         """Query a bin under k+ semantics; charges one cost unit."""
         self._charge()
-        npos = self._population.count_positives(members)
+        cached = self._take_counted(members)
+        npos = (
+            cached[0]
+            if cached is not None
+            else self._population.count_positives(members)
+        )
+        return self._observe(members, npos, None)
+
+    def _observe(
+        self,
+        members: Sequence[int],
+        npos: int,
+        pos: Optional[Sequence[int]],
+    ) -> BinObservation:
         if not self._detected(npos):
             return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
         return BinObservation(
@@ -294,27 +429,109 @@ class TwoPlusModel(_BaseModel):
         )
         self._capture_probability = capture_probability
 
+    _wants_positive_members = True
+
     def query(self, members: Sequence[int]) -> BinObservation:
         """Query a bin under 2+ semantics; charges one cost unit."""
         self._charge()
-        pos = [m for m in members if self._population.is_positive(m)]
-        npos = len(pos)
+        cached = self._take_counted(members)
+        if cached is not None:
+            npos, pos = cached
+        else:
+            pos = [m for m in members if self._population.is_positive(m)]
+            npos = len(pos)
+        return self._observe(members, npos, pos)
+
+    def _observe(
+        self,
+        members: Sequence[int],
+        npos: int,
+        pos: Optional[Sequence[int]],
+    ) -> BinObservation:
         if not self._detected(npos):
             return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
+        assert pos is not None
         if npos == 1:
             return BinObservation(
                 kind=ObservationKind.CAPTURE,
                 min_positives=1,
-                captured_node=pos[0],
+                captured_node=int(pos[0]),
             )
         p_cap = self._capture_probability(npos)
         if not 0.0 <= p_cap <= 1.0:
             raise ValueError(f"capture probability out of range: {p_cap}")
         if self._rng.random() < p_cap:
-            winner = pos[int(self._rng.integers(npos))]
+            winner = int(pos[int(self._rng.integers(npos))])
             return BinObservation(
                 kind=ObservationKind.CAPTURE,
                 min_positives=1,
                 captured_node=winner,
             )
         return BinObservation(kind=ObservationKind.ACTIVITY, min_positives=2)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A picklable :class:`QueryModel` factory.
+
+    The parallel sweep backend ships work to worker processes, which
+    rules out the closures the figure runners used to build models with.
+    A ``ModelSpec`` carries the same configuration declaratively: calling
+    it with ``(population, rng)`` builds the model, so it drops into
+    every ``model_factory`` seam unchanged.  Hook callables
+    (``detection_failure``, ``capture_probability``) must themselves be
+    picklable for the parallel path -- module-level functions and bound
+    methods of picklable objects (e.g.
+    ``HackMissModel(...).miss_probability``) both qualify.
+
+    Attributes:
+        kind: Collision semantics: ``"1+"``, ``"2+"`` or ``"k+"``.
+        max_queries: Optional hard query budget.
+        k: Count resolution for ``"k+"`` (ignored otherwise).
+        detection_failure: Optional miss-probability hook.
+        capture_probability: Capture model override for ``"2+"``
+            (``None`` = the :func:`default_capture_probability`).
+    """
+
+    kind: str
+    max_queries: Optional[int] = None
+    k: int = 1
+    detection_failure: Optional[Callable[[int], float]] = None
+    capture_probability: Optional[Callable[[int], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("1+", "2+", "k+"):
+            raise ValueError(
+                f"kind must be '1+', '2+' or 'k+', got {self.kind!r}"
+            )
+
+    def __call__(
+        self, population: Population, rng: np.random.Generator
+    ) -> QueryModel:
+        """Build the configured model over ``population``."""
+        if self.kind == "1+":
+            return OnePlusModel(
+                population,
+                rng,
+                max_queries=self.max_queries,
+                detection_failure=self.detection_failure,
+            )
+        if self.kind == "k+":
+            return KPlusModel(
+                population,
+                rng,
+                k=self.k,
+                max_queries=self.max_queries,
+                detection_failure=self.detection_failure,
+            )
+        return TwoPlusModel(
+            population,
+            rng,
+            capture_probability=(
+                self.capture_probability
+                if self.capture_probability is not None
+                else default_capture_probability
+            ),
+            max_queries=self.max_queries,
+            detection_failure=self.detection_failure,
+        )

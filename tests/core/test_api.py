@@ -6,8 +6,12 @@ import numpy as np
 import pytest
 
 from repro.api import ALGORITHMS, make_algorithm, threshold_query
+from repro.core import KRepeatConfirm
+from repro.faults.plan import FaultPlan
 from repro.group_testing.model import OnePlusModel
 from repro.group_testing.population import Population
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestMakeAlgorithm:
@@ -65,3 +69,50 @@ class TestThresholdQuery:
         a = threshold_query(pop, 8, seed=9)
         b = threshold_query(pop, 8, seed=9)
         assert a.queries == b.queries
+
+
+class TestReliabilityKwargs:
+    """threshold_query's retry_policy= / reliable= / fault_plan= seams."""
+
+    def test_reliable_shortcut(self):
+        pop = Population.from_count(64, 20, np.random.default_rng(0))
+        result = threshold_query(
+            pop, 8, algorithm="2tbins", reliable="krepeat", seed=3
+        )
+        assert result.decision
+        assert result.reliability is not None
+
+    def test_retry_policy_instance(self):
+        pop = Population.from_count(64, 20, np.random.default_rng(0))
+        result = threshold_query(
+            pop, 8, algorithm="2tbins",
+            retry_policy=KRepeatConfirm(repeats=3), seed=3,
+        )
+        assert result.decision
+
+    def test_reliable_and_retry_policy_conflict(self):
+        pop = Population.from_count(8, 2)
+        with pytest.raises(ValueError, match="not both"):
+            threshold_query(
+                pop, 1, reliable="krepeat", retry_policy=KRepeatConfirm()
+            )
+
+    def test_fault_plan_none_matches_default(self):
+        pop = Population.from_count(64, 12, np.random.default_rng(0))
+        plain = threshold_query(pop, 8, algorithm="2tbins", seed=9)
+        explicit = threshold_query(
+            pop, 8, algorithm="2tbins", seed=9, fault_plan=FaultPlan.none()
+        )
+        assert plain.queries == explicit.queries
+        assert plain.decision == explicit.decision
+
+    def test_fault_plan_with_retry_policy(self):
+        from repro.faults.injectors import VerdictFlip
+
+        pop = Population.from_count(64, 20, np.random.default_rng(0))
+        plan = FaultPlan([VerdictFlip(p_drop=0.2, only_single=True)], seed=4)
+        result = threshold_query(
+            pop, 8, algorithm="2tbins", seed=3,
+            fault_plan=plan, reliable="krepeat",
+        )
+        assert result.decision in (True, False)

@@ -1,0 +1,103 @@
+"""On-disk result cache: keys, invalidation, and round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache, cache_key, code_fingerprint
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCacheKey:
+    def test_stable_for_identical_params(self):
+        assert cache_key("fig01", {"runs": 5, "seed": 1}) == cache_key(
+            "fig01", {"runs": 5, "seed": 1}
+        )
+
+    def test_insensitive_to_param_order(self):
+        assert cache_key("fig01", {"a": 1, "b": 2}) == cache_key(
+            "fig01", {"b": 2, "a": 1}
+        )
+
+    def test_sensitive_to_exp_id_and_values(self):
+        base = cache_key("fig01", {"runs": 5})
+        assert cache_key("fig02", {"runs": 5}) != base
+        assert cache_key("fig01", {"runs": 6}) != base
+
+    def test_backend_knobs_excluded(self):
+        """jobs/cache change *how* we compute, never *what*."""
+        assert cache_key("fig01", {"runs": 5, "jobs": 4}) == cache_key(
+            "fig01", {"runs": 5, "jobs": 1}
+        )
+        assert cache_key("fig01", {"runs": 5, "jobs": 4}) == cache_key(
+            "fig01", {"runs": 5}
+        )
+
+    def test_code_fingerprint_is_stable_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestResultCache:
+    def test_round_trip(self, cache):
+        result, hit = run_experiment("fig01", cache=cache, runs=3)
+        assert not hit
+        again, hit = run_experiment("fig01", cache=cache, runs=3)
+        assert hit
+        assert again == result
+
+    def test_param_change_misses(self, cache):
+        run_experiment("fig01", cache=cache, runs=3)
+        _, hit = run_experiment("fig01", cache=cache, runs=4)
+        assert not hit
+
+    def test_jobs_hits_same_entry(self, cache):
+        serial, _ = run_experiment("fig01", cache=cache, runs=3, jobs=1)
+        parallel, hit = run_experiment("fig01", cache=cache, runs=3, jobs=2)
+        assert hit
+        assert parallel == serial
+
+    def test_no_cache_recomputes(self):
+        result, hit = run_experiment("fig01", cache=None, runs=3)
+        assert not hit
+        assert result.exp_id == "fig01"
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        run_experiment("fig01", cache=cache, runs=3)
+        for path in cache.directory.glob("*.json"):
+            path.write_text("{not json")
+        _, hit = run_experiment("fig01", cache=cache, runs=3)
+        assert not hit
+
+    def test_code_change_invalidates(self, cache, monkeypatch):
+        """The fingerprint is part of the key: new code, new entry."""
+        import repro.experiments.cache as cache_mod
+
+        run_experiment("fig01", cache=cache, runs=3)
+        monkeypatch.setattr(cache_mod, "_FINGERPRINT", "0" * 64)
+        _, hit = run_experiment("fig01", cache=cache, runs=3)
+        assert not hit
+
+    def test_clear_empties_directory(self, cache):
+        run_experiment("fig01", cache=cache, runs=3)
+        assert cache.entry_count() >= 1
+        removed = cache.clear()
+        assert removed >= 1
+        assert cache.entry_count() == 0
+
+    def test_stats_and_hit_rate(self, cache):
+        assert cache.hit_rate == 0.0
+        run_experiment("fig01", cache=cache, runs=3)
+        run_experiment("fig01", cache=cache, runs=3)
+        hits, misses = cache.stats()
+        assert (hits, misses) == (1, 1)
+        assert cache.hit_rate == 0.5
