@@ -111,11 +111,11 @@ def _run_one(
         kwargs["runs"] = runs
     if seed is not None:
         kwargs["seed"] = seed
-    started = time.perf_counter()
+    started = time.perf_counter()  # tcast-lint: disable=TCL002 -- wall-clock banner for the operator, not simulation time
     result, from_cache = run_experiment(
         exp_id, cache=cache, jobs=jobs, **kwargs
     )
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # tcast-lint: disable=TCL002 -- wall-clock banner for the operator, not simulation time
     print(result.report())
     source = "cache" if from_cache else "computed"
     print(f"[{exp_id} completed in {elapsed:.1f}s ({source})]")

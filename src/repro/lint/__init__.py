@@ -1,0 +1,43 @@
+"""``tcast-lint``: static determinism & parallel-safety analysis.
+
+A custom AST linter that mechanically enforces the invariants the whole
+reproduction rests on -- seeded :class:`repro.sim.rng.RngRegistry`
+streams, simulated time inside the emulation, picklable sweep
+factories, tolerance-based float comparisons in the analytic package,
+and explicit seed plumbing through experiment entry points.
+
+Run it from the repo root (``tcast-lint`` console script or ``python -m
+repro.lint.cli``), or import :func:`lint_paths` / :func:`lint_source`
+directly from tests.  Rules are documented in DESIGN.md ("Static
+analysis") and in each rule class's docstring, which carries an
+executable Bad/Good example pair.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    examples_from_docstring,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.reporters import render_human, render_json
+from repro.lint.rules import RULE_CLASSES, all_rules, rules_by_id
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "RULE_CLASSES",
+    "all_rules",
+    "examples_from_docstring",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_human",
+    "render_json",
+    "rules_by_id",
+]

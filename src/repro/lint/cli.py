@@ -1,0 +1,140 @@
+"""The ``tcast-lint`` command-line interface.
+
+Usage::
+
+    tcast-lint [paths ...] [--format human|json] [--output FILE]
+               [--select TCL001,TCL003] [--list-rules]
+
+Paths default to ``src/repro tests`` (the acceptance surface).  Exit
+status: 0 when clean, 1 when findings were reported, 2 on usage or I/O
+errors (unreadable path, unknown rule id, syntax error in a checked
+file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import Finding, Rule, lint_paths
+from repro.lint.reporters import render_human, render_json
+from repro.lint.rules import all_rules, rules_by_id
+
+#: Default lint surface when no paths are given.
+DEFAULT_PATHS = ("src/repro", "tests")
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    """Resolve ``--select`` into rule instances (all rules when unset)."""
+    if spec is None:
+        return all_rules()
+    table = rules_by_id()
+    chosen: List[Rule] = []
+    for token in spec.split(","):
+        rule_id = token.strip().upper()
+        if not rule_id:
+            continue
+        if rule_id not in table:
+            raise KeyError(rule_id)
+        chosen.append(table[rule_id])
+    if not chosen:
+        raise KeyError(spec)
+    return chosen
+
+
+def _list_rules() -> str:
+    """Tabulate rule id, name and summary for ``--list-rules``."""
+    rows = [
+        f"{rule.rule_id}  {rule.name:<20} {rule.summary}"
+        for rule in all_rules()
+    ]
+    return "\n".join(rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="tcast-lint",
+        description=(
+            "AST-based determinism and parallel-safety linter for the "
+            "tcast reproduction (rules TCL001-TCL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format printed to stdout (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write a JSON report to FILE (regardless of --format)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-pragmas",
+        action="store_true",
+        help="ignore suppression pragmas (audit mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        rules = _select_rules(args.select)
+    except KeyError as exc:
+        print(f"tcast-lint: unknown rule {exc.args[0]!r}", file=sys.stderr)
+        return 2
+
+    try:
+        findings: List[Finding] = lint_paths(
+            args.paths, rules=rules, respect_pragmas=not args.no_pragmas
+        )
+    except FileNotFoundError as exc:
+        print(f"tcast-lint: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"tcast-lint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_human(findings))
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(render_json(findings) + "\n")
+        except OSError as exc:
+            print(f"tcast-lint: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,389 @@
+"""Core machinery of ``tcast-lint``: contexts, pragmas, rule protocol.
+
+The linter is a thin framework around one idea: every determinism and
+parallel-safety invariant this repo relies on (seeded :class:`RngRegistry`
+streams, simulated time, picklable sweep factories) can be checked
+mechanically with a per-file :mod:`ast` walk.  This module provides the
+shared plumbing:
+
+* :class:`Finding` -- one reported violation, sortable and JSON-ready;
+* :class:`LintContext` -- parsed tree, resolved import aliases, pragma
+  table and path scope for a single source file;
+* :class:`Rule` -- the interface rule modules implement (see
+  :mod:`repro.lint.rules`);
+* :func:`lint_source` / :func:`lint_file` / :func:`lint_paths` -- the
+  pytest-importable entry points the CLI wraps.
+
+Suppression pragmas::
+
+    model.query(bin)  # tcast-lint: disable=TCL002 -- reason (optional)
+    # tcast-lint: disable-file=TCL001 -- whole-file suppression
+
+Directory discovery skips hidden directories, ``__pycache__`` and any
+directory named ``fixtures`` (the lint test suite keeps deliberately
+violating files there and lints them by explicit path instead).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Matches one suppression pragma; group 1 is ``disable`` or
+#: ``disable-file``, group 2 the comma-separated rule list (or ``all``).
+_PRAGMA_RE = re.compile(
+    r"#\s*tcast-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+|all)"
+)
+
+#: Directory names skipped during recursive discovery.
+_SKIP_DIRS = {"__pycache__", "fixtures", ".git", ".mypy_cache", ".ruff_cache"}
+
+#: Package directories whose files count as "simulation scope" for the
+#: wall-clock rule (TCL002).
+SIM_SCOPE_DIRS = ("sim", "core", "group_testing", "experiments")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes:
+        path: Path of the offending file, as passed to the linter.
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule_id: The ``TCLxxx`` identifier of the rule that fired.
+        message: Human-readable explanation with the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """Format as ``path:line:col: RULE message`` (one line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (stable key order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class AliasResolver(ast.NodeVisitor):
+    """Resolve local names to the canonical dotted paths they import.
+
+    Walks every ``import``/``from ... import`` in the file (at any
+    nesting level) and builds a name -> dotted-path map, e.g. ``np ->
+    numpy``, ``pc -> time.perf_counter``.  :meth:`resolve` then expands
+    an attribute chain such as ``np.random.default_rng`` to
+    ``numpy.random.default_rng``.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Record ``import a.b [as c]`` aliases."""
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Record ``from a import b [as c]`` aliases (absolute only)."""
+        if node.level or not node.module:
+            return  # relative imports never reach stdlib/numpy
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted path of a ``Name``/``Attribute`` chain, aliases expanded.
+
+        Returns ``None`` for expressions that are not plain attribute
+        chains rooted at a name (calls, subscripts, literals, ...).
+        """
+        parts: List[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        parts.reverse()
+        root = self.aliases.get(parts[0], parts[0])
+        return ".".join([root] + parts[1:])
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to check one source file.
+
+    Attributes:
+        path: The file path as given (used in findings).
+        parts: Path components, used for package-scope decisions.
+        source: Raw source text.
+        tree: Parsed module AST.
+        aliases: Import-alias resolver for the file.
+        line_pragmas: ``line -> {rule ids}`` same-line suppressions
+            (``{"all"}`` suppresses every rule on that line).
+        file_pragmas: Rules suppressed for the whole file.
+    """
+
+    path: str
+    parts: Tuple[str, ...]
+    source: str
+    tree: ast.Module
+    aliases: AliasResolver
+    line_pragmas: Dict[int, Set[str]]
+    file_pragmas: Set[str]
+
+    @property
+    def is_test_file(self) -> bool:
+        """Whether this is a pytest file (``test_*.py`` / ``conftest.py``).
+
+        Package-scoped rules (TCL002/TCL004/TCL006) exempt test files:
+        tests legitimately measure wall-clock, assert exact analytic
+        values and build throwaway runners.
+        """
+        name = self.parts[-1] if self.parts else ""
+        return name.startswith("test_") or name == "conftest.py"
+
+    def in_scope(self, *dirs: str) -> bool:
+        """Whether the file lives under any of the given package dirs."""
+        return any(d in self.parts[:-1] for d in dirs)
+
+    def is_module(self, *suffix: str) -> bool:
+        """Whether the file path ends with the given components."""
+        return self.parts[-len(suffix):] == tuple(suffix)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether a pragma silences ``rule_id`` at ``line``."""
+        if rule_id in self.file_pragmas or "all" in self.file_pragmas:
+            return True
+        rules = self.line_pragmas.get(line)
+        return rules is not None and (rule_id in rules or "all" in rules)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`name` / :attr:`summary`,
+    implement :meth:`check`, and carry a docstring with ``Bad::`` and
+    ``Good::`` literal blocks -- the test suite extracts and lints both
+    (see :func:`examples_from_docstring`).
+    """
+
+    #: ``TCLxxx`` identifier reported in findings and used in pragmas.
+    rule_id: str = "TCL000"
+
+    #: Short kebab-case rule name.
+    name: str = "abstract-rule"
+
+    #: One-line description for ``--list-rules`` and DESIGN.md.
+    summary: str = ""
+
+    #: Path the docstring examples are linted under (rules scoped to a
+    #: package override this so the example actually falls in scope).
+    example_path: str = "repro/example.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one file; suppression is handled upstream."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def examples_from_docstring(rule: Rule) -> Tuple[str, str]:
+    """Extract the ``Bad::`` and ``Good::`` snippets from a rule docstring.
+
+    Each marker introduces one indented literal block (reST style); the
+    snippet is dedented and returned as runnable source.  Raises
+    :class:`ValueError` when a rule is missing either block, so the test
+    suite enforces that every rule documents both.
+    """
+    doc = inspect.cleandoc(rule.__doc__ or "")
+    snippets: Dict[str, str] = {}
+    for marker in ("Bad::", "Good::"):
+        idx = doc.find(marker)
+        if idx < 0:
+            raise ValueError(f"{rule.rule_id}: docstring lacks {marker!r} block")
+        rest = doc[idx + len(marker):]
+        lines = rest.splitlines()
+        block: List[str] = []
+        started = False
+        for line in lines:
+            if not line.strip():
+                if started:
+                    block.append(line)
+                continue
+            indent = len(line) - len(line.lstrip())
+            if indent >= 4:
+                started = True
+                block.append(line)
+            elif started:
+                break
+            else:
+                break
+        snippet = textwrap.dedent("\n".join(block)).strip("\n")
+        if not snippet:
+            raise ValueError(f"{rule.rule_id}: empty {marker!r} block")
+        snippets[marker] = snippet
+    return snippets["Bad::"], snippets["Good::"]
+
+
+def _parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Collect line-level and file-level suppression pragmas."""
+    line_pragmas: Dict[int, Set[str]] = {}
+    file_pragmas: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "tcast-lint" not in line:
+            continue
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        rules = {
+            token.strip()
+            for token in match.group(2).split(",")
+            if token.strip()
+        }
+        if match.group(1) == "disable-file":
+            file_pragmas |= rules
+        else:
+            line_pragmas.setdefault(lineno, set()).update(rules)
+    return line_pragmas, file_pragmas
+
+
+def build_context(source: str, path: str) -> LintContext:
+    """Parse ``source`` into a ready-to-check :class:`LintContext`.
+
+    Raises:
+        SyntaxError: If the file does not parse (surfaced to the caller;
+            a file that cannot be parsed cannot be certified).
+    """
+    tree = ast.parse(source, filename=path)
+    resolver = AliasResolver()
+    resolver.visit(tree)
+    line_pragmas, file_pragmas = _parse_pragmas(source)
+    parts = tuple(PurePosixPath(Path(path).as_posix()).parts)
+    return LintContext(
+        path=path,
+        parts=parts,
+        source=source,
+        tree=tree,
+        aliases=resolver,
+        line_pragmas=line_pragmas,
+        file_pragmas=file_pragmas,
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    respect_pragmas: bool = True,
+) -> List[Finding]:
+    """Lint a source string and return sorted findings.
+
+    Args:
+        source: Python source text.
+        path: Path used for findings and package-scope decisions.
+        rules: Rules to run; defaults to the full registry.
+        respect_pragmas: Set ``False`` to report suppressed findings too
+            (used by the pragma-audit tests).
+    """
+    from repro.lint.rules import all_rules
+
+    active = list(rules) if rules is not None else all_rules()
+    ctx = build_context(source, path)
+    findings: List[Finding] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            if respect_pragmas and ctx.suppressed(finding.rule_id, finding.line):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    respect_pragmas: bool = True,
+) -> List[Finding]:
+    """Lint one file on disk (always linted, even inside ``fixtures/``)."""
+    p = Path(path)
+    return lint_source(
+        p.read_text(encoding="utf-8"),
+        str(path),
+        rules=rules,
+        respect_pragmas=respect_pragmas,
+    )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` in sorted order.
+
+    Directories are walked recursively, skipping hidden directories,
+    ``__pycache__`` and ``fixtures`` (deliberate-violation corpora); an
+    explicit file argument is always yielded regardless of location.
+
+    Raises:
+        FileNotFoundError: If a given path does not exist.
+    """
+    for given in paths:
+        p = Path(given)
+        if p.is_file():
+            yield p
+        elif p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                rel = sub.relative_to(p)
+                if any(
+                    part in _SKIP_DIRS or part.startswith(".")
+                    for part in rel.parts[:-1]
+                ):
+                    continue
+                yield sub
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    respect_pragmas: bool = True,
+) -> List[Finding]:
+    """Lint files and directories; the main pytest-importable entry point."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            lint_file(file, rules=rules, respect_pragmas=respect_pragmas)
+        )
+    return sorted(findings)

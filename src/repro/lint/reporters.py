@@ -1,0 +1,63 @@
+"""Output formats for ``tcast-lint`` findings.
+
+Two reporters: a per-line human format (``path:line:col: RULE message``,
+grep- and editor-friendly) and a JSON document CI uploads as an artifact
+so a failing lint job carries its evidence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding
+
+#: Schema version stamped into the JSON report.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a trailing count summary."""
+    lines = [f.render() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"tcast-lint: {len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The findings as a stable, pretty-printed JSON document.
+
+    Layout::
+
+        {
+          "schema": 1,
+          "findings": [{"path", "line", "col", "rule", "message"}, ...],
+          "counts": {"TCL001": 2, ...},
+          "total": 3
+        }
+    """
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+    doc = {
+        "schema": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def parse_json_report(text: str) -> List[Finding]:
+    """Inverse of :func:`render_json` (used by tooling and tests)."""
+    doc = json.loads(text)
+    return [
+        Finding(
+            path=item["path"],
+            line=item["line"],
+            col=item["col"],
+            rule_id=item["rule"],
+            message=item["message"],
+        )
+        for item in doc["findings"]
+    ]

@@ -1,0 +1,38 @@
+"""The ``tcast-lint`` rule registry.
+
+One module per rule; :func:`all_rules` instantiates them in rule-id
+order.  Every rule documents a minimal ``Bad::`` / ``Good::`` pair in its
+class docstring, which the test suite lints both ways.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.rng_discipline import RngDiscipline
+from repro.lint.rules.wallclock import WallclockInSim
+from repro.lint.rules.pickle_safety import PickleSafety
+from repro.lint.rules.float_equality import FloatEquality
+from repro.lint.rules.mutable_defaults import MutableDefaultArg
+from repro.lint.rules.seed_plumbing import SeedPlumbing
+
+#: Rule classes in rule-id order.
+RULE_CLASSES = (
+    RngDiscipline,
+    WallclockInSim,
+    PickleSafety,
+    FloatEquality,
+    MutableDefaultArg,
+    SeedPlumbing,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in rule-id order."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """Map ``TCLxxx`` -> rule instance for lookup-style access."""
+    return {rule.rule_id: rule for rule in all_rules()}

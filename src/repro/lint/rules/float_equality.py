@@ -1,0 +1,102 @@
+"""TCL004: exact equality on floats is meaningless in analytic code."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: ``math`` members that return ints (comparing those with ``==`` is fine).
+_MATH_INT_RETURNS = {
+    "ceil",
+    "comb",
+    "factorial",
+    "floor",
+    "gcd",
+    "isqrt",
+    "lcm",
+    "perm",
+    "trunc",
+}
+
+
+def _is_floatish(node: ast.expr, ctx: LintContext) -> bool:
+    """Heuristic: does this expression obviously produce a float?
+
+    Float literals, true division, ``float(...)`` casts and calls into
+    :mod:`math` (minus its integer-returning members) count; everything
+    else is assumed exact to keep the rule low-noise.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, ctx)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left, ctx) or _is_floatish(node.right, ctx)
+    if isinstance(node, ast.Call):
+        dotted = ctx.aliases.resolve(node.func)
+        if dotted == "float":
+            return True
+        if dotted is not None and dotted.startswith("math."):
+            return dotted.rsplit(".", 1)[1] not in _MATH_INT_RETURNS
+    if isinstance(node, ast.Attribute):
+        dotted = ctx.aliases.resolve(node)
+        return dotted in {"math.pi", "math.e", "math.tau", "math.inf", "math.nan"}
+    return False
+
+
+class FloatEquality(Rule):
+    """TCL004 float-equality: use tolerances in ``analytic/``.
+
+    The analytic package implements the paper's closed forms (Eqs 2-10)
+    in floating point; ``==`` / ``!=`` between float-valued expressions
+    there is either vacuously true/false or rounding-dependent, and the
+    failure mode is a bound that silently stops guarding anything.
+    Compare with :func:`math.isclose` (or an explicit tolerance)
+    instead.  Orderings (``<``, ``>=``) and comparisons of ints are
+    untouched, as are test files (which assert exact known values on
+    purpose).
+
+    Bad::
+
+        import math
+
+        def is_unbiased(b, p):
+            return math.log(1.0 - 1.0 / b) * p == -1.0
+
+    Good::
+
+        import math
+
+        def is_unbiased(b, p):
+            return math.isclose(math.log(1.0 - 1.0 / b) * p, -1.0)
+    """
+
+    rule_id = "TCL004"
+    name = "float-equality"
+    summary = "no ==/!= on float expressions in analytic/ (use math.isclose)"
+    example_path = "repro/analytic/example.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag Eq/NotEq comparisons with a float-valued side."""
+        if ctx.is_test_file or not ctx.in_scope("analytic"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left, ctx) or _is_floatish(right, ctx):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact ==/!= on a float expression is rounding-"
+                        "dependent; use math.isclose or an explicit "
+                        "tolerance",
+                    )
+                    break

@@ -1,0 +1,77 @@
+"""TCL005: the classic mutable-default-argument trap."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: No-argument constructor calls that build fresh mutable containers.
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _mutable_kind(node: ast.expr) -> Optional[str]:
+    """Describe the mutable default, or ``None`` if the default is safe."""
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CALLS:
+            return f"{node.func.id}() call"
+    return None
+
+
+class MutableDefaultArg(Rule):
+    """TCL005 mutable-default-arg: defaults are evaluated once.
+
+    A mutable default (``[]``, ``{}``, ``set()`` ...) is created a
+    single time at ``def`` time and then shared by every call -- state
+    leaks across invocations, which in this codebase means state leaking
+    across *runs* of an experiment and breaking run-independence.  Use
+    ``None`` and materialise inside the body.
+
+    Bad::
+
+        def collect(sample, history=[]):
+            history.append(sample)
+            return history
+
+    Good::
+
+        def collect(sample, history=None):
+            if history is None:
+                history = []
+            history.append(sample)
+            return history
+    """
+
+    rule_id = "TCL005"
+    name = "mutable-default-arg"
+    summary = "no mutable default argument values (lists/dicts/sets)"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag mutable defaults on every function/lambda signature."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults: List[ast.expr] = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                kind = _mutable_kind(default)
+                if kind is not None:
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default ({kind}) is shared across "
+                        "calls; default to None and build it in the "
+                        "body",
+                    )

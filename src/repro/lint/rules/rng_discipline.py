@@ -1,0 +1,137 @@
+"""TCL001: all randomness flows through seeded, named streams."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Members of :mod:`numpy.random` that are part of the seeded
+#: generator-object API and therefore allowed everywhere.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+class RngDiscipline(Rule):
+    """TCL001 rng-discipline: no ambient or legacy randomness sources.
+
+    Every stochastic draw in the reproduction must come from an
+    :class:`repro.sim.rng.RngRegistry` stream or a ``Generator`` passed
+    in by the caller.  The stdlib :mod:`random` module and numpy's
+    legacy global-state API (``np.random.seed`` / ``rand`` / ``randint``
+    / ``choice`` ...) are process-global and order-dependent, and an
+    unseeded ``np.random.default_rng()`` draws OS entropy -- any of them
+    silently breaks bit-exact repeats and the parallel/serial identity
+    of the sweep engine.  Only ``sim/rng.py`` (the stream factory
+    itself) is exempt.
+
+    Bad::
+
+        import random
+        import numpy as np
+
+        def jitter():
+            np.random.seed(4)
+            unseeded = np.random.default_rng()
+            return random.random() + np.random.rand() + unseeded.random()
+
+    Good::
+
+        import numpy as np
+
+        def jitter(rng: np.random.Generator) -> float:
+            return float(rng.random())
+    """
+
+    rule_id = "TCL001"
+    name = "rng-discipline"
+    summary = (
+        "no stdlib random, numpy legacy global randomness, or unseeded "
+        "default_rng() outside sim/rng.py"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag stdlib-random imports, legacy numpy.random members and
+        unseeded ``default_rng()`` calls."""
+        if ctx.is_module("sim", "rng.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib 'random' is process-global and "
+                            "unseeded; draw from an RngRegistry stream "
+                            "or a passed-in numpy Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib 'random' is process-global and unseeded; "
+                        "draw from an RngRegistry stream or a passed-in "
+                        "numpy Generator instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = ctx.aliases.resolve(node)
+                if (
+                    dotted is not None
+                    and dotted.startswith("numpy.random.")
+                    and dotted.count(".") == 2
+                ):
+                    member = dotted.rsplit(".", 1)[1]
+                    if member not in _NP_RANDOM_ALLOWED:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"numpy legacy global randomness "
+                            f"'np.random.{member}' mutates shared state; "
+                            "use a named RngRegistry stream or a seeded "
+                            "Generator",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = ctx.aliases.resolve(node.func)
+                if dotted is None:
+                    continue
+                # ``from numpy.random import randint`` style: the
+                # attribute branch never sees a Name call, so ban the
+                # legacy members here too (guarded to Name funcs to
+                # avoid double-reporting attribute calls).
+                if (
+                    isinstance(node.func, ast.Name)
+                    and dotted.startswith("numpy.random.")
+                    and dotted.count(".") == 2
+                    and dotted.rsplit(".", 1)[1] not in _NP_RANDOM_ALLOWED
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"numpy legacy global randomness "
+                        f"'{dotted}' mutates shared state; use a named "
+                        "RngRegistry stream or a seeded Generator",
+                    )
+                if (
+                    dotted == "numpy.random.default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unseeded np.random.default_rng() draws OS "
+                        "entropy; pass a seed (derive_seed) or accept a "
+                        "Generator from the caller",
+                    )

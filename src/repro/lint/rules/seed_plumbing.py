@@ -1,0 +1,97 @@
+"""TCL006: experiment entry points must expose their seed."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Parameter names that count as explicit seed/rng plumbing.
+_SEED_PARAMS = {"seed", "rng", "root_seed", "cell_seed", "registry", "rngs"}
+
+
+def _draws_randomness(func: ast.AST, ctx: LintContext) -> bool:
+    """Whether a function body creates its own randomness source."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.aliases.resolve(node.func)
+        if dotted == "numpy.random.default_rng":
+            return True
+        terminal = dotted.rsplit(".", 1)[-1] if dotted else None
+        if terminal == "RngRegistry":
+            return True
+    return False
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+    """All parameter names of a function, positional and keyword-only."""
+    args = func.args
+    return {
+        a.arg
+        for a in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        )
+    }
+
+
+class SeedPlumbing(Rule):
+    """TCL006 seed-plumbing: randomness in ``experiments/`` is caller-seeded.
+
+    A public experiment runner that builds its own generators or
+    registries but offers no ``seed=`` / ``rng=`` parameter cannot be
+    replayed, cached by the result cache (which keys on the seed), or
+    swept with common random numbers.  Any module-level public function
+    in ``experiments/`` that draws randomness must accept one of
+    ``seed`` / ``rng`` / ``root_seed`` / ``cell_seed`` / ``registry``.
+    Private helpers (``_``-prefixed) are exempt -- they inherit their
+    caller's plumbing.
+
+    Bad::
+
+        import numpy as np
+
+        def run(runs=100):
+            rng = np.random.default_rng(2011)
+            return [rng.random() for _ in range(runs)]
+
+    Good::
+
+        import numpy as np
+
+        def run(runs=100, *, seed=2011):
+            rng = np.random.default_rng(seed)
+            return [rng.random() for _ in range(runs)]
+    """
+
+    rule_id = "TCL006"
+    name = "seed-plumbing"
+    summary = (
+        "public experiment functions that draw randomness must take an "
+        "explicit seed/rng parameter"
+    )
+    example_path = "repro/experiments/example.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag public module-level experiment functions lacking a seed."""
+        if ctx.is_test_file or not ctx.in_scope("experiments"):
+            return
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not _draws_randomness(node, ctx):
+                continue
+            if _param_names(node) & _SEED_PARAMS:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"public experiment function '{node.name}' draws "
+                "randomness but has no seed/rng parameter; thread an "
+                "explicit seed so runs are replayable and cacheable",
+            )

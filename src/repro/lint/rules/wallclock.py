@@ -1,0 +1,81 @@
+"""TCL002: simulated components must not read the host's wall clock."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintContext, Rule, SIM_SCOPE_DIRS
+
+#: Wall-clock callables banned inside simulation-scoped packages.
+_BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallclockInSim(Rule):
+    """TCL002 wallclock-in-sim: simulated time only inside sim scope.
+
+    Everything under ``sim/``, ``core/``, ``group_testing/`` and
+    ``experiments/`` runs inside the discrete-event emulation, where the
+    only admissible clock is the simulator's (``sim.now``).  Reading the
+    host clock there makes behaviour depend on machine load -- results
+    stop being reproducible and the parallel sweep backend stops being
+    bit-identical to the serial one.  Test files are exempt (they time
+    and profile legitimately); genuinely wall-clock reporting code (the
+    CLI's elapsed-time banner) carries a justified pragma.
+
+    Bad::
+
+        import time
+
+        def round_latency(events):
+            start = time.perf_counter()
+            for event in events:
+                event.fire()
+            return time.perf_counter() - start
+
+    Good::
+
+        def round_latency(sim, events):
+            start = sim.now
+            for event in events:
+                event.fire()
+            return sim.now - start
+    """
+
+    rule_id = "TCL002"
+    name = "wallclock-in-sim"
+    summary = (
+        "no time.time()/perf_counter()/datetime.now() inside sim/, "
+        "core/, group_testing/, experiments/"
+    )
+    example_path = "repro/sim/example.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag wall-clock calls in simulation-scoped, non-test files."""
+        if ctx.is_test_file or not ctx.in_scope(*SIM_SCOPE_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.aliases.resolve(node.func)
+            if dotted in _BANNED_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call '{dotted}' inside simulation scope; "
+                    "use the simulator clock (sim.now) so results stay "
+                    "machine-independent",
+                )

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.group_testing.population import Population
+from repro.sim.rng import derive_seed
 
 
 def x_sweep(n: int, *, points: Optional[int] = None) -> List[int]:
@@ -104,7 +105,10 @@ class IntrusionField:
             raise ValueError(
                 f"false_positive_rate must be in [0,1], got {false_positive_rate}"
             )
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            # Deterministic default placement; pass a registry stream for
+            # per-experiment variation.
+            rng = np.random.default_rng(derive_seed(0, "scenarios.field"))
         self._n = num_nodes
         self._field = field_size
         self._range = sensing_range

@@ -15,6 +15,10 @@ def one_plus(pop, rng):
     return OnePlusModel(pop, rng)
 
 
+def two_t_bins(x):
+    return TwoTBins()
+
+
 class TestSeries:
     def test_length_validation(self):
         with pytest.raises(ValueError):
@@ -38,7 +42,7 @@ class TestSweepEngine:
         def curve():
             engine = SweepEngine(32, 4, runs=10, seed=42)
             return engine.query_curve(
-                "2tBins", [0, 4, 16], lambda x: TwoTBins(), one_plus
+                "2tBins", [0, 4, 16], two_t_bins, one_plus
             )
 
         assert curve().ys == curve().ys
@@ -47,7 +51,7 @@ class TestSweepEngine:
         def curve(seed):
             engine = SweepEngine(32, 4, runs=10, seed=seed)
             return engine.query_curve(
-                "2tBins", [4], lambda x: TwoTBins(), one_plus
+                "2tBins", [4], two_t_bins, one_plus
             )
 
         assert curve(1).ys != curve(2).ys
@@ -66,11 +70,16 @@ class TestSweepEngine:
 
         engine = SweepEngine(16, 8, runs=2, seed=0)
         with pytest.raises(AssertionError, match="wrong answer"):
-            engine.query_curve("liar", [0], lambda x: Liar(), one_plus)
+            engine.query_curve(
+                "liar",
+                [0],
+                lambda x: Liar(),  # tcast-lint: disable=TCL003 -- serial engine; Liar is test-local by design
+                one_plus,
+            )
 
     def test_stderr_computed(self):
         engine = SweepEngine(32, 4, runs=20, seed=0)
-        s = engine.query_curve("2tBins", [4], lambda x: TwoTBins(), one_plus)
+        s = engine.query_curve("2tBins", [4], two_t_bins, one_plus)
         assert len(s.stderr) == 1
         assert s.stderr[0] >= 0
 
@@ -88,7 +97,7 @@ class TestModuleLevelWrappers:
         s = mean_query_curve(
             "2tBins",
             [0, 8],
-            lambda x: TwoTBins(),
+            two_t_bins,
             one_plus,
             n=32,
             threshold=4,
@@ -115,10 +124,10 @@ class TestModuleLevelWrappers:
     def test_threshold_override_in_query_curve(self):
         engine = SweepEngine(32, 4, runs=5, seed=0)
         low = engine.query_curve(
-            "a", [16], lambda x: TwoTBins(), one_plus, threshold=2
+            "a", [16], two_t_bins, one_plus, threshold=2
         )
         high = engine.query_curve(
-            "b", [16], lambda x: TwoTBins(), one_plus, threshold=12
+            "b", [16], two_t_bins, one_plus, threshold=12
         )
         # x=16 >= both thresholds; higher t needs more evidence.
         assert high.ys[0] > low.ys[0]

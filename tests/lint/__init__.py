@@ -1,0 +1,1 @@
+"""Tests for the ``tcast-lint`` static analyzer (:mod:`repro.lint`)."""

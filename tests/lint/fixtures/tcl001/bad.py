@@ -1,0 +1,14 @@
+"""TCL001 fixture: every banned randomness source in one file."""
+
+import random
+from random import randint
+
+import numpy as np
+
+
+def draw():
+    np.random.seed(7)
+    legacy = np.random.rand(4)
+    pick = np.random.choice([1, 2, 3])
+    unseeded = np.random.default_rng()
+    return random.random() + randint(0, 9) + legacy.sum() + pick + unseeded.random()

@@ -1,0 +1,15 @@
+"""TCL001 fixture: registry-stream and passed-in-generator randomness only."""
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def draw_from_registry(seed: int) -> float:
+    registry = RngRegistry(seed)
+    seeded = np.random.default_rng(derive_seed(seed, "fixture"))
+    return float(registry.stream("workload").random() + seeded.random())

@@ -1,0 +1,8 @@
+"""TCL001 fixture: violations silenced by justified pragmas."""
+
+import numpy as np
+
+
+def entropy_probe():
+    rng = np.random.default_rng()  # tcast-lint: disable=TCL001 -- OS-entropy probe fixture
+    return float(rng.random())

@@ -1,0 +1,12 @@
+"""TCL002 fixture: wall-clock reads inside simulation scope."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()
+    tick = perf_counter()
+    now = datetime.now()
+    return started, tick, now

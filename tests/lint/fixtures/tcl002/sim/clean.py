@@ -1,0 +1,6 @@
+"""TCL002 fixture: simulated time only."""
+
+
+def stamp(sim):
+    started = sim.now
+    return started

@@ -1,0 +1,9 @@
+"""TCL002 fixture: wall-clock read silenced file-wide with a pragma."""
+
+# tcast-lint: disable-file=TCL002 -- operator-facing timing fixture
+
+import time
+
+
+def stamp():
+    return time.time()

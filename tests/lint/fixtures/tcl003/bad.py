@@ -1,0 +1,17 @@
+"""TCL003 fixture: unpicklable factories at pool/spec boundaries."""
+
+
+def sweep(engine, xs, model_factory):
+    local_algo = lambda x: object()
+
+    def nested_factory(x):
+        return object()
+
+    class LocalModel:
+        pass
+
+    a = engine.query_curve("inline", xs, lambda x: object(), model_factory)
+    b = engine.query_curve("bound", xs, local_algo, model_factory)
+    c = engine.query_curve("nested", xs, nested_factory, model_factory)
+    d = engine.query_curve("cls", xs, LocalModel, model_factory)
+    return a, b, c, d

@@ -1,0 +1,15 @@
+"""TCL003 fixture: module-level picklable factories only."""
+
+
+def module_factory(x):
+    return object()
+
+
+class ModuleModel:
+    pass
+
+
+def sweep(engine, xs):
+    a = engine.query_curve("def", xs, module_factory, ModuleModel)
+    picker = min([1, 2], key=lambda v: v)  # lambda outside any boundary call
+    return a, picker

@@ -1,0 +1,10 @@
+"""TCL003 fixture: deliberate closure silenced with a pragma."""
+
+
+def sweep(engine, xs, model_factory):
+    return engine.query_curve(
+        "inline",
+        xs,
+        lambda x: object(),  # tcast-lint: disable=TCL003 -- serial-only engine in this fixture
+        model_factory,
+    )

@@ -1,0 +1,10 @@
+"""TCL004 fixture: exact float comparisons in analytic scope."""
+
+import math
+
+
+def checks(p, b, prob):
+    exact_literal = prob == 0.25
+    division = (p / b) != 1.0
+    math_call = math.exp(p) == math.e
+    return exact_literal, division, math_call

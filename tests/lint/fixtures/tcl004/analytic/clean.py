@@ -1,0 +1,10 @@
+"""TCL004 fixture: tolerances and int comparisons are fine."""
+
+import math
+
+
+def checks(p, b, count):
+    close = math.isclose(p / b, 1.0)
+    int_compare = count == 0
+    ordering = p / b < 0.5
+    return close, int_compare, ordering

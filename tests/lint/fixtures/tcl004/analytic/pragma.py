@@ -1,0 +1,5 @@
+"""TCL004 fixture: exact comparison justified (sentinel) and suppressed."""
+
+
+def is_sentinel(value):
+    return value == -1.0  # tcast-lint: disable=TCL004 -- exact sentinel, not arithmetic

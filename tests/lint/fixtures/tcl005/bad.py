@@ -1,0 +1,13 @@
+"""TCL005 fixture: mutable defaults of every flavour."""
+
+
+def list_default(history=[]):
+    return history
+
+
+def dict_default(*, table={}):
+    return table
+
+
+def call_default(pool=set()):
+    return pool

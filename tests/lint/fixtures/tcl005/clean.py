@@ -1,0 +1,11 @@
+"""TCL005 fixture: None-and-materialise, immutable defaults."""
+
+
+def list_default(history=None):
+    if history is None:
+        history = []
+    return history
+
+
+def tuple_default(points=(1, 2)):
+    return points

@@ -1,0 +1,5 @@
+"""TCL005 fixture: read-only shared default, suppressed with a pragma."""
+
+
+def lookup(key, table={"a": 1}):  # tcast-lint: disable=TCL005 -- table is never mutated
+    return table.get(key)

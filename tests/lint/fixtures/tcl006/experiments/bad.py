@@ -1,0 +1,15 @@
+"""TCL006 fixture: experiment runners hiding their randomness."""
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+
+def run(runs=10):
+    rng = np.random.default_rng(2011)
+    return [float(rng.random()) for _ in range(runs)]
+
+
+def run_registry(runs=10):
+    registry = RngRegistry(7)
+    return [float(registry.stream("x").random()) for _ in range(runs)]

@@ -1,0 +1,23 @@
+"""TCL006 fixture: seed plumbed through every public runner."""
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+
+def run(runs=10, *, seed=2011):
+    rng = np.random.default_rng(seed)
+    return [float(rng.random()) for _ in range(runs)]
+
+
+def run_with_rng(runs, rng):
+    return [float(rng.random()) for _ in range(runs)]
+
+
+def _private_helper(runs=10):
+    registry = RngRegistry(7)
+    return [float(registry.stream("x").random()) for _ in range(runs)]
+
+
+def no_randomness(values):
+    return sum(values)

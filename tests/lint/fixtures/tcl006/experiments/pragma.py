@@ -1,0 +1,8 @@
+"""TCL006 fixture: fixed-seed demo runner, suppressed with a pragma."""
+
+import numpy as np
+
+
+def demo(runs=10):  # tcast-lint: disable=TCL006 -- demo with a pinned seed by design
+    rng = np.random.default_rng(0)
+    return [float(rng.random()) for _ in range(runs)]

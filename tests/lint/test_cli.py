@@ -1,0 +1,76 @@
+"""CLI tests: exit codes, formats, JSON artifact, rule selection."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "tcl005" / "bad.py")
+CLEAN = str(FIXTURES / "tcl005" / "clean.py")
+
+
+def test_clean_path_exits_zero(capsys):
+    assert main([CLEAN]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one(capsys):
+    assert main([BAD]) == 1
+    out = capsys.readouterr().out
+    assert "TCL005" in out
+    assert "3 findings" in out
+
+
+def test_json_format(capsys):
+    assert main([BAD, "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["total"] == 3
+    assert doc["counts"] == {"TCL005": 3}
+
+
+def test_json_output_file(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    assert main([BAD, "--output", str(report)]) == 1
+    capsys.readouterr()
+    doc = json.loads(report.read_text())
+    assert doc["total"] == 3
+
+
+def test_select_limits_rules(capsys):
+    assert main([BAD, "--select", "TCL001"]) == 0
+    assert main([BAD, "--select", "tcl005"]) == 1
+    capsys.readouterr()
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main([BAD, "--select", "TCL999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main([str(FIXTURES / "nope.py")]) == 2
+    assert "tcast-lint" in capsys.readouterr().err
+
+
+def test_no_pragmas_audit_mode(capsys):
+    pragma = str(FIXTURES / "tcl005" / "pragma.py")
+    assert main([pragma]) == 0
+    assert main([pragma, "--no-pragmas"]) == 1
+    capsys.readouterr()
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("TCL001", "TCL002", "TCL003", "TCL004", "TCL005", "TCL006"):
+        assert rule_id in out
+
+
+def test_syntax_error_is_usage_error(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    assert main([str(broken)]) == 2
+    assert "cannot parse" in capsys.readouterr().err

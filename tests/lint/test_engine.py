@@ -1,0 +1,194 @@
+"""Engine-level tests: pragmas, alias resolution, discovery, reporters."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    render_human,
+    render_json,
+)
+from repro.lint.engine import AliasResolver, build_context
+from repro.lint.reporters import parse_json_report
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _resolver(source: str) -> AliasResolver:
+    resolver = AliasResolver()
+    resolver.visit(ast.parse(source))
+    return resolver
+
+
+def _resolve(source: str, expr: str) -> str | None:
+    node = ast.parse(expr, mode="eval").body
+    return _resolver(source).resolve(node)
+
+
+class TestAliasResolution:
+    def test_plain_import(self):
+        assert _resolve("import time", "time.time") == "time.time"
+
+    def test_import_as(self):
+        assert (
+            _resolve("import numpy as np", "np.random.default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_submodule_import_as(self):
+        assert (
+            _resolve("import numpy.random as npr", "npr.randint")
+            == "numpy.random.randint"
+        )
+
+    def test_from_import(self):
+        assert (
+            _resolve("from time import perf_counter", "perf_counter")
+            == "time.perf_counter"
+        )
+
+    def test_from_import_as(self):
+        assert (
+            _resolve("from time import perf_counter as pc", "pc")
+            == "time.perf_counter"
+        )
+
+    def test_from_datetime(self):
+        assert (
+            _resolve("from datetime import datetime", "datetime.now")
+            == "datetime.datetime.now"
+        )
+
+    def test_unimported_name_passes_through(self):
+        assert _resolve("", "rng.random") == "rng.random"
+
+    def test_non_name_root_unresolvable(self):
+        resolver = _resolver("")
+        node = ast.parse("f().attr", mode="eval").body
+        assert resolver.resolve(node) is None
+
+
+class TestPragmas:
+    SOURCE = "import time\nx = time.time()  # tcast-lint: disable={}\n"
+    PATH = "repro/sim/clock.py"
+
+    def test_same_line_pragma_suppresses(self):
+        src = self.SOURCE.format("TCL002")
+        assert lint_source(src, self.PATH) == []
+
+    def test_pragma_lists_multiple_rules(self):
+        src = self.SOURCE.format("TCL001,TCL002")
+        assert lint_source(src, self.PATH) == []
+
+    def test_pragma_all_suppresses(self):
+        src = self.SOURCE.format("all")
+        assert lint_source(src, self.PATH) == []
+
+    def test_unrelated_pragma_does_not_suppress(self):
+        src = self.SOURCE.format("TCL001")
+        findings = lint_source(src, self.PATH)
+        assert [f.rule_id for f in findings] == ["TCL002"]
+
+    def test_pragma_with_justification_text(self):
+        src = (
+            "import time\n"
+            "x = time.time()  # tcast-lint: disable=TCL002 -- banner only\n"
+        )
+        assert lint_source(src, self.PATH) == []
+
+    def test_file_pragma(self):
+        src = (
+            "# tcast-lint: disable-file=TCL002\n"
+            "import time\n"
+            "x = time.time()\n"
+            "y = time.monotonic()\n"
+        )
+        assert lint_source(src, self.PATH) == []
+
+    def test_respect_pragmas_false_reports_anyway(self):
+        src = self.SOURCE.format("TCL002")
+        findings = lint_source(src, self.PATH, respect_pragmas=False)
+        assert [f.rule_id for f in findings] == ["TCL002"]
+
+
+class TestScoping:
+    def test_wallclock_ignored_outside_sim_scope(self):
+        src = "import time\nx = time.time()\n"
+        assert lint_source(src, "repro/viz/banner.py") == []
+
+    def test_wallclock_ignored_in_test_files(self):
+        src = "import time\nx = time.time()\n"
+        assert lint_source(src, "tests/sim/test_clock.py") == []
+
+    def test_rng_rule_exempts_stream_factory(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert lint_source(src, "repro/sim/rng.py") == []
+        assert lint_source(src, "repro/sim/other.py") != []
+
+
+class TestDiscovery:
+    def test_fixture_dirs_skipped_when_walking(self):
+        files = list(iter_python_files([Path(__file__).parent]))
+        assert not any("fixtures" in f.parts for f in files)
+        assert Path(__file__) in files
+
+    def test_explicit_file_always_linted(self):
+        bad = FIXTURES / "tcl005" / "bad.py"
+        assert list(iter_python_files([bad])) == [bad]
+        assert lint_paths([bad]) != []
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([FIXTURES / "does-not-exist"]))
+
+
+class TestReporters:
+    FINDINGS = [
+        Finding(path="a.py", line=3, col=4, rule_id="TCL001", message="m1"),
+        Finding(path="b.py", line=9, col=0, rule_id="TCL005", message="m2"),
+    ]
+
+    def test_human_format(self):
+        text = render_human(self.FINDINGS)
+        assert "a.py:3:4: TCL001 m1" in text
+        assert text.endswith("tcast-lint: 2 findings")
+
+    def test_human_format_clean(self):
+        assert render_human([]) == "tcast-lint: 0 findings"
+
+    def test_json_round_trip(self):
+        text = render_json(self.FINDINGS)
+        assert parse_json_report(text) == self.FINDINGS
+
+    def test_json_counts(self):
+        import json
+
+        doc = json.loads(render_json(self.FINDINGS))
+        assert doc["schema"] == 1
+        assert doc["total"] == 2
+        assert doc["counts"] == {"TCL001": 1, "TCL005": 1}
+
+
+class TestContext:
+    def test_syntax_error_surfaces(self):
+        with pytest.raises(SyntaxError):
+            build_context("def broken(:\n", "x.py")
+
+    def test_findings_sorted_by_location(self):
+        src = (
+            "import time\n"
+            "def f(xs=[]):\n"
+            "    return time.time(), xs\n"
+        )
+        findings = lint_source(src, "repro/core/f.py")
+        assert [(f.line, f.rule_id) for f in findings] == [
+            (2, "TCL005"),
+            (3, "TCL002"),
+        ]

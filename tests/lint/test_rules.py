@@ -1,0 +1,97 @@
+"""Per-rule fixture tests: exact rule ids and line numbers.
+
+Every rule ships three fixture files under ``tests/lint/fixtures/``:
+one violating (asserting the exact ``(rule_id, line)`` set), one clean,
+and one whose violations are pragma-suppressed.  A fourth parametrised
+test lints each rule's docstring ``Bad::``/``Good::`` example both ways,
+so the documentation is executable and cannot rot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    all_rules,
+    examples_from_docstring,
+    lint_file,
+    lint_source,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Exact findings each ``bad.py`` fixture must produce, as
+#: ``(rule id, fixture-relative path, sorted line numbers)``.
+EXPECTED_BAD = [
+    ("TCL001", "tcl001/bad.py", [3, 4, 10, 11, 12, 13]),
+    ("TCL002", "tcl002/sim/bad.py", [9, 10, 11]),
+    ("TCL003", "tcl003/bad.py", [13, 14, 15, 16]),
+    ("TCL004", "tcl004/analytic/bad.py", [7, 8, 9]),
+    ("TCL005", "tcl005/bad.py", [4, 8, 12]),
+    ("TCL006", "tcl006/experiments/bad.py", [8, 13]),
+]
+
+#: The clean and pragma-suppressed sibling of every bad fixture.
+EXPECTED_QUIET = [
+    (rule_id, bad.replace("bad.py", variant))
+    for rule_id, bad, _ in EXPECTED_BAD
+    for variant in ("clean.py", "pragma.py")
+]
+
+
+@pytest.mark.parametrize("rule_id,rel,lines", EXPECTED_BAD)
+def test_bad_fixture_exact_findings(rule_id, rel, lines):
+    findings = lint_file(FIXTURES / rel)
+    assert [f.rule_id for f in findings] == [rule_id] * len(lines)
+    assert [f.line for f in findings] == lines
+
+
+@pytest.mark.parametrize("rule_id,rel", EXPECTED_QUIET)
+def test_quiet_fixture_has_no_findings(rule_id, rel):
+    assert lint_file(FIXTURES / rel) == []
+
+
+@pytest.mark.parametrize("rule_id,rel", EXPECTED_QUIET)
+def test_pragma_fixtures_fire_without_pragmas(rule_id, rel):
+    """Audit mode (--no-pragmas) must surface the suppressed findings."""
+    findings = lint_file(FIXTURES / rel, respect_pragmas=False)
+    if rel.endswith("pragma.py"):
+        assert findings, f"{rel}: pragma fixture should violate {rule_id}"
+        assert {f.rule_id for f in findings} == {rule_id}
+    else:
+        assert findings == []
+
+
+def test_every_rule_has_a_fixture_triple():
+    covered = {rule_id for rule_id, _, _ in EXPECTED_BAD}
+    assert covered == {rule.rule_id for rule in all_rules()}
+
+
+@pytest.mark.parametrize(
+    "rule", all_rules(), ids=lambda r: r.rule_id
+)
+def test_docstring_bad_example_fires(rule):
+    bad, _ = examples_from_docstring(rule)
+    findings = lint_source(bad, rule.example_path, rules=[rule])
+    assert findings, f"{rule.rule_id}: Bad:: example produced no finding"
+    assert {f.rule_id for f in findings} == {rule.rule_id}
+
+
+@pytest.mark.parametrize(
+    "rule", all_rules(), ids=lambda r: r.rule_id
+)
+def test_docstring_good_example_is_clean(rule):
+    _, good = examples_from_docstring(rule)
+    findings = lint_source(good, rule.example_path, rules=[rule])
+    assert findings == [], f"{rule.rule_id}: Good:: example not clean"
+
+
+@pytest.mark.parametrize(
+    "rule", all_rules(), ids=lambda r: r.rule_id
+)
+def test_rule_metadata_complete(rule):
+    assert rule.rule_id.startswith("TCL") and len(rule.rule_id) == 6
+    assert rule.name and rule.name != "abstract-rule"
+    assert rule.summary

@@ -1,0 +1,54 @@
+"""Self-check: the repo's own tree must lint clean.
+
+This is the committed-baseline guarantee of the PR that introduced
+``tcast-lint``: every finding over ``src/repro`` and ``tests`` has been
+fixed or pragma-suppressed with a justification, and this test keeps it
+that way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths, render_human
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_lint_clean():
+    findings = lint_paths([REPO_ROOT / "src" / "repro", REPO_ROOT / "tests"])
+    assert findings == [], "\n" + render_human(findings)
+
+
+def test_lint_package_itself_lints_clean():
+    findings = lint_paths([REPO_ROOT / "src" / "repro" / "lint"])
+    assert findings == []
+
+
+def test_every_pragma_in_tree_carries_justification():
+    """A suppression without a reason is a suppression under review.
+
+    Enforce the ``-- reason`` convention on every pragma in the tree
+    (``tests/lint`` excluded: the linter's own tests and fixtures embed
+    pragmas as data, in both styles).
+    """
+    offenders = []
+    for path in (REPO_ROOT / "src").rglob("*.py"):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if "tcast-lint: disable" in line and "--" not in line.split(
+                "tcast-lint:", 1
+            )[1]:
+                offenders.append(f"{path}:{lineno}")
+    for path in (REPO_ROOT / "tests").rglob("*.py"):
+        if "lint" in path.parts:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if "tcast-lint: disable" in line and "--" not in line.split(
+                "tcast-lint:", 1
+            )[1]:
+                offenders.append(f"{path}:{lineno}")
+    assert offenders == [], f"pragmas without justification: {offenders}"
