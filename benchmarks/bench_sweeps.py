@@ -14,6 +14,11 @@ summary:
 3. **Cache** -- times a cold ``run_experiment`` against a fresh
    :class:`ResultCache` directory, then a warm one, and reports the hit
    rate and warm/cold ratio.
+4. **Metrics** -- runs fig01 with the observability registry disabled
+   and enabled, checks the CSVs are byte-identical, reports the enabled
+   overhead and the measured disabled per-call cost, and **fails** if
+   the estimated disabled-path overhead exceeds 2% -- the "near-zero
+   disabled cost" contract of :mod:`repro.obs`.
 
 Usage::
 
@@ -22,8 +27,9 @@ Usage::
 
 The JSON lands at the repo root as ``BENCH_sweeps.json`` by default so
 CI can upload it as an artifact.  ``cpu_count`` is recorded alongside
-the timings: on a single-core box the parallel path degenerates to one
-worker and no speedup is expected (or claimed).
+the timings: on a single-core box ``resolve_jobs`` clamps every request
+to one worker, so the serial-vs-parallel timing comparison is flagged as
+skipped rather than reported as a (meaningless) speedup.
 """
 
 from __future__ import annotations
@@ -44,6 +50,11 @@ from repro.experiments.cache import ResultCache  # noqa: E402
 from repro.experiments.common import resolve_jobs, shutdown_executors  # noqa: E402
 from repro.experiments.fig01_one_plus import run as run_fig01  # noqa: E402
 from repro.experiments.registry import run_experiment  # noqa: E402
+from repro.obs import get_registry  # noqa: E402
+
+#: Hard budget for the estimated cost of *disabled* instruments, as a
+#: fraction of a metrics-off fig01 run.  CI fails the bench above this.
+DISABLED_OVERHEAD_BUDGET = 0.02
 
 #: fig01's grid has 31 x-points and four curves; every (x, run) pair of
 #: every curve is one trial (one full threshold-query session).
@@ -123,6 +134,68 @@ def bench_cache(runs: int) -> dict:
         }
 
 
+def bench_metrics(runs: int, jobs: int) -> dict:
+    """Metrics-off vs metrics-on fig01: identical bytes, bounded cost.
+
+    Enforces the :mod:`repro.obs` contract two ways: the enabled run's
+    CSV must match the disabled run's byte for byte, and the *disabled*
+    path must stay effectively free.  The disabled cost is estimated as
+    (measured per-call cost of a disabled counter) x (instrument events
+    the enabled run recorded), expressed as a fraction of the disabled
+    run's wall time; above :data:`DISABLED_OVERHEAD_BUDGET` the bench
+    raises.
+    """
+    registry = get_registry()
+    registry.disable()
+    registry.reset()
+    disabled_result, disabled_s = _time(lambda: run_fig01(runs=runs, jobs=jobs))
+    registry.reset()
+    registry.enable()
+    enabled_result, enabled_s = _time(lambda: run_fig01(runs=runs, jobs=jobs))
+    snapshot = registry.snapshot()
+    registry.disable()
+    registry.reset()
+
+    if disabled_result.to_csv() != enabled_result.to_csv():
+        raise AssertionError("enabling metrics changed the fig01 CSV")
+
+    # Direct measurement of one disabled instrument call (the registry
+    # is disabled again at this point, so inc() takes the guard branch).
+    probe = registry.counter("bench.disabled_probe")
+    calls = 1_000_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        probe.inc()
+    per_call_s = (time.perf_counter() - t0) / calls
+
+    events = sum(snapshot.counters.values()) + sum(
+        h.total for h in snapshot.histograms.values()
+    )
+    disabled_overhead = (
+        per_call_s * events / disabled_s if disabled_s > 0 else 0.0
+    )
+    if disabled_overhead > DISABLED_OVERHEAD_BUDGET:
+        raise AssertionError(
+            f"disabled-path metrics overhead {disabled_overhead:.2%} exceeds "
+            f"the {DISABLED_OVERHEAD_BUDGET:.0%} budget"
+        )
+    return {
+        "runs": runs,
+        "jobs": jobs,
+        "csv_identical": True,
+        "disabled_seconds": round(disabled_s, 3),
+        "enabled_seconds": round(enabled_s, 3),
+        "enabled_overhead_fraction": round(
+            (enabled_s - disabled_s) / disabled_s if disabled_s > 0 else 0.0, 4
+        ),
+        "disabled_ns_per_call": round(per_call_s * 1e9, 2),
+        "instrument_events": events,
+        "disabled_overhead_fraction": round(disabled_overhead, 6),
+        "disabled_overhead_budget": DISABLED_OVERHEAD_BUDGET,
+        "counters": dict(sorted(snapshot.counters.items())),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -143,10 +216,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    # At least two workers, even on a single-core box: the point is to
-    # exercise the process-pool path; speedup is only expected when
-    # cpu_count allows it (and the JSON records cpu_count for context).
-    jobs = max(2, resolve_jobs(args.jobs if args.jobs else None))
+    # resolve_jobs clamps to the CPU budget, so on a single-core box
+    # every "parallel" leg degenerates to the serial path; run it anyway
+    # as a smoke test but flag the timing comparison as meaningless.
+    single_core = (os.cpu_count() or 1) < 2
+    jobs = 1 if single_core else max(2, resolve_jobs(args.jobs if args.jobs else None))
     parity_runs = 20 if args.quick else 60
     sweep_runs = 60 if args.quick else args.runs
     cache_runs = 20 if args.quick else 60
@@ -155,16 +229,27 @@ def main(argv=None) -> int:
 
     print(f"[bench_sweeps] parity: fig01 runs={parity_runs} ...")
     parity = check_parity(parity_runs, jobs)
+    parity["timing_comparison"] = (
+        "skipped: single-core host" if single_core else "serial vs parallel"
+    )
     print(f"[bench_sweeps]   serial=={jobs}-way parallel: OK")
 
     print(f"[bench_sweeps] throughput: fig01 runs={sweep_runs} ...")
     throughput = bench_throughput(sweep_runs, jobs)
-    print(
-        f"[bench_sweeps]   serial {throughput['serial_seconds']}s, "
-        f"parallel {throughput['parallel_seconds']}s "
-        f"(speedup {throughput['speedup']}x, "
-        f"{throughput['trials_per_second_parallel']} trials/s)"
-    )
+    if single_core:
+        throughput["speedup"] = None
+        throughput["note"] = "single-core host: no parallel speedup expected"
+        print(
+            f"[bench_sweeps]   serial {throughput['serial_seconds']}s "
+            "(single-core host: speedup comparison skipped)"
+        )
+    else:
+        print(
+            f"[bench_sweeps]   serial {throughput['serial_seconds']}s, "
+            f"parallel {throughput['parallel_seconds']}s "
+            f"(speedup {throughput['speedup']}x, "
+            f"{throughput['trials_per_second_parallel']} trials/s)"
+        )
 
     print(f"[bench_sweeps] cache: fig01 runs={cache_runs} ...")
     cache = bench_cache(cache_runs)
@@ -173,15 +258,27 @@ def main(argv=None) -> int:
         f"warm {cache['warm_seconds']}s, hit rate {cache['hit_rate']:.2f}"
     )
 
+    print(f"[bench_sweeps] metrics: fig01 runs={cache_runs} off/on ...")
+    metrics = bench_metrics(cache_runs, jobs)
+    print(
+        f"[bench_sweeps]   enabled overhead "
+        f"{metrics['enabled_overhead_fraction']:+.1%}, disabled "
+        f"{metrics['disabled_ns_per_call']}ns/call "
+        f"(est. {metrics['disabled_overhead_fraction']:.3%} of run, "
+        f"budget {metrics['disabled_overhead_budget']:.0%})"
+    )
+
     payload = {
         "benchmark": "sweeps",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
+        "single_core": single_core,
         "quick": args.quick,
         "parity": parity,
         "throughput": throughput,
         "cache": cache,
+        "metrics": metrics,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench_sweeps] wrote {args.out}")

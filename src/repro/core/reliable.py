@@ -43,6 +43,14 @@ from repro.group_testing.model import (
     ObservationKind,
     QueryModel,
 )
+from repro.obs import get_registry
+
+#: Import-time instruments (inert until metrics are enabled); counting
+#: here never draws randomness, so wrapped runs stay bit-identical.
+_OBS = get_registry()
+_R_RETRIES = _OBS.counter("reliable.retries")
+_R_RECOVERED = _OBS.counter("reliable.recovered_faults")
+_R_ACCEPTED_SILENT = _OBS.counter("reliable.accepted_silent_bins")
 
 
 class RetryPolicy(abc.ABC):
@@ -237,11 +245,14 @@ class ConfirmingModel:
         needed = self._policy.confirmations(len(members))
         for _ in range(needed - 1):
             self.retries += 1
+            _R_RETRIES.inc()
             again = self._model.query(members)
             if again.kind is not ObservationKind.SILENT:
                 self.recovered_faults += 1
+                _R_RECOVERED.inc()
                 return again
         self.accepted_silent_bins += 1
+        _R_ACCEPTED_SILENT.inc()
         if self._residual_known:
             residual = self._policy.residual_miss(len(members))
             if residual is not None and residual < 1.0:

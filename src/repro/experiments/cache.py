@@ -30,6 +30,13 @@ from repro.experiments.serialization import (
     experiment_result_from_dict,
     experiment_result_to_dict,
 )
+from repro.obs import get_registry
+
+#: Import-time instruments (inert until metrics are enabled).
+_OBS = get_registry()
+_C_HITS = _OBS.counter("cache.hits")
+_C_MISSES = _OBS.counter("cache.misses")
+_C_STORES = _OBS.counter("cache.stores")
 
 #: Default cache directory, relative to the repository root (the cwd the
 #: CLI is normally invoked from).
@@ -124,8 +131,10 @@ class ResultCache:
             result = experiment_result_from_dict(data["result"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            _C_MISSES.inc()
             return None
         self.hits += 1
+        _C_HITS.inc()
         return result
 
     def store(
@@ -148,6 +157,7 @@ class ResultCache:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(envelope, indent=2))
         tmp.replace(path)
+        _C_STORES.inc()
         return path
 
     def clear(self) -> int:

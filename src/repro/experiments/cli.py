@@ -12,7 +12,10 @@ Finished results are cached under ``results/cache/`` keyed by
 (experiment, config, seed, code version); re-running an unchanged
 configuration loads from disk.  ``--no-cache`` bypasses the cache both
 ways, ``--jobs N`` shards sweep trials over ``N`` worker processes
-(``--jobs 0`` = all CPUs) with bit-identical results.
+(``--jobs 0`` = all CPUs) with bit-identical results, and
+``--metrics out.json`` collects per-layer runtime counters (queries,
+retries, cache hits, shard timings) merged across worker processes --
+without changing a single result byte.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.registry import list_experiments, run_experiment
+from repro.obs import get_registry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             help="worker processes for sweeps (0 = all CPUs; default serial)",
+        )
+        p.add_argument(
+            "--metrics",
+            type=pathlib.Path,
+            default=None,
+            metavar="OUT.json",
+            help="collect runtime metrics and write the merged snapshot "
+            "as JSON to this path (default: metrics disabled)",
         )
         p.add_argument(
             "--no-cache",
@@ -97,6 +109,29 @@ def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     return None if args.no_cache else ResultCache(args.cache_dir)
 
 
+def _start_metrics(path: Optional[pathlib.Path]) -> bool:
+    """Arm the process-wide metrics registry when ``--metrics`` was given."""
+    if path is None:
+        return False
+    registry = get_registry()
+    registry.reset()
+    registry.enable()
+    return True
+
+
+def _finish_metrics(path: Optional[pathlib.Path]) -> None:
+    """Write the merged snapshot to ``path`` and disarm the registry."""
+    if path is None:
+        return
+    registry = get_registry()
+    snapshot = registry.snapshot()
+    registry.disable()
+    registry.reset()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(snapshot.to_json(indent=2) + "\n")
+    print(f"[metrics written to {path}]")
+
+
 def _run_one(
     exp_id: str,
     runs: Optional[int],
@@ -138,25 +173,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             list_experiments() if args.experiment == "all" else [args.experiment]
         )
         cache = _make_cache(args)
-        for exp_id in targets:
-            _run_one(
-                exp_id,
-                args.runs,
-                args.seed,
-                args.out,
-                jobs=args.jobs,
-                cache=cache,
-            )
+        _start_metrics(args.metrics)
+        try:
+            for exp_id in targets:
+                _run_one(
+                    exp_id,
+                    args.runs,
+                    args.seed,
+                    args.out,
+                    jobs=args.jobs,
+                    cache=cache,
+                )
+        finally:
+            _finish_metrics(args.metrics)
         return 0
     if args.command == "report":
         from repro.experiments.report import generate_report
 
-        text = generate_report(
-            runs=args.runs,
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=_make_cache(args),
-        )
+        _start_metrics(args.metrics)
+        try:
+            text = generate_report(
+                runs=args.runs,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache=_make_cache(args),
+            )
+        finally:
+            _finish_metrics(args.metrics)
         print(text)
         if args.out is not None:
             args.out.parent.mkdir(parents=True, exist_ok=True)

@@ -22,11 +22,14 @@ unpicklable factories degrade to serial execution with a warning.
 
 from __future__ import annotations
 
+import atexit
+import logging
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,8 +38,33 @@ from repro.core.base import ThresholdDecider
 from repro.core.result import ThresholdResult
 from repro.group_testing.model import QueryModel
 from repro.group_testing.population import Population
+from repro.obs import MetricsSnapshot, get_registry
 from repro.sim.rng import RngRegistry
 from repro.viz.ascii import ascii_chart, render_table
+
+_LOG = logging.getLogger(__name__)
+
+#: Import-time sweep instruments (inert until metrics are enabled).  The
+#: timers/histograms profile the *harness* -- real elapsed time of shard
+#: execution and pool plumbing -- which is exactly what the wall-clock
+#: pragmas below assert; simulated results never depend on them.
+_OBS = get_registry()
+_S_SHARDS = _OBS.counter("sweep.shards")
+_S_RUNS = _OBS.counter("sweep.runs")
+_S_SERIAL_BATCHES = _OBS.counter("sweep.serial_batches")
+_S_PARALLEL_BATCHES = _OBS.counter("sweep.parallel_batches")
+_S_FALLBACK_SERIAL = _OBS.counter("sweep.pickle_fallback_serial")
+_S_SHARD_SECONDS = _OBS.histogram(
+    "sweep.shard_seconds",
+    edges=(0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0),
+)
+_S_QUEUE_DEPTH = _OBS.histogram(
+    "sweep.queue_depth", edges=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+)
+_S_SHARD_TIMER = _OBS.timer("sweep.shard_compute")
+_S_PICKLE_TIMER = _OBS.timer("sweep.pickle_check")
+_S_SUBMIT_TIMER = _OBS.timer("sweep.submit")
+_S_DRAIN_TIMER = _OBS.timer("sweep.drain")
 
 #: An algorithm factory: given the true ``x`` of the sweep cell (only the
 #: oracle uses it), return a fresh :class:`ThresholdDecider`.
@@ -164,14 +192,31 @@ class ExperimentResult:
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value: ``None``/``0`` mean all CPUs.
 
+    Explicit values above ``os.cpu_count()`` are clamped to the CPU
+    count (with a logged note): oversubscribed worker processes cannot
+    speed up a CPU-bound sweep, they only add scheduling and pickling
+    overhead -- the direct cause of sub-1.0 "speedups" recorded on
+    small hosts.
+
     Raises:
         ValueError: For negative values.
     """
+    cpus = os.cpu_count() or 1
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
+        return cpus
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
-    return int(jobs)
+    jobs = int(jobs)
+    if jobs > cpus:
+        _LOG.warning(
+            "jobs=%d exceeds this host's %d CPU(s); clamping to %d "
+            "(extra worker processes only add overhead)",
+            jobs,
+            cpus,
+            cpus,
+        )
+        return cpus
+    return jobs
 
 
 #: Process-pool cache, one executor per worker count; workers are reused
@@ -192,6 +237,12 @@ def shutdown_executors() -> None:
     while _EXECUTORS:
         _, ex = _EXECUTORS.popitem()
         ex.shutdown(wait=True, cancel_futures=True)
+
+
+# CLI runs (and ad-hoc scripts) rarely remember to call
+# shutdown_executors(); without this hook every cached pool leaks its
+# worker processes past interpreter exit.
+atexit.register(shutdown_executors)
 
 
 @dataclass(frozen=True)
@@ -215,14 +266,41 @@ class _SweepCellTask:
     factory: Callable[..., ThresholdDecider]
     model_factory: Optional[ModelFactory] = None
     check_exactness: bool = False
+    #: Whether the executing process should collect metrics (mirrors the
+    #: submitting process's registry state; workers sync to it).
+    collect_metrics: bool = False
+    #: Whether to return an isolated :class:`MetricsSnapshot` (set on the
+    #: parallel path only -- worker state cannot be read any other way).
+    snapshot_metrics: bool = False
 
 
-def _run_sweep_cell(task: _SweepCellTask) -> List[float]:
+def _run_sweep_cell(
+    task: _SweepCellTask,
+) -> Tuple[List[float], Optional[MetricsSnapshot]]:
     """Compute one shard's per-run query costs (module-level: picklable).
 
     This is the single trial loop behind both the serial and the parallel
     backend, which is what makes them bit-identical by construction.
+
+    Returns:
+        ``(costs, snapshot)``.  ``snapshot`` is ``None`` unless the task
+        asks for metrics isolation (``snapshot_metrics``, the parallel
+        path): then the worker's registry is reset before the shard and
+        snapshotted after it, and the caller merges the snapshot into its
+        own registry.  Metrics collection touches no RNG stream, so costs
+        are identical with metrics on or off.
     """
+    metrics = get_registry()
+    if metrics.enabled is not task.collect_metrics:
+        # Worker processes start with (or inherit) a stale flag; the
+        # submitting process's state always matches by construction.
+        metrics.set_enabled(task.collect_metrics)
+    isolate = task.collect_metrics and task.snapshot_metrics
+    if isolate:
+        metrics.reset()
+    shard_start = (
+        time.perf_counter() if metrics.enabled else 0.0  # tcast-lint: disable=TCL002 -- harness profiling (shard wall time), never simulated time
+    )
     root = RngRegistry(task.seed)
     costs: List[float] = []
     for run in range(task.run_lo, task.run_hi):
@@ -247,7 +325,13 @@ def _run_sweep_cell(task: _SweepCellTask) -> List[float]:
                         f"{result.decision}, truth {truth}"
                     )
         costs.append(float(result.queries))
-    return costs
+    if metrics.enabled:
+        elapsed = time.perf_counter() - shard_start  # tcast-lint: disable=TCL002 -- harness profiling (shard wall time), never simulated time
+        _S_SHARD_SECONDS.observe(elapsed)
+        _S_SHARD_TIMER.add_seconds(elapsed)
+        _S_SHARDS.inc()
+        _S_RUNS.inc(len(costs))
+    return costs, (metrics.snapshot() if isolate else None)
 
 
 class SweepEngine:
@@ -332,11 +416,19 @@ class SweepEngine:
         return shards
 
     def _run_tasks(self, tasks: List[_SweepCellTask]) -> List[List[float]]:
-        """Execute shards serially or on the process pool (in order)."""
+        """Execute shards serially or on the process pool (in order).
+
+        On the parallel path each worker returns a
+        :class:`~repro.obs.MetricsSnapshot` alongside its costs (when
+        metrics are enabled); the snapshots are summed into this
+        process's registry so the merged totals equal a serial run's.
+        """
         if self._jobs <= 1 or len(tasks) <= 1:
-            return [_run_sweep_cell(task) for task in tasks]
+            _S_SERIAL_BATCHES.inc()
+            return [_run_sweep_cell(task)[0] for task in tasks]
         try:
-            pickle.dumps(tasks[0])
+            with _S_PICKLE_TIMER.time():
+                pickle.dumps(tasks[0])
         except Exception:
             warnings.warn(
                 "sweep factories are not picklable; running serially "
@@ -345,9 +437,28 @@ class SweepEngine:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return [_run_sweep_cell(task) for task in tasks]
+            _S_FALLBACK_SERIAL.inc()
+            return [_run_sweep_cell(task)[0] for task in tasks]
+        reg = get_registry()
+        _S_PARALLEL_BATCHES.inc()
+        _S_QUEUE_DEPTH.observe(max(0, len(tasks) - self._jobs))
+        if reg.enabled:
+            # Workers cannot write this registry; ask each shard for an
+            # isolated snapshot to merge back (exact integer sums).
+            tasks = [replace(t, snapshot_metrics=True) for t in tasks]
         executor = _get_executor(self._jobs)
-        return list(executor.map(_run_sweep_cell, tasks))
+        with _S_SUBMIT_TIMER.time():
+            # Executor.map submits (and pickles) every shard eagerly;
+            # the drain below is dominated by worker compute time.
+            pending = executor.map(_run_sweep_cell, tasks)
+        with _S_DRAIN_TIMER.time():
+            results = list(pending)
+        blocks: List[List[float]] = []
+        for costs, snap in results:
+            if snap is not None:
+                reg.absorb(snap)
+            blocks.append(costs)
+        return blocks
 
     def _sweep(
         self,
@@ -362,6 +473,7 @@ class SweepEngine:
     ) -> Series:
         t = self._threshold if threshold is None else threshold
         shards = self._shards(xs)
+        collect_metrics = get_registry().enabled
         tasks = [
             _SweepCellTask(
                 seed=self._seed,
@@ -375,6 +487,7 @@ class SweepEngine:
                 factory=factory,
                 model_factory=model_factory,
                 check_exactness=check_exactness,
+                collect_metrics=collect_metrics,
             )
             for (x, lo, hi) in shards
         ]

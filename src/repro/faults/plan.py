@@ -29,8 +29,15 @@ from repro.faults.injectors import (
     WindowedHackMiss,
 )
 from repro.group_testing.model import BinObservation, ObservationKind, QueryModel
+from repro.obs import get_registry
 from repro.radio.irregularity import HackMissModel, IdealRadioModel
 from repro.sim.rng import RngRegistry
+
+#: Import-time instruments (inert until metrics are enabled).  Fired
+#: faults are rare, so the per-kind counter lookup in :meth:`FaultPlan.record`
+#: is off the hot path.
+_OBS = get_registry()
+_F_INJECTED = _OBS.counter("faults.injected")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (motes -> core)
     from repro.motes.testbed import Testbed
@@ -243,6 +250,9 @@ class FaultPlan:
     def record(self, event: FaultEvent) -> None:
         """Append a fired-fault record (called by the seam wrappers)."""
         self._events.append(event)
+        if _OBS.enabled:
+            _F_INJECTED.inc()
+            _OBS.counter(f"faults.injected.{event.kind}").inc()
 
     def _select(self, kind: type) -> list:
         return [i for i in self._injectors if isinstance(i, kind)]

@@ -28,11 +28,24 @@ from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from repro.group_testing.population import Population
+from repro.obs import get_registry
 
 #: Minimum total membership of a round before :meth:`_BaseModel.begin_round`
 #: prefetches counts vectorized; below it the numpy call overhead beats the
 #: per-bin set-membership loops it replaces.
 _PREFETCH_MIN_MEMBERS = 64
+
+#: Instruments created once at import so the per-query path pays no name
+#: lookup; every call is inert until the registry is enabled (--metrics).
+#: No RNG stream is touched here: metrics cannot change results.
+_OBS = get_registry()
+_M_QUERIES = _OBS.counter("model.queries")
+_M_SILENT = _OBS.counter("model.verdict.silent")
+_M_ACTIVITY = _OBS.counter("model.verdict.activity")
+_M_CAPTURE = _OBS.counter("model.verdict.capture")
+_M_BIN_SIZE = _OBS.histogram(
+    "model.bin_size", edges=(1, 2, 4, 8, 16, 32, 64, 128, 256)
+)
 
 
 class QueryBudgetExceeded(RuntimeError):
@@ -180,6 +193,25 @@ class _BaseModel:
                 f"query budget of {self._max_queries} exceeded"
             )
 
+    def _record(
+        self, members: Sequence[int], obs: BinObservation
+    ) -> BinObservation:
+        """Count one finished query into the metrics layer (pass-through).
+
+        One guard check per query while metrics are disabled; no RNG use
+        either way, so observations are returned untouched.
+        """
+        if _OBS.enabled:
+            _M_QUERIES.inc()
+            _M_BIN_SIZE.observe(len(members))
+            if obs.kind is ObservationKind.SILENT:
+                _M_SILENT.inc()
+            elif obs.kind is ObservationKind.CAPTURE:
+                _M_CAPTURE.inc()
+            else:
+                _M_ACTIVITY.inc()
+        return obs
+
     def _detected(self, npos: int) -> bool:
         """Whether a bin with ``npos`` positives produces visible activity."""
         if npos == 0:
@@ -253,10 +285,13 @@ class _BaseModel:
         for i, members in enumerate(bins):
             self._charge()
             out.append(
-                self._observe(
+                self._record(
                     members,
-                    int(counts[i]),
-                    pos[i] if pos is not None else None,
+                    self._observe(
+                        members,
+                        int(counts[i]),
+                        pos[i] if pos is not None else None,
+                    ),
                 )
             )
         return out
@@ -300,7 +335,7 @@ class OnePlusModel(_BaseModel):
             if cached is not None
             else self._population.count_positives(members)
         )
-        return self._observe(members, npos, None)
+        return self._record(members, self._observe(members, npos, None))
 
     def _observe(
         self,
@@ -366,7 +401,7 @@ class KPlusModel(_BaseModel):
             if cached is not None
             else self._population.count_positives(members)
         )
-        return self._observe(members, npos, None)
+        return self._record(members, self._observe(members, npos, None))
 
     def _observe(
         self,
@@ -440,7 +475,7 @@ class TwoPlusModel(_BaseModel):
         else:
             pos = [m for m in members if self._population.is_positive(m)]
             npos = len(pos)
-        return self._observe(members, npos, pos)
+        return self._record(members, self._observe(members, npos, pos))
 
     def _observe(
         self,

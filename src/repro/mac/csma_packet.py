@@ -72,7 +72,7 @@ class CsmaContender:
         self._dst = dst
         self._seq = seq
         self._rng = rng
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="csma-contender")
         self._be = MAC_MIN_BE
         self._retries = 0
         self._done = False
@@ -194,7 +194,7 @@ class CsmaCollector:
         self._sim = sim
         self._radio = radio
         self._quiet_us = quiet_us
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="csma-collector")
         self._seq = 0
         self._responders: Set[int] = set()
         self._last_reply_us = 0.0

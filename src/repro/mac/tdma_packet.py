@@ -75,7 +75,7 @@ class TdmaCollector:
     ) -> None:
         self._sim = sim
         self._radio = radio
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="tdma-collector")
         self._seq = 0
         self._heard: Set[int] = set()
         radio.receive_callback = self._on_frame

@@ -28,6 +28,7 @@ from repro.group_testing.model import BinObservation
 from repro.motes.initiator import InitiatorApp, PrimitiveName
 from repro.motes.mote import Mote
 from repro.motes.participant import ParticipantApp
+from repro.obs import get_registry
 from repro.primitives.common import ChannelWedged
 from repro.radio.capture import CaptureModel
 from repro.radio.cc2420 import Cc2420Radio
@@ -37,6 +38,14 @@ from repro.radio.timing import DEFAULT_TIMING, PhyTiming
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+
+
+#: Import-time instruments for the reliable control plane (inert until
+#: metrics are enabled; no randomness is drawn here).
+_OBS = get_registry()
+_T_TIMEOUTS = _OBS.counter("reliable.timeouts")
+_T_REBOOTS = _OBS.counter("reliable.reboots")
+_T_WEDGES = _OBS.counter("reliable.wedges")
 
 
 class QueryDeadlineExceeded(RuntimeError):
@@ -206,7 +215,9 @@ class Testbed:
         self._config = config
         self._rngs = RngRegistry(config.seed)
         self._sim = Simulator()
-        self._tracer = Tracer(enabled=config.trace, clock=lambda: self._sim.now)
+        self._tracer = Tracer(
+            enabled=config.trace, clock=lambda: self._sim.now, name="testbed"
+        )
         plan = config.fault_plan
         hack_miss = config.hack_miss
         if plan is not None:
@@ -566,10 +577,14 @@ class Testbed:
             except (ChannelWedged, QueryDeadlineExceeded) as wedge:
                 if isinstance(wedge, QueryDeadlineExceeded):
                     timeouts += 1
+                    _T_TIMEOUTS.inc()
+                else:
+                    _T_WEDGES.inc()
                 if attempt + 1 >= max_attempts:
                     raise
                 self.reboot_all()
                 reboots += 1
+                _T_REBOOTS.inc()
                 self._sim.run(until=self._sim.now + backoff_us * 2**attempt)
                 continue
             info = run.result.reliability

@@ -1,0 +1,55 @@
+"""Observability: process-safe metrics for sweeps and query models.
+
+``repro.obs`` is the measurement layer the evaluation harness reports
+through: lightweight always-on-capable counters, fixed-bucket histograms
+and monotonic timers, owned by one :class:`MetricsRegistry` per process
+and merged across sweep worker processes via immutable
+:class:`MetricsSnapshot` values.  Collection is **off by default** and
+costs one boolean check per instrument call while disabled; enabling it
+never touches an RNG stream, so metrics-on runs are bit-identical to
+metrics-off runs.
+
+Enable from the CLI with ``tcast-experiments run fig01 --metrics m.json``
+or programmatically::
+
+    from repro.obs import enable_metrics, snapshot_metrics
+
+    enable_metrics()
+    ...  # run experiments
+    print(snapshot_metrics().to_json())
+
+See DESIGN.md section "Observability" for the registry design, the
+cross-process merge semantics, and the disabled-cost contract.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Timer,
+    TimerSnapshot,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    reset_metrics,
+    snapshot_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Timer",
+    "TimerSnapshot",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "metrics_enabled",
+    "reset_metrics",
+    "snapshot_metrics",
+]

@@ -105,7 +105,7 @@ class BackcastInitiator:
             raise ValueError(f"guard_us must be >= 0, got {guard_us}")
         self._sim = sim
         self._radio = radio
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="backcast")
         self._guard_us = guard_us
         self._seq = 0
         self._round_id = 0

@@ -78,7 +78,7 @@ class PollcastInitiator:
             )
         self._sim = sim
         self._radio = radio
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="pollcast")
         self._vote_window_us = vote_window_us
         self._seq = 0
 

@@ -95,7 +95,7 @@ class VotecastInitiator:
             )
         self._sim = sim
         self._radio = radio
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="votecast")
         self._vote_window_us = vote_window_us
         self._seq = 0
         self._decoded_voter: Optional[int] = None

@@ -75,7 +75,7 @@ class Cc2420Radio:
         self._auto_ack = auto_ack
         self._state = RadioState.RX
         self._energy = EnergyLedger(energy_profile, initial_state="rx")
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="cc2420")
         self.receive_callback: Optional[FrameCallback] = None
         self.ack_callback: Optional[AckCallback] = None
         self.busy_callback: Optional[BusyCallback] = None

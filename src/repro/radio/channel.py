@@ -112,7 +112,7 @@ class Channel:
         self._timing = timing
         self._capture = capture_model or ProbabilisticCaptureModel()
         self._hack_miss = hack_miss or IdealRadioModel()
-        self._tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._tracer = tracer if tracer is not None else Tracer(enabled=False, name="channel")
         self._radios: List[ChannelListener] = []
         self._active: List[Transmission] = []
         self._cluster: List[Transmission] = []

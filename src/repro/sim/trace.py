@@ -44,6 +44,8 @@ class Tracer:
             :meth:`emit` is a no-op.
         clock: Optional callable returning the current simulated time; when
             omitted, callers must pass explicit times to :meth:`emit`.
+        name: Identifier used in error messages (e.g. the owning
+            component), so a misconfigured tracer is easy to locate.
     """
 
     def __init__(
@@ -51,8 +53,10 @@ class Tracer:
         *,
         enabled: bool = True,
         clock: Optional[Callable[[], float]] = None,
+        name: str = "tracer",
     ) -> None:
         self.enabled = enabled
+        self.name = name
         self._clock = clock
         self._records: list[TraceRecord] = []
 
@@ -71,11 +75,21 @@ class Tracer:
             source: Emitting component identifier.
             time: Event time; defaults to the attached clock's reading.
             **detail: Arbitrary payload stored on the record.
+
+        Raises:
+            ValueError: When ``time`` is omitted and the tracer has no
+                clock -- a silent ``0.0`` timestamp would corrupt event
+                ordering without any visible failure.
         """
         if not self.enabled:
             return
         if time is None:
-            time = self._clock() if self._clock is not None else 0.0
+            if self._clock is None:
+                raise ValueError(
+                    f"Tracer {self.name!r} has no clock: emit({category!r}) "
+                    "needs an explicit time= argument"
+                )
+            time = self._clock()
         self._records.append(
             TraceRecord(time=time, category=category, source=source, detail=detail)
         )

@@ -9,6 +9,8 @@ single-x-per-engine shape) at reduced trial counts.
 
 from __future__ import annotations
 
+import logging
+import os
 import pickle
 import warnings
 
@@ -25,6 +27,23 @@ from repro.group_testing.model import ModelSpec
 from repro.mac import CsmaBaseline
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fake_multicore():
+    """Pretend the host has >= 4 CPUs.
+
+    ``resolve_jobs`` clamps explicit ``jobs`` to the CPU count; on a
+    single-core runner that would silently downgrade every parallel test
+    here to the serial path.  Faking the count keeps the process-pool
+    code genuinely exercised everywhere (the pool itself runs fine on
+    one core -- it is merely slower).
+    """
+    real = os.cpu_count
+    mp = pytest.MonkeyPatch()
+    mp.setattr(os, "cpu_count", lambda: max(4, real() or 1))
+    yield
+    mp.undo()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -87,14 +106,24 @@ class TestFigureIdentity:
 
 class TestResolveJobs:
     def test_default_is_cpu_count(self):
-        import os
-
         expected = os.cpu_count() or 1
         assert resolve_jobs(None) == expected
         assert resolve_jobs(0) == expected
 
     def test_explicit_passthrough(self):
+        # The module fixture fakes >= 4 CPUs, so 3 is within budget.
         assert resolve_jobs(3) == 3
+
+    def test_clamped_to_cpu_count(self, caplog):
+        cpus = os.cpu_count() or 1
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.common"):
+            assert resolve_jobs(cpus + 61) == cpus
+        assert any("clamping" in r.message for r in caplog.records)
+
+    def test_clamp_applies_to_engine(self):
+        cpus = os.cpu_count() or 1
+        engine = SweepEngine(16, 2, runs=2, seed=0, jobs=cpus + 7)
+        assert engine.jobs == cpus
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):

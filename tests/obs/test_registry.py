@@ -1,0 +1,252 @@
+"""Unit tests for the metrics registry (repro.obs)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TimerSnapshot,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    reset_metrics,
+    snapshot_metrics,
+)
+
+
+@pytest.fixture
+def reg():
+    r = MetricsRegistry()
+    r.enable()
+    return r
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, reg):
+        c = reg.counter("a")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_same_name_same_object(self, reg):
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_disabled_is_noop(self, reg):
+        c = reg.counter("a")
+        reg.disable()
+        c.inc(100)
+        assert c.value == 0
+        reg.enable()
+        c.inc()
+        assert c.value == 1
+
+
+class TestHistogram:
+    def test_bucketing(self, reg):
+        h = reg.histogram("h", edges=(1, 2, 4))
+        for v in (0.5, 1.0, 1.5, 3.0, 99.0):
+            h.observe(v)
+        # Buckets: <=1, <=2, <=4, overflow.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.total == 5
+        assert h.min == 0.5 and h.max == 99.0
+        assert h.sum == pytest.approx(105.0)
+
+    def test_edges_must_be_increasing(self, reg):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("bad", edges=(1, 1, 2))
+        with pytest.raises(ValueError, match="non-empty"):
+            reg.histogram("empty", edges=())
+
+    def test_same_name_requires_same_edges(self, reg):
+        reg.histogram("h", edges=(1, 2))
+        assert reg.histogram("h", edges=(1, 2)) is reg.histogram("h", (1, 2))
+        with pytest.raises(ValueError, match="already exists"):
+            reg.histogram("h", edges=(1, 3))
+
+    def test_disabled_is_noop(self, reg):
+        h = reg.histogram("h", edges=(1,))
+        reg.disable()
+        h.observe(0.5)
+        assert h.total == 0
+
+
+class TestTimer:
+    def test_context_manager_records_span(self, reg):
+        t = reg.timer("t")
+        with t.time():
+            pass
+        assert t.calls == 1
+        assert t.total_seconds >= 0.0
+        assert t.max_seconds >= 0.0
+
+    def test_add_seconds_and_max(self, reg):
+        t = reg.timer("t")
+        t.add_seconds(0.25)
+        t.add_seconds(1.5)
+        assert t.calls == 2
+        assert t.total_seconds == pytest.approx(1.75)
+        assert t.max_seconds == pytest.approx(1.5)
+
+    def test_disabled_span_reads_no_clock(self, reg):
+        t = reg.timer("t")
+        reg.disable()
+        with t.time():
+            pass
+        t.add_seconds(9.0)
+        assert t.calls == 0 and t.total_seconds == 0.0
+
+
+class TestSnapshotAndMerge:
+    def _loaded(self):
+        r = MetricsRegistry()
+        r.enable()
+        r.counter("c").inc(3)
+        h = r.histogram("h", edges=(1, 2))
+        h.observe(0.5)
+        h.observe(5.0)
+        r.timer("t").add_seconds(0.5)
+        return r
+
+    def test_snapshot_omits_unfired_instruments(self, reg):
+        reg.counter("never")
+        reg.histogram("empty", edges=(1,))
+        reg.timer("idle")
+        snap = reg.snapshot()
+        assert snap.counters == {}
+        assert snap.histograms == {}
+        assert snap.timers == {}
+
+    def test_snapshot_is_picklable_and_immutable(self):
+        snap = self._loaded().snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        with pytest.raises(AttributeError):
+            snap.counters = {}
+
+    def test_merge_sums_exactly(self):
+        a = self._loaded().snapshot()
+        b = self._loaded().snapshot()
+        merged = a.merge(b)
+        assert merged.counter("c") == 6
+        hist = merged.histograms["h"]
+        assert hist.counts == (2, 0, 2)
+        assert hist.total == 4
+        assert hist.sum == pytest.approx(11.0)
+        assert hist.min == 0.5 and hist.max == 5.0
+        timer = merged.timers["t"]
+        assert timer.calls == 2
+        assert timer.total_seconds == pytest.approx(1.0)
+        assert timer.max_seconds == pytest.approx(0.5)
+
+    def test_merge_all_matches_sequential_merges(self):
+        snaps = [self._loaded().snapshot() for _ in range(4)]
+        folded = MetricsSnapshot.merge_all(snaps)
+        assert folded.counter("c") == 12
+        assert folded.histograms["h"].total == 8
+
+    def test_merge_rejects_mismatched_edges(self):
+        a = HistogramSnapshot(
+            edges=(1.0,), counts=(1, 0), total=1, sum=0.5, min=0.5, max=0.5
+        )
+        b = HistogramSnapshot(
+            edges=(2.0,), counts=(1, 0), total=1, sum=0.5, min=0.5, max=0.5
+        )
+        with pytest.raises(ValueError, match="different edges"):
+            a.merge(b)
+
+    def test_disjoint_names_union(self):
+        a = MetricsSnapshot(counters={"x": 1})
+        b = MetricsSnapshot(counters={"y": 2})
+        merged = a.merge(b)
+        assert merged.counter("x") == 1 and merged.counter("y") == 2
+
+    def test_timer_snapshot_merge(self):
+        a = TimerSnapshot(calls=1, total_seconds=1.0, max_seconds=1.0)
+        b = TimerSnapshot(calls=2, total_seconds=3.0, max_seconds=2.5)
+        m = a.merge(b)
+        assert m.calls == 3
+        assert m.total_seconds == pytest.approx(4.0)
+        assert m.max_seconds == pytest.approx(2.5)
+
+    def test_roundtrip_dict_and_json(self):
+        snap = self._loaded().snapshot()
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+        import json
+
+        assert MetricsSnapshot.from_dict(json.loads(snap.to_json())) == snap
+
+
+class TestRegistryLifecycle:
+    def test_reset_zeroes_but_keeps_flag(self, reg):
+        reg.counter("c").inc(5)
+        reg.reset()
+        assert reg.counter("c").value == 0
+        assert reg.enabled
+
+    def test_absorb_sums_into_registry(self, reg):
+        reg.counter("c").inc(1)
+        worker = MetricsRegistry()
+        worker.enable()
+        worker.counter("c").inc(2)
+        worker.histogram("h", edges=(1,)).observe(0.5)
+        worker.timer("t").add_seconds(0.1)
+        reg.absorb(worker.snapshot())
+        snap = reg.snapshot()
+        assert snap.counter("c") == 3
+        assert snap.histograms["h"].total == 1
+        assert snap.timers["t"].calls == 1
+
+    def test_absorb_applies_even_while_disabled(self):
+        parent = MetricsRegistry()
+        assert not parent.enabled
+        parent.absorb(MetricsSnapshot(counters={"c": 7}))
+        assert parent.counter("c").value == 7
+
+    def test_absorb_rejects_mismatched_edges(self, reg):
+        reg.histogram("h", edges=(1,))
+        snap = MetricsSnapshot(
+            histograms={
+                "h": HistogramSnapshot(
+                    edges=(2.0,),
+                    counts=(1, 0),
+                    total=1,
+                    sum=0.5,
+                    min=0.5,
+                    max=0.5,
+                )
+            }
+        )
+        with pytest.raises(ValueError, match="already exists"):
+            reg.absorb(snap)
+
+    def test_set_enabled(self, reg):
+        reg.set_enabled(False)
+        assert not reg.enabled
+        reg.set_enabled(True)
+        assert reg.enabled
+
+
+class TestModuleLevelHelpers:
+    def test_default_registry_helpers(self):
+        registry = get_registry()
+        assert registry is get_registry()
+        was_enabled = metrics_enabled()
+        try:
+            enable_metrics()
+            assert metrics_enabled()
+            registry.counter("helper.test").inc()
+            assert snapshot_metrics().counter("helper.test") == 1
+            disable_metrics()
+            assert not metrics_enabled()
+        finally:
+            reset_metrics()
+            registry.set_enabled(was_enabled)
+        assert snapshot_metrics().counter("helper.test") == 0

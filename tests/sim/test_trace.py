@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.trace import TraceRecord, Tracer
 
 
@@ -34,6 +36,26 @@ def test_explicit_time_overrides_clock():
     tr = Tracer(clock=lambda: 1.0)
     tr.emit("a", "b", time=9.0)
     assert tr.records()[0].time == 9.0
+
+
+def test_no_clock_and_no_time_raises_with_tracer_name():
+    tr = Tracer(name="cc2420")
+    with pytest.raises(ValueError, match="cc2420"):
+        tr.emit("radio.tx", "m0")
+    assert len(tr) == 0
+
+
+def test_no_clock_and_no_time_raises_with_default_name():
+    tr = Tracer()
+    with pytest.raises(ValueError, match="'tracer' has no clock"):
+        tr.emit("a", "b")
+
+
+def test_disabled_tracer_without_clock_stays_silent():
+    # The no-op contract wins: a disabled tracer must never raise.
+    tr = Tracer(enabled=False)
+    tr.emit("a", "b")
+    assert len(tr) == 0
 
 
 def test_prefix_filtering_and_count():
