@@ -19,6 +19,12 @@ summary:
    overhead and the measured disabled per-call cost, and **fails** if
    the estimated disabled-path overhead exceeds 2% -- the "near-zero
    disabled cost" contract of :mod:`repro.obs`.
+5. **Supervision** -- runs fig01 under an active
+   :class:`~repro.experiments.resilience.RunContext` (journalling +
+   supervised pool, the crash-safe CLI path) and plain, checks the CSVs
+   are byte-identical, and **fails** if the measured journal-write cost
+   (the ``resilience.journal_write`` timer: CRC framing, flush, fsync)
+   exceeds 2% of the supervised run's wall time on this fault-free path.
 
 Usage::
 
@@ -46,6 +52,7 @@ from datetime import datetime, timezone
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.experiments import resilience  # noqa: E402
 from repro.experiments.cache import ResultCache  # noqa: E402
 from repro.experiments.common import resolve_jobs, shutdown_executors  # noqa: E402
 from repro.experiments.fig01_one_plus import run as run_fig01  # noqa: E402
@@ -55,6 +62,10 @@ from repro.obs import get_registry  # noqa: E402
 #: Hard budget for the estimated cost of *disabled* instruments, as a
 #: fraction of a metrics-off fig01 run.  CI fails the bench above this.
 DISABLED_OVERHEAD_BUDGET = 0.02
+
+#: Hard budget for the measured journal/supervision cost on a
+#: fault-free supervised run, as a fraction of its wall time.
+SUPERVISION_OVERHEAD_BUDGET = 0.02
 
 #: fig01's grid has 31 x-points and four curves; every (x, run) pair of
 #: every curve is one trial (one full threshold-query session).
@@ -196,6 +207,72 @@ def bench_metrics(runs: int, jobs: int) -> dict:
     }
 
 
+def bench_supervision(runs: int, jobs: int) -> dict:
+    """Fault-free supervised run vs plain run: identical bytes, bounded cost.
+
+    The crash-safe path adds journalling (CRC framing + flush + fsync
+    per shard) and the supervised submit/poll loop on top of the plain
+    pool.  The gate is measured, not A/B-timed (wall-clock deltas at
+    this scale are noise): the ``resilience.journal_write`` timer records
+    exactly the seconds the supervised run spent on durable journal
+    appends, and that total must stay under
+    :data:`SUPERVISION_OVERHEAD_BUDGET` of the supervised wall time.
+    """
+    plain_result, plain_s = _time(lambda: run_fig01(runs=runs, jobs=jobs))
+    registry = get_registry()
+    registry.reset()
+    registry.enable()
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = resilience.ShardJournal(
+            pathlib.Path(tmp) / "bench.journal",
+            exp_id="fig01",
+            key="bench-supervision",
+        )
+        ctx = resilience.RunContext(journal=journal)
+        with resilience.activate(ctx):
+            supervised_result, supervised_s = _time(
+                lambda: run_fig01(runs=runs, jobs=jobs)
+            )
+    snapshot = registry.snapshot()
+    registry.disable()
+    registry.reset()
+
+    if supervised_result.to_csv() != plain_result.to_csv():
+        raise AssertionError("supervised execution changed the fig01 CSV")
+    if ctx.degraded:
+        raise AssertionError(f"fault-free run degraded: {ctx.degraded}")
+
+    journal_timer = snapshot.timers.get("resilience.journal_write")
+    journal_seconds = journal_timer.total_seconds if journal_timer else 0.0
+    records = snapshot.counters.get("resilience.journal_records", 0)
+    overhead = journal_seconds / supervised_s if supervised_s > 0 else 0.0
+    if overhead > SUPERVISION_OVERHEAD_BUDGET:
+        raise AssertionError(
+            f"supervision/journal overhead {overhead:.2%} exceeds the "
+            f"{SUPERVISION_OVERHEAD_BUDGET:.0%} budget "
+            f"({journal_seconds:.3f}s over {records} records)"
+        )
+    return {
+        "runs": runs,
+        "jobs": jobs,
+        "csv_identical": True,
+        "plain_seconds": round(plain_s, 3),
+        "supervised_seconds": round(supervised_s, 3),
+        "journal_records": records,
+        "journal_seconds": round(journal_seconds, 4),
+        "journal_us_per_record": round(
+            journal_seconds / records * 1e6, 1
+        ) if records else 0.0,
+        "supervision_overhead_fraction": round(overhead, 6),
+        "supervision_overhead_budget": SUPERVISION_OVERHEAD_BUDGET,
+        "resilience_counters": {
+            k: v
+            for k, v in sorted(snapshot.counters.items())
+            if k.startswith("resilience.")
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -268,6 +345,19 @@ def main(argv=None) -> int:
         f"budget {metrics['disabled_overhead_budget']:.0%})"
     )
 
+    supervision_runs = 40 if args.quick else 60
+    print(
+        f"[bench_sweeps] supervision: fig01 runs={supervision_runs} "
+        "plain vs journalled ..."
+    )
+    supervision = bench_supervision(supervision_runs, jobs)
+    print(
+        f"[bench_sweeps]   journal {supervision['journal_records']} records "
+        f"in {supervision['journal_seconds']}s "
+        f"({supervision['supervision_overhead_fraction']:.3%} of run, "
+        f"budget {supervision['supervision_overhead_budget']:.0%})"
+    )
+
     payload = {
         "benchmark": "sweeps",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -279,6 +369,7 @@ def main(argv=None) -> int:
         "throughput": throughput,
         "cache": cache,
         "metrics": metrics,
+        "supervision": supervision,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench_sweeps] wrote {args.out}")

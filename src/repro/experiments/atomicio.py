@@ -1,0 +1,91 @@
+"""Crash-safe file primitives shared by the cache and the run journal.
+
+Everything durable the harness writes (cache entries, journal files,
+metrics snapshots) goes through :func:`atomic_write_bytes` /
+:func:`atomic_write_text`: the payload lands in a uniquely named
+temporary file in the *same directory* (same filesystem, so the final
+``os.replace`` is atomic), is flushed and fsync'd, and only then renamed
+over the destination.  A crash -- ``kill -9``, OOM, power loss -- at any
+point leaves either the old file or the new file, never a truncated
+hybrid, and never clobbers the destination with a partial write.
+
+:func:`checksum_line` / :func:`parse_checksum_line` implement the
+per-record CRC32 framing the shard journal uses for its append-only
+records, where whole-file replacement would be wasteful (see
+:mod:`repro.experiments.resilience`).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def atomic_write_bytes(
+    path: PathLike, data: bytes, *, fsync: bool = True
+) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the final path.
+
+    The temporary file name embeds the pid so concurrent writers (e.g.
+    two sweep processes storing the same cache key) never stomp on each
+    other's half-written temp file; last ``os.replace`` wins with a
+    complete payload either way.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.parent / f".{target.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    finally:
+        # A failure between open and replace leaves the temp file; never
+        # leave droppings behind to be mistaken for entries.
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+    return target
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, fsync: bool = True
+) -> Path:
+    """Atomically replace ``path`` with UTF-8 ``text``."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def checksum_line(payload: str) -> str:
+    """Frame one journal record: ``<crc32 hex8> <payload>\\n``.
+
+    The CRC covers the payload bytes only; a torn tail (partial last
+    line after a crash mid-append) fails :func:`parse_checksum_line`
+    and is discarded on load instead of poisoning the resume.
+    """
+    data = payload.encode("utf-8")
+    return f"{zlib.crc32(data) & 0xFFFFFFFF:08x} {payload}\n"
+
+
+def parse_checksum_line(line: str) -> Optional[str]:
+    """Recover the payload of one framed line, or ``None`` if corrupt.
+
+    Accepts lines with or without the trailing newline.  Any framing
+    violation -- missing separator, bad hex, CRC mismatch, truncation --
+    returns ``None``; callers treat that record as never written.
+    """
+    line = line.rstrip("\n")
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_hex, payload = line[:8], line[9:]
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    return payload

@@ -14,7 +14,15 @@ seed, code)``.  The cache stores each finished
 
 Backend-only knobs (``jobs``) are excluded from the key: parallel and
 serial runs produce bit-identical results, so they share entries.
-Corrupt or unreadable cache files count as misses and are ignored.
+
+Integrity: every entry embeds a SHA-256 checksum over its result
+payload, and every store goes through the atomic tmp-file +
+``os.replace`` discipline of :mod:`repro.experiments.atomicio` -- a
+Ctrl-C (or ``kill -9``) mid-store can never leave a truncated entry
+behind.  A corrupt, truncated or checksum-mismatched file found at load
+time is *quarantined* to ``<cache-dir>/.quarantine/`` (for post-mortem
+inspection) and counted as a miss, instead of crashing the run or
+silently returning garbage.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import os
 from pathlib import Path
 from typing import Any, Mapping, Optional, Tuple
 
+from repro.experiments.atomicio import atomic_write_text
 from repro.experiments.common import ExperimentResult
 from repro.experiments.serialization import (
     experiment_result_from_dict,
@@ -37,6 +46,10 @@ _OBS = get_registry()
 _C_HITS = _OBS.counter("cache.hits")
 _C_MISSES = _OBS.counter("cache.misses")
 _C_STORES = _OBS.counter("cache.stores")
+_C_QUARANTINED = _OBS.counter("resilience.cache_quarantined")
+
+#: Subdirectory corrupt entries are moved to (never read back).
+QUARANTINE_DIRNAME = ".quarantine"
 
 #: Default cache directory, relative to the repository root (the cwd the
 #: CLI is normally invoked from).
@@ -117,19 +130,53 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self._dir / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self._dir / QUARANTINE_DIRNAME
+
+    @staticmethod
+    def _result_checksum(result_payload: Any) -> str:
+        """SHA-256 over the canonical JSON of an entry's result payload."""
+        blob = json.dumps(result_payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it can never poison a run again."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            # Quarantining is best-effort (e.g. the file vanished in a
+            # race); the entry was already rejected either way.
+            return
+        _C_QUARANTINED.inc()
+
     def load(
         self, exp_id: str, params: Mapping[str, Any]
     ) -> Optional[ExperimentResult]:
         """Return the cached result for this computation, or ``None``.
 
-        Malformed entries are treated as misses (and left for the next
-        :meth:`store` to overwrite).
+        A missing entry is a plain miss.  An entry that is unreadable,
+        unparseable, truncated, or whose embedded checksum does not
+        match its result payload is quarantined to
+        ``<cache-dir>/.quarantine/`` and counted as a miss -- it is
+        never returned and never consulted again.
         """
         path = self._path(cache_key(exp_id, params))
+        if not path.is_file():
+            self.misses += 1
+            _C_MISSES.inc()
+            return None
         try:
             data = json.loads(path.read_text())
-            result = experiment_result_from_dict(data["result"])
+            stored_checksum = data["checksum"]
+            payload = data["result"]
+            if self._result_checksum(payload) != stored_checksum:
+                raise ValueError(f"cache entry {path.name}: checksum mismatch")
+            result = experiment_result_from_dict(payload)
         except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             _C_MISSES.inc()
             return None
@@ -143,20 +190,23 @@ class ResultCache:
         """Write ``result`` under its content key; returns the file path.
 
         The envelope records the id and key inputs alongside the result
-        so entries are self-describing when inspected by hand.
+        so entries are self-describing when inspected by hand, plus a
+        SHA-256 checksum of the result payload that :meth:`load`
+        verifies.  The write is atomic (unique tmp file + fsync +
+        ``os.replace``): an interrupt mid-store leaves either no entry
+        or the complete previous one, never a truncated file.
         """
         key = cache_key(exp_id, params)
         path = self._path(key)
-        self._dir.mkdir(parents=True, exist_ok=True)
+        payload = experiment_result_to_dict(result)
         envelope = {
             "exp_id": exp_id,
             "key": key,
             "code": code_fingerprint(),
-            "result": experiment_result_to_dict(result),
+            "checksum": self._result_checksum(payload),
+            "result": payload,
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(envelope, indent=2))
-        tmp.replace(path)
+        atomic_write_text(path, json.dumps(envelope, indent=2))
         _C_STORES.inc()
         return path
 
@@ -184,3 +234,9 @@ class ResultCache:
         if not self._dir.is_dir():
             return 0
         return sum(1 for _ in self._dir.glob("*.json"))
+
+    def quarantine_count(self) -> int:
+        """Number of corrupt entries parked in the quarantine directory."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.quarantine_dir.glob("*.json"))

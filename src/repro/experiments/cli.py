@@ -5,8 +5,10 @@ Examples::
     tcast-experiments list
     tcast-experiments run fig01 --runs 1000 --jobs 4
     tcast-experiments run all --runs 200 --out results/ --no-cache
+    tcast-experiments run fig09 --runs 1000 --jobs 4 --resume
     tcast-experiments cache info
     tcast-experiments cache clear
+    tcast-experiments journal info
 
 Finished results are cached under ``results/cache/`` keyed by
 (experiment, config, seed, code version); re-running an unchanged
@@ -16,19 +18,34 @@ ways, ``--jobs N`` shards sweep trials over ``N`` worker processes
 ``--metrics out.json`` collects per-layer runtime counters (queries,
 retries, cache hits, shard timings) merged across worker processes --
 without changing a single result byte.
+
+``run`` executes crash-safely (see DESIGN.md "Resilient execution"):
+completed sweep shards are journalled under ``results/journal/``,
+worker crashes and hangs are detected and retried, and SIGINT/SIGTERM
+drain in-flight work, flush the journal and the metrics snapshot, and
+print the exact ``--resume`` command.  ``--resume`` replays the journal
+and recomputes only what is missing; the finished CSV is byte-identical
+to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
+import signal
 import sys
 import time
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments import resilience
+from repro.experiments.atomicio import atomic_write_text
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.obs import get_registry
+
+#: Default run-journal directory, sibling of the result cache.
+DEFAULT_JOURNAL_DIR = pathlib.Path("results") / "journal"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write <figid>.csv and <figid>.txt into",
     )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the run journal of an interrupted run and compute "
+        "only the missing shards (byte-identical final output)",
+    )
+    run_p.add_argument(
+        "--journal-dir",
+        type=pathlib.Path,
+        default=DEFAULT_JOURNAL_DIR,
+        help=f"run-journal directory (default: {DEFAULT_JOURNAL_DIR})",
+    )
+    run_p.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable shard journalling and worker supervision",
+    )
 
     rep_p = sub.add_parser(
         "report",
@@ -102,6 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+
+    j_p = sub.add_parser(
+        "journal", help="inspect or clear interrupted-run journals"
+    )
+    j_p.add_argument("action", choices=["info", "clear"])
+    j_p.add_argument(
+        "--journal-dir",
+        type=pathlib.Path,
+        default=DEFAULT_JOURNAL_DIR,
+        help=f"run-journal directory (default: {DEFAULT_JOURNAL_DIR})",
+    )
     return parser
 
 
@@ -120,16 +165,26 @@ def _start_metrics(path: Optional[pathlib.Path]) -> bool:
 
 
 def _finish_metrics(path: Optional[pathlib.Path]) -> None:
-    """Write the merged snapshot to ``path`` and disarm the registry."""
+    """Write the merged snapshot to ``path`` and disarm the registry.
+
+    Runs from ``finally`` blocks, so the snapshot also lands on
+    graceful SIGINT/SIGTERM shutdown; the write is atomic so an
+    ill-timed second interrupt cannot leave a truncated JSON file.
+    """
     if path is None:
         return
     registry = get_registry()
     snapshot = registry.snapshot()
     registry.disable()
     registry.reset()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(snapshot.to_json(indent=2) + "\n")
+    atomic_write_text(path, snapshot.to_json(indent=2) + "\n")
     print(f"[metrics written to {path}]")
+
+
+def _journal_path(
+    journal_dir: pathlib.Path, exp_id: str, key: str
+) -> pathlib.Path:
+    return journal_dir / f"{exp_id}-{key[:16]}.journal"
 
 
 def _run_one(
@@ -140,25 +195,94 @@ def _run_one(
     *,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
-) -> None:
+    resume: bool = False,
+    journal_dir: Optional[pathlib.Path] = None,
+) -> List[str]:
+    """Run one experiment; returns quarantined-shard descriptions (if any)."""
     kwargs = {}
     if runs is not None:
         kwargs["runs"] = runs
     if seed is not None:
         kwargs["seed"] = seed
+    ctx: Optional[resilience.RunContext] = None
+    if journal_dir is not None:
+        params = dict(kwargs)
+        if jobs is not None:
+            params["jobs"] = jobs
+        key = cache_key(exp_id, params)
+        journal = resilience.ShardJournal(
+            _journal_path(journal_dir, exp_id, key),
+            exp_id=exp_id,
+            key=key,
+            resume=resume,
+        )
+        if resume and journal.resumed_records:
+            print(
+                f"[{exp_id}: resuming, {journal.resumed_records} journalled "
+                f"shard(s) replayed"
+                + (
+                    f", {journal.dropped_records} torn record(s) dropped]"
+                    if journal.dropped_records
+                    else "]"
+                )
+            )
+        ctx = resilience.RunContext(journal=journal, resumed=resume)
     started = time.perf_counter()  # tcast-lint: disable=TCL002 -- wall-clock banner for the operator, not simulation time
-    result, from_cache = run_experiment(
-        exp_id, cache=cache, jobs=jobs, **kwargs
-    )
+    with (
+        resilience.activate(ctx)
+        if ctx is not None
+        else contextlib.nullcontext()
+    ):
+        result, from_cache = run_experiment(
+            exp_id, cache=cache, jobs=jobs, **kwargs
+        )
     elapsed = time.perf_counter() - started  # tcast-lint: disable=TCL002 -- wall-clock banner for the operator, not simulation time
     print(result.report())
     source = "cache" if from_cache else "computed"
     print(f"[{exp_id} completed in {elapsed:.1f}s ({source})]")
+    degraded: List[str] = []
+    if ctx is not None:
+        assert ctx.journal is not None
+        if ctx.degraded:
+            degraded = list(ctx.degraded)
+            print(
+                f"[{exp_id} DEGRADED: {len(degraded)} quarantined shard(s); "
+                f"result NOT cached; journal kept at {ctx.journal.path}]"
+            )
+            for item in degraded:
+                print(f"  quarantined: {item}")
+        else:
+            # A fully successful run has nothing to resume.
+            ctx.journal.discard()
     print()
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{exp_id}.csv").write_text(result.to_csv() + "\n")
         (out / f"{exp_id}.txt").write_text(result.report() + "\n")
+    return degraded
+
+
+def _resume_command(args: argparse.Namespace) -> str:
+    """The exact CLI invocation that resumes this interrupted run."""
+    parts = ["tcast-experiments", "run", args.experiment]
+    if args.runs is not None:
+        parts += ["--runs", str(args.runs)]
+    if args.seed is not None:
+        parts += ["--seed", str(args.seed)]
+    if args.jobs is not None:
+        parts += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        parts += ["--no-cache"]
+    if args.cache_dir != DEFAULT_CACHE_DIR:
+        parts += ["--cache-dir", str(args.cache_dir)]
+    if args.out is not None:
+        parts += ["--out", str(args.out)]
+    if args.metrics is not None:
+        parts += ["--metrics", str(args.metrics)]
+    if args.journal_dir != DEFAULT_JOURNAL_DIR:
+        parts += ["--journal-dir", str(args.journal_dir)]
+    parts.append("--resume")
+    return " ".join(parts)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -173,31 +297,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             list_experiments() if args.experiment == "all" else [args.experiment]
         )
         cache = _make_cache(args)
+        journal_dir = None if args.no_journal else args.journal_dir
+        degraded: List[str] = []
         _start_metrics(args.metrics)
         try:
-            for exp_id in targets:
-                _run_one(
-                    exp_id,
-                    args.runs,
-                    args.seed,
-                    args.out,
-                    jobs=args.jobs,
-                    cache=cache,
-                )
+            with resilience.GracefulShutdown():
+                for exp_id in targets:
+                    degraded += _run_one(
+                        exp_id,
+                        args.runs,
+                        args.seed,
+                        args.out,
+                        jobs=args.jobs,
+                        cache=cache,
+                        resume=args.resume,
+                        journal_dir=journal_dir,
+                    )
+        except resilience.GracefulExit as exc:
+            name = signal.Signals(exc.signum).name
+            print(f"\n[interrupted by {name}; in-flight shards drained, "
+                  f"journal flushed]")
+            if journal_dir is not None:
+                print(f"[resume with: {_resume_command(args)}]")
+            return 128 + exc.signum
         finally:
             _finish_metrics(args.metrics)
+        if degraded:
+            print(
+                f"[run finished DEGRADED: {len(degraded)} shard(s) "
+                f"quarantined after repeated worker failures]"
+            )
+            return 3
         return 0
     if args.command == "report":
         from repro.experiments.report import generate_report
 
         _start_metrics(args.metrics)
         try:
-            text = generate_report(
-                runs=args.runs,
-                seed=args.seed,
-                jobs=args.jobs,
-                cache=_make_cache(args),
-            )
+            with resilience.GracefulShutdown():
+                text = generate_report(
+                    runs=args.runs,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    cache=_make_cache(args),
+                )
+        except resilience.GracefulExit as exc:
+            name = signal.Signals(exc.signum).name
+            print(f"\n[interrupted by {name}; in-flight shards drained]")
+            return 128 + exc.signum
         finally:
             _finish_metrics(args.metrics)
         print(text)
@@ -213,6 +360,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             print(f"cache directory: {cache.directory}")
             print(f"entries: {cache.entry_count()}")
+            print(f"quarantined: {cache.quarantine_count()}")
+        return 0
+    if args.command == "journal":
+        journals = (
+            sorted(args.journal_dir.glob("*.journal"))
+            if args.journal_dir.is_dir()
+            else []
+        )
+        if args.action == "clear":
+            for path in journals:
+                path.unlink()
+            n = len(journals)
+            print(f"removed {n} journal{'' if n == 1 else 's'}")
+        else:
+            print(f"journal directory: {args.journal_dir}")
+            if not journals:
+                print("no interrupted runs")
+            for path in journals:
+                print(f"  {path.name} ({path.stat().st_size} bytes)")
         return 0
     return 2  # pragma: no cover - argparse enforces the subcommands
 

@@ -18,6 +18,13 @@ serial ones.  Factories must be picklable for the parallel path (use
 :func:`repro.api.algorithm_factory` and
 :class:`repro.group_testing.model.ModelSpec` instead of closures);
 unpicklable factories degrade to serial execution with a warning.
+
+When a :class:`repro.experiments.resilience.RunContext` is active (the
+CLI installs one), execution becomes crash-safe: completed shards are
+journalled for ``--resume``, already-journalled shards are skipped with
+bit-identical stitching, and the parallel path runs under worker
+supervision (crash/hang detection, bounded requeue, quarantine) instead
+of a bare ``Executor.map``.  See DESIGN.md "Resilient execution".
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import logging
 import os
 import pickle
 import time
+import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -36,6 +44,8 @@ import numpy as np
 
 from repro.core.base import ThresholdDecider
 from repro.core.result import ThresholdResult
+from repro.experiments import resilience
+from repro.experiments.resilience import ShardExecutionError, ShardOutcome
 from repro.group_testing.model import QueryModel
 from repro.group_testing.population import Population
 from repro.obs import MetricsSnapshot, get_registry
@@ -233,10 +243,15 @@ def _get_executor(jobs: int) -> ProcessPoolExecutor:
 
 
 def shutdown_executors() -> None:
-    """Tear down all cached worker pools (test/interpreter hygiene)."""
+    """Tear down all cached worker pools (test/interpreter hygiene).
+
+    Reaps both the plain executor cache and the supervised pools owned
+    by :mod:`repro.experiments.resilience`.
+    """
     while _EXECUTORS:
         _, ex = _EXECUTORS.popitem()
         ex.shutdown(wait=True, cancel_futures=True)
+    resilience.shutdown_pools()
 
 
 # CLI runs (and ad-hoc scripts) rarely remember to call
@@ -334,6 +349,25 @@ def _run_sweep_cell(
     return costs, (metrics.snapshot() if isolate else None)
 
 
+def _run_sweep_cell_guarded(task: _SweepCellTask) -> ShardOutcome:
+    """Worker-side wrapper: ship in-shard exceptions home as data.
+
+    Letting an exception propagate out of a worker either loses the
+    traceback or -- when the exception is unpicklable -- takes the whole
+    pool down as a bare ``BrokenProcessPool``.  Catching here turns any
+    in-shard failure into a :class:`ShardOutcome` the parent can report
+    with the shard's exact coordinates and the full remote traceback.
+    """
+    try:
+        costs, snapshot = _run_sweep_cell(task)
+    except Exception as exc:
+        return ShardOutcome(
+            error_type=type(exc).__name__,
+            remote_traceback=traceback.format_exc(),
+        )
+    return ShardOutcome(costs=costs, snapshot=snapshot)
+
+
 class SweepEngine:
     """Deterministic multi-run sweep executor.
 
@@ -415,20 +449,44 @@ class SweepEngine:
                 lo = hi
         return shards
 
-    def _run_tasks(self, tasks: List[_SweepCellTask]) -> List[List[float]]:
+    def _run_tasks(
+        self, tasks: List[_SweepCellTask]
+    ) -> List[Optional[List[float]]]:
         """Execute shards serially or on the process pool (in order).
 
         On the parallel path each worker returns a
         :class:`~repro.obs.MetricsSnapshot` alongside its costs (when
         metrics are enabled); the snapshots are summed into this
         process's registry so the merged totals equal a serial run's.
+
+        With an active :class:`~repro.experiments.resilience.RunContext`
+        the execution is crash-safe: shards already present in the run
+        journal are skipped (their recorded costs slot in, bit-identical
+        by construction), completed shards are journalled durably, and
+        the parallel path runs supervised.  A shard quarantined by the
+        supervisor yields ``None`` in the returned list; :meth:`_sweep`
+        degrades explicitly instead of dying.
         """
-        if self._jobs <= 1 or len(tasks) <= 1:
+        ctx = resilience.current_context()
+        results: List[Optional[List[float]]] = [None] * len(tasks)
+        if ctx is not None and ctx.journal is not None:
+            pending = []
+            for i, task in enumerate(tasks):
+                recorded = ctx.lookup_shard(task)
+                if recorded is not None:
+                    results[i] = recorded
+                else:
+                    pending.append(i)
+        else:
+            pending = list(range(len(tasks)))
+        if not pending:
+            return results
+        if self._jobs <= 1 or len(pending) <= 1:
             _S_SERIAL_BATCHES.inc()
-            return [_run_sweep_cell(task)[0] for task in tasks]
+            return self._run_serial(tasks, pending, results, ctx)
         try:
             with _S_PICKLE_TIMER.time():
-                pickle.dumps(tasks[0])
+                pickle.dumps(tasks[pending[0]])
         except Exception:
             warnings.warn(
                 "sweep factories are not picklable; running serially "
@@ -438,27 +496,93 @@ class SweepEngine:
                 stacklevel=3,
             )
             _S_FALLBACK_SERIAL.inc()
-            return [_run_sweep_cell(task)[0] for task in tasks]
+            return self._run_serial(tasks, pending, results, ctx)
         reg = get_registry()
         _S_PARALLEL_BATCHES.inc()
-        _S_QUEUE_DEPTH.observe(max(0, len(tasks) - self._jobs))
+        _S_QUEUE_DEPTH.observe(max(0, len(pending) - self._jobs))
         if reg.enabled:
             # Workers cannot write this registry; ask each shard for an
             # isolated snapshot to merge back (exact integer sums).
             tasks = [replace(t, snapshot_metrics=True) for t in tasks]
+        if ctx is not None:
+            self._run_supervised(tasks, pending, results, ctx, reg)
+            return results
         executor = _get_executor(self._jobs)
         with _S_SUBMIT_TIMER.time():
             # Executor.map submits (and pickles) every shard eagerly;
             # the drain below is dominated by worker compute time.
-            pending = executor.map(_run_sweep_cell, tasks)
+            batch = executor.map(
+                _run_sweep_cell_guarded, [tasks[i] for i in pending]
+            )
         with _S_DRAIN_TIMER.time():
-            results = list(pending)
-        blocks: List[List[float]] = []
-        for costs, snap in results:
-            if snap is not None:
-                reg.absorb(snap)
-            blocks.append(costs)
-        return blocks
+            outcomes = list(batch)
+        for i, outcome in zip(pending, outcomes):
+            if outcome.error_type is not None:
+                label, x, lo, hi = resilience.shard_coords(tasks[i])
+                raise ShardExecutionError(
+                    label, x, lo, hi,
+                    outcome.error_type,
+                    outcome.remote_traceback or "<no traceback captured>",
+                )
+            if outcome.snapshot is not None:
+                reg.absorb(outcome.snapshot)
+            results[i] = outcome.costs
+        return results
+
+    def _run_serial(
+        self,
+        tasks: List[_SweepCellTask],
+        pending: List[int],
+        results: List[Optional[List[float]]],
+        ctx: Optional[resilience.RunContext],
+    ) -> List[Optional[List[float]]]:
+        """In-process execution of the still-pending shards (in order)."""
+        for i in pending:
+            costs, _ = _run_sweep_cell(tasks[i])
+            results[i] = costs
+            if ctx is not None:
+                ctx.record_shard(tasks[i], costs)
+        return results
+
+    def _run_supervised(
+        self,
+        tasks: List[_SweepCellTask],
+        pending: List[int],
+        results: List[Optional[List[float]]],
+        ctx: resilience.RunContext,
+        reg,
+    ) -> None:
+        """Supervised parallel execution: journal, requeue, quarantine."""
+
+        def on_complete(
+            idx: int, task: _SweepCellTask, outcome: ShardOutcome
+        ) -> None:
+            assert outcome.costs is not None
+            if outcome.snapshot is not None:
+                reg.absorb(outcome.snapshot)
+            results[idx] = outcome.costs
+            ctx.record_shard(task, outcome.costs)
+
+        def on_quarantine(
+            idx: int, task: _SweepCellTask, reason: str
+        ) -> None:
+            label, x, lo, hi = resilience.shard_coords(task)
+            _LOG.error(
+                "quarantined shard %r x=%d runs [%d,%d): %s",
+                label, x, lo, hi, reason,
+            )
+            ctx.mark_degraded(task, reason)
+            results[idx] = None
+
+        with _S_DRAIN_TIMER.time():
+            resilience.run_supervised(
+                _run_sweep_cell_guarded,
+                [(i, tasks[i]) for i in pending],
+                jobs=self._jobs,
+                context=ctx,
+                on_complete=on_complete,
+                on_quarantine=on_quarantine,
+            )
 
     def _sweep(
         self,
@@ -494,14 +618,17 @@ class SweepEngine:
         blocks = self._run_tasks(tasks)
         by_x: Dict[int, List[float]] = {int(x): [] for x in xs}
         for (x, _, _), block in zip(shards, blocks):
-            by_x[x].extend(block)
+            if block is not None:  # None = quarantined (degraded run)
+                by_x[x].extend(block)
         means: List[float] = []
         errs: List[float] = []
         for x in xs:
             costs = np.asarray(by_x[int(x)], dtype=np.float64)
-            means.append(float(costs.mean()))
+            # A cell can come up short (or empty) only when supervision
+            # quarantined shards; the run then carries a degraded report.
+            means.append(float(costs.mean()) if costs.size else float("nan"))
             errs.append(float(costs.std(ddof=1) / np.sqrt(self._runs))
-                        if self._runs > 1 else 0.0)
+                        if self._runs > 1 and costs.size > 1 else 0.0)
         return Series(
             label=label,
             xs=tuple(float(x) for x in xs),

@@ -8,8 +8,10 @@ threads the ``jobs`` backend knob to runners that sweep.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.experiments import resilience
 from repro.experiments.cache import ResultCache
 
 from repro.experiments import (
@@ -92,6 +94,11 @@ def run_experiment(
 
     Returns:
         ``(result, from_cache)``.
+
+    When an active :class:`~repro.experiments.resilience.RunContext`
+    reports quarantined shards, the result is **degraded**: an explicit
+    ``DEGRADED`` note is attached per quarantined shard and the result
+    is *not* cached (a complete rerun must be able to replace it).
     """
     runner = get_experiment(exp_id)
     params = dict(kwargs)
@@ -102,6 +109,14 @@ def run_experiment(
         if cached is not None:
             return cached, True
     result = runner(**params)
+    ctx = resilience.current_context()
+    if ctx is not None and ctx.degraded:
+        result = replace(
+            result,
+            notes=result.notes
+            + tuple(f"DEGRADED: quarantined shard {d}" for d in ctx.degraded),
+        )
+        return result, False
     if cache is not None:
         cache.store(exp_id, params, result)
     return result, False

@@ -58,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tcast-lint",
         description=(
             "AST-based determinism and parallel-safety linter for the "
-            "tcast reproduction (rules TCL001-TCL006)."
+            "tcast reproduction (rules TCL001-TCL007)."
         ),
     )
     parser.add_argument(

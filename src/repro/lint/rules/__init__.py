@@ -16,6 +16,7 @@ from repro.lint.rules.pickle_safety import PickleSafety
 from repro.lint.rules.float_equality import FloatEquality
 from repro.lint.rules.mutable_defaults import MutableDefaultArg
 from repro.lint.rules.seed_plumbing import SeedPlumbing
+from repro.lint.rules.swallowed import SwallowedException
 
 #: Rule classes in rule-id order.
 RULE_CLASSES = (
@@ -25,6 +26,7 @@ RULE_CLASSES = (
     FloatEquality,
     MutableDefaultArg,
     SeedPlumbing,
+    SwallowedException,
 )
 
 

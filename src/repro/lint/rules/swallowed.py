@@ -1,0 +1,105 @@
+"""TCL007: no silently swallowed exceptions in the execution layers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Package dirs where swallowing an exception hides real failures: the
+#: sweep/supervision harness and the protocol core.
+_SCOPE_DIRS = ("experiments", "core")
+
+#: Exception names that catch (close to) everything.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(node: Optional[ast.expr]) -> bool:
+    """Whether an ``except`` clause type catches Exception-or-wider."""
+    if node is None:  # bare ``except:``
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Attribute):  # builtins.Exception
+        return node.attr in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(elt) for elt in node.elts)
+    return False
+
+
+def _is_noop_body(body: List[ast.stmt]) -> bool:
+    """Whether a handler body does nothing with the caught exception."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ``...``
+        return False
+    return True
+
+
+class SwallowedException(Rule):
+    """TCL007 swallowed-exception: broad handlers must act, not discard.
+
+    Inside ``experiments/`` (the sweep and supervision harness) and
+    ``core/`` (the protocol primitives), a broad handler with a no-op
+    body turns a worker crash, a corrupt cache entry or a protocol bug
+    into silent data loss -- exactly the failures the resilience layer
+    exists to surface.  A broad catch must *do* something: count it,
+    log it, quarantine the input, requeue the work, or re-raise.  Bare
+    ``except:`` is worse still -- it also swallows ``GracefulExit`` and
+    ``KeyboardInterrupt``, so a Ctrl-C can no longer stop the run.
+    Narrow handlers (``except KeyError: pass``) are out of scope: they
+    document an expected, specific condition.
+
+    Bad::
+
+        def load_shard(path):
+            try:
+                return parse(path)
+            except Exception:
+                pass
+
+    Good::
+
+        def load_shard(path):
+            try:
+                return parse(path)
+            except Exception:
+                _C_CORRUPT.inc()
+                quarantine(path)
+                return None
+    """
+
+    rule_id = "TCL007"
+    name = "swallowed-exception"
+    summary = (
+        "no bare 'except:' and no no-op 'except Exception:' bodies "
+        "inside experiments/, core/"
+    )
+    example_path = "repro/experiments/example.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag exception handlers that silently discard failures."""
+        if ctx.is_test_file or not ctx.in_scope(*_SCOPE_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' also catches GracefulExit and "
+                    "KeyboardInterrupt; name the exceptions (and handle "
+                    "them)",
+                )
+            elif _is_broad(node.type) and _is_noop_body(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "broad exception handler silently discards the "
+                    "failure; count/log/quarantine/requeue it or "
+                    "re-raise",
+                )

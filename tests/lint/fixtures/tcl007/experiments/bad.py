@@ -1,0 +1,25 @@
+"""TCL007 fixture: execution-layer code swallowing failures."""
+
+
+def load_entry(path):
+    try:
+        return path.read_text()
+    except Exception:
+        pass
+
+
+def drain(futures):
+    results = []
+    for fut in futures:
+        try:
+            results.append(fut.result())
+        except (OSError, Exception):
+            continue
+    return results
+
+
+def best_effort(cleanup):
+    try:
+        cleanup()
+    except:  # noqa: E722
+        ...

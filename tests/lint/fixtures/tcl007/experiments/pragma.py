@@ -1,0 +1,8 @@
+"""TCL007 fixture: a justified best-effort swallow, pragma-suppressed."""
+
+
+def close_quietly(handle):
+    try:
+        handle.close()
+    except Exception:  # tcast-lint: disable=TCL007 -- double-close during interpreter teardown is harmless by design
+        pass

@@ -31,6 +31,7 @@ EXPECTED_BAD = [
     ("TCL004", "tcl004/analytic/bad.py", [7, 8, 9]),
     ("TCL005", "tcl005/bad.py", [4, 8, 12]),
     ("TCL006", "tcl006/experiments/bad.py", [8, 13]),
+    ("TCL007", "tcl007/experiments/bad.py", [7, 16, 24]),
 ]
 
 #: The clean and pragma-suppressed sibling of every bad fixture.
