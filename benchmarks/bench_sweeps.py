@@ -25,6 +25,13 @@ summary:
    are byte-identical, and **fails** if the measured journal-write cost
    (the ``resilience.journal_write`` timer: CRC framing, flush, fsync)
    exceeds 2% of the supervised run's wall time on this fault-free path.
+6. **Farm** -- runs fig01 through a real
+   :class:`~repro.farm.FarmCoordinator` with subprocess workers (the
+   ``--backend farm`` path: spool, leases, content-addressed store),
+   checks the CSV is byte-identical to the serial run, checks the lease
+   accounting balances, and **fails** if the farm's wall time exceeds
+   :data:`FARM_OVERHEAD_FACTOR` times the serial run on a multi-core
+   host -- the spool/lease machinery must never dominate the compute.
 
 Usage::
 
@@ -66,6 +73,12 @@ DISABLED_OVERHEAD_BUDGET = 0.02
 #: Hard budget for the measured journal/supervision cost on a
 #: fault-free supervised run, as a fraction of its wall time.
 SUPERVISION_OVERHEAD_BUDGET = 0.02
+
+#: Hard ceiling on farm wall time as a multiple of the serial run at the
+#: same trial count.  The farm pays for worker spawn, descriptor
+#: pickling, lease polling, and store round-trips; at bench scale that
+#: overhead is real but must stay within a small constant factor.
+FARM_OVERHEAD_FACTOR = 3.0
 
 #: fig01's grid has 31 x-points and four curves; every (x, run) pair of
 #: every curve is one trial (one full threshold-query session).
@@ -273,6 +286,87 @@ def bench_supervision(runs: int, jobs: int) -> dict:
     }
 
 
+def bench_farm(runs: int, jobs: int, enforce_gate: bool) -> dict:
+    """Serial backend vs farm backend: identical bytes, bounded overhead.
+
+    Spins up a real :class:`~repro.farm.FarmCoordinator` (subprocess
+    workers, spool on disk, content-addressed store -- exactly the
+    ``--backend farm`` CLI path) and routes fig01 through it.  Three
+    gates: the CSV must match the serial run byte for byte, the lease
+    accounting must balance (granted = completed + expired +
+    quarantined), and on a multi-core host the farm's wall time must
+    stay under :data:`FARM_OVERHEAD_FACTOR` times the serial run's.
+    """
+    from repro.farm import FarmCoordinator, FarmPolicy
+
+    plain_result, plain_s = _time(lambda: run_fig01(runs=runs, jobs=1))
+    registry = get_registry()
+    registry.reset()
+    registry.enable()
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = resilience.ShardJournal(
+            pathlib.Path(tmp) / "bench.journal",
+            exp_id="fig01",
+            key="bench-farm",
+        )
+        # Tight polling: the bench measures the protocol's work (spool,
+        # leases, store round-trips), not the default sleep granularity,
+        # which would dominate at bench-sized shards.
+        farm = FarmCoordinator(
+            pathlib.Path(tmp) / "spool",
+            exp_id="fig01",
+            run_key="bench-farm",
+            workers=jobs,
+            policy=FarmPolicy(poll_interval=0.01, heartbeat_interval=0.1),
+            supervision=resilience.SupervisionPolicy(),
+        )
+        ctx = resilience.RunContext(journal=journal, farm=farm)
+        with farm, resilience.activate(ctx):
+            farm_result, farm_s = _time(
+                lambda: run_fig01(runs=runs, jobs=jobs)
+            )
+    snapshot = registry.snapshot()
+    registry.disable()
+    registry.reset()
+
+    if farm_result.to_csv() != plain_result.to_csv():
+        raise AssertionError("farm execution changed the fig01 CSV")
+    if ctx.degraded:
+        raise AssertionError(f"fault-free farm run degraded: {ctx.degraded}")
+    granted = snapshot.counters.get("farm.leases_granted", 0)
+    resolved = (
+        snapshot.counters.get("farm.leases_completed", 0)
+        + snapshot.counters.get("farm.leases_expired", 0)
+        + snapshot.counters.get("farm.leases_quarantined", 0)
+    )
+    if granted == 0 or granted != resolved:
+        raise AssertionError(
+            f"farm lease accounting off: granted={granted} resolved={resolved}"
+        )
+    overhead_factor = farm_s / plain_s if plain_s > 0 else 0.0
+    if enforce_gate and overhead_factor > FARM_OVERHEAD_FACTOR:
+        raise AssertionError(
+            f"farm overhead factor {overhead_factor:.2f}x exceeds the "
+            f"{FARM_OVERHEAD_FACTOR:.1f}x budget "
+            f"({farm_s:.1f}s vs {plain_s:.1f}s serial)"
+        )
+    return {
+        "runs": runs,
+        "workers": jobs,
+        "csv_identical": True,
+        "serial_seconds": round(plain_s, 3),
+        "farm_seconds": round(farm_s, 3),
+        "overhead_factor": round(overhead_factor, 3),
+        "overhead_budget_factor": FARM_OVERHEAD_FACTOR,
+        "gate_enforced": enforce_gate,
+        "farm_counters": {
+            k: v
+            for k, v in sorted(snapshot.counters.items())
+            if k.startswith("farm.")
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -358,6 +452,22 @@ def main(argv=None) -> int:
         f"budget {supervision['supervision_overhead_budget']:.0%})"
     )
 
+    farm_runs = 20 if args.quick else 60
+    print(
+        f"[bench_sweeps] farm: fig01 runs={farm_runs} serial vs "
+        f"{jobs}-worker farm ..."
+    )
+    farm = bench_farm(farm_runs, jobs, enforce_gate=not single_core)
+    gate_note = (
+        f"budget {farm['overhead_budget_factor']:.1f}x"
+        if farm["gate_enforced"]
+        else "gate skipped: single-core host"
+    )
+    print(
+        f"[bench_sweeps]   serial {farm['serial_seconds']}s, farm "
+        f"{farm['farm_seconds']}s ({farm['overhead_factor']}x, {gate_note})"
+    )
+
     payload = {
         "benchmark": "sweeps",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -370,6 +480,7 @@ def main(argv=None) -> int:
         "cache": cache,
         "metrics": metrics,
         "supervision": supervision,
+        "farm": farm,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench_sweeps] wrote {args.out}")

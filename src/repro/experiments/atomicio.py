@@ -13,6 +13,10 @@ hybrid, and never clobbers the destination with a partial write.
 per-record CRC32 framing the shard journal uses for its append-only
 records, where whole-file replacement would be wasteful (see
 :mod:`repro.experiments.resilience`).
+
+:func:`quarantine_file` moves a corrupt artifact aside under a unique
+name so repeated corruption of the same entry preserves every bad copy
+for post-mortems instead of clobbering the previous one.
 """
 
 from __future__ import annotations
@@ -58,6 +62,36 @@ def atomic_write_text(
 ) -> Path:
     """Atomically replace ``path`` with UTF-8 ``text``."""
     return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def quarantine_file(path: PathLike, quarantine_dir: PathLike) -> Optional[Path]:
+    """Move a corrupt artifact into ``quarantine_dir`` under a unique name.
+
+    The destination is ``<name>``, or ``<name>.1``, ``<name>.2``, ... if
+    earlier quarantined copies already occupy the plain name -- so when
+    an entry is recomputed and the replacement is *also* corrupt (a bad
+    disk, a torn mount), every generation is preserved for post-mortem
+    instead of each new copy clobbering the last.  Uses ``os.replace``
+    within the same filesystem, so the move is atomic and the source
+    vanishes in the same step.
+
+    Returns:
+        The destination path, or ``None`` if the source disappeared
+        first (e.g. a concurrent process quarantined it already).
+    """
+    src = Path(path)
+    qdir = Path(quarantine_dir)
+    qdir.mkdir(parents=True, exist_ok=True)
+    suffix = 0
+    while True:
+        dest = qdir / (src.name if suffix == 0 else f"{src.name}.{suffix}")
+        if not dest.exists():
+            try:
+                os.replace(src, dest)
+            except FileNotFoundError:
+                return None
+            return dest
+        suffix += 1
 
 
 def checksum_line(payload: str) -> str:

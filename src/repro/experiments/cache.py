@@ -33,7 +33,7 @@ import os
 from pathlib import Path
 from typing import Any, Mapping, Optional, Tuple
 
-from repro.experiments.atomicio import atomic_write_text
+from repro.experiments.atomicio import atomic_write_text, quarantine_file
 from repro.experiments.common import ExperimentResult
 from repro.experiments.serialization import (
     experiment_result_from_dict,
@@ -57,7 +57,10 @@ DEFAULT_CACHE_DIR = Path("results") / "cache"
 
 #: Configuration keys that select the execution backend rather than the
 #: computation; they never affect results and are excluded from keys.
-_BACKEND_KEYS = frozenset({"jobs", "cache"})
+#: ``backend``/``spool_dir`` cover the farm: a ``--backend farm`` run is
+#: byte-identical to a local one, so they share cache entries (and the
+#: farm's shard keys, derived from this key, stay comparable too).
+_BACKEND_KEYS = frozenset({"jobs", "cache", "backend", "spool_dir"})
 
 _FINGERPRINT: Optional[str] = None
 
@@ -142,13 +145,21 @@ class ResultCache:
         return hashlib.sha256(blob).hexdigest()
 
     def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry aside so it can never poison a run again."""
+        """Move a corrupt entry aside so it can never poison a run again.
+
+        Quarantined copies get unique names (``<name>``, ``<name>.1``,
+        ...): when a recomputed replacement turns out corrupt as well --
+        a failing disk, say -- every generation survives for post-mortem
+        instead of each new copy clobbering the previous one.
+        """
         try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, self.quarantine_dir / path.name)
+            moved = quarantine_file(path, self.quarantine_dir)
         except OSError:
-            # Quarantining is best-effort (e.g. the file vanished in a
-            # race); the entry was already rejected either way.
+            # Quarantining is best-effort (e.g. an unwritable quarantine
+            # dir); the entry was already rejected either way.
+            return
+        if moved is None:
+            # The file vanished in a race -- already rejected either way.
             return
         _C_QUARANTINED.inc()
 
@@ -236,7 +247,11 @@ class ResultCache:
         return sum(1 for _ in self._dir.glob("*.json"))
 
     def quarantine_count(self) -> int:
-        """Number of corrupt entries parked in the quarantine directory."""
+        """Number of corrupt entries parked in the quarantine directory.
+
+        Counts every parked file, including the ``<name>.N`` copies a
+        repeatedly corrupted entry accumulates.
+        """
         if not self.quarantine_dir.is_dir():
             return 0
-        return sum(1 for _ in self.quarantine_dir.glob("*.json"))
+        return sum(1 for _ in self.quarantine_dir.iterdir())

@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import pathlib
+import shlex
 import signal
 import sys
 import time
@@ -46,6 +47,9 @@ from repro.obs import get_registry
 
 #: Default run-journal directory, sibling of the result cache.
 DEFAULT_JOURNAL_DIR = pathlib.Path("results") / "journal"
+
+#: Default spool directory for ``--backend farm`` runs.
+DEFAULT_SPOOL_DIR = pathlib.Path("results") / "spool"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +119,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable shard journalling and worker supervision",
     )
+    run_p.add_argument(
+        "--backend",
+        choices=["local", "farm"],
+        default="local",
+        help="execution backend: 'local' process pool (default) or a "
+        "'farm' of coordinator-leased worker processes sharing a spool "
+        "directory (requires the run journal; byte-identical output)",
+    )
+    run_p.add_argument(
+        "--spool-dir",
+        type=pathlib.Path,
+        default=DEFAULT_SPOOL_DIR,
+        help=f"farm spool directory (default: {DEFAULT_SPOOL_DIR})",
+    )
 
     rep_p = sub.add_parser(
         "report",
@@ -135,6 +153,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    farm_p = sub.add_parser(
+        "farm", help="sweep-farm utilities (see --backend farm)"
+    )
+    farm_sub = farm_p.add_subparsers(dest="farm_command", required=True)
+    fw_p = farm_sub.add_parser(
+        "worker",
+        help="run one farm worker against a coordinator's spool directory",
+    )
+    fw_p.add_argument(
+        "--spool",
+        type=pathlib.Path,
+        required=True,
+        help="the coordinator's spool directory for this run",
+    )
+    fw_p.add_argument(
+        "--worker-id",
+        default=None,
+        help="farm-wide unique worker id (default: w<pid>)",
+    )
+    fw_p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="seconds between lease heartbeat touches",
+    )
+    fw_p.add_argument(
+        "--coordinator-grace",
+        type=float,
+        default=None,
+        help="stale-coordinator seconds tolerated before exiting "
+        "(0 disables the check)",
     )
 
     j_p = sub.add_parser(
@@ -197,6 +248,8 @@ def _run_one(
     cache: Optional[ResultCache] = None,
     resume: bool = False,
     journal_dir: Optional[pathlib.Path] = None,
+    backend: str = "local",
+    spool_dir: Optional[pathlib.Path] = None,
 ) -> List[str]:
     """Run one experiment; returns quarantined-shard descriptions (if any)."""
     kwargs = {}
@@ -205,10 +258,12 @@ def _run_one(
     if seed is not None:
         kwargs["seed"] = seed
     ctx: Optional[resilience.RunContext] = None
+    farm = None
     if journal_dir is not None:
         params = dict(kwargs)
         if jobs is not None:
             params["jobs"] = jobs
+        params["backend"] = backend
         key = cache_key(exp_id, params)
         journal = resilience.ShardJournal(
             _journal_path(journal_dir, exp_id, key),
@@ -227,12 +282,33 @@ def _run_one(
                 )
             )
         ctx = resilience.RunContext(journal=journal, resumed=resume)
+        if backend == "farm":
+            from repro.experiments.common import resolve_jobs
+            from repro.farm import FarmCoordinator
+
+            root = (spool_dir or DEFAULT_SPOOL_DIR) / f"{exp_id}-{key[:16]}"
+            farm = FarmCoordinator(
+                root,
+                exp_id=exp_id,
+                run_key=key,
+                workers=resolve_jobs(jobs),
+                supervision=ctx.policy,
+                resume=resume,
+            )
+            ctx.farm = farm
     started = time.perf_counter()  # tcast-lint: disable=TCL002 -- wall-clock banner for the operator, not simulation time
     with (
+        farm if farm is not None else contextlib.nullcontext()
+    ), (
         resilience.activate(ctx)
         if ctx is not None
         else contextlib.nullcontext()
     ):
+        if farm is not None and resume and farm.resumed_shards:
+            print(
+                f"[{exp_id}: farm store seeded with "
+                f"{farm.resumed_shards} completed shard(s)]"
+            )
         result, from_cache = run_experiment(
             exp_id, cache=cache, jobs=jobs, **kwargs
         )
@@ -251,9 +327,13 @@ def _run_one(
             )
             for item in degraded:
                 print(f"  quarantined: {item}")
+            if farm is not None:
+                print(f"  [farm spool kept at {farm.spool.root}]")
         else:
             # A fully successful run has nothing to resume.
             ctx.journal.discard()
+            if farm is not None:
+                farm.discard()
     print()
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
@@ -263,7 +343,12 @@ def _run_one(
 
 
 def _resume_command(args: argparse.Namespace) -> str:
-    """The exact CLI invocation that resumes this interrupted run."""
+    """The exact CLI invocation that resumes this interrupted run.
+
+    Every argument is shell-quoted: the command is printed for the
+    operator to paste into a shell, and paths like ``--out 'my results'``
+    must survive the round trip verbatim.
+    """
     parts = ["tcast-experiments", "run", args.experiment]
     if args.runs is not None:
         parts += ["--runs", str(args.runs)]
@@ -281,18 +366,41 @@ def _resume_command(args: argparse.Namespace) -> str:
         parts += ["--metrics", str(args.metrics)]
     if args.journal_dir != DEFAULT_JOURNAL_DIR:
         parts += ["--journal-dir", str(args.journal_dir)]
+    if args.backend != "local":
+        parts += ["--backend", args.backend]
+    if args.spool_dir != DEFAULT_SPOOL_DIR:
+        parts += ["--spool-dir", str(args.spool_dir)]
     parts.append("--resume")
-    return " ".join(parts)
+    return " ".join(shlex.quote(part) for part in parts)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Console entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         for exp_id in list_experiments():
             print(exp_id)
         return 0
+    if args.command == "farm":
+        from repro.farm.worker import FarmWorker
+
+        worker_kwargs = {}
+        if args.heartbeat_interval is not None:
+            worker_kwargs["heartbeat_interval"] = args.heartbeat_interval
+        if args.coordinator_grace is not None:
+            worker_kwargs["coordinator_grace"] = args.coordinator_grace
+        worker = FarmWorker(
+            args.spool, worker_id=args.worker_id, **worker_kwargs
+        )
+        return worker.run()
     if args.command == "run":
+        if args.backend == "farm" and args.no_journal:
+            parser.error(
+                "--backend farm requires the run journal: the journal and "
+                "the farm's result store are jointly the source of truth "
+                "for crash recovery (drop --no-journal)"
+            )
         targets = (
             list_experiments() if args.experiment == "all" else [args.experiment]
         )
@@ -312,6 +420,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         cache=cache,
                         resume=args.resume,
                         journal_dir=journal_dir,
+                        backend=args.backend,
+                        spool_dir=args.spool_dir,
                     )
         except resilience.GracefulExit as exc:
             name = signal.Signals(exc.signum).name
@@ -378,7 +488,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if not journals:
                 print("no interrupted runs")
             for path in journals:
-                print(f"  {path.name} ({path.stat().st_size} bytes)")
+                size = path.stat().st_size
+                info = resilience.journal_summary(path)
+                if info is None:
+                    print(f"  {path.name} ({size} bytes, unreadable header)")
+                    continue
+                detail = (
+                    f"{info['shard_records']} shard record(s) covering "
+                    f"{info['runs']} run(s) over {info['cells']} cell(s), "
+                    f"{info['quarantined_records']} quarantined"
+                )
+                if info["corrupt_records"]:
+                    detail += f", {info['corrupt_records']} corrupt"
+                print(f"  {path.name} ({size} bytes): {detail}")
         return 0
     return 2  # pragma: no cover - argparse enforces the subcommands
 

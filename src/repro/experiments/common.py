@@ -63,6 +63,7 @@ _S_SHARDS = _OBS.counter("sweep.shards")
 _S_RUNS = _OBS.counter("sweep.runs")
 _S_SERIAL_BATCHES = _OBS.counter("sweep.serial_batches")
 _S_PARALLEL_BATCHES = _OBS.counter("sweep.parallel_batches")
+_S_FARM_BATCHES = _OBS.counter("sweep.farm_batches")
 _S_FALLBACK_SERIAL = _OBS.counter("sweep.pickle_fallback_serial")
 _S_SHARD_SECONDS = _OBS.histogram(
     "sweep.shard_seconds",
@@ -481,6 +482,17 @@ class SweepEngine:
             pending = list(range(len(tasks)))
         if not pending:
             return results
+        if ctx is not None and ctx.farm is not None:
+            # Farm backend: shards execute in independent worker
+            # processes coordinated through the spool directory; even a
+            # single pending shard goes through the farm so the
+            # crash/resume story is uniform.
+            reg = get_registry()
+            if reg.enabled:
+                tasks = [replace(t, snapshot_metrics=True) for t in tasks]
+            _S_FARM_BATCHES.inc()
+            self._run_farm(tasks, pending, results, ctx, reg)
+            return results
         if self._jobs <= 1 or len(pending) <= 1:
             _S_SERIAL_BATCHES.inc()
             return self._run_serial(tasks, pending, results, ctx)
@@ -580,6 +592,50 @@ class SweepEngine:
                 [(i, tasks[i]) for i in pending],
                 jobs=self._jobs,
                 context=ctx,
+                on_complete=on_complete,
+                on_quarantine=on_quarantine,
+            )
+
+    def _run_farm(
+        self,
+        tasks: List[_SweepCellTask],
+        pending: List[int],
+        results: List[Optional[List[float]]],
+        ctx: resilience.RunContext,
+        reg,
+    ) -> None:
+        """Farm execution: spool shards, collect leased completions.
+
+        Identical callback contract to :meth:`_run_supervised` -- the
+        coordinator journals completions in collection order and marks
+        quarantined shards degraded -- so ``--backend farm`` inherits
+        the local backend's crash/resume/degradation semantics wholesale.
+        """
+
+        def on_complete(
+            idx: int, task: _SweepCellTask, outcome: ShardOutcome
+        ) -> None:
+            assert outcome.costs is not None
+            if outcome.snapshot is not None:
+                reg.absorb(outcome.snapshot)
+            results[idx] = outcome.costs
+            ctx.record_shard(task, outcome.costs)
+
+        def on_quarantine(
+            idx: int, task: _SweepCellTask, reason: str
+        ) -> None:
+            label, x, lo, hi = resilience.shard_coords(task)
+            _LOG.error(
+                "quarantined shard %r x=%d runs [%d,%d): %s",
+                label, x, lo, hi, reason,
+            )
+            ctx.mark_degraded(task, reason)
+            results[idx] = None
+
+        with _S_DRAIN_TIMER.time():
+            ctx.farm.execute(
+                [(i, tasks[i]) for i in pending],
+                fn=_run_sweep_cell_guarded,
                 on_complete=on_complete,
                 on_quarantine=on_quarantine,
             )

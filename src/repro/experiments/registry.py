@@ -86,8 +86,9 @@ def run_experiment(
     Args:
         exp_id: Figure id, e.g. ``"fig01"``.
         cache: Optional result cache; hits skip the computation entirely.
-            ``jobs`` is excluded from cache keys (it cannot change
-            results), so serial and parallel runs share entries.
+            Backend-only keys (``jobs``, ``backend``) are excluded from
+            cache keys (they cannot change results), so serial, parallel
+            and farm runs all share entries.
         jobs: Worker processes for the sweep backend (``None`` = runner
             default, i.e. serial).
         **kwargs: Forwarded to the runner (``runs=``, ``seed=``, ...).

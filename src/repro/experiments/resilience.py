@@ -55,6 +55,7 @@ unsupervised fast path, so the fault-free overhead is zero by default.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import signal
 import time
@@ -99,8 +100,24 @@ _R_GRACEFUL_EXITS = _OBS.counter("resilience.graceful_exits")
 _R_DRAIN_LOSSES = _OBS.counter("resilience.drain_losses")
 _R_JOURNAL_TIMER = _OBS.timer("resilience.journal_write")
 
+_LOG = logging.getLogger(__name__)
+
 #: Journal file format version (bumped on incompatible record changes).
 JOURNAL_FORMAT = 1
+
+#: Cold-start no-progress deadline, in seconds.  Applied by
+#: :meth:`SupervisionPolicy.stall_deadline` when *no* shard duration has
+#: been observed anywhere -- metrics collection disabled, or the
+#: ``sweep.shard_seconds`` histogram still empty at the very start of a
+#: run.  It must be generous: with nothing observed there is no basis to
+#: distinguish a slow first shard from a hung pool, and a premature
+#: recycle on a cold cache costs far more than five idle minutes.  The
+#: fallback is logged once per process so operators can tell a
+#: cold-start deadline apart from an adaptive one.
+STALL_COLD_START_DEFAULT = 300.0
+
+#: Process-wide flag so the cold-start fallback is logged exactly once.
+_stall_cold_start_logged = False
 
 
 class GracefulExit(BaseException):
@@ -230,6 +247,11 @@ class ShardJournal:
         self.appended_records = 0
         self.resumed_records = 0
         self.dropped_records = 0
+        #: Quarantine records seen (loaded plus appended this run).
+        #: Quarantines are *advisory*: a resumed run retries the shard
+        #: from scratch (fresh workers may well succeed where a sick
+        #: host gave up), the record only documents the prior failure.
+        self.quarantined_records = 0
         if resume:
             self._load()
         elif self._path.exists():
@@ -278,6 +300,12 @@ class ShardJournal:
         valid_payloads: List[str] = []
         for line in lines[1:]:
             payload = parse_checksum_line(line)
+            if payload is not None and self._parse_quarantine(payload):
+                # Prior-run quarantine: keep the record (post-mortem
+                # trail) but do not skip the shard -- resume retries it.
+                self.quarantined_records += 1
+                valid_payloads.append(payload)
+                continue
             record = self._parse_record(payload) if payload is not None else None
             if record is None:
                 self.dropped_records += 1
@@ -298,6 +326,19 @@ class ShardJournal:
                 checksum_line(p) for p in valid_payloads
             )
             atomic_write_text(self._path, text, fsync=self._fsync)
+
+    @staticmethod
+    def _parse_quarantine(payload: str) -> bool:
+        """Whether a framed payload is a well-formed quarantine record."""
+        try:
+            data = json.loads(payload)
+        except ValueError:
+            return False
+        return (
+            isinstance(data, dict)
+            and data.get("kind") == "quarantine"
+            and all(k in data for k in ("label", "x", "lo", "hi", "reason"))
+        )
 
     @staticmethod
     def _parse_record(
@@ -350,6 +391,33 @@ class ShardJournal:
         self.appended_records += 1
         _R_JOURNAL_RECORDS.inc()
 
+    def record_quarantine(
+        self, label: str, x: int, lo: int, hi: int, reason: str
+    ) -> None:
+        """Durably append a quarantine record for a given-up shard.
+
+        Quarantine records share the journal's CRC framing and survive
+        compaction, but never satisfy :meth:`lookup`: a later
+        ``--resume`` retries the shard from scratch.  They feed the
+        degraded/quarantined counts of ``tcast-experiments journal
+        info`` so an operator can see *why* a crashed run was degraded
+        without reconstructing it from logs.
+        """
+        payload = json.dumps(
+            {"kind": "quarantine", "label": label, "x": int(x),
+             "lo": int(lo), "hi": int(hi), "reason": str(reason)},
+            separators=(",", ":"),
+        )
+        with _R_JOURNAL_TIMER.time():
+            fh = self._open()
+            fh.write(checksum_line(payload))
+            fh.flush()
+            now = time.monotonic()
+            if self._fsync and now - self._last_fsync >= self._fsync_interval:
+                os.fsync(fh.fileno())
+                self._last_fsync = now
+        self.quarantined_records += 1
+
     def lookup(
         self, label: str, x: int, lo: int, hi: int
     ) -> Optional[List[float]]:
@@ -377,6 +445,71 @@ class ShardJournal:
         self.close()
         if self._path.exists():
             self._path.unlink()
+
+
+def journal_summary(path: os.PathLike | str) -> Optional[Dict[str, Any]]:
+    """Read-only summary of a journal file for ``journal info``.
+
+    Lenient by design: it reads *any* journal regardless of which
+    experiment it belongs to (no ``exp_id``/``key`` to match against),
+    skips corrupt records instead of failing, and never mutates the
+    file -- inspecting a crashed run must not change what ``--resume``
+    will see.
+
+    Returns:
+        ``None`` when the file is missing or its header is unreadable;
+        otherwise a dict with ``exp_id``, ``key``, ``format``,
+        ``shard_records``, ``quarantined_records``, ``corrupt_records``,
+        ``cells`` (distinct ``(label, x)`` grid points with journalled
+        costs) and ``runs`` (total individual run costs recorded).
+    """
+    file = Path(path)
+    try:
+        lines = file.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return None
+    if not lines:
+        return None
+    header = parse_checksum_line(lines[0])
+    if header is None:
+        return None
+    try:
+        meta = json.loads(header)
+    except ValueError:
+        return None
+    if not isinstance(meta, dict):
+        return None
+    shard_records = 0
+    quarantined = 0
+    corrupt = 0
+    cells: Dict[Tuple[str, int], set] = {}
+    for line in lines[1:]:
+        payload = parse_checksum_line(line)
+        if payload is None:
+            corrupt += 1
+            continue
+        if ShardJournal._parse_quarantine(payload):
+            quarantined += 1
+            continue
+        record = ShardJournal._parse_record(payload)
+        if record is None:
+            corrupt += 1
+            continue
+        label, x, lo, costs = record
+        shard_records += 1
+        cells.setdefault((label, x), set()).update(
+            range(lo, lo + len(costs))
+        )
+    return {
+        "exp_id": meta.get("exp_id"),
+        "key": meta.get("key"),
+        "format": meta.get("format"),
+        "shard_records": shard_records,
+        "quarantined_records": quarantined,
+        "corrupt_records": corrupt,
+        "cells": len(cells),
+        "runs": sum(len(runs) for runs in cells.values()),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -434,15 +567,17 @@ class SupervisionPolicy:
     ``sweep.shard_seconds`` observation histogram (and from completion
     times the supervisor itself has seen): ``stall_factor`` times the
     slowest shard on record, floored at ``stall_floor``.  Until any
-    shard has completed anywhere, ``stall_default`` applies.  Set
-    ``stall_timeout`` to pin it explicitly (chaos tests do).
+    shard has completed anywhere -- metrics disabled, or the histogram
+    still empty -- ``stall_default`` applies (the documented
+    :data:`STALL_COLD_START_DEFAULT` floor, logged once on first use).
+    Set ``stall_timeout`` to pin it explicitly (chaos tests do).
     """
 
     max_retries: int = 3
     stall_timeout: Optional[float] = None
     stall_floor: float = 30.0
     stall_factor: float = 8.0
-    stall_default: float = 300.0
+    stall_default: float = STALL_COLD_START_DEFAULT
     poll_interval: float = 0.25
     #: Submitted-but-unfinished shards per worker; bounds how much work
     #: a pool recycle can lose.
@@ -461,6 +596,18 @@ class SupervisionPolicy:
         if hist is not None and hist.max is not None:
             slowest = max(slowest, hist.max)
         if slowest <= 0.0:
+            # Cold start: nothing observed yet (metrics disabled, or no
+            # shard has completed anywhere).  Log the fallback once so a
+            # 300 s deadline in the field is explainable.
+            global _stall_cold_start_logged
+            if not _stall_cold_start_logged:
+                _stall_cold_start_logged = True
+                _LOG.info(
+                    "stall deadline cold start: no shard duration "
+                    "observed yet; using the default of %.0f s until "
+                    "the first shard completes",
+                    self.stall_default,
+                )
             return self.stall_default
         return max(self.stall_floor, self.stall_factor * slowest)
 
@@ -479,6 +626,12 @@ class RunContext:
     resumed: bool = False
     #: Human-readable coordinates of quarantined shards (degraded run).
     degraded: List[str] = field(default_factory=list)
+    #: A started :class:`repro.farm.coordinator.FarmCoordinator` when
+    #: the run uses ``--backend farm``; the sweep engine then routes
+    #: shard batches through it instead of a local process pool.  Typed
+    #: loosely to keep :mod:`repro.farm` importing *this* module, not
+    #: the other way around.
+    farm: Optional[Any] = None
 
     def lookup_shard(self, task: Any) -> Optional[List[float]]:
         """Journal hit for ``task``'s run block, or ``None``."""
@@ -497,11 +650,18 @@ class RunContext:
             self.journal.record(label, x, lo, hi, costs)
 
     def mark_degraded(self, task: Any, reason: str) -> None:
-        """Record a quarantined shard for the degraded report."""
+        """Record a quarantined shard for the degraded report.
+
+        Also journals a quarantine record (when a journal is attached),
+        so ``tcast-experiments journal info`` can report why the run
+        was degraded after the process is long gone.
+        """
         label, x, lo, hi = shard_coords(task)
         self.degraded.append(
             f"{label!r} x={x} runs [{lo},{hi}): {reason}"
         )
+        if self.journal is not None:
+            self.journal.record_quarantine(label, x, lo, hi, reason)
 
 
 _ACTIVE: Optional[RunContext] = None

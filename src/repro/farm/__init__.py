@@ -1,0 +1,48 @@
+"""Multi-worker sweep farm: coordinator, workers, spool, leases, store.
+
+The ``local`` sweep backend (:mod:`repro.experiments.common` +
+:mod:`repro.experiments.resilience`) survives crashes of *worker
+processes inside one supervising process*.  This package promotes that
+to a farm: a **coordinator** decomposes a sweep into content-keyed
+shard descriptors, spools them to a shared directory, and *leases* them
+to independently running **worker** processes; workers heartbeat by
+touching their lease file; the coordinator reclaims expired leases with
+bounded retries and quarantine-after-N.  Completed shards land in a
+content-addressed **result store** (atomic writes, checksum on read,
+corrupt entries quarantined and recomputed), so *any* participant --
+worker, coordinator, or the filesystem under it -- can die mid-run and
+``tcast-experiments run --backend farm --resume`` completes the sweep
+byte-identically to a serial ``--backend local`` run.
+
+Module map:
+
+* :mod:`repro.farm.spool` -- spool directory layout, framed shard
+  descriptors, the :class:`~repro.farm.spool.ShardStore`.
+* :mod:`repro.farm.lease` -- lease files, heartbeats, worker
+  registration, staleness checks.
+* :mod:`repro.farm.worker` -- the worker loop and its CLI entry point
+  (``python -m repro.farm.worker`` / ``tcast-experiments farm worker``).
+* :mod:`repro.farm.coordinator` -- the coordinator loop
+  (:class:`~repro.farm.coordinator.FarmCoordinator`) that the sweep
+  engine drives through :class:`repro.experiments.resilience.RunContext`.
+
+See DESIGN.md section "Distributed sweep farm" for the lease state
+machine and the recovery walk-throughs.
+"""
+
+from repro.farm.coordinator import FarmCoordinator, FarmPolicy
+from repro.farm.lease import Lease, LeaseState
+from repro.farm.spool import ShardStore, Spool, StoreEntry, shard_key
+from repro.farm.worker import FarmWorker
+
+__all__ = [
+    "FarmCoordinator",
+    "FarmPolicy",
+    "FarmWorker",
+    "Lease",
+    "LeaseState",
+    "ShardStore",
+    "Spool",
+    "StoreEntry",
+    "shard_key",
+]

@@ -1,0 +1,192 @@
+"""Lease files, heartbeats, and worker registration.
+
+A **lease** is the unit of work assignment: one JSON file under
+``<spool>/leases/`` naming the worker a shard is assigned to and the
+attempt number.  The coordinator *grants* a lease by atomically writing
+the file; the owning worker *heartbeats* by touching it (``os.utime``)
+while computing; the coordinator *reclaims* it by deleting the file
+when the heartbeat goes stale (worker death) or the lease outlives the
+stall deadline (hung computation).  A worker whose heartbeat touch
+fails with ``FileNotFoundError`` learns its lease was reclaimed -- it
+may still finish and publish the (bit-identical) result, which the
+coordinator counts as a *stolen* lease completion.
+
+The lease state machine (per shard)::
+
+    QUEUED --grant--> LEASED --store entry collected--> COMPLETED
+       ^                |
+       |                +--heartbeat stale / stall deadline--+
+       |                                                     |
+       +-- attempt <= max_retries ---- reclaim (expired) ----+
+                                                             |
+           attempt  > max_retries ---- reclaim ----> QUARANTINED
+
+**Worker registration** is the same mechanism one level up: each worker
+maintains ``<spool>/workers/<id>.reg`` (mtime = liveness heartbeat);
+the coordinator only grants leases to workers whose registration is
+fresh, and counts a worker dead when its registration goes stale.
+
+Timing here is real harness wall-clock (workers live and die in host
+time), like :mod:`repro.experiments.resilience`; nothing in this module
+touches simulated time or any RNG stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.experiments.atomicio import atomic_write_text
+from repro.farm.spool import Spool
+
+
+class LeaseState(enum.Enum):
+    """Coordinator-side lifecycle of one shard (see module docstring)."""
+
+    QUEUED = "queued"
+    LEASED = "leased"
+    COMPLETED = "completed"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """The parsed content of one lease file.
+
+    Attributes:
+        key: Shard content key the lease covers.
+        worker: Id of the worker the shard is assigned to.
+        pid: The granting coordinator's best knowledge of the worker's
+            process id (diagnostics only; liveness comes from mtime).
+        attempt: Zero-based grant attempt for this shard.
+    """
+
+    key: str
+    worker: str
+    pid: int
+    attempt: int
+
+    def to_json(self) -> str:
+        """Serialise for the lease file."""
+        return json.dumps(
+            {"key": self.key, "worker": self.worker, "pid": self.pid,
+             "attempt": self.attempt},
+            sort_keys=True,
+        )
+
+
+def grant_lease(path: Path, lease: Lease) -> None:
+    """Atomically write (or rewrite) a lease file.
+
+    Granting resets the file's mtime, which doubles as the first
+    heartbeat: a worker that never picks the lease up at all is
+    indistinguishable from one that died immediately, and the lease
+    expires on the same staleness clock.
+    """
+    atomic_write_text(path, lease.to_json() + "\n")
+
+
+def read_lease(path: Path) -> Optional[Lease]:
+    """Parse a lease file, or ``None`` if missing or damaged.
+
+    A damaged lease (torn write is impossible -- grants are atomic --
+    but operators do strange things) is treated as absent; the
+    coordinator's reclaim sweep then re-grants the shard.
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return Lease(
+            key=str(data["key"]),
+            worker=str(data["worker"]),
+            pid=int(data["pid"]),
+            attempt=int(data["attempt"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def touch(path: Path) -> bool:
+    """Heartbeat a file by bumping its mtime; ``False`` if it is gone.
+
+    Deliberately *never creates* the file: a reclaimed (deleted) lease
+    must stay reclaimed, so the holder learns about the reclaim from
+    the ``False`` return instead of resurrecting its lease.
+    """
+    try:
+        os.utime(path)
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def age_seconds(path: Path, now: float) -> Optional[float]:
+    """Seconds since ``path`` was last touched, or ``None`` if gone.
+
+    Args:
+        now: The caller's ``time.time()`` reading.  Lease staleness is
+            measured against the *filesystem* clock (``st_mtime``), the
+            one clock every farm participant shares.
+    """
+    try:
+        return max(0.0, now - path.stat().st_mtime)
+    except FileNotFoundError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Worker registration
+# ---------------------------------------------------------------------------
+
+
+def register_worker(spool: "Spool", worker_id: str, pid: int) -> Path:
+    """Write the registration file announcing a worker to the farm."""
+    path = spool.workers_dir / f"{worker_id}.reg"
+    atomic_write_text(
+        path,
+        json.dumps({"worker": worker_id, "pid": pid}, sort_keys=True) + "\n",
+    )
+    return path
+
+
+def deregister_worker(spool: "Spool", worker_id: str) -> None:
+    """Remove a worker's registration (clean exit or declared dead)."""
+    path = spool.workers_dir / f"{worker_id}.reg"
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def registered_workers(spool: "Spool", now: float) -> Dict[str, float]:
+    """Map of worker id -> seconds since its last liveness heartbeat.
+
+    Args:
+        spool: The run's spool.
+        now: The caller's ``time.time()`` reading.
+
+    Returns:
+        Every currently registered worker with its registration age;
+        the caller decides the staleness threshold.
+    """
+    ages: Dict[str, float] = {}
+    if not spool.workers_dir.is_dir():
+        return ages
+    for path in spool.workers_dir.glob("*.reg"):
+        age = age_seconds(path, now)
+        if age is not None:
+            ages[path.stem] = age
+    return ages
+
+
+def worker_pid(spool: "Spool", worker_id: str) -> Optional[int]:
+    """The pid a worker registered with, or ``None`` if unknown."""
+    path = spool.workers_dir / f"{worker_id}.reg"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return int(data["pid"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None

@@ -1,0 +1,408 @@
+"""Spool directory layout, shard descriptors, and the result store.
+
+A farm run lives in one **spool directory** shared by the coordinator
+and every worker (same host, or any host mounting the same filesystem)::
+
+    <spool>/
+        MANIFEST            CRC32-framed JSON: format, exp_id, run key
+        coordinator.hb      empty file; mtime = coordinator heartbeat
+        STOP                created at shutdown; workers drain and exit
+        shards/<key>.task   framed pickle of one shard descriptor
+        leases/<key>.lease  JSON lease; mtime = worker heartbeat
+        workers/<id>.reg    JSON registration; mtime = worker liveness
+        store/<key>.json    completed-shard result entry (checksummed)
+        store/.quarantine/  corrupt entries, parked with unique names
+
+Everything durable goes through :mod:`repro.experiments.atomicio`:
+descriptor, manifest and store writes are atomic (unique tmp +
+``os.replace``), so a crash at any point leaves whole files or no
+files, never truncated ones.  Shard descriptors and store entries are
+**content-keyed** by :func:`shard_key` -- a SHA-256 over the run's own
+content key (config + seed + code fingerprint, the same derivation as
+:func:`repro.experiments.cache.cache_key`) plus the shard coordinates
+-- so a stale spool can never leak work or results into a different
+computation, and a restarted coordinator regenerates byte-identical
+file names.
+
+The :class:`ShardStore` generalises
+:class:`repro.experiments.cache.ResultCache` down to shard granularity:
+entries embed a SHA-256 checksum verified on every read, and corrupt
+entries are quarantined (with unique, never-clobbered names) and
+recomputed instead of crashing the run or silently poisoning it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments.atomicio import (
+    atomic_write_bytes,
+    atomic_write_text,
+    checksum_line,
+    parse_checksum_line,
+    quarantine_file,
+)
+
+#: Spool layout version (bumped on incompatible changes; a mismatched
+#: manifest discards the spool instead of resuming from it).
+SPOOL_FORMAT = 1
+
+#: File names inside a spool directory.
+MANIFEST_NAME = "MANIFEST"
+COORDINATOR_HEARTBEAT_NAME = "coordinator.hb"
+STOP_NAME = "STOP"
+SHARDS_DIRNAME = "shards"
+LEASES_DIRNAME = "leases"
+WORKERS_DIRNAME = "workers"
+STORE_DIRNAME = "store"
+
+
+def shard_key(run_key: str, label: str, x: int, lo: int, hi: int) -> str:
+    """Content key of one shard: run key + shard coordinates.
+
+    Args:
+        run_key: The run's content key (config + seed + code
+            fingerprint -- :func:`repro.experiments.cache.cache_key`).
+        label: Sweep curve label.
+        x: Grid point.
+        lo: First run index of the block (inclusive).
+        hi: Last run index of the block (exclusive).
+
+    Returns:
+        A hex digest.  Equal keys guarantee bit-identical shard costs,
+        which is what makes duplicate completions harmless.
+    """
+    payload = json.dumps(
+        {"run": run_key, "label": label, "x": int(x),
+         "lo": int(lo), "hi": int(hi)},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One completed (or failed) shard in the result store (picklable).
+
+    Exactly one of ``costs`` / ``error_type`` is set, mirroring
+    :class:`repro.experiments.resilience.ShardOutcome`: a worker ships
+    an in-shard exception home as data so the coordinator can abort
+    with the remote traceback instead of a silent hang.
+
+    Attributes:
+        key: The shard's content key (:func:`shard_key`).
+        label: Sweep curve label.
+        x: Grid point.
+        lo: First run index (inclusive).
+        hi: Last run index (exclusive).
+        worker: Id of the worker that produced the entry.
+        attempt: Lease attempt the worker was serving when it computed.
+        costs: Per-run query costs (``None`` on error).
+        snapshot: Worker metrics snapshot as a JSON dict (``None`` when
+            metrics are disabled).
+        error_type: Exception class name when the shard raised.
+        remote_traceback: Formatted worker-side traceback on error.
+    """
+
+    key: str
+    label: str
+    x: int
+    lo: int
+    hi: int
+    worker: str
+    attempt: int
+    costs: Optional[Tuple[float, ...]] = None
+    snapshot: Optional[Dict[str, Any]] = None
+    error_type: Optional[str] = None
+    remote_traceback: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable rendering (checksummed by the store)."""
+        return {
+            "key": self.key,
+            "label": self.label,
+            "x": int(self.x),
+            "lo": int(self.lo),
+            "hi": int(self.hi),
+            "worker": self.worker,
+            "attempt": int(self.attempt),
+            "costs": list(self.costs) if self.costs is not None else None,
+            "snapshot": self.snapshot,
+            "error_type": self.error_type,
+            "remote_traceback": self.remote_traceback,
+        }
+
+    @staticmethod
+    def from_payload(data: Dict[str, Any]) -> "StoreEntry":
+        """Inverse of :meth:`to_payload`.
+
+        Raises:
+            ValueError: On structurally invalid payloads (missing keys,
+                wrong types, cost-count/range mismatch) -- the store
+                treats that as corruption and quarantines the file.
+        """
+        try:
+            costs = data["costs"]
+            entry = StoreEntry(
+                key=str(data["key"]),
+                label=str(data["label"]),
+                x=int(data["x"]),
+                lo=int(data["lo"]),
+                hi=int(data["hi"]),
+                worker=str(data["worker"]),
+                attempt=int(data["attempt"]),
+                costs=tuple(float(c) for c in costs)
+                if costs is not None
+                else None,
+                snapshot=data.get("snapshot"),
+                error_type=data.get("error_type"),
+                remote_traceback=data.get("remote_traceback"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed store entry: {exc}") from exc
+        if entry.costs is not None and entry.hi - entry.lo != len(entry.costs):
+            raise ValueError(
+                f"store entry {entry.key[:16]}: {len(entry.costs)} costs "
+                f"for run range [{entry.lo},{entry.hi})"
+            )
+        if entry.costs is None and entry.error_type is None:
+            raise ValueError(
+                f"store entry {entry.key[:16]}: neither costs nor error"
+            )
+        return entry
+
+
+class ShardStore:
+    """Content-addressed, checksummed store of completed shards.
+
+    The farm's source of truth (together with the run journal): workers
+    write entries with :meth:`store`, the coordinator collects them with
+    :meth:`load`, and a coordinator restarted after a crash rebuilds its
+    state purely from what it finds here.  Writes are atomic, reads are
+    checksum-verified, and corrupt files are quarantined under unique
+    names (a recomputed replacement that is *also* corrupt quarantines
+    again instead of clobbering the first post-mortem sample).
+
+    Args:
+        directory: Store root (created lazily on first write).
+    """
+
+    #: Subdirectory corrupt entries are parked in (never read back).
+    QUARANTINE_DIRNAME = ".quarantine"
+
+    def __init__(self, directory: os.PathLike | str) -> None:
+        self._dir = Path(directory)
+        #: Corrupt entries seen by this instance (coordinator metrics).
+        self.corrupt = 0
+
+    @property
+    def directory(self) -> Path:
+        """The store root."""
+        return self._dir
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self._dir / self.QUARANTINE_DIRNAME
+
+    def path(self, key: str) -> Path:
+        """The entry file for shard ``key``."""
+        return self._dir / f"{key}.json"
+
+    @staticmethod
+    def _checksum(payload: Dict[str, Any]) -> str:
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def store(self, entry: StoreEntry) -> Path:
+        """Atomically write ``entry`` under its content key.
+
+        Concurrent writers (a reclaimed worker racing its replacement)
+        are harmless: shard costs derive statelessly from the shard
+        coordinates, so every correct writer produces the same payload
+        and the last atomic ``os.replace`` wins with identical bytes.
+        """
+        payload = entry.to_payload()
+        envelope = {"checksum": self._checksum(payload), "entry": payload}
+        path = self.path(entry.key)
+        atomic_write_text(path, json.dumps(envelope, indent=2))
+        return path
+
+    def load(self, key: str) -> Optional[StoreEntry]:
+        """Return the verified entry for ``key``, or ``None``.
+
+        A missing file is a plain miss.  An unreadable, unparseable or
+        checksum-mismatched file is quarantined (unique name) and
+        reported as a miss -- the coordinator then re-leases the shard.
+        """
+        path = self.path(key)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            payload = data["entry"]
+            if self._checksum(payload) != data["checksum"]:
+                raise ValueError(f"store entry {path.name}: checksum mismatch")
+            return StoreEntry.from_payload(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            quarantine_file(path, self.quarantine_dir)
+            self.corrupt += 1
+            return None
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        if not self._dir.is_dir():
+            return 0
+        return sum(1 for _ in self._dir.glob("*.json"))
+
+    def quarantine_count(self) -> int:
+        """Number of corrupt entries parked in the quarantine directory."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.quarantine_dir.iterdir())
+
+
+class Spool:
+    """Paths and framed-file IO of one farm run's spool directory.
+
+    Shared, stateless view used by both the coordinator and workers;
+    lifecycle decisions (create fresh, resume, discard) belong to the
+    coordinator.
+
+    Args:
+        root: The spool directory of one run.
+    """
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self._root = Path(root)
+        self.store = ShardStore(self._root / STORE_DIRNAME)
+
+    @property
+    def root(self) -> Path:
+        """The spool directory."""
+        return self._root
+
+    @property
+    def manifest_path(self) -> Path:
+        """The run manifest file."""
+        return self._root / MANIFEST_NAME
+
+    @property
+    def heartbeat_path(self) -> Path:
+        """The coordinator's liveness file (mtime = last heartbeat)."""
+        return self._root / COORDINATOR_HEARTBEAT_NAME
+
+    @property
+    def stop_path(self) -> Path:
+        """The shutdown marker; its existence tells workers to exit."""
+        return self._root / STOP_NAME
+
+    @property
+    def shards_dir(self) -> Path:
+        """Directory of shard descriptors."""
+        return self._root / SHARDS_DIRNAME
+
+    @property
+    def leases_dir(self) -> Path:
+        """Directory of lease files."""
+        return self._root / LEASES_DIRNAME
+
+    @property
+    def workers_dir(self) -> Path:
+        """Directory of worker registration files."""
+        return self._root / WORKERS_DIRNAME
+
+    def shard_path(self, key: str) -> Path:
+        """The descriptor file for shard ``key``."""
+        return self.shards_dir / f"{key}.task"
+
+    def lease_path(self, key: str) -> Path:
+        """The lease file for shard ``key``."""
+        return self.leases_dir / f"{key}.lease"
+
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest_payload(self, exp_id: str, key: str) -> str:
+        return json.dumps(
+            {"format": SPOOL_FORMAT, "exp_id": exp_id, "key": key},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def write_manifest(self, exp_id: str, key: str) -> None:
+        """Create the spool layout and its CRC-framed manifest."""
+        for directory in (
+            self.shards_dir, self.leases_dir, self.workers_dir,
+            self.store.directory,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.manifest_path,
+            checksum_line(self._manifest_payload(exp_id, key)),
+        )
+
+    def manifest_matches(self, exp_id: str, key: str) -> bool:
+        """Whether an existing manifest describes exactly this run.
+
+        A missing, corrupt, or differently-keyed manifest means the
+        spool belongs to another computation (or none) and must be
+        discarded rather than resumed.
+        """
+        if not self.manifest_path.is_file():
+            return False
+        try:
+            payload = parse_checksum_line(
+                self.manifest_path.read_text(encoding="utf-8").splitlines()[0]
+            )
+        except (OSError, IndexError):
+            return False
+        return payload == self._manifest_payload(exp_id, key)
+
+    def discard(self) -> None:
+        """Delete the whole spool tree (after a fully successful run)."""
+        if self._root.is_dir():
+            shutil.rmtree(self._root, ignore_errors=True)
+
+    # -- shard descriptors -------------------------------------------------
+
+    def write_shard(
+        self, key: str, fn: Callable[[Any], Any], task: Any
+    ) -> Path:
+        """Atomically spool one shard descriptor.
+
+        The descriptor is ``pickle((fn, task))`` framed by a SHA-256
+        header line, so a worker can detect a damaged descriptor before
+        executing garbage.  ``fn`` and ``task`` must be picklable by
+        reference / by value respectively (the same contract as the
+        local process-pool backend).
+        """
+        blob = pickle.dumps((fn, task))
+        framed = hashlib.sha256(blob).hexdigest().encode("ascii") + b"\n" + blob
+        return atomic_write_bytes(self.shard_path(key), framed)
+
+    def read_shard(self, key: str) -> Optional[Tuple[Callable[[Any], Any], Any]]:
+        """Load and verify one shard descriptor, or ``None`` if damaged.
+
+        A damaged descriptor is left in place (the coordinator rewrites
+        it on the next grant); the worker simply declines the lease by
+        letting it expire.
+        """
+        path = self.shard_path(key)
+        try:
+            framed = path.read_bytes()
+            digest, _, blob = framed.partition(b"\n")
+            if hashlib.sha256(blob).hexdigest().encode("ascii") != digest:
+                return None
+            fn, task = pickle.loads(blob)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError, TypeError):
+            return None
+        return fn, task

@@ -32,12 +32,15 @@ class TestCacheKey:
         assert cache_key("fig01", {"runs": 6}) != base
 
     def test_backend_knobs_excluded(self):
-        """jobs/cache change *how* we compute, never *what*."""
+        """jobs/cache/backend change *how* we compute, never *what*."""
         assert cache_key("fig01", {"runs": 5, "jobs": 4}) == cache_key(
             "fig01", {"runs": 5, "jobs": 1}
         )
         assert cache_key("fig01", {"runs": 5, "jobs": 4}) == cache_key(
             "fig01", {"runs": 5}
+        )
+        assert cache_key("fig01", {"runs": 5, "backend": "farm"}) == cache_key(
+            "fig01", {"runs": 5, "backend": "local"}
         )
 
     def test_code_fingerprint_is_stable_hex(self):
@@ -77,6 +80,23 @@ class TestResultCache:
             path.write_text("{not json")
         _, hit = run_experiment("fig01", cache=cache, runs=3)
         assert not hit
+
+    def test_repeated_corruption_quarantines_every_generation(self, cache):
+        """A recomputed entry that is corrupted *again* is quarantined
+        under a fresh unique name -- no clobbering, no loops."""
+        for generation in range(3):
+            _, hit = run_experiment("fig01", cache=cache, runs=3)
+            assert not hit  # each prior entry was corrupt, never served
+            for path in cache.directory.glob("*.json"):
+                path.write_text(f"garbage generation {generation}")
+        assert cache.load("fig01", {"runs": 3}) is None
+        assert cache.quarantine_count() == 3
+        names = sorted(p.name for p in cache.quarantine_dir.iterdir())
+        assert len(names) == 3
+        assert names[1] == f"{names[0]}.1"
+        assert names[2] == f"{names[0]}.2"
+        contents = {p.read_text() for p in cache.quarantine_dir.iterdir()}
+        assert contents == {f"garbage generation {g}" for g in range(3)}
 
     def test_code_change_invalidates(self, cache, monkeypatch):
         """The fingerprint is part of the key: new code, new entry."""

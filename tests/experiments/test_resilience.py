@@ -13,6 +13,7 @@ the CSVs) live in ``tests/integration/chaos/``.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import signal
 import time
@@ -187,6 +188,72 @@ class TestShardJournal:
         assert not path.exists()
 
 
+class TestJournalQuarantineRecords:
+    def test_quarantine_counted_and_retried_on_resume(self, tmp_path):
+        """Quarantine records survive resume as documentation but never
+        satisfy a lookup: the resumed run retries the shard."""
+        path = tmp_path / "j"
+        j1 = _journal(path)
+        j1.record("algo", 1, 0, 2, [1.0, 2.0])
+        j1.record_quarantine("algo", 2, 0, 2, "worker died twice")
+        assert j1.quarantined_records == 1
+        j1.close()
+        j2 = _journal(path, resume=True)
+        assert j2.resumed_records == 1
+        assert j2.quarantined_records == 1
+        assert j2.dropped_records == 0
+        assert j2.lookup("algo", 1, 0, 2) == [1.0, 2.0]
+        assert j2.lookup("algo", 2, 0, 2) is None  # retried, not skipped
+        j2.close()
+
+    def test_quarantine_survives_compaction(self, tmp_path):
+        """A torn tail triggers compaction; the quarantine record must
+        be preserved in the rewritten file."""
+        path = tmp_path / "j"
+        j1 = _journal(path)
+        j1.record("algo", 1, 0, 2, [1.0, 2.0])
+        j1.record_quarantine("algo", 2, 0, 2, "hung pool")
+        j1.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('deadbeef {"label":"algo","x":9,"lo":0,"hi')  # torn
+        j2 = _journal(path, resume=True)
+        assert j2.dropped_records == 1
+        assert j2.quarantined_records == 1
+        j2.close()
+        j3 = _journal(path, resume=True)
+        assert j3.quarantined_records == 1
+        assert j3.dropped_records == 0
+        j3.close()
+
+    def test_mark_degraded_journals_quarantine(self, tmp_path):
+        ctx = RunContext(journal=_journal(tmp_path / "j"))
+        ctx.mark_degraded(_Task("algo", 3, 0, 2), "gave up after 2 attempts")
+        assert len(ctx.degraded) == 1
+        assert ctx.journal.quarantined_records == 1
+
+    def test_journal_summary_counts(self, tmp_path):
+        path = tmp_path / "j"
+        j = _journal(path)
+        j.record("algo", 1, 0, 2, [1.0, 2.0])
+        j.record("algo", 2, 0, 3, [1.0, 2.0, 3.0])
+        j.record_quarantine("algo", 3, 0, 2, "sick host")
+        j.close()
+        info = resilience.journal_summary(path)
+        assert info is not None
+        assert info["exp_id"] == "figX"
+        assert info["shard_records"] == 2
+        assert info["quarantined_records"] == 1
+        assert info["cells"] == 2
+        assert info["runs"] == 5
+        assert info["corrupt_records"] == 0
+
+    def test_journal_summary_unreadable_is_none(self, tmp_path):
+        assert resilience.journal_summary(tmp_path / "missing") is None
+        bad = tmp_path / "bad"
+        bad.write_text("not a header\n")
+        assert resilience.journal_summary(bad) is None
+
+
 # ---------------------------------------------------------------------------
 # ResultCache integrity
 # ---------------------------------------------------------------------------
@@ -358,6 +425,54 @@ class TestRunSupervised:
         assert p.stall_deadline(0.0) == p.stall_default
         assert p.stall_deadline(10.0) == p.stall_factor * 10.0
         assert p.stall_deadline(0.001) == p.stall_floor
+
+
+class TestStallColdStart:
+    """Satellite 1: the cold-start fallback is an explicit, documented
+    constant and is logged exactly once per process."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_flag(self, monkeypatch):
+        monkeypatch.setattr(resilience, "_stall_cold_start_logged", False)
+
+    def test_default_is_the_documented_constant(self):
+        p = SupervisionPolicy()
+        assert p.stall_default == resilience.STALL_COLD_START_DEFAULT
+        assert p.stall_deadline(0.0) == resilience.STALL_COLD_START_DEFAULT
+
+    def test_cold_start_logged_exactly_once(self, caplog):
+        p = _policy()
+        with caplog.at_level(
+            logging.INFO, logger="repro.experiments.resilience"
+        ):
+            assert p.stall_deadline(0.0) == p.stall_default
+            assert p.stall_deadline(0.0) == p.stall_default  # second hit
+        hits = [r for r in caplog.records if "cold start" in r.message]
+        assert len(hits) == 1
+
+    def test_observed_branch_does_not_log(self, caplog):
+        p = _policy()
+        with caplog.at_level(
+            logging.INFO, logger="repro.experiments.resilience"
+        ):
+            assert p.stall_deadline(10.0) == p.stall_factor * 10.0
+        assert not [r for r in caplog.records if "cold start" in r.message]
+
+    def test_histogram_observation_ends_cold_start(self):
+        """Once any shard duration lands in ``sweep.shard_seconds``, the
+        deadline adapts even with no supervisor-local observation."""
+        from repro.experiments import common
+
+        reg = get_registry()
+        reg.reset()
+        reg.enable()
+        try:
+            common._S_SHARD_SECONDS.observe(12.0)
+            p = _policy()
+            assert p.stall_deadline(0.0) == p.stall_factor * 12.0
+        finally:
+            reg.disable()
+            reg.reset()
 
 
 # ---------------------------------------------------------------------------

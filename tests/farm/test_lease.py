@@ -1,0 +1,84 @@
+"""Lease files, heartbeat touches, and worker registration."""
+
+from __future__ import annotations
+
+import time
+
+from repro.farm import lease as leasemod
+from repro.farm.lease import Lease
+from repro.farm.spool import Spool
+
+
+def _lease(**kwargs):
+    kwargs.setdefault("key", "k" * 64)
+    kwargs.setdefault("worker", "w1")
+    kwargs.setdefault("pid", 1234)
+    kwargs.setdefault("attempt", 0)
+    return Lease(**kwargs)
+
+
+class TestLeaseFiles:
+    def test_grant_read_roundtrip(self, tmp_path):
+        path = tmp_path / "x.lease"
+        granted = _lease(attempt=2)
+        leasemod.grant_lease(path, granted)
+        assert leasemod.read_lease(path) == granted
+
+    def test_missing_lease_reads_none(self, tmp_path):
+        assert leasemod.read_lease(tmp_path / "gone.lease") is None
+
+    def test_damaged_lease_reads_none(self, tmp_path):
+        path = tmp_path / "x.lease"
+        path.write_text("{not json")
+        assert leasemod.read_lease(path) is None
+        path.write_text('{"key": "k"}')  # missing fields
+        assert leasemod.read_lease(path) is None
+
+    def test_regrant_replaces(self, tmp_path):
+        path = tmp_path / "x.lease"
+        leasemod.grant_lease(path, _lease(worker="w1", attempt=0))
+        leasemod.grant_lease(path, _lease(worker="w2", attempt=1))
+        parsed = leasemod.read_lease(path)
+        assert (parsed.worker, parsed.attempt) == ("w2", 1)
+
+
+class TestHeartbeat:
+    def test_touch_bumps_mtime(self, tmp_path):
+        path = tmp_path / "hb"
+        path.touch()
+        now = time.time()
+        assert leasemod.age_seconds(path, now + 100.0) > 99.0
+        assert leasemod.touch(path)
+        assert leasemod.age_seconds(path, time.time()) < 5.0
+
+    def test_touch_never_creates(self, tmp_path):
+        path = tmp_path / "reclaimed"
+        assert not leasemod.touch(path)
+        assert not path.exists()
+
+    def test_age_of_missing_is_none(self, tmp_path):
+        assert leasemod.age_seconds(tmp_path / "gone", time.time()) is None
+
+
+class TestWorkerRegistration:
+    def test_register_list_deregister(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        spool.write_manifest("figX", "k" * 64)
+        leasemod.register_worker(spool, "w1", 111)
+        leasemod.register_worker(spool, "w2", 222)
+        ages = leasemod.registered_workers(spool, time.time())
+        assert sorted(ages) == ["w1", "w2"]
+        assert all(age < 30.0 for age in ages.values())
+        assert leasemod.worker_pid(spool, "w1") == 111
+        assert leasemod.worker_pid(spool, "w2") == 222
+        leasemod.deregister_worker(spool, "w1")
+        assert sorted(leasemod.registered_workers(spool, time.time())) == ["w2"]
+        leasemod.deregister_worker(spool, "w1")  # idempotent
+
+    def test_unknown_worker_pid_is_none(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        assert leasemod.worker_pid(spool, "ghost") is None
+
+    def test_no_workers_dir_is_empty(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        assert leasemod.registered_workers(spool, time.time()) == {}

@@ -1,0 +1,207 @@
+"""Spool layout, shard descriptors, and the content-addressed store."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.atomicio import quarantine_file
+from repro.farm.spool import ShardStore, Spool, StoreEntry, shard_key
+
+
+@dataclass(frozen=True)
+class _Task:
+    label: str
+    x: int
+    run_lo: int
+    run_hi: int
+
+
+def _double(task):
+    return [2.0 * task.x] * (task.run_hi - task.run_lo)
+
+
+def _entry(key="k" * 64, **kwargs):
+    kwargs.setdefault("label", "algo")
+    kwargs.setdefault("x", 4)
+    kwargs.setdefault("lo", 0)
+    kwargs.setdefault("hi", 3)
+    kwargs.setdefault("worker", "w1")
+    kwargs.setdefault("attempt", 0)
+    if "costs" not in kwargs and "error_type" not in kwargs:
+        kwargs["costs"] = (1.0, 2.0, 3.0)
+    return StoreEntry(key=key, **kwargs)
+
+
+class TestShardKey:
+    def test_deterministic(self):
+        assert shard_key("r", "a", 1, 0, 4) == shard_key("r", "a", 1, 0, 4)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            ("r2", "a", 1, 0, 4),  # different run key
+            ("r", "b", 1, 0, 4),  # different label
+            ("r", "a", 2, 0, 4),  # different x
+            ("r", "a", 1, 1, 4),  # different lo
+            ("r", "a", 1, 0, 5),  # different hi
+        ],
+    )
+    def test_distinct_per_coordinate(self, other):
+        assert shard_key("r", "a", 1, 0, 4) != shard_key(*other)
+
+
+class TestStoreEntry:
+    def test_payload_roundtrip(self):
+        entry = _entry(snapshot={"counters": {"a": 1}})
+        assert StoreEntry.from_payload(entry.to_payload()) == entry
+
+    def test_error_entry_roundtrip(self):
+        entry = _entry(error_type="ValueError", remote_traceback="boom")
+        assert StoreEntry.from_payload(entry.to_payload()) == entry
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("key"),  # missing field
+            lambda p: p.__setitem__("x", "not-an-int"),
+            lambda p: p.__setitem__("costs", [1.0]),  # count/range mismatch
+            lambda p: (p.__setitem__("costs", None),
+                       p.__setitem__("error_type", None)),
+        ],
+    )
+    def test_malformed_payload_rejected(self, mutate):
+        payload = _entry().to_payload()
+        mutate(payload)
+        with pytest.raises(ValueError):
+            StoreEntry.from_payload(payload)
+
+
+class TestShardStore:
+    def test_store_load_roundtrip(self, tmp_path):
+        store = ShardStore(tmp_path)
+        entry = _entry()
+        store.store(entry)
+        assert store.load(entry.key) == entry
+        assert store.entry_count() == 1
+        assert store.quarantine_count() == 0
+
+    def test_missing_is_plain_miss(self, tmp_path):
+        store = ShardStore(tmp_path)
+        assert store.load("f" * 64) is None
+        assert store.corrupt == 0
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        store = ShardStore(tmp_path)
+        entry = _entry()
+        path = store.store(entry)
+        data = json.loads(path.read_text())
+        data["entry"]["costs"] = [9.0, 9.0, 9.0]  # tamper, keep checksum
+        path.write_text(json.dumps(data))
+        assert store.load(entry.key) is None
+        assert store.corrupt == 1
+        assert not path.exists()
+        assert store.quarantine_count() == 1
+
+    def test_repeated_corruption_never_clobbers(self, tmp_path):
+        """A recomputed replacement that is also corrupt quarantines
+        again under a fresh name (the satellite-4 contract)."""
+        store = ShardStore(tmp_path)
+        entry = _entry()
+        for generation in range(3):
+            path = store.store(entry)
+            path.write_text("garbage generation %d" % generation)
+            assert store.load(entry.key) is None
+        assert store.corrupt == 3
+        assert store.quarantine_count() == 3
+        names = sorted(p.name for p in store.quarantine_dir.iterdir())
+        assert names == [
+            f"{entry.key}.json", f"{entry.key}.json.1", f"{entry.key}.json.2",
+        ]
+        # Every generation's bytes survived for post-mortem.
+        contents = {p.read_text() for p in store.quarantine_dir.iterdir()}
+        assert contents == {
+            "garbage generation 0",
+            "garbage generation 1",
+            "garbage generation 2",
+        }
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        store = ShardStore(tmp_path)
+        entry = _entry()
+        path = store.store(entry)
+        path.write_text(path.read_text()[:20])
+        assert store.load(entry.key) is None
+        assert store.quarantine_count() == 1
+
+
+class TestQuarantineFile:
+    def test_unique_names(self, tmp_path):
+        qdir = tmp_path / "q"
+        dests = []
+        for i in range(3):
+            src = tmp_path / "bad.json"
+            src.write_text(f"copy {i}")
+            dests.append(quarantine_file(src, qdir))
+            assert not src.exists()
+        assert [d.name for d in dests] == [
+            "bad.json", "bad.json.1", "bad.json.2",
+        ]
+        assert [d.read_text() for d in dests] == ["copy 0", "copy 1", "copy 2"]
+
+    def test_missing_source_returns_none(self, tmp_path):
+        assert quarantine_file(tmp_path / "gone", tmp_path / "q") is None
+
+
+class TestSpool:
+    def test_manifest_roundtrip(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        spool.write_manifest("figX", "k" * 64)
+        assert spool.manifest_matches("figX", "k" * 64)
+        assert not spool.manifest_matches("figY", "k" * 64)
+        assert not spool.manifest_matches("figX", "j" * 64)
+
+    def test_corrupt_manifest_never_matches(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        spool.write_manifest("figX", "k" * 64)
+        spool.manifest_path.write_text(
+            spool.manifest_path.read_text()[:-5]
+        )
+        assert not spool.manifest_matches("figX", "k" * 64)
+
+    def test_missing_manifest_never_matches(self, tmp_path):
+        assert not Spool(tmp_path / "s").manifest_matches("figX", "k" * 64)
+
+    def test_shard_descriptor_roundtrip(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        spool.write_manifest("figX", "k" * 64)
+        task = _Task("algo", 3, 0, 5)
+        key = shard_key("k" * 64, task.label, task.x, 0, 5)
+        spool.write_shard(key, _double, task)
+        loaded = spool.read_shard(key)
+        assert loaded is not None
+        fn, loaded_task = loaded
+        assert loaded_task == task
+        assert fn(loaded_task) == [6.0] * 5
+
+    def test_damaged_descriptor_returns_none(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        spool.write_manifest("figX", "k" * 64)
+        key = shard_key("k" * 64, "a", 1, 0, 2)
+        spool.write_shard(key, _double, _Task("a", 1, 0, 2))
+        blob = spool.shard_path(key).read_bytes()
+        spool.shard_path(key).write_bytes(blob[:-3])
+        assert spool.read_shard(key) is None
+
+    def test_missing_descriptor_returns_none(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        assert spool.read_shard("e" * 64) is None
+
+    def test_discard_removes_tree(self, tmp_path):
+        spool = Spool(tmp_path / "s")
+        spool.write_manifest("figX", "k" * 64)
+        spool.discard()
+        assert not spool.root.exists()
+        spool.discard()  # idempotent

@@ -1,0 +1,169 @@
+"""Farm chaos scenarios: kill workers and the coordinator, then recover.
+
+Whole-process coverage of the ``--backend farm`` execution path, driving
+the installed CLI in a subprocess exactly as an operator would:
+
+* a farm worker SIGKILLed mid-sweep (heartbeat reclamation + respawn,
+  same run completes),
+* the coordinator itself SIGKILLed mid-sweep, then ``--resume`` seeds
+  the new coordinator from the surviving result store and journal.
+
+Every recovered CSV must be **byte-identical** to an uninterrupted
+serial (``--backend local --jobs 1``) golden run, and the farm's lease
+accounting must balance: granted = completed + expired + quarantined.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+REPO = Path(__file__).resolve().parents[3]
+
+RUNS, SEED = "40", "7"
+BASE_ARGS = ["run", "fig01", "--runs", RUNS, "--seed", SEED, "--no-cache"]
+FARM_ARGS = [*BASE_ARGS, "--jobs", "3", "--backend", "farm"]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _cli(args, cwd, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *args],
+        cwd=cwd,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_csv(tmp_path_factory):
+    """The serial fig01 CSV every farm scenario must reproduce."""
+    cwd = tmp_path_factory.mktemp("golden")
+    proc = _cli([*BASE_ARGS, "--jobs", "1", "--out", "golden"], cwd)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return cwd / "golden" / "fig01.csv"
+
+
+def _journal_records(cwd):
+    journals = list((cwd / "results" / "journal").glob("*.journal"))
+    if not journals:
+        return 0
+    return max(0, len(journals[0].read_text().splitlines()) - 1)
+
+
+def _worker_pids(cwd):
+    """Registered worker pids, discovered from the run's live spool."""
+    pids = {}
+    for reg in sorted((cwd / "results" / "spool").glob("fig01-*/workers/*.reg")):
+        try:
+            pids[reg.stem] = int(json.loads(reg.read_text())["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue  # torn read of a file being written/removed
+    return pids
+
+
+def _start_farm(cwd, extra_args=()):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.cli",
+         *FARM_ARGS, "--out", "out", *extra_args],
+        cwd=cwd,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_chaos_point(proc, cwd, target_records):
+    """Block until the journal shows ``target_records`` durable records
+    (the seeded chaos point) while the farm run is still in flight."""
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        if _journal_records(cwd) >= target_records and _worker_pids(cwd):
+            return
+        if proc.poll() is not None:
+            pytest.fail(
+                "farm run finished before the chaos point was reached:\n"
+                + (proc.communicate()[0] or "")
+            )
+        time.sleep(0.02)
+    proc.kill()
+    pytest.fail("farm run never reached the chaos point")
+
+
+def _seeded_target(stream):
+    chaos_rng = RngRegistry(int(SEED)).fork("farm-chaos").stream(stream)
+    return int(chaos_rng.integers(1, 4))
+
+
+class TestFarmWorkerKill:
+    def test_sigkilled_worker_is_reclaimed_and_run_completes(
+        self, tmp_path, golden_csv
+    ):
+        proc = _start_farm(tmp_path, extra_args=["--metrics", "metrics.json"])
+        _await_chaos_point(proc, tmp_path, _seeded_target("worker-kill"))
+        victims = _worker_pids(tmp_path)
+        victim_id, victim_pid = sorted(victims.items())[0]
+        os.kill(victim_pid, signal.SIGKILL)
+        out, _ = proc.communicate(timeout=600)
+        assert proc.returncode == 0, out
+
+        assert (
+            (tmp_path / "out" / "fig01.csv").read_bytes()
+            == golden_csv.read_bytes()
+        )
+        snap = json.loads((tmp_path / "metrics.json").read_text())
+        counters = snap["counters"]
+        assert counters.get("farm.worker_deaths", 0) >= 1
+        assert counters.get("farm.leases_granted", 0) > 0
+        assert counters["farm.leases_granted"] == (
+            counters.get("farm.leases_completed", 0)
+            + counters.get("farm.leases_expired", 0)
+            + counters.get("farm.leases_quarantined", 0)
+        )
+        # A successful run cleans up its spool and journal.
+        assert not list((tmp_path / "results" / "spool").glob("fig01-*"))
+        assert not list((tmp_path / "results" / "journal").glob("*.journal"))
+
+
+class TestFarmCoordinatorKill:
+    def test_sigkilled_coordinator_resumes_byte_identical(
+        self, tmp_path, golden_csv
+    ):
+        proc = _start_farm(tmp_path)
+        _await_chaos_point(proc, tmp_path, _seeded_target("coordinator-kill"))
+        proc.send_signal(signal.SIGKILL)
+        out, _ = proc.communicate(timeout=120)
+        assert proc.returncode == -signal.SIGKILL
+
+        # The wreckage survived the crash: spool (store + manifest) and
+        # journal are both on disk for the resumed coordinator.
+        spools = list((tmp_path / "results" / "spool").glob("fig01-*"))
+        assert len(spools) == 1
+        assert (spools[0] / "MANIFEST").exists()
+        assert _journal_records(tmp_path) >= 1
+
+        resumed = _cli([*FARM_ARGS, "--out", "out", "--resume"], tmp_path)
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+        assert (
+            (tmp_path / "out" / "fig01.csv").read_bytes()
+            == golden_csv.read_bytes()
+        )
+        assert not list((tmp_path / "results" / "spool").glob("fig01-*"))
+        assert not list((tmp_path / "results" / "journal").glob("*.journal"))
