@@ -32,6 +32,13 @@ summary:
    accounting balances, and **fails** if the farm's wall time exceeds
    :data:`FARM_OVERHEAD_FACTOR` times the serial run on a multi-core
    host -- the spool/lease machinery must never dominate the compute.
+7. **Vectorized** -- times the two fig01 tcast query curves through
+   ``SweepEngine(vectorize=False)`` and ``vectorize=True``, interleaved
+   and compared best-of-N so both legs face the same noise environment,
+   asserts the series are identical and the ``model.*`` counters agree,
+   and **fails** (full mode) if the vectorized kernel's speedup drops
+   below :data:`VECTORIZED_SPEEDUP_FLOOR` or its absolute throughput
+   below :data:`VECTORIZED_TRIALS_PER_SECOND_FLOOR` trials/sec.
 
 Usage::
 
@@ -59,12 +66,19 @@ from datetime import datetime, timezone
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import algorithm_factory  # noqa: E402
 from repro.experiments import resilience  # noqa: E402
 from repro.experiments.cache import ResultCache  # noqa: E402
-from repro.experiments.common import resolve_jobs, shutdown_executors  # noqa: E402
+from repro.experiments.common import (  # noqa: E402
+    SweepEngine,
+    resolve_jobs,
+    shutdown_executors,
+)
 from repro.experiments.fig01_one_plus import run as run_fig01  # noqa: E402
 from repro.experiments.registry import run_experiment  # noqa: E402
+from repro.group_testing.model import ModelSpec  # noqa: E402
 from repro.obs import get_registry  # noqa: E402
+from repro.workloads.scenarios import x_sweep  # noqa: E402
 
 #: Hard budget for the estimated cost of *disabled* instruments, as a
 #: fraction of a metrics-off fig01 run.  CI fails the bench above this.
@@ -79,6 +93,16 @@ SUPERVISION_OVERHEAD_BUDGET = 0.02
 #: pickling, lease polling, and store round-trips; at bench scale that
 #: overhead is real but must stay within a small constant factor.
 FARM_OVERHEAD_FACTOR = 3.0
+
+#: Hard floor on the vectorized kernel's speedup over the scalar
+#: interpreter on the fig01 query curves (best-of-N interleaved legs).
+VECTORIZED_SPEEDUP_FLOOR = 10.0
+
+#: Ratchet on the vectorized leg's absolute throughput on the same
+#: workload, in trials/second.  Deliberately conservative (~1/4 of the
+#: development machine) so it catches order-of-magnitude regressions,
+#: not host-to-host variance.
+VECTORIZED_TRIALS_PER_SECOND_FLOOR = 6000.0
 
 #: fig01's grid has 31 x-points and four curves; every (x, run) pair of
 #: every curve is one trial (one full threshold-query session).
@@ -367,6 +391,111 @@ def bench_farm(runs: int, jobs: int, enforce_gate: bool) -> dict:
     }
 
 
+def bench_vectorized(runs: int, *, reps: int, enforce_gate: bool) -> dict:
+    """Scalar vs vectorized query curves: identical numbers, >=10x faster.
+
+    Runs the two fig01 tcast query curves (2tBins and Exponential
+    Increase; the MAC baselines never touch the kernel) through
+    ``SweepEngine`` with ``vectorize=False`` and ``vectorize=True``.
+    The legs are interleaved ``reps`` times and compared best-of-reps
+    so both face the same noise environment -- a single back-to-back
+    pair can easily swing 30% on a loaded host.
+
+    Three checks: the two legs' series must be identical, a
+    metrics-enabled pass of each leg must produce the same ``model.*``
+    counters (the kernel replays every query into the same instruments
+    the scalar model uses), and -- when ``enforce_gate`` -- the
+    vectorized leg must clear :data:`VECTORIZED_SPEEDUP_FLOOR` and
+    :data:`VECTORIZED_TRIALS_PER_SECOND_FLOOR`.
+    """
+    n, threshold, seed = 128, 16, 2011
+    xs = x_sweep(n)
+    one_plus = ModelSpec(kind="1+", max_queries=50 * n)
+    curves = (("2tBins", "2tbins"), ("ExpIncrease", "exponential"))
+    trials = len(curves) * len(xs) * runs
+
+    def leg(leg_runs: int, vectorize: bool):
+        engine = SweepEngine(
+            n, threshold, runs=leg_runs, seed=seed, jobs=1,
+            vectorize=vectorize,
+        )
+        return tuple(
+            engine.query_curve(label, xs, algorithm_factory(name), one_plus)
+            for label, name in curves
+        )
+
+    scalar_times, vector_times = [], []
+    scalar_series = vector_series = None
+    for _ in range(reps):
+        scalar_series, t = _time(lambda: leg(runs, False))
+        scalar_times.append(t)
+        vector_series, t = _time(lambda: leg(runs, True))
+        vector_times.append(t)
+    if scalar_series != vector_series:
+        raise AssertionError(
+            "vectorized kernel diverged from the scalar path"
+        )
+
+    # Counter parity at a reduced trial count: every query the kernel
+    # executes must land on the same model.* instruments.
+    def model_counters(vectorize: bool) -> dict:
+        registry = get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            leg(min(runs, 60), vectorize)
+            snapshot = registry.snapshot()
+        finally:
+            registry.disable()
+            registry.reset()
+        return {
+            k: v
+            for k, v in sorted(snapshot.counters.items())
+            if k.startswith("model.")
+        }
+
+    scalar_counters = model_counters(False)
+    vector_counters = model_counters(True)
+    if scalar_counters != vector_counters:
+        raise AssertionError(
+            "vectorized kernel changed the model.* counters: "
+            f"scalar={scalar_counters} vectorized={vector_counters}"
+        )
+
+    scalar_s, vector_s = min(scalar_times), min(vector_times)
+    speedup = scalar_s / vector_s if vector_s > 0 else 0.0
+    trials_per_second = trials / vector_s if vector_s > 0 else 0.0
+    if enforce_gate:
+        if speedup < VECTORIZED_SPEEDUP_FLOOR:
+            raise AssertionError(
+                f"vectorized speedup {speedup:.2f}x is below the "
+                f"{VECTORIZED_SPEEDUP_FLOOR:.0f}x floor "
+                f"({vector_s:.2f}s vs {scalar_s:.2f}s scalar, "
+                f"best of {reps})"
+            )
+        if trials_per_second < VECTORIZED_TRIALS_PER_SECOND_FLOOR:
+            raise AssertionError(
+                f"vectorized throughput {trials_per_second:.0f} trials/s "
+                f"is below the {VECTORIZED_TRIALS_PER_SECOND_FLOOR:.0f} "
+                "floor"
+            )
+    return {
+        "runs": runs,
+        "reps": reps,
+        "trials": trials,
+        "series_identical": True,
+        "model_counters_identical": True,
+        "scalar_seconds": round(scalar_s, 3),
+        "vectorized_seconds": round(vector_s, 3),
+        "speedup": round(speedup, 2),
+        "speedup_floor": VECTORIZED_SPEEDUP_FLOOR,
+        "trials_per_second": round(trials_per_second, 1),
+        "trials_per_second_floor": VECTORIZED_TRIALS_PER_SECOND_FLOOR,
+        "gate_enforced": enforce_gate,
+        "model_counters": vector_counters,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -468,6 +597,29 @@ def main(argv=None) -> int:
         f"{farm['farm_seconds']}s ({farm['overhead_factor']}x, {gate_note})"
     )
 
+    # The speedup floor only holds once per-cell setup is amortised, so
+    # quick mode reports the ratio without enforcing it.
+    vector_runs = 60 if args.quick else args.runs
+    vector_reps = 1 if args.quick else 3
+    print(
+        f"[bench_sweeps] vectorized: query curves runs={vector_runs} "
+        f"scalar vs kernel, best of {vector_reps} ..."
+    )
+    vectorized = bench_vectorized(
+        vector_runs, reps=vector_reps, enforce_gate=not args.quick
+    )
+    vec_gate_note = (
+        f"floor {vectorized['speedup_floor']:.0f}x"
+        if vectorized["gate_enforced"]
+        else "gate skipped: quick mode"
+    )
+    print(
+        f"[bench_sweeps]   scalar {vectorized['scalar_seconds']}s, "
+        f"vectorized {vectorized['vectorized_seconds']}s "
+        f"({vectorized['speedup']}x, "
+        f"{vectorized['trials_per_second']} trials/s, {vec_gate_note})"
+    )
+
     payload = {
         "benchmark": "sweeps",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -481,6 +633,7 @@ def main(argv=None) -> int:
         "metrics": metrics,
         "supervision": supervision,
         "farm": farm,
+        "vectorized": vectorized,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench_sweeps] wrote {args.out}")

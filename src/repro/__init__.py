@@ -21,7 +21,12 @@ Quickstart::
     print(result.summary())   # 'x >= t' in a few dozen queries
 """
 
-from repro.api import ALGORITHMS, make_algorithm, threshold_query
+from repro.api import (
+    ALGORITHMS,
+    make_algorithm,
+    threshold_query,
+    threshold_query_batch,
+)
 from repro.analytic import (
     BimodalSpec,
     SeparationAnalysis,
@@ -46,11 +51,13 @@ from repro.core import (
     TwoTBins,
 )
 from repro.group_testing import (
+    BatchDecision,
     BinObservation,
     KPlusModel,
     ObservationKind,
     OnePlusModel,
     Population,
+    QueryBatch,
     TwoPlusModel,
 )
 from repro.mac import CsmaBaseline, CsmaConfig, SequentialOrdering
@@ -63,6 +70,7 @@ __all__ = [
     "Abns",
     "AbnsBinPolicy",
     "AdaptiveSplittingCounter",
+    "BatchDecision",
     "BimodalSpec",
     "BinObservation",
     "CsmaBaseline",
@@ -78,6 +86,7 @@ __all__ = [
     "Population",
     "ProbabilisticAbns",
     "ProbabilisticThreshold",
+    "QueryBatch",
     "RoundRecord",
     "SeparationAnalysis",
     "SequentialOrdering",
@@ -90,6 +99,7 @@ __all__ = [
     "analyze_separation",
     "make_algorithm",
     "threshold_query",
+    "threshold_query_batch",
     "lower_bound_queries",
     "upper_bound_queries",
     "__version__",

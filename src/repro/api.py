@@ -19,15 +19,24 @@ build inline.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    NoReturn,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.analytic.bimodal import BimodalSpec
 from repro.core.abns import Abns, ProbabilisticAbns
-from repro.core.base import ThresholdDecider
+from repro.core.base import BatchThresholdDecider, ThresholdDecider
 from repro.core.counting import AdaptiveSplittingCounter
 from repro.core.exponential import ExponentialIncrease
 from repro.core.interval import IntervalQuery
@@ -43,8 +52,18 @@ from repro.core.result import ThresholdResult
 from repro.core.two_t_bins import TwoTBins
 from repro.core.variations import FourFoldIncrease, PauseAndContinue
 from repro.faults.plan import FaultPlan
-from repro.group_testing.model import OnePlusModel, QueryModel, TwoPlusModel
+from repro.group_testing.model import (
+    ModelSpec,
+    OnePlusModel,
+    QueryModel,
+    TwoPlusModel,
+)
 from repro.group_testing.population import Population
+from repro.group_testing.vectorized import (
+    BatchDecision,
+    QueryBatch,
+    UnsupportedBatch,
+)
 
 #: Defaults for the ``reliable=`` string shortcuts; pass a configured
 #: policy via ``retry_policy=`` when these do not fit.
@@ -71,6 +90,13 @@ class AlgorithmSpec:
             interval helpers do not; they expose ``count``/interval
             ``decide`` interfaces instead and cannot be made reliable or
             used by :func:`threshold_query`).
+        vectorized: Whether instances satisfy
+            :class:`~repro.core.base.BatchThresholdDecider`, i.e. can
+            execute whole Monte-Carlo cells on the vectorized kernel
+            (:mod:`repro.group_testing.vectorized`).  The sweep engine
+            consults this capability when dispatching cells; the
+            unwrapped reliability layer and adaptive bin policies stay
+            scalar.
     """
 
     key: str
@@ -78,6 +104,7 @@ class AlgorithmSpec:
     summary: str
     needs_x: bool = False
     decider: bool = True
+    vectorized: bool = False
 
 
 def _build_abns(**config: Any) -> Abns:
@@ -109,11 +136,13 @@ REGISTRY: Dict[str, AlgorithmSpec] = {
             key="2tbins",
             build=TwoTBins,
             summary="Algorithm 1: fixed 2t bins per round",
+            vectorized=True,
         ),
         AlgorithmSpec(
             key="exponential",
             build=ExponentialIncrease,
             summary="Algorithm 2: exponential bin-count increase",
+            vectorized=True,
         ),
         AlgorithmSpec(
             key="abns",
@@ -147,6 +176,7 @@ REGISTRY: Dict[str, AlgorithmSpec] = {
             build=_build_prob_threshold,
             summary="Sec VI: O(1) bimodal probabilistic scheme "
             "(spec/delta/repeats)",
+            vectorized=True,
         ),
         AlgorithmSpec(
             key="counting",
@@ -163,42 +193,36 @@ REGISTRY: Dict[str, AlgorithmSpec] = {
     )
 }
 
-#: Deprecated spellings: old name -> (canonical name, implied config).
-_ALIASES: Dict[str, Tuple[str, Dict[str, Any]]] = {
-    "abns-t": ("abns", {"p0_multiple": 1.0}),
-    "abns-2t": ("abns", {"p0_multiple": 2.0}),
+#: Removed spellings (deprecated in the PR-2 registry redesign, deleted
+#: here): old name -> the replacement call to name in the error.
+_REMOVED_ALIASES: Dict[str, str] = {
+    "abns-t": "make_algorithm('abns', p0_multiple=1.0)",
+    "abns-2t": "make_algorithm('abns', p0_multiple=2.0)",
 }
 
 
-def _resolve(name: str, *, warn: bool = True) -> Tuple[AlgorithmSpec, Dict[str, Any], bool]:
+def _resolve(name: str) -> Tuple[AlgorithmSpec, Dict[str, Any], bool]:
     """Resolve a user-facing name to ``(spec, implied_config, wrapped)``.
 
-    Handles case folding, the ``reliable-`` prefix and deprecated
-    aliases (emitting a :class:`DeprecationWarning` unless ``warn`` is
-    false).
+    Handles case folding and the ``reliable-`` prefix.  The pre-redesign
+    ``abns-t``/``abns-2t`` aliases are gone; naming one raises a
+    :class:`KeyError` that spells out the replacement.
     """
     key = name.lower()
     wrapped = key.startswith(_RELIABLE_PREFIX)
     if wrapped:
         key = key[len(_RELIABLE_PREFIX) :]
-    implied: Dict[str, Any] = {}
-    if key in _ALIASES:
-        canonical, implied = _ALIASES[key]
-        if warn:
-            warnings.warn(
-                f"algorithm name {key!r} is deprecated; use "
-                f"{canonical!r} with {implied!r}",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        key = canonical
-    if key not in REGISTRY:
-        valid = sorted(REGISTRY) + sorted(_ALIASES)
+    if key in _REMOVED_ALIASES:
         raise KeyError(
-            f"unknown algorithm {name!r}; valid: {valid} "
+            f"algorithm name {key!r} was removed; use "
+            f"{_REMOVED_ALIASES[key]} instead"
+        )
+    if key not in REGISTRY:
+        raise KeyError(
+            f"unknown algorithm {name!r}; valid: {sorted(REGISTRY)} "
             f"(optionally prefixed with {_RELIABLE_PREFIX!r})"
         )
-    return REGISTRY[key], dict(implied), wrapped
+    return REGISTRY[key], {}, wrapped
 
 
 def _resolve_policy(
@@ -336,38 +360,46 @@ def algorithm_factory(
     )
 
 
-def _legacy_entry(name: str) -> Callable[[Optional[int]], object]:
-    def factory(x: Optional[int] = None) -> object:
-        warnings.warn(
-            "the positional ALGORITHMS table is deprecated; use "
-            f"make_algorithm({name!r}, ...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec, implied, _ = _resolve(name, warn=False)
-        if spec.needs_x:
-            implied["x"] = x if x is not None else 0
-        return spec.build(**implied)
+class _RemovedAlgorithmsTable(Mapping[str, Any]):
+    """Tombstone for the pre-redesign positional ``ALGORITHMS`` table.
 
-    return factory
+    The table was deprecated in the PR-2 registry redesign and is now
+    removed.  The name stays importable so old code fails with an
+    actionable error at the point of *use* rather than an opaque
+    ``ImportError``: every mapping operation raises, naming the
+    replacement (:func:`make_algorithm` / :func:`algorithm_factory` over
+    :data:`REGISTRY`).
+    """
 
-
-#: Deprecated positional registry (name -> factory taking the true ``x``).
-#: Kept for callers of the pre-redesign API; new code should use
-#: :func:`make_algorithm` / :func:`algorithm_factory`.
-ALGORITHMS: Dict[str, Callable[[Optional[int]], object]] = {
-    name: _legacy_entry(name)
-    for name in (
-        "2tbins",
-        "exponential",
-        "abns-t",
-        "abns-2t",
-        "prob-abns",
-        "pause-and-continue",
-        "four-fold",
-        "oracle",
+    _MESSAGE = (
+        "the positional ALGORITHMS table was removed; use "
+        "make_algorithm(name, ...) for direct construction or "
+        "algorithm_factory(name, ...) for a picklable x -> algorithm "
+        "factory over repro.api.REGISTRY"
     )
-}
+
+    def _removed(self) -> NoReturn:
+        raise RuntimeError(self._MESSAGE)
+
+    def __getitem__(self, key: str) -> Any:
+        self._removed()
+
+    def __contains__(self, key: object) -> bool:
+        self._removed()
+
+    def __iter__(self) -> Iterator[str]:
+        self._removed()
+
+    def __len__(self) -> int:
+        self._removed()
+
+    def __bool__(self) -> bool:
+        self._removed()
+
+
+#: Removed positional registry.  Any access raises with a pointer to
+#: :func:`make_algorithm` / :func:`algorithm_factory`.
+ALGORITHMS: Mapping[str, Any] = _RemovedAlgorithmsTable()
 
 
 def threshold_query(
@@ -422,7 +454,7 @@ def threshold_query(
         True
     """
     plan = fault_plan if fault_plan is not None else FaultPlan.none()
-    spec, _, _ = _resolve(algorithm, warn=False)
+    spec, _, _ = _resolve(algorithm)
     if isinstance(target, Population):
         rng = np.random.default_rng(seed)
         hook = plan.detection_hook(None)
@@ -452,3 +484,100 @@ def threshold_query(
             "dedicated interface instead"
         )
     return algo.decide(model, threshold, np.random.default_rng(seed + 1))
+
+
+def threshold_query_batch(
+    population_size: int,
+    x: int,
+    threshold: int,
+    *,
+    runs: int,
+    algorithm: str = "2tbins",
+    collision_model: str = "1+",
+    seed: int = 0,
+    max_queries: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    algorithm_options: Optional[Mapping[str, Any]] = None,
+) -> BatchDecision:
+    """Answer ``x >= threshold`` over ``runs`` random populations at once.
+
+    The batch-first counterpart of :func:`threshold_query`: one call runs
+    a whole Monte-Carlo cell.  Per-run randomness comes from
+    ``Generator.spawn``-derived streams -- ``default_rng(seed)`` spawns
+    one child per run, and each child spawns the run's
+    ``(population, model, bins)`` triple -- so run ``r`` is a
+    deterministic function of ``(seed, r)`` regardless of batch size.
+
+    When the algorithm is batch-capable
+    (:class:`~repro.core.base.BatchThresholdDecider`; see the registry's
+    ``vectorized`` flags) and no fault plan is active, the cell executes
+    on the vectorized kernel; otherwise every run takes the scalar path
+    over the *same* streams, so the two paths are interchangeable
+    bit for bit.
+
+    Args:
+        population_size: Number of participant nodes ``n``.
+        x: True positive count of every run's population.
+        threshold: The threshold ``t``.
+        runs: Number of Monte-Carlo trials.
+        algorithm: Registry name (see :func:`make_algorithm`).
+        collision_model: ``"1+"``, ``"2+"`` or ``"k+"``.
+        seed: Root seed of the spawn tree.
+        max_queries: Optional per-run query budget.
+        fault_plan: Optional fault injection; an active plan is not
+            vectorizable (:attr:`FaultPlan.vectorizable`) and forces the
+            scalar path.
+        algorithm_options: Extra keyword configuration for the algorithm.
+
+    Returns:
+        The per-run decisions and query counts as a
+        :class:`~repro.group_testing.vectorized.BatchDecision`.
+
+    Example:
+        >>> out = threshold_query_batch(64, 20, 8, runs=16, seed=1)
+        >>> bool(out.decisions.all())
+        True
+    """
+    if runs < 0:
+        raise ValueError(f"runs must be >= 0, got {runs}")
+    plan = fault_plan if fault_plan is not None else FaultPlan.none()
+    spec, _, _ = _resolve(algorithm)
+    algo = make_algorithm(
+        algorithm,
+        x=x if spec.needs_x else None,
+        **dict(algorithm_options or {}),
+    )
+    if not isinstance(algo, ThresholdDecider):
+        raise TypeError(
+            f"algorithm {algorithm!r} is not a threshold decider; use its "
+            "dedicated interface instead"
+        )
+    hook = plan.detection_hook(None)
+    model_spec = ModelSpec(
+        kind=collision_model, max_queries=max_queries, detection_failure=hook
+    )
+    batch = QueryBatch.spawned(
+        seed=seed,
+        n=population_size,
+        x=x,
+        threshold=threshold,
+        runs=runs,
+        model=model_spec,
+    )
+    if plan.vectorizable and isinstance(algo, BatchThresholdDecider):
+        try:
+            return algo.decide_batch(batch)
+        except UnsupportedBatch:
+            pass
+    decisions = np.zeros(runs, dtype=bool)
+    queries = np.zeros(runs, dtype=np.int64)
+    exact = True
+    for run in range(runs):
+        pop_rng, model_rng, bins_rng = batch.streams(run)
+        population = Population.from_count(population_size, x, pop_rng)
+        model = plan.wrap_model(model_spec(population, model_rng))
+        result = algo.decide(model, threshold, bins_rng)
+        decisions[run] = result.decision
+        queries[run] = result.queries
+        exact = result.exact
+    return BatchDecision(decisions=decisions, queries=queries, exact=exact)

@@ -30,7 +30,11 @@ reliability knobs"):
 """
 
 from repro.core.abns import Abns, AbnsBinPolicy, ProbabilisticAbns
-from repro.core.base import ThresholdAlgorithm, ThresholdDecider
+from repro.core.base import (
+    BatchThresholdDecider,
+    ThresholdAlgorithm,
+    ThresholdDecider,
+)
 from repro.core.counting import AdaptiveSplittingCounter, CountResult
 from repro.core.estimator import PositiveCountEstimator
 from repro.core.exponential import ExponentialIncrease
@@ -52,6 +56,7 @@ from repro.core.variations import FourFoldIncrease, PauseAndContinue
 __all__ = [
     "Abns",
     "AdaptiveSplittingCounter",
+    "BatchThresholdDecider",
     "ChernoffConfirm",
     "ConfirmingModel",
     "CountResult",

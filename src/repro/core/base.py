@@ -24,13 +24,23 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from repro.core.result import RoundRecord, ThresholdResult
 from repro.group_testing.binning import partition_deterministic, partition_random
 from repro.group_testing.model import ObservationKind, QueryModel
+
+if TYPE_CHECKING:
+    from repro.group_testing.vectorized import BatchDecision, QueryBatch
 
 
 @runtime_checkable
@@ -59,6 +69,45 @@ class ThresholdDecider(Protocol):
         candidates: Optional[Sequence[int]] = None,
     ) -> ThresholdResult:
         """Answer ``x >= threshold`` and return the session's result."""
+        ...
+
+
+@runtime_checkable
+class BatchThresholdDecider(Protocol):
+    """A decider that can execute a whole Monte-Carlo cell at once.
+
+    The batch-first counterpart of :class:`ThresholdDecider`: instead of
+    one ``(model, rng)`` pair, :meth:`decide_batch` receives a
+    :class:`~repro.group_testing.vectorized.QueryBatch` describing every
+    trial of a (label, x)-cell -- population shape, threshold, model spec
+    and the per-run RNG streams -- and returns the per-run verdicts and
+    query counts in one :class:`~repro.group_testing.vectorized.BatchDecision`.
+
+    The contract is **bit-exactness**: run ``r`` of ``decide_batch`` must
+    consume run ``r``'s streams exactly as ``decide`` would and produce
+    the same verdict and query count.  Implementations raise
+    :class:`~repro.group_testing.vectorized.UnsupportedBatch` for any
+    configuration they cannot reproduce exactly (detection-failure hooks,
+    non-random partitioning, ...), and callers -- the sweep engine's
+    dispatcher, :func:`repro.api.threshold_query_batch` -- fall back to
+    the scalar path.
+
+    Implemented by the algorithms whose bin policy is a pure function of
+    the round index (:class:`~repro.core.two_t_bins.TwoTBins`,
+    :class:`~repro.core.exponential.ExponentialIncrease`) and by the
+    non-adaptive probabilistic scheme
+    (:class:`~repro.core.probabilistic.ProbabilisticThreshold`);
+    adaptive policies (ABNS and friends) are scalar-only.  The registry
+    mirrors this capability as :attr:`repro.api.AlgorithmSpec.vectorized`.
+    """
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name (used in results and reports)."""
+        ...
+
+    def decide_batch(self, batch: "QueryBatch") -> "BatchDecision":
+        """Answer every trial of ``batch``, bit-identical to ``decide``."""
         ...
 
 

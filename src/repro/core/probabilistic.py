@@ -32,6 +32,7 @@ from repro.analytic.bimodal import BimodalSpec, SeparationAnalysis, analyze_sepa
 from repro.core.result import ThresholdResult
 from repro.group_testing.binning import sample_bins
 from repro.group_testing.model import QueryModel
+from repro.group_testing.vectorized import BatchDecision, QueryBatch, run_probes
 
 
 @dataclass(frozen=True)
@@ -183,4 +184,20 @@ class ProbabilisticThreshold:
             repeats=self._repeats,
             midpoint=midpoint,
             analysis=self._analysis,
+        )
+
+    def decide_batch(self, batch: QueryBatch) -> BatchDecision:
+        """Vectorized cell execution; bit-identical to :meth:`decide`.
+
+        The probe set is non-adaptive, so each run is one inclusion
+        matrix drawn on the bins stream plus a row reduction; the probe
+        kernel replays exactly the :func:`sample_bins` draw.
+        """
+        inclusion = 1.0 / self._analysis.bins if batch.n else 0.0
+        inclusion = min(1.0, max(0.0, inclusion))
+        return run_probes(
+            batch,
+            repeats=self._repeats,
+            inclusion=inclusion,
+            midpoint=self._analysis.decision_midpoint(self._repeats),
         )

@@ -12,6 +12,7 @@ bound of Sec IV-A.
 from __future__ import annotations
 
 from repro.core.base import SessionState, ThresholdAlgorithm
+from repro.group_testing.vectorized import BatchDecision, QueryBatch, run_lockstep
 
 
 class TwoTBins(ThresholdAlgorithm):
@@ -32,3 +33,17 @@ class TwoTBins(ThresholdAlgorithm):
     def _bins_for_round(self, state: SessionState) -> int:
         """Always ``2t`` bins (at least 2, for the degenerate ``t=1``... ``2t=2``)."""
         return max(2, 2 * state.threshold)
+
+    def decide_batch(self, batch: QueryBatch) -> BatchDecision:
+        """Vectorized cell execution; bit-identical to :meth:`decide`.
+
+        The bin count is a constant of the session, so the whole cell
+        runs on the lockstep kernel.
+        """
+        bins = max(2, 2 * batch.threshold)
+        return run_lockstep(
+            batch,
+            lambda round_index: bins,
+            partition_strategy=self.partition_strategy,
+            algorithm=self.name,
+        )

@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments import resilience
 from repro.experiments.atomicio import atomic_write_text
+from repro.experiments.common import set_vectorized_dispatch
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.obs import get_registry
@@ -85,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache",
             action="store_true",
             help="neither read nor write the on-disk result cache",
+        )
+        p.add_argument(
+            "--no-vectorize",
+            action="store_true",
+            help="force every sweep cell onto the scalar oracle path "
+            "instead of the bit-identical vectorized kernel (parity "
+            "debugging; results never differ, only throughput)",
         )
         p.add_argument(
             "--cache-dir",
@@ -358,6 +366,8 @@ def _resume_command(args: argparse.Namespace) -> str:
         parts += ["--jobs", str(args.jobs)]
     if args.no_cache:
         parts += ["--no-cache"]
+    if args.no_vectorize:
+        parts += ["--no-vectorize"]
     if args.cache_dir != DEFAULT_CACHE_DIR:
         parts += ["--cache-dir", str(args.cache_dir)]
     if args.out is not None:
@@ -408,6 +418,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         journal_dir = None if args.no_journal else args.journal_dir
         degraded: List[str] = []
         _start_metrics(args.metrics)
+        set_vectorized_dispatch(not args.no_vectorize)
         try:
             with resilience.GracefulShutdown():
                 for exp_id in targets:
@@ -431,6 +442,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"[resume with: {_resume_command(args)}]")
             return 128 + exc.signum
         finally:
+            set_vectorized_dispatch(True)
             _finish_metrics(args.metrics)
         if degraded:
             print(
@@ -443,6 +455,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.report import generate_report
 
         _start_metrics(args.metrics)
+        set_vectorized_dispatch(not args.no_vectorize)
         try:
             with resilience.GracefulShutdown():
                 text = generate_report(
@@ -456,6 +469,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"\n[interrupted by {name}; in-flight shards drained]")
             return 128 + exc.signum
         finally:
+            set_vectorized_dispatch(True)
             _finish_metrics(args.metrics)
         print(text)
         if args.out is not None:

@@ -42,12 +42,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.base import ThresholdDecider
+from repro.core.base import BatchThresholdDecider, ThresholdDecider
 from repro.core.result import ThresholdResult
 from repro.experiments import resilience
 from repro.experiments.resilience import ShardExecutionError, ShardOutcome
-from repro.group_testing.model import QueryModel
+from repro.group_testing.model import ModelSpec, QueryModel
 from repro.group_testing.population import Population
+from repro.group_testing.vectorized import QueryBatch, UnsupportedBatch
 from repro.obs import MetricsSnapshot, get_registry
 from repro.sim.rng import RngRegistry
 from repro.viz.ascii import ascii_chart, render_table
@@ -76,6 +77,26 @@ _S_SHARD_TIMER = _OBS.timer("sweep.shard_compute")
 _S_PICKLE_TIMER = _OBS.timer("sweep.pickle_check")
 _S_SUBMIT_TIMER = _OBS.timer("sweep.submit")
 _S_DRAIN_TIMER = _OBS.timer("sweep.drain")
+_S_VEC_SHARDS = _OBS.counter("sweep.vectorized_shards")
+_S_VEC_FALLBACK = _OBS.counter("sweep.vectorized_fallback")
+
+#: Process-wide default for the engine's vectorized dispatch (overridden
+#: per engine via ``SweepEngine(vectorize=...)``; the CLI's
+#: ``--no-vectorize`` flips it for a whole invocation).  The kernel is
+#: bit-identical to the scalar path, so this is a performance switch,
+#: never a results switch.
+_VECTORIZE_DEFAULT = True
+
+
+def set_vectorized_dispatch(enabled: bool) -> None:
+    """Set the process-wide default for vectorized cell dispatch."""
+    global _VECTORIZE_DEFAULT
+    _VECTORIZE_DEFAULT = bool(enabled)
+
+
+def vectorized_dispatch() -> bool:
+    """The process-wide default for vectorized cell dispatch."""
+    return _VECTORIZE_DEFAULT
 
 #: An algorithm factory: given the true ``x`` of the sweep cell (only the
 #: oracle uses it), return a fresh :class:`ThresholdDecider`.
@@ -288,6 +309,59 @@ class _SweepCellTask:
     #: Whether to return an isolated :class:`MetricsSnapshot` (set on the
     #: parallel path only -- worker state cannot be read any other way).
     snapshot_metrics: bool = False
+    #: Whether the executing process may dispatch this shard to the
+    #: vectorized kernel (ships with the task: worker processes cannot
+    #: see the submitting process's engine configuration).  The scalar
+    #: fallback fires automatically when the algorithm, model or fault
+    #: configuration is not batch-capable.
+    vectorize: bool = False
+
+
+def _run_cell_vectorized(task: _SweepCellTask) -> Optional[List[float]]:
+    """Try to execute one shard on the vectorized kernel.
+
+    Returns the shard's costs, or ``None`` when the shard must take the
+    scalar path: the model factory is not a declarative
+    :class:`ModelSpec` (e.g. a fault-plan closure), the algorithm is not
+    a :class:`BatchThresholdDecider`, or the kernel itself declines the
+    configuration (detection-failure hooks, non-random partitioning).
+    Fallbacks are counted on ``sweep.vectorized_fallback`` so parity jobs
+    can assert which path ran.  Exactness checking mirrors the scalar
+    loop: ground truth for a ``from_count`` population is ``x >= t``.
+    """
+    if not isinstance(task.model_factory, ModelSpec):
+        _S_VEC_FALLBACK.inc()
+        return None
+    algo = task.factory(task.x)
+    if not isinstance(algo, BatchThresholdDecider):
+        _S_VEC_FALLBACK.inc()
+        return None
+    batch = QueryBatch.for_cell(
+        seed=task.seed,
+        label=task.label,
+        x=task.x,
+        n=task.n,
+        threshold=task.threshold,
+        run_lo=task.run_lo,
+        run_hi=task.run_hi,
+        model=task.model_factory,
+    )
+    try:
+        out = algo.decide_batch(batch)
+    except UnsupportedBatch:
+        _S_VEC_FALLBACK.inc()
+        return None
+    if task.check_exactness and out.exact:
+        truth = task.x >= task.threshold
+        bad = np.flatnonzero(out.decisions != truth)
+        if bad.size:
+            raise AssertionError(
+                f"{task.label}: wrong answer at x={task.x}, "
+                f"t={task.threshold}, run={task.run_lo + int(bad[0])}: got "
+                f"{bool(out.decisions[bad[0]])}, truth {truth}"
+            )
+    _S_VEC_SHARDS.inc()
+    return [float(q) for q in out.queries]
 
 
 def _run_sweep_cell(
@@ -317,30 +391,34 @@ def _run_sweep_cell(
     shard_start = (
         time.perf_counter() if metrics.enabled else 0.0  # tcast-lint: disable=TCL002 -- harness profiling (shard wall time), never simulated time
     )
-    root = RngRegistry(task.seed)
-    costs: List[float] = []
-    for run in range(task.run_lo, task.run_hi):
-        reg = root.fork(f"{task.label}/x{task.x}/r{run}")
-        pop = Population.from_count(task.n, task.x, reg.stream("pop"))
-        if task.baseline:
-            baseline = task.factory()
-            result: ThresholdResult = baseline.decide(
-                pop, task.threshold, reg.stream("mac")
-            )
-        else:
-            assert task.model_factory is not None
-            model = task.model_factory(pop, reg.stream("model"))
-            algo = task.factory(task.x)
-            result = algo.decide(model, task.threshold, reg.stream("bins"))
-            if task.check_exactness and result.exact:
-                truth = pop.truth(task.threshold)
-                if result.decision != truth:
-                    raise AssertionError(
-                        f"{task.label}: wrong answer at x={task.x}, "
-                        f"t={task.threshold}, run={run}: got "
-                        f"{result.decision}, truth {truth}"
-                    )
-        costs.append(float(result.queries))
+    costs: Optional[List[float]] = None
+    if task.vectorize and not task.baseline:
+        costs = _run_cell_vectorized(task)
+    if costs is None:
+        root = RngRegistry(task.seed)
+        costs = []
+        for run in range(task.run_lo, task.run_hi):
+            reg = root.fork(f"{task.label}/x{task.x}/r{run}")
+            pop = Population.from_count(task.n, task.x, reg.stream("pop"))
+            if task.baseline:
+                baseline = task.factory()
+                result: ThresholdResult = baseline.decide(
+                    pop, task.threshold, reg.stream("mac")
+                )
+            else:
+                assert task.model_factory is not None
+                model = task.model_factory(pop, reg.stream("model"))
+                algo = task.factory(task.x)
+                result = algo.decide(model, task.threshold, reg.stream("bins"))
+                if task.check_exactness and result.exact:
+                    truth = pop.truth(task.threshold)
+                    if result.decision != truth:
+                        raise AssertionError(
+                            f"{task.label}: wrong answer at x={task.x}, "
+                            f"t={task.threshold}, run={run}: got "
+                            f"{result.decision}, truth {truth}"
+                        )
+            costs.append(float(result.queries))
     if metrics.enabled:
         elapsed = time.perf_counter() - shard_start  # tcast-lint: disable=TCL002 -- harness profiling (shard wall time), never simulated time
         _S_SHARD_SECONDS.observe(elapsed)
@@ -381,6 +459,12 @@ class SweepEngine:
             = one per CPU).  Parallel output is bit-identical to serial;
             factories must be picklable or the engine falls back to
             serial with a warning.
+        vectorize: Whether cells may dispatch to the vectorized kernel
+            when the algorithm, model and fault configuration all
+            support it (``None`` = the process default, normally on;
+            see :func:`set_vectorized_dispatch`).  The kernel consumes
+            the same per-run streams as the scalar path, so this never
+            changes results -- only throughput.
     """
 
     #: Target task count per worker; oversubscription smooths out
@@ -395,6 +479,7 @@ class SweepEngine:
         runs: int,
         seed: int,
         jobs: Optional[int] = 1,
+        vectorize: Optional[bool] = None,
     ) -> None:
         if runs < 1:
             raise ValueError(f"runs must be >= 1, got {runs}")
@@ -404,6 +489,9 @@ class SweepEngine:
         self._seed = int(seed)
         self._root = RngRegistry(seed)
         self._jobs = resolve_jobs(jobs)
+        self._vectorize = (
+            vectorized_dispatch() if vectorize is None else bool(vectorize)
+        )
 
     @property
     def n(self) -> int:
@@ -424,6 +512,11 @@ class SweepEngine:
     def jobs(self) -> int:
         """Resolved worker-process count (1 = serial)."""
         return self._jobs
+
+    @property
+    def vectorize(self) -> bool:
+        """Whether cells may dispatch to the vectorized kernel."""
+        return self._vectorize
 
     def _shards(self, xs: Sequence[int]) -> List[Tuple[int, int, int]]:
         """Split the sweep grid into ``(x, run_lo, run_hi)`` shards.
@@ -668,6 +761,7 @@ class SweepEngine:
                 model_factory=model_factory,
                 check_exactness=check_exactness,
                 collect_metrics=collect_metrics,
+                vectorize=self._vectorize and not baseline,
             )
             for (x, lo, hi) in shards
         ]

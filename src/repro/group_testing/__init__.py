@@ -30,19 +30,31 @@ from repro.group_testing.model import (
     TwoPlusModel,
 )
 from repro.group_testing.population import Population
+from repro.group_testing.vectorized import (
+    BatchDecision,
+    QueryBatch,
+    UnsupportedBatch,
+    run_lockstep,
+    run_probes,
+)
 
 __all__ = [
+    "BatchDecision",
     "BinObservation",
     "KPlusModel",
     "ModelSpec",
     "ObservationKind",
     "OnePlusModel",
     "Population",
+    "QueryBatch",
     "QueryBudgetExceeded",
     "QueryModel",
     "TwoPlusModel",
+    "UnsupportedBatch",
     "partition_deterministic",
     "partition_random",
+    "run_lockstep",
+    "run_probes",
     "sample_bin",
     "sample_bins",
 ]

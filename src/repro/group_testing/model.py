@@ -267,6 +267,28 @@ class _BaseModel:
         pos = self._round_pos[i] if self._round_pos is not None else None
         return int(self._round_counts[i]), pos
 
+    def query(self, members: Sequence[int]) -> BinObservation:
+        """Query one bin; charges one cost unit.
+
+        This is the single scalar verdict path shared by every model (and
+        mirrored by :mod:`repro.group_testing.vectorized`): charge, count
+        positives (from the round prefetch when available), then hand the
+        count -- and, for capture-capable models, the positive member ids
+        in membership order -- to the subclass's :meth:`_observe`.
+        """
+        self._charge()
+        cached = self._take_counted(members)
+        pos: Optional[Sequence[int]]
+        if cached is not None:
+            npos, pos = cached
+        elif self._wants_positive_members:
+            pos = [m for m in members if self._population.is_positive(m)]
+            npos = len(pos)
+        else:
+            pos = None
+            npos = self._population.count_positives(members)
+        return self._record(members, self._observe(members, npos, pos))
+
     def query_batch(
         self, bins: Sequence[Sequence[int]]
     ) -> List[BinObservation]:
@@ -326,17 +348,6 @@ class OnePlusModel(_BaseModel):
             radio.
     """
 
-    def query(self, members: Sequence[int]) -> BinObservation:
-        """Query a bin under 1+ semantics; charges one cost unit."""
-        self._charge()
-        cached = self._take_counted(members)
-        npos = (
-            cached[0]
-            if cached is not None
-            else self._population.count_positives(members)
-        )
-        return self._record(members, self._observe(members, npos, None))
-
     def _observe(
         self,
         members: Sequence[int],
@@ -391,17 +402,6 @@ class KPlusModel(_BaseModel):
     def k(self) -> int:
         """The channel's count resolution."""
         return self._k
-
-    def query(self, members: Sequence[int]) -> BinObservation:
-        """Query a bin under k+ semantics; charges one cost unit."""
-        self._charge()
-        cached = self._take_counted(members)
-        npos = (
-            cached[0]
-            if cached is not None
-            else self._population.count_positives(members)
-        )
-        return self._record(members, self._observe(members, npos, None))
 
     def _observe(
         self,
@@ -465,17 +465,6 @@ class TwoPlusModel(_BaseModel):
         self._capture_probability = capture_probability
 
     _wants_positive_members = True
-
-    def query(self, members: Sequence[int]) -> BinObservation:
-        """Query a bin under 2+ semantics; charges one cost unit."""
-        self._charge()
-        cached = self._take_counted(members)
-        if cached is not None:
-            npos, pos = cached
-        else:
-            pos = [m for m in members if self._population.is_positive(m)]
-            npos = len(pos)
-        return self._record(members, self._observe(members, npos, pos))
 
     def _observe(
         self,

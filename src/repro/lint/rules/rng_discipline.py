@@ -21,6 +21,19 @@ _NP_RANDOM_ALLOWED = {
     "MT19937",
 }
 
+#: Generator-API entry points that fall back to OS entropy when called
+#: with no arguments (``Generator`` itself always needs a bit generator,
+#: so it cannot be constructed unseeded).
+_NP_ENTROPY_WHEN_UNSEEDED = {
+    "default_rng",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
 
 class RngDiscipline(Rule):
     """TCL001 rng-discipline: no ambient or legacy randomness sources.
@@ -30,10 +43,14 @@ class RngDiscipline(Rule):
     in by the caller.  The stdlib :mod:`random` module and numpy's
     legacy global-state API (``np.random.seed`` / ``rand`` / ``randint``
     / ``choice`` ...) are process-global and order-dependent, and an
-    unseeded ``np.random.default_rng()`` draws OS entropy -- any of them
-    silently breaks bit-exact repeats and the parallel/serial identity
-    of the sweep engine.  Only ``sim/rng.py`` (the stream factory
-    itself) is exempt.
+    unseeded ``np.random.default_rng()`` -- or an unseeded
+    ``SeedSequence`` / bit-generator construction -- draws OS entropy;
+    any of them silently breaks bit-exact repeats and the
+    parallel/serial identity of the sweep engine.  Streams *derived*
+    from a seeded source are fine wherever they come from: seeded
+    constructions and ``Generator.spawn`` children inherit their
+    parent's determinism and are never flagged.  Only ``sim/rng.py``
+    (the stream factory itself) is exempt.
 
     Bad::
 
@@ -43,6 +60,7 @@ class RngDiscipline(Rule):
         def jitter():
             np.random.seed(4)
             unseeded = np.random.default_rng()
+            entropy = np.random.SeedSequence()
             return random.random() + np.random.rand() + unseeded.random()
 
     Good::
@@ -50,7 +68,8 @@ class RngDiscipline(Rule):
         import numpy as np
 
         def jitter(rng: np.random.Generator) -> float:
-            return float(rng.random())
+            children = rng.spawn(2)
+            return float(sum(c.random() for c in children))
     """
 
     rule_id = "TCL001"
@@ -124,14 +143,18 @@ class RngDiscipline(Rule):
                         "RngRegistry stream or a seeded Generator",
                     )
                 if (
-                    dotted == "numpy.random.default_rng"
+                    dotted.startswith("numpy.random.")
+                    and dotted.count(".") == 2
+                    and dotted.rsplit(".", 1)[1] in _NP_ENTROPY_WHEN_UNSEEDED
                     and not node.args
                     and not node.keywords
                 ):
+                    member = dotted.rsplit(".", 1)[1]
                     yield self.finding(
                         ctx,
                         node,
-                        "unseeded np.random.default_rng() draws OS "
-                        "entropy; pass a seed (derive_seed) or accept a "
+                        f"unseeded np.random.{member}() draws OS "
+                        "entropy; pass a seed (derive_seed), spawn from "
+                        "an already-seeded Generator, or accept a "
                         "Generator from the caller",
                     )

@@ -12,15 +12,23 @@ _SEED_PARAMS = {"seed", "rng", "root_seed", "cell_seed", "registry", "rngs"}
 
 
 def _draws_randomness(func: ast.AST, ctx: LintContext) -> bool:
-    """Whether a function body creates its own randomness source."""
+    """Whether a function body creates its own randomness source.
+
+    Besides ``default_rng`` and ``RngRegistry``, stream *derivation* via
+    ``SeedSequence`` or ``Generator.spawn`` counts: a runner that spawns
+    its own child streams is just as much a randomness producer and needs
+    the same seed plumbing so the spawn tree is replayable.
+    """
     for node in ast.walk(func):
         if not isinstance(node, ast.Call):
             continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "spawn":
+            return True
         dotted = ctx.aliases.resolve(node.func)
         if dotted == "numpy.random.default_rng":
             return True
         terminal = dotted.rsplit(".", 1)[-1] if dotted else None
-        if terminal == "RngRegistry":
+        if terminal in ("RngRegistry", "SeedSequence"):
             return True
     return False
 
@@ -41,12 +49,14 @@ def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
 class SeedPlumbing(Rule):
     """TCL006 seed-plumbing: randomness in ``experiments/`` is caller-seeded.
 
-    A public experiment runner that builds its own generators or
-    registries but offers no ``seed=`` / ``rng=`` parameter cannot be
-    replayed, cached by the result cache (which keys on the seed), or
-    swept with common random numbers.  Any module-level public function
-    in ``experiments/`` that draws randomness must accept one of
-    ``seed`` / ``rng`` / ``root_seed`` / ``cell_seed`` / ``registry``.
+    A public experiment runner that builds its own generators,
+    registries or spawn-derived stream trees (``SeedSequence``,
+    ``Generator.spawn``) but offers no ``seed=`` / ``rng=`` parameter
+    cannot be replayed, cached by the result cache (which keys on the
+    seed), or swept with common random numbers.  Any module-level public
+    function in ``experiments/`` that draws randomness must accept one
+    of ``seed`` / ``rng`` / ``root_seed`` / ``cell_seed`` / ``registry``
+    / ``rngs``; spawning children from such a parameter is then fine.
     Private helpers (``_``-prefixed) are exempt -- they inherit their
     caller's plumbing.
 

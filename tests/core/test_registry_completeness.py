@@ -2,15 +2,15 @@
 
 Guards the api_redesign contract: any threshold-deciding class exported
 from :mod:`repro.core` is reachable through :func:`repro.api.make_algorithm`
-by name, reliable-wrapping works uniformly, deprecated aliases still
-resolve (with a warning), and the non-decider helpers (counting,
-interval) are listed but correctly refuse decider-only features.
+by name, reliable-wrapping works uniformly, the removed legacy aliases
+fail loudly with the replacement spelled out, and the non-decider helpers
+(counting, interval) are listed but correctly refuse decider-only
+features.
 """
 
 from __future__ import annotations
 
 import pickle
-import warnings
 
 import numpy as np
 import pytest
@@ -26,6 +26,7 @@ from repro.api import (
 from repro.core import (
     Abns,
     AdaptiveSplittingCounter,
+    BatchThresholdDecider,
     ChernoffConfirm,
     ExponentialIncrease,
     FourFoldIncrease,
@@ -102,6 +103,20 @@ class TestCompleteness:
         assert isinstance(_instance("counting"), AdaptiveSplittingCounter)
         assert isinstance(_instance("interval"), IntervalQuery)
 
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_vectorized_flag_matches_batch_protocol(self, name):
+        """spec.vectorized must agree with the instance's batch support."""
+        spec = REGISTRY[name]
+        algo = _instance(name)
+        supports_batch = isinstance(algo, BatchThresholdDecider) and hasattr(
+            algo, "decide_batch"
+        )
+        assert spec.vectorized == supports_batch, (
+            f"registry entry {name!r} declares vectorized={spec.vectorized} "
+            f"but the instance {'does' if supports_batch else 'does not'} "
+            "implement BatchThresholdDecider"
+        )
+
 
 class TestReliableWrapping:
     @pytest.mark.parametrize("name", DECIDER_NAMES)
@@ -144,20 +159,42 @@ class TestReliableWrapping:
         assert result.decision
 
 
-class TestAliases:
+class TestRemovedAliases:
     @pytest.mark.parametrize(
-        "alias,p0_multiple", [("abns-t", 1.0), ("abns-2t", 2.0)]
+        "alias,replacement",
+        [
+            ("abns-t", "make_algorithm('abns', p0_multiple=1.0)"),
+            ("abns-2t", "make_algorithm('abns', p0_multiple=2.0)"),
+        ],
     )
-    def test_alias_resolves_with_warning(self, alias, p0_multiple):
-        with pytest.warns(DeprecationWarning, match=alias):
-            algo = make_algorithm(alias)
-        assert isinstance(algo, Abns)
+    def test_alias_raises_naming_replacement(self, alias, replacement):
+        with pytest.raises(KeyError) as excinfo:
+            make_algorithm(alias)
+        message = str(excinfo.value)
+        assert "removed" in message
+        assert replacement in message
 
-    def test_legacy_algorithms_dict_still_works(self):
-        assert "abns-t" in ALGORITHMS and "2tbins" in ALGORITHMS
-        with pytest.warns(DeprecationWarning):
-            algo = ALGORITHMS["2tbins"](5)
-        assert isinstance(algo, TwoTBins)
+    def test_unknown_name_lists_registry_only(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_algorithm("nope")
+        message = str(excinfo.value)
+        assert "2tbins" in message
+        assert "abns-t" not in message
+
+    @pytest.mark.parametrize(
+        "access",
+        [
+            lambda: ALGORITHMS["2tbins"],
+            lambda: "2tbins" in ALGORITHMS,
+            lambda: list(ALGORITHMS),
+            lambda: len(ALGORITHMS),
+            lambda: bool(ALGORITHMS),
+        ],
+        ids=["getitem", "contains", "iter", "len", "bool"],
+    )
+    def test_legacy_algorithms_table_raises(self, access):
+        with pytest.raises(RuntimeError, match="make_algorithm"):
+            access()
 
 
 class TestFactories:

@@ -11,4 +11,15 @@ def draw():
     legacy = np.random.rand(4)
     pick = np.random.choice([1, 2, 3])
     unseeded = np.random.default_rng()
-    return random.random() + randint(0, 9) + legacy.sum() + pick + unseeded.random()
+    entropy_seq = np.random.SeedSequence()
+    entropy_bits = np.random.PCG64()
+    extra = np.random.Generator(entropy_bits).random()
+    return (
+        random.random()
+        + randint(0, 9)
+        + legacy.sum()
+        + pick
+        + unseeded.random()
+        + np.random.default_rng(entropy_seq).random()
+        + extra
+    )

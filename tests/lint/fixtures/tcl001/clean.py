@@ -13,3 +13,11 @@ def draw_from_registry(seed: int) -> float:
     registry = RngRegistry(seed)
     seeded = np.random.default_rng(derive_seed(seed, "fixture"))
     return float(registry.stream("workload").random() + seeded.random())
+
+
+def draw_spawned(seed: int) -> float:
+    children = np.random.default_rng(seed).spawn(2)
+    seq = np.random.SeedSequence(seed)
+    streams = [np.random.Generator(np.random.PCG64(s)) for s in seq.spawn(2)]
+    total = sum(c.random() for c in children)
+    return float(total + streams[0].random() + streams[1].random())

@@ -13,3 +13,13 @@ def run(runs=10):
 def run_registry(runs=10):
     registry = RngRegistry(7)
     return [float(registry.stream("x").random()) for _ in range(runs)]
+
+
+def run_spawn_tree(runs=10):
+    seq = np.random.SeedSequence(2011)
+    bits = (np.random.PCG64(s) for s in seq.spawn(runs))
+    return [float(np.random.Generator(b).random()) for b in bits]
+
+
+def run_children(parent, runs=10):
+    return [float(child.random()) for child in parent.spawn(runs)]

@@ -14,6 +14,15 @@ def run_with_rng(runs, rng):
     return [float(rng.random()) for _ in range(runs)]
 
 
+def run_spawn_tree(runs=10, *, seed=2011):
+    seq = np.random.SeedSequence(seed)
+    return [float(np.random.default_rng(s).random()) for s in seq.spawn(runs)]
+
+
+def run_children(runs, rng):
+    return [float(child.random()) for child in rng.spawn(runs)]
+
+
 def _private_helper(runs=10):
     registry = RngRegistry(7)
     return [float(registry.stream("x").random()) for _ in range(runs)]

@@ -25,12 +25,12 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: Exact findings each ``bad.py`` fixture must produce, as
 #: ``(rule id, fixture-relative path, sorted line numbers)``.
 EXPECTED_BAD = [
-    ("TCL001", "tcl001/bad.py", [3, 4, 10, 11, 12, 13]),
+    ("TCL001", "tcl001/bad.py", [3, 4, 10, 11, 12, 13, 14, 15]),
     ("TCL002", "tcl002/sim/bad.py", [9, 10, 11]),
     ("TCL003", "tcl003/bad.py", [13, 14, 15, 16]),
     ("TCL004", "tcl004/analytic/bad.py", [7, 8, 9]),
     ("TCL005", "tcl005/bad.py", [4, 8, 12]),
-    ("TCL006", "tcl006/experiments/bad.py", [8, 13]),
+    ("TCL006", "tcl006/experiments/bad.py", [8, 13, 18, 24]),
     ("TCL007", "tcl007/experiments/bad.py", [7, 16, 24]),
 ]
 
