@@ -225,7 +225,7 @@ class ResultCache:
         """Delete all entries; returns how many were removed."""
         removed = 0
         if self._dir.is_dir():
-            for path in self._dir.glob("*.json"):
+            for path in sorted(self._dir.glob("*.json")):
                 path.unlink()
                 removed += 1
         return removed

@@ -345,8 +345,8 @@ def _run_one(
     print()
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
-        (out / f"{exp_id}.csv").write_text(result.to_csv() + "\n")
-        (out / f"{exp_id}.txt").write_text(result.report() + "\n")
+        atomic_write_text(out / f"{exp_id}.csv", result.to_csv() + "\n")
+        atomic_write_text(out / f"{exp_id}.txt", result.report() + "\n")
     return degraded
 
 
@@ -474,7 +474,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
         if args.out is not None:
             args.out.parent.mkdir(parents=True, exist_ok=True)
-            args.out.write_text(text + "\n")
+            atomic_write_text(args.out, text + "\n")
         return 0 if "ATTENTION" not in text else 1
     if args.command == "cache":
         cache = ResultCache(args.cache_dir)

@@ -384,10 +384,10 @@ def _run_sweep_cell(
     if metrics.enabled is not task.collect_metrics:
         # Worker processes start with (or inherit) a stale flag; the
         # submitting process's state always matches by construction.
-        metrics.set_enabled(task.collect_metrics)
+        metrics.set_enabled(task.collect_metrics)  # tcast-lint: disable=TCL010 -- worker-side registry sync: aligns the worker's enable flag with the submitted task; snapshot is merged back explicitly
     isolate = task.collect_metrics and task.snapshot_metrics
     if isolate:
-        metrics.reset()
+        metrics.reset()  # tcast-lint: disable=TCL010 -- worker-side registry sync: isolates this cell's counters so the returned snapshot is exact; never read cross-process
     shard_start = (
         time.perf_counter() if metrics.enabled else 0.0  # tcast-lint: disable=TCL002 -- harness profiling (shard wall time), never simulated time
     )

@@ -218,7 +218,7 @@ class FarmCoordinator:
             # Leases from the dead coordinator mean nothing to this
             # one's accounting; clear them.  A live orphan worker whose
             # lease vanishes just finishes and publishes -- harmless.
-            for stale in self.spool.leases_dir.glob("*.lease"):
+            for stale in sorted(self.spool.leases_dir.glob("*.lease")):
                 stale.unlink(missing_ok=True)
             self.spool.stop_path.unlink(missing_ok=True)
             self.spool.write_manifest(self.exp_id, self.run_key)
@@ -583,7 +583,7 @@ class FarmCoordinator:
             return
         now = time.time()
         busy = set()
-        for path in self.spool.leases_dir.glob("*.lease"):
+        for path in sorted(self.spool.leases_dir.glob("*.lease")):
             parsed = leasemod.read_lease(path)
             if parsed is not None:
                 busy.add(parsed.worker)

@@ -175,7 +175,7 @@ def registered_workers(spool: "Spool", now: float) -> Dict[str, float]:
     ages: Dict[str, float] = {}
     if not spool.workers_dir.is_dir():
         return ages
-    for path in spool.workers_dir.glob("*.reg"):
+    for path in sorted(spool.workers_dir.glob("*.reg")):
         age = age_seconds(path, now)
         if age is not None:
             ages[path.stem] = age

@@ -3,7 +3,7 @@
 Usage::
 
     tcast-lint [paths ...] [--format human|json] [--output FILE]
-               [--select TCL001,TCL003] [--list-rules]
+               [--select TCL001,TCL003] [--list-rules] [--explain TCL008]
 
 Paths default to ``src/repro tests`` (the acceptance surface).  Exit
 status: 0 when clean, 1 when findings were reported, 2 on usage or I/O
@@ -14,10 +14,17 @@ file).
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+import textwrap
 from typing import List, Optional, Sequence
 
-from repro.lint.engine import Finding, Rule, lint_paths
+from repro.lint.engine import (
+    Finding,
+    Rule,
+    examples_from_docstring,
+    lint_paths,
+)
 from repro.lint.reporters import render_human, render_json
 from repro.lint.rules import all_rules, rules_by_id
 
@@ -52,13 +59,41 @@ def _list_rules() -> str:
     return "\n".join(rows)
 
 
+def _explain_rule(rule_id: str) -> str:
+    """Render one rule's full docstring plus its Bad/Good examples.
+
+    The examples come from the same ``Bad::``/``Good::`` blocks the test
+    suite lints both ways, so what this prints is guaranteed to fire
+    (respectively pass) the rule it documents.
+    """
+    rule = rules_by_id()[rule_id]
+    bad, good = examples_from_docstring(rule)
+    doc = inspect.cleandoc(rule.__doc__ or "")
+    header = f"{rule.rule_id} {rule.name} -- {rule.summary}"
+    body = doc.split("Bad::", 1)[0].rstrip()
+    return "\n".join(
+        [
+            header,
+            "=" * len(header),
+            "",
+            body,
+            "",
+            "Bad (fires the rule):",
+            textwrap.indent(bad, "    "),
+            "",
+            "Good (lints clean):",
+            textwrap.indent(good, "    "),
+        ]
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for --help tests)."""
     parser = argparse.ArgumentParser(
         prog="tcast-lint",
         description=(
             "AST-based determinism and parallel-safety linter for the "
-            "tcast reproduction (rules TCL001-TCL007)."
+            "tcast reproduction (rules TCL001-TCL012)."
         ),
     )
     parser.add_argument(
@@ -93,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help=(
+            "print a rule's rationale plus its executable Bad/Good "
+            "examples and exit"
+        ),
+    )
     return parser
 
 
@@ -103,6 +146,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list_rules:
         print(_list_rules())
+        return 0
+
+    if args.explain:
+        rule_id = args.explain.strip().upper()
+        if rule_id not in rules_by_id():
+            print(f"tcast-lint: unknown rule {rule_id!r}", file=sys.stderr)
+            return 2
+        print(_explain_rule(rule_id))
         return 0
 
     try:

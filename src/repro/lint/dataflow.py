@@ -1,0 +1,355 @@
+"""Flow-sensitive building blocks for the TCL008-TCL012 rules.
+
+The per-node AST walk of PR 3 catches *syntactic* violations (a banned
+call, a mutable default).  The bug classes that actually threaten the
+repo's replay guarantees -- RNG stream aliasing, unordered directory
+scans feeding grant order, worker-side mutation of module globals,
+non-atomic spool writes -- are *flow* properties: they depend on where a
+value came from and where it goes next.  This module provides the three
+pieces the flow-sensitive rules share:
+
+* :class:`FlowVisitor` -- a scope-aware def-use tracker.  Subclasses
+  classify right-hand sides into **origin tags** (``"stream"``,
+  ``"unordered"``, ``"lease-path"``, ...); the visitor then propagates
+  tags through plain assignments (``alias = rng``), tuple unpacking,
+  and kills them on reassignment, so a rule can ask "what does this
+  name hold *here*?" instead of pattern-matching single expressions.
+* Closure-capture bookkeeping: every :class:`Tag` records the scope
+  depth it was bound at, so a ``Name`` load at a deeper function depth
+  is a capture -- the pattern that ships an enclosing RNG stream into a
+  worker process.
+* :class:`CallGraph` -- a lightweight intra-module call graph keyed by
+  terminal call names, with :meth:`CallGraph.reachable` closure from a
+  set of entry-point names.  TCL010 uses it to scope "code a worker
+  process may execute" without whole-program analysis.
+
+All three are deliberately approximate (no types, no interprocedural
+value flow); the rules built on them choose patterns where the
+approximation errs on the quiet side, and every residual true positive
+in the tree is fixed or pragma-audited (see DESIGN.md section 15).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.engine import LintContext
+
+__all__ = [
+    "CallGraph",
+    "FlowVisitor",
+    "FunctionInfo",
+    "Tag",
+    "terminal_name",
+]
+
+
+def terminal_name(func: ast.expr) -> Optional[str]:
+    """The rightmost name of a call target, or ``None``.
+
+    ``engine.query_curve`` and ``query_curve`` both resolve to
+    ``"query_curve"``; anything that is not a ``Name``/``Attribute``
+    (subscripts, calls, literals) resolves to ``None``.
+    """
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@dataclass
+class Tag:
+    """One tagged binding: what a name holds and where it was bound.
+
+    Attributes:
+        kind: The origin tag a classifier assigned (``"stream"``, ...).
+        node: The AST node that produced the value (for anchoring).
+        depth: Scope-stack depth of the binding (0 = module scope);
+            loads at a greater depth are closure captures.
+        origin_id: Identity of the underlying value.  Aliases made with
+            plain ``b = a`` share their source's ``origin_id``, so a
+            rule can tell "two names, one stream" from "two streams".
+    """
+
+    kind: str
+    node: ast.AST
+    depth: int
+    origin_id: int
+
+
+class FlowVisitor(ast.NodeVisitor):
+    """Scope-aware def-use tracking of classifier-tagged values.
+
+    Subclasses override :meth:`classify` (and optionally
+    :meth:`classify_param`) to decide which right-hand sides produce a
+    tagged value, then hook :meth:`on_alias` / :meth:`on_use` /
+    :meth:`on_call` to observe the flow.  The base class maintains the
+    scope stack across (async) function definitions and lambdas,
+    propagates tags through ``b = a`` aliasing and tuple unpacking,
+    and kills a binding whenever its name is reassigned to an
+    unclassified value -- flow sensitivity in the only sense the rules
+    need: the *latest* binding wins.
+
+    Args:
+        ctx: The file under analysis.
+    """
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        #: One mapping per open scope, innermost last.
+        self.scopes: List[Dict[str, Tag]] = [{}]
+        #: Enclosing function/lambda nodes, innermost last (parallels
+        #: ``scopes[1:]``); rules use it to attribute closure captures.
+        self.func_stack: List[ast.AST] = []
+        self._next_origin = 0
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def classify(self, value: ast.expr) -> Optional[str]:
+        """Tag kind produced by evaluating ``value``, or ``None``."""
+        return None
+
+    def classify_param(self, arg: ast.arg) -> Optional[str]:
+        """Tag kind carried by a function parameter, or ``None``."""
+        return None
+
+    def on_alias(self, name: str, source: str, tag: Tag, node: ast.Assign) -> None:
+        """Called when ``name = source`` copies a tagged binding."""
+
+    def on_use(self, name: str, tag: Tag, node: ast.Name) -> None:
+        """Called on every load of a tagged name."""
+
+    def on_call(self, node: ast.Call) -> None:
+        """Called on every call expression (after operand traversal)."""
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Current scope depth (0 = module)."""
+        return len(self.scopes) - 1
+
+    def lookup(self, name: str) -> Optional[Tag]:
+        """The innermost visible tag for ``name``, or ``None``."""
+        for scope in reversed(self.scopes):
+            tag = scope.get(name)
+            if tag is not None:
+                return tag
+        return None
+
+    def bind(self, name: str, kind: str, node: ast.AST,
+             origin_id: Optional[int] = None) -> Tag:
+        """Bind ``name`` to a (possibly shared-origin) tag in this scope."""
+        if origin_id is None:
+            self._next_origin += 1
+            origin_id = self._next_origin
+        tag = Tag(kind=kind, node=node, depth=self.depth, origin_id=origin_id)
+        self.scopes[-1][name] = tag
+        return tag
+
+    def kill(self, name: str) -> None:
+        """Remove any binding for ``name`` in the current scope."""
+        self.scopes[-1].pop(name, None)
+
+    # -- traversal ---------------------------------------------------------
+
+    def _enter_function(self, node: ast.AST, args: ast.arguments) -> None:
+        self.scopes.append({})
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        for param in params:
+            kind = self.classify_param(param)
+            if kind is not None:
+                self.bind(param.arg, kind, param)
+
+    def on_function_exit(self, node: ast.AST) -> None:
+        """Called when a function/lambda scope closes."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Open a function scope seeded with classified parameters."""
+        self._enter_function(node, node.args)
+        self.func_stack.append(node)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.func_stack.pop()
+        self.scopes.pop()
+        self.on_function_exit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Same treatment as synchronous defs."""
+        self._enter_function(node, node.args)
+        self.func_stack.append(node)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.func_stack.pop()
+        self.scopes.pop()
+        self.on_function_exit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        """Open a scope for the lambda body."""
+        self._enter_function(node, node.args)
+        self.func_stack.append(node)
+        self.visit(node.body)
+        self.func_stack.pop()
+        self.scopes.pop()
+        self.on_function_exit(node)
+
+    def _bind_target(self, target: ast.expr, kind: Optional[str],
+                     node: ast.AST) -> None:
+        """Bind (or kill) one assignment target."""
+        if isinstance(target, ast.Name):
+            if kind is None:
+                self.kill(target.id)
+            else:
+                self.bind(target.id, kind, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Unpacking a tagged value (e.g. ``a, b = rng.spawn(2)``)
+            # tags every plain-name element.
+            for element in target.elts:
+                self._bind_target(element, kind, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Propagate tags: classification, aliasing, and kills."""
+        self.visit(node.value)
+        value = node.value
+        if isinstance(value, ast.Name):
+            source = self.lookup(value.id)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if source is None:
+                        self.kill(target.id)
+                    else:
+                        self.scopes[-1][target.id] = Tag(
+                            kind=source.kind,
+                            node=node,
+                            depth=self.depth,
+                            origin_id=source.origin_id,
+                        )
+                        self.on_alias(target.id, value.id, source, node)
+            return
+        kind = self.classify(value)
+        for target in node.targets:
+            self._bind_target(target, kind, node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        """Annotated assignments classify like plain ones."""
+        if node.value is not None:
+            self.visit(node.value)
+            self._bind_target(node.target, self.classify(node.value), node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        """Report loads of tagged names to :meth:`on_use`."""
+        if isinstance(node.ctx, ast.Load):
+            tag = self.lookup(node.id)
+            if tag is not None:
+                self.on_use(node.id, tag, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Traverse operands, then report the call to :meth:`on_call`."""
+        self.generic_visit(node)
+        self.on_call(node)
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method) in the module's call graph.
+
+    Attributes:
+        name: The bare function name (methods keyed without class).
+        node: The defining AST node.
+        calls: Terminal names of every call made in the body, plus the
+            names of functions defined *inside* the body -- defining a
+            worker helper inside an entry point makes it reachable.
+    """
+
+    name: str
+    node: ast.AST
+    calls: Set[str] = field(default_factory=set)
+
+
+class CallGraph:
+    """Lightweight intra-module call graph over terminal call names.
+
+    Methods and functions are keyed by bare name; two same-named
+    functions merge their edges, which over-approximates reachability
+    (safe direction: a rule scoped by this graph may look at slightly
+    more code, never less).
+
+    Use :meth:`build` to construct and :meth:`reachable` to close over
+    a set of entry-point names.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    @classmethod
+    def build(cls, tree: ast.Module) -> "CallGraph":
+        """Index every function definition and its outgoing call names."""
+        graph = cls()
+
+        class _Indexer(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: List[FunctionInfo] = []
+
+            def _function(self, node: ast.AST, name: str) -> None:
+                info = graph.functions.get(name)
+                if info is None:
+                    info = FunctionInfo(name=name, node=node)
+                    graph.functions[name] = info
+                if self.stack:
+                    # A nested def is reachable from its definer.
+                    self.stack[-1].calls.add(name)
+                self.stack.append(info)
+                self.generic_visit(node)
+                self.stack.pop()
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._function(node, node.name)
+
+            def visit_AsyncFunctionDef(
+                self, node: ast.AsyncFunctionDef
+            ) -> None:
+                self._function(node, node.name)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if self.stack:
+                    name = terminal_name(node.func)
+                    if name is not None:
+                        self.stack[-1].calls.add(name)
+                self.generic_visit(node)
+
+        _Indexer().visit(tree)
+        return graph
+
+    def reachable(self, entries: Iterable[str]) -> Set[str]:
+        """Names of functions reachable from ``entries`` (inclusive).
+
+        Entry names with no definition in the module are ignored; edges
+        through names that are not module functions (builtins, imports)
+        terminate there.
+        """
+        seen: Set[str] = set()
+        frontier: List[str] = [e for e in entries if e in self.functions]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for callee in self.functions[name].calls:
+                if callee in self.functions and callee not in seen:
+                    frontier.append(callee)
+        return seen
+
+    def nodes_of(self, names: Iterable[str]) -> List[Tuple[str, ast.AST]]:
+        """The defining AST nodes for the given function names."""
+        return [
+            (name, self.functions[name].node)
+            for name in names
+            if name in self.functions
+        ]

@@ -1,0 +1,197 @@
+"""Guard the mypy ratchet: full coverage, monotone shrinkage.
+
+The typing story in ``pyproject.toml`` is a two-list ratchet: every
+``repro.*`` module is either on the ignore-errors ratchet list or in
+the strict typed core, and the ratchet only ever shrinks.  Both halves
+of that invariant have failed silently before -- ``repro.farm.*``
+shipped matching *neither* override, so mypy checked it with the
+permissive global defaults and nobody noticed.  This guard makes both
+failure modes loud:
+
+* **Coverage** -- every module under ``src/repro`` must match at least
+  one of the two override lists (mypy pattern semantics:
+  ``pkg.*`` matches ``pkg`` and everything below it).
+* **Monotonicity** -- the ratchet list must be a subset of the frozen
+  baseline below.  Promoting a module (deleting its ratchet entry) is
+  always allowed; adding one fails CI.  When you promote, also delete
+  the entry from :data:`FROZEN_RATCHET` so the baseline keeps shrinking.
+
+Run it as ``python -m repro.lint.ratchet_guard`` (the CI lint job
+does); exit status 0 when the invariants hold, 1 otherwise, 2 on
+usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tomllib
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: The ratchet as of this guard's introduction.  Entries may only ever
+#: be *removed* (module promoted to the typed core); additions fail CI.
+FROZEN_RATCHET: frozenset[str] = frozenset(
+    {
+        "repro.api",
+        "repro.core.abns",
+        "repro.core.counting",
+        "repro.core.estimator",
+        "repro.core.exponential",
+        "repro.core.interval",
+        "repro.core.oracle",
+        "repro.core.probabilistic",
+        "repro.core.two_t_bins",
+        "repro.core.variations",
+        "repro.experiments.*",
+        "repro.ext.*",
+        "repro.mac.*",
+        "repro.motes.*",
+        "repro.primitives.*",
+        "repro.radio.*",
+        "repro.viz.*",
+        "repro.workloads.*",
+    }
+)
+
+
+def discover_modules(src: Path) -> List[str]:
+    """Dotted names of every module under ``src`` (``repro.farm.lease``).
+
+    Packages contribute their package name (via ``__init__.py``) as
+    well as one entry per submodule, matching what mypy type-checks.
+    """
+    modules: Set[str] = set()
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(src.parent)
+        parts = list(rel.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if parts:
+            modules.add(".".join(parts))
+    return sorted(modules)
+
+
+def pattern_matches(pattern: str, module: str) -> bool:
+    """mypy override semantics: ``pkg.*`` matches ``pkg`` and below."""
+    if pattern.endswith(".*"):
+        base = pattern[:-2]
+        return module == base or module.startswith(base + ".")
+    return module == pattern
+
+
+def matches_any(patterns: Iterable[str], module: str) -> bool:
+    """Whether ``module`` matches any of the override ``patterns``."""
+    return any(pattern_matches(p, module) for p in patterns)
+
+
+def load_override_lists(pyproject: Path) -> Tuple[List[str], List[str]]:
+    """The (ratchet, typed-core) module lists from ``pyproject.toml``.
+
+    The ratchet is the override with ``ignore_errors = true``; every
+    other override contributes to the typed core.
+
+    Raises:
+        ValueError: If the mypy overrides are missing or malformed.
+    """
+    with pyproject.open("rb") as fh:
+        doc = tomllib.load(fh)
+    overrides = doc.get("tool", {}).get("mypy", {}).get("overrides")
+    if not overrides:
+        raise ValueError(f"{pyproject}: no [[tool.mypy.overrides]] tables")
+    ratchet: List[str] = []
+    core: List[str] = []
+    for table in overrides:
+        modules = table.get("module", [])
+        if isinstance(modules, str):
+            modules = [modules]
+        if table.get("ignore_errors", False):
+            ratchet.extend(modules)
+        else:
+            core.extend(modules)
+    if not ratchet or not core:
+        raise ValueError(
+            f"{pyproject}: expected both a ratchet (ignore_errors=true) "
+            "and a typed-core override"
+        )
+    return ratchet, core
+
+
+def check(pyproject: Path, src: Path) -> List[str]:
+    """All ratchet-invariant violations (empty when the config is sound)."""
+    ratchet, core = load_override_lists(pyproject)
+    problems: List[str] = []
+
+    grown = sorted(set(ratchet) - FROZEN_RATCHET)
+    for entry in grown:
+        problems.append(
+            f"ratchet grew: {entry!r} is not in the frozen baseline -- "
+            "the ignore_errors list only shrinks; type the module "
+            "instead of ratcheting it"
+        )
+
+    counts: Dict[str, int] = {"ratchet": 0, "core": 0}
+    for module in discover_modules(src):
+        in_ratchet = matches_any(ratchet, module)
+        in_core = matches_any(core, module)
+        if in_core:
+            counts["core"] += 1
+        elif in_ratchet:
+            counts["ratchet"] += 1
+        else:
+            problems.append(
+                f"unlisted module: {module} matches neither the ratchet "
+                "nor the typed-core override -- mypy silently checks it "
+                "with permissive defaults; add it to the typed core (or, "
+                "never preferred, an existing ratchet pattern)"
+            )
+    if not problems:
+        problems_or_ok = (
+            f"ratchet-guard: ok ({counts['core']} typed-core, "
+            f"{counts['ratchet']} ratcheted modules)"
+        )
+        print(problems_or_ok)
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="ratchet-guard",
+        description=(
+            "verify that every repro.* module is covered by exactly "
+            "the intended mypy override and that the ignore_errors "
+            "ratchet never grows"
+        ),
+    )
+    parser.add_argument(
+        "--pyproject",
+        type=Path,
+        default=Path("pyproject.toml"),
+        help="path to pyproject.toml (default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--src",
+        type=Path,
+        default=Path("src/repro"),
+        help="package root to enumerate (default: ./src/repro)",
+    )
+    args = parser.parse_args(argv)
+    if not args.pyproject.is_file():
+        print(f"ratchet-guard: no such file: {args.pyproject}", file=sys.stderr)
+        return 2
+    if not args.src.is_dir():
+        print(f"ratchet-guard: no such directory: {args.src}", file=sys.stderr)
+        return 2
+    try:
+        problems = check(args.pyproject, args.src)
+    except ValueError as exc:
+        print(f"ratchet-guard: {exc}", file=sys.stderr)
+        return 2
+    for problem in problems:
+        print(f"ratchet-guard: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,11 @@ from repro.lint.rules.float_equality import FloatEquality
 from repro.lint.rules.mutable_defaults import MutableDefaultArg
 from repro.lint.rules.seed_plumbing import SeedPlumbing
 from repro.lint.rules.swallowed import SwallowedException
+from repro.lint.rules.rng_aliasing import RngStreamAliasing
+from repro.lint.rules.nondet_iteration import NondeterministicIteration
+from repro.lint.rules.fork_safety import ForkUnsafeGlobal
+from repro.lint.rules.atomic_write import NonAtomicWrite
+from repro.lint.rules.lease_protocol import LeaseProtocol
 
 #: Rule classes in rule-id order.
 RULE_CLASSES = (
@@ -27,6 +32,11 @@ RULE_CLASSES = (
     MutableDefaultArg,
     SeedPlumbing,
     SwallowedException,
+    RngStreamAliasing,
+    NondeterministicIteration,
+    ForkUnsafeGlobal,
+    NonAtomicWrite,
+    LeaseProtocol,
 )
 
 

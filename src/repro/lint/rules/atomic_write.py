@@ -1,0 +1,132 @@
+"""TCL011: durable state is written through atomicio, never bare open."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: ``pathlib.Path`` convenience writers (truncate-then-write).
+_WRITE_SINKS = {"write_bytes", "write_text"}
+
+#: ``experiments/`` modules that persist durable state (cache entries,
+#: shard journals, CLI result files).  ``atomicio.py`` itself is the
+#: blessed implementation and is deliberately absent.
+_EXPERIMENTS_MODULES = ("cache.py", "cli.py", "journal.py", "resilience.py")
+
+
+def open_write_mode(node: ast.Call) -> Optional[str]:
+    """The literal write/create mode of an ``open()``-style call.
+
+    Handles both builtin ``open(path, "w")`` and ``Path.open("w")``;
+    returns ``None`` for reads, appends, non-literal modes, and calls
+    that are not ``open`` at all.  Shared with TCL012.
+    """
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        mode_pos = 1
+    elif isinstance(func, ast.Attribute) and func.attr == "open":
+        mode_pos = 0
+    else:
+        return None
+    mode: Optional[ast.expr] = None
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None and len(node.args) > mode_pos:
+        mode = node.args[mode_pos]
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(c in mode.value for c in "wx+")
+    ):
+        return mode.value
+    return None
+
+
+class NonAtomicWrite(Rule):
+    """TCL011 non-atomic-write: spool/cache/result files via atomicio.
+
+    The crash-safety story (``--resume``, farm SIGKILL recovery, cache
+    quarantine) assumes every durable file appears *atomically*: a
+    reader sees either the complete old content or the complete new
+    content, never a truncated half-write.  ``open(path, "w")``,
+    ``Path.write_text``/``write_bytes`` and ``os.rename`` (which
+    fails across pre-existing targets on some platforms) all violate
+    that; :mod:`repro.experiments.atomicio` provides the
+    tmp-file-plus-``os.replace`` helpers that don't.  The rule covers
+    ``farm/`` plus the ``experiments/`` modules that persist durable
+    state (cache, journal, CLI outputs); append-mode opens are exempt
+    (journal appends are single-``write`` framed records), as are test
+    files and ``atomicio.py`` itself.
+
+    Bad::
+
+        def publish(result_path, payload):
+            with open(result_path, "w") as fh:
+                fh.write(payload)
+
+    Good::
+
+        from repro.experiments.atomicio import atomic_write_text
+
+        def publish(result_path, payload):
+            atomic_write_text(result_path, payload)
+    """
+
+    rule_id = "TCL011"
+    name = "non-atomic-write"
+    summary = (
+        "no open('w')/write_text/os.rename for durable farm or "
+        "experiments state; use atomicio"
+    )
+    example_path = "repro/farm/example.py"
+
+    def _in_scope(self, ctx: LintContext) -> bool:
+        if ctx.is_test_file:
+            return False
+        if ctx.in_scope("farm"):
+            return True
+        return any(
+            ctx.is_module("experiments", module)
+            for module in _EXPERIMENTS_MODULES
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag truncating writes and renames in durable-state modules."""
+        if not self._in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = open_write_mode(node)
+            if mode is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"open(..., {mode!r}) truncates in place; a crash "
+                    "mid-write leaves a torn file that --resume and the "
+                    "farm recovery path would then read -- use "
+                    "repro.experiments.atomicio.atomic_write_text/bytes",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WRITE_SINKS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"Path.{node.func.attr}() truncates in place; a "
+                    "crash mid-write leaves a torn file -- use "
+                    "repro.experiments.atomicio.atomic_write_text/bytes",
+                )
+            elif ctx.aliases.resolve(node.func) == "os.rename":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "os.rename is not atomic-replace on every platform "
+                    "and fails over existing targets on Windows; use "
+                    "os.replace (what atomicio does) or an atomicio "
+                    "helper",
+                )

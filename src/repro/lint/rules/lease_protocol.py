@@ -1,0 +1,147 @@
+"""TCL012: lease files are created by the coordinator, nobody else."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lint.dataflow import FlowVisitor, terminal_name
+from repro.lint.engine import Finding, LintContext, Rule
+from repro.lint.rules.atomic_write import open_write_mode
+
+#: ``Path`` methods that create or rewrite a file when the receiver is
+#: a lease path.  ``Path.touch`` *creates* the file if missing -- the
+#: heartbeat helper ``repro.farm.lease.touch`` (plain ``os.utime``)
+#: deliberately does not, which is why only the method form is banned.
+_CREATE_METHODS = {"touch", "write_bytes", "write_text"}
+
+#: Module-level writers that would mint a lease file if handed its path.
+_WRITE_HELPERS = {"atomic_write_bytes", "atomic_write_text"}
+
+
+class _LeaseFlow(FlowVisitor):
+    """Tag lease-path expressions and flag create-capable operations."""
+
+    def __init__(self, rule: "LeaseProtocol", ctx: LintContext) -> None:
+        super().__init__(ctx)
+        self.rule = rule
+        self.findings: List[Finding] = []
+
+    def classify(self, value: ast.expr) -> Optional[str]:
+        """``spool.lease_path(...)`` and ``leases_dir / ...`` are leases."""
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "lease_path"
+        ):
+            return "lease-path"
+        if (
+            isinstance(value, ast.BinOp)
+            and isinstance(value.op, ast.Div)
+            and isinstance(value.left, ast.Attribute)
+            and value.left.attr == "leases_dir"
+        ):
+            return "lease-path"
+        return None
+
+    def _is_lease(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            tag = self.lookup(expr.id)
+            return tag is not None and tag.kind == "lease-path"
+        return self.classify(expr) is not None
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.ctx,
+                node,
+                f"{what} outside coordinator.py; lease files are the "
+                "farm's mutual-exclusion tokens and only the "
+                "coordinator may create or rewrite them (workers may "
+                "only heartbeat via repro.farm.lease.touch, i.e. "
+                "os.utime) -- creating one elsewhere lets two workers "
+                "hold the same shard",
+            )
+        )
+
+    def on_call(self, node: ast.Call) -> None:
+        """Flag lease creation and create-capable writes on lease paths."""
+        terminal = terminal_name(node.func)
+        if terminal == "grant_lease":
+            self._flag(node, "grant_lease() called")
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CREATE_METHODS
+            and self._is_lease(node.func.value)
+        ):
+            self._flag(node, f"Path.{node.func.attr}() on a lease path")
+            return
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        if terminal in _WRITE_HELPERS and any(self._is_lease(v) for v in values):
+            self._flag(node, f"{terminal}() given a lease path")
+            return
+        if open_write_mode(node) is not None:
+            func = node.func
+            target: Optional[ast.expr]
+            if isinstance(func, ast.Attribute):
+                target = func.value
+            else:
+                target = node.args[0] if node.args else None
+            if target is not None and self._is_lease(target):
+                self._flag(node, "open-for-write on a lease path")
+
+
+class LeaseProtocol(Rule):
+    """TCL012 lease-protocol: only the coordinator mints lease files.
+
+    The farm's exclusivity invariant -- each shard has at most one
+    worker -- is carried entirely by ``leases/*.lease`` files: the
+    coordinator creates one to grant a shard, the owning worker
+    heartbeats it with ``os.utime``, and reclamation compares mtimes.
+    Any other code path that creates or rewrites a lease file forges a
+    grant, which is exactly the split-brain the chaos suite's SIGKILL
+    tests guard against.  This rule tracks lease-path expressions
+    (``spool.lease_path(...)``, ``spool.leases_dir / name``) through
+    assignments in ``farm/`` modules other than ``coordinator.py`` and
+    ``lease.py`` (the authority and its primitive), and flags
+    ``grant_lease`` calls, ``Path.touch``/``write_text``/``write_bytes``
+    on lease paths, atomicio writers handed a lease path, and
+    open-for-write on one.  Deleting a lease (``unlink``) stays legal:
+    releasing is how workers hand shards back.
+
+    Bad::
+
+        def steal(spool, shard_id):
+            path = spool.lease_path(shard_id)
+            path.touch()
+
+    Good::
+
+        from repro.farm import lease as leasemod
+
+        def heartbeat(spool, shard_id):
+            path = spool.lease_path(shard_id)
+            leasemod.touch(path)
+    """
+
+    rule_id = "TCL012"
+    name = "lease-protocol"
+    summary = (
+        "lease files created only by farm/coordinator.py; workers "
+        "heartbeat via lease.touch"
+    )
+    example_path = "repro/farm/helper.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Run the lease-path flow visitor over non-authority farm files."""
+        if (
+            ctx.is_test_file
+            or not ctx.in_scope("farm")
+            or ctx.is_module("farm", "coordinator.py")
+            or ctx.is_module("farm", "lease.py")
+        ):
+            return
+        visitor = _LeaseFlow(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

@@ -1,0 +1,174 @@
+"""TCL009: order every unordered scan before it feeds an output."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lint.dataflow import FlowVisitor, terminal_name
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Stdlib calls that yield directory entries in filesystem order.
+_UNORDERED_DOTTED = {
+    "glob.glob",
+    "glob.iglob",
+    "os.listdir",
+    "os.scandir",
+}
+
+#: ``pathlib.Path`` methods with the same filesystem-order caveat.
+_UNORDERED_METHODS = {"glob", "iterdir", "rglob"}
+
+#: Constructors whose result iterates in hash order.
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+
+#: Calls that materialise their argument's iteration order.
+_ORDER_SINKS = {"enumerate", "list", "tuple"}
+
+#: Packages whose outputs are replayed byte-for-byte (CSVs, journals,
+#: lease grants, cache manifests); unordered iteration there turns into
+#: row order, grant order, or journal order.
+_SCOPE_DIRS = (
+    "core",
+    "experiments",
+    "farm",
+    "group_testing",
+    "sim",
+    "workloads",
+)
+
+
+def _is_wildcard_target(target: ast.expr) -> bool:
+    """Whether a loop target is ``_`` (value unbound, order irrelevant)."""
+    return isinstance(target, ast.Name) and target.id == "_"
+
+
+class _IterFlow(FlowVisitor):
+    """Tag unordered producers and flag the places they get iterated."""
+
+    def __init__(self, rule: "NondeterministicIteration", ctx: LintContext) -> None:
+        super().__init__(ctx)
+        self.rule = rule
+        self.findings: List[Finding] = []
+
+    def classify(self, value: ast.expr) -> Optional[str]:
+        """Directory scans and set constructions tag ``"unordered"``."""
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return "unordered"
+        if isinstance(value, ast.Call):
+            dotted = self.ctx.aliases.resolve(value.func)
+            if dotted in _UNORDERED_DOTTED or dotted in _SET_CONSTRUCTORS:
+                return "unordered"
+            if (
+                isinstance(value.func, ast.Attribute)
+                and value.func.attr in _UNORDERED_METHODS
+            ):
+                return "unordered"
+        return None
+
+    def _is_unordered(self, expr: ast.expr) -> bool:
+        """Whether ``expr`` evaluates to an unordered iterable *here*."""
+        if isinstance(expr, ast.Name):
+            tag = self.lookup(expr.id)
+            return tag is not None and tag.kind == "unordered"
+        return self.classify(expr) is not None
+
+    def _flag(self, expr: ast.expr) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.ctx,
+                expr,
+                "iterating an unordered source (directory scan or set) "
+                "in determinism-critical code; filesystem and hash order "
+                "leak into CSV rows, journal entries, and lease grants, "
+                "breaking byte-identical replay -- wrap the source in "
+                "sorted(...)",
+            )
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        """Flag ``for x in <unordered>`` unless the target is ``_``."""
+        if not _is_wildcard_target(node.target) and self._is_unordered(node.iter):
+            self._flag(node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", ()):
+            if not _is_wildcard_target(gen.target) and self._is_unordered(gen.iter):
+                self._flag(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        """Comprehensions iterate too."""
+        self._check_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        """Set comprehensions over unordered sources still iterate them."""
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        """Dict comprehensions fix insertion order from iteration order."""
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        """Generator expressions iterate lazily but in the same order."""
+        self._check_comprehension(node)
+
+    def on_call(self, node: ast.Call) -> None:
+        """``list()/tuple()/enumerate()`` materialise iteration order."""
+        if (
+            terminal_name(node.func) in _ORDER_SINKS
+            and node.args
+            and self._is_unordered(node.args[0])
+        ):
+            self._flag(node.args[0])
+
+
+class NondeterministicIteration(Rule):
+    """TCL009 nondeterministic-iteration: sort scans before iterating.
+
+    ``os.listdir`` / ``glob`` / ``Path.glob`` yield entries in
+    filesystem order and sets iterate in hash order; neither is stable
+    across machines, filesystems, or PYTHONHASHSEED.  In the packages
+    whose outputs are replayed byte-for-byte (sim, core, group_testing,
+    experiments, farm, workloads) that order leaks straight into CSV
+    rows, journal replay, cache manifests, and farm lease grants -- the
+    exact guarantees the chaos and parity suites pin.  The rule tracks
+    unordered producers through assignments and flags ``for`` loops,
+    comprehensions, and ``list``/``tuple``/``enumerate`` calls that
+    consume one; iterating into ``_`` (pure counting) is exempt, as are
+    test files.  Plain dicts are not flagged: insertion order is
+    deterministic when the insertions are.
+
+    Bad::
+
+        def shard_names(spool_dir):
+            names = []
+            for path in spool_dir.glob("*.task"):
+                names.append(path.name)
+            return names
+
+    Good::
+
+        def shard_names(spool_dir):
+            names = []
+            for path in sorted(spool_dir.glob("*.task")):
+                names.append(path.name)
+            return names
+    """
+
+    rule_id = "TCL009"
+    name = "nondeterministic-iteration"
+    summary = (
+        "no iterating directory scans or sets without sorted() in "
+        "replay-critical packages"
+    )
+    example_path = "repro/farm/example.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Run the unordered-source flow visitor over in-scope files."""
+        if ctx.is_test_file or not ctx.in_scope(*_SCOPE_DIRS):
+            return
+        visitor = _IterFlow(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

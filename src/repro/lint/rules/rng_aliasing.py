@@ -1,0 +1,228 @@
+"""TCL008: one RNG stream, one consumer -- no aliasing, no capture."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.dataflow import FlowVisitor, Tag, terminal_name
+from repro.lint.engine import Finding, LintContext, Rule
+from repro.lint.rules.pickle_safety import BOUNDARY_CALLS
+
+#: Constructions whose *result* is a seeded stream (full dotted paths).
+_STREAM_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+}
+
+#: Method names whose result is a derived stream regardless of receiver
+#: (``Generator.spawn`` children, ``RngRegistry.stream`` streams).
+_STREAM_METHODS = {"spawn", "stream"}
+
+#: Calls whose arguments are shipped to worker processes; a closure
+#: capturing a stream must not cross one of these (the worker and the
+#: submitter would then consume the *same* stream in different orders).
+#: ``write_shard`` is the farm spool's descriptor writer.
+_SHIP_CALLS = BOUNDARY_CALLS | {"write_shard"}
+
+#: Parameter names conventionally carrying a caller-owned stream.
+_STREAM_PARAM_NAMES = {"rng"}
+
+
+class _StreamFlow(FlowVisitor):
+    """Track stream bindings, aliases, per-call fan-out and captures."""
+
+    def __init__(self, rule: "RngStreamAliasing", ctx: LintContext) -> None:
+        super().__init__(ctx)
+        self.rule = rule
+        self.findings: List[Finding] = []
+        #: Loads of stream-tagged names: name -> [(line, origin_id)].
+        self.uses: Dict[str, List[Tuple[int, int]]] = {}
+        #: ``target = source`` copies of stream tags, in source order.
+        self.aliases: List[Tuple[str, str, int, ast.Assign]] = []
+        #: Stream names captured by each open function scope.
+        self._captured: Dict[int, Set[str]] = {}
+        #: Closed nested functions with captures: def name -> node.
+        self._capturing_defs: Dict[str, ast.AST] = {}
+        #: Lambda nodes that captured a stream.
+        self._capturing_lambdas: Set[int] = set()
+
+    # -- classification ----------------------------------------------------
+
+    def classify(self, value: ast.expr) -> Optional[str]:
+        """Seeded-stream constructions and derivations tag ``"stream"``."""
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = self.ctx.aliases.resolve(value.func)
+        if dotted in _STREAM_CONSTRUCTORS:
+            return "stream"
+        if (
+            isinstance(value.func, ast.Attribute)
+            and value.func.attr in _STREAM_METHODS
+        ):
+            return "stream"
+        return None
+
+    def classify_param(self, arg: ast.arg) -> Optional[str]:
+        """``rng`` params and ``Generator``-annotated params are streams."""
+        if arg.arg in _STREAM_PARAM_NAMES:
+            return "stream"
+        if arg.annotation is not None:
+            dotted = self.ctx.aliases.resolve(arg.annotation)
+            if dotted is not None and dotted.endswith("Generator"):
+                return "stream"
+        return None
+
+    # -- flow events -------------------------------------------------------
+
+    def on_alias(
+        self, name: str, source: str, tag: Tag, node: ast.Assign
+    ) -> None:
+        """Record ``name = source`` copies of stream bindings."""
+        if tag.kind == "stream":
+            self.aliases.append((source, name, node.lineno, node))
+
+    def on_use(self, name: str, tag: Tag, node: ast.Name) -> None:
+        """Record stream loads; deeper-scope loads are captures."""
+        if tag.kind != "stream":
+            return
+        self.uses.setdefault(name, []).append((node.lineno, tag.origin_id))
+        if self.func_stack and tag.depth < self.depth:
+            owner = self.func_stack[-1]
+            self._captured.setdefault(id(owner), set()).add(name)
+
+    def on_function_exit(self, node: ast.AST) -> None:
+        """Remember which closed functions captured a stream."""
+        captured = self._captured.pop(id(node), None)
+        if not captured:
+            return
+        if isinstance(node, ast.Lambda):
+            self._capturing_lambdas.add(id(node))
+        else:
+            self._capturing_defs[getattr(node, "name", "")] = node
+
+    def on_call(self, node: ast.Call) -> None:
+        """Flag same-stream fan-out and captures shipped to workers."""
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        seen_origins: Dict[int, str] = {}
+        for value in values:
+            if not isinstance(value, ast.Name):
+                continue
+            tag = self.lookup(value.id)
+            if tag is None or tag.kind != "stream":
+                continue
+            prior = seen_origins.get(tag.origin_id)
+            if prior is not None:
+                self.findings.append(
+                    self.rule.finding(
+                        self.ctx,
+                        node,
+                        f"the same RNG stream reaches this call twice "
+                        f"('{prior}' and '{value.id}' share one "
+                        "generator); every consumer draws from the one "
+                        "state, so call order changes results -- spawn "
+                        "independent child streams instead",
+                    )
+                )
+            else:
+                seen_origins[tag.origin_id] = value.id
+        if terminal_name(node.func) not in _SHIP_CALLS:
+            return
+        for value in values:
+            if (
+                isinstance(value, ast.Lambda)
+                and id(value) in self._capturing_lambdas
+            ):
+                self.findings.append(self._ship_finding(value, "lambda"))
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in self._capturing_defs
+            ):
+                self.findings.append(
+                    self._ship_finding(value, f"function '{value.id}'")
+                )
+
+    def _ship_finding(self, node: ast.AST, what: str) -> Finding:
+        return self.rule.finding(
+            self.ctx,
+            node,
+            f"{what} captures an enclosing RNG stream and is shipped "
+            "across a worker boundary; the submitter and the workers "
+            "would consume one stream in nondeterministic order, "
+            "breaking serial/parallel identity -- derive the stream "
+            "inside the shard from (seed, label, x, run) instead",
+        )
+
+    # -- post-pass ---------------------------------------------------------
+
+    def alias_findings(self) -> Iterator[Finding]:
+        """Aliases where both names keep drawing from the one stream."""
+        for source, target, line, node in self.aliases:
+            source_live = any(
+                use_line > line
+                for use_line, _ in self.uses.get(source, ())
+            )
+            target_live = any(
+                use_line > line
+                for use_line, _ in self.uses.get(target, ())
+            )
+            if source_live and target_live:
+                yield self.rule.finding(
+                    self.ctx,
+                    node,
+                    f"'{target} = {source}' aliases an RNG stream that "
+                    "both names keep consuming; two live names for one "
+                    "generator state make draw order (and therefore "
+                    "replay) depend on code path -- use "
+                    f"'{source}.spawn(1)[0]' or pass {source} along "
+                    "without keeping a second handle",
+                )
+
+
+class RngStreamAliasing(Rule):
+    """TCL008 rng-stream-aliasing: every stream has exactly one consumer.
+
+    The repo's replay guarantees (serial vs ``--jobs N``, ``--resume``,
+    farm recovery, vectorized-vs-scalar parity) all rest on streams
+    being derived statelessly and consumed by exactly one owner.  This
+    flow-sensitive rule tracks ``Generator``-producing expressions
+    (``default_rng``, ``.spawn``, ``RngRegistry.stream``) through
+    assignments and flags the three aliasing shapes that silently break
+    bit-identical replay: a second live name for one stream, the same
+    stream passed twice into one call, and a closure that captures a
+    stream and crosses a worker boundary (``submit`` / ``write_shard``
+    / spec factories).  Test files are exempt.
+
+    Bad::
+
+        import numpy as np
+
+        def jitter(seed):
+            rng = np.random.default_rng(seed)
+            alias = rng
+            return rng.random() + alias.random()
+
+    Good::
+
+        import numpy as np
+
+        def jitter(seed):
+            first, second = np.random.default_rng(seed).spawn(2)
+            return first.random() + second.random()
+    """
+
+    rule_id = "TCL008"
+    name = "rng-stream-aliasing"
+    summary = (
+        "no second live name, double pass, or worker-shipped closure "
+        "over one RNG stream"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Run the stream-flow visitor and both finding passes."""
+        if ctx.is_test_file or ctx.is_module("sim", "rng.py"):
+            return
+        visitor = _StreamFlow(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+        yield from visitor.alias_findings()

@@ -1,0 +1,23 @@
+"""Fixture: TCL008 violations (rng stream aliasing)."""
+
+import numpy as np
+
+
+def aliased(seed):
+    rng = np.random.default_rng(seed)
+    alias = rng
+    return rng.random() + alias.random()
+
+
+def double_pass(seed, run):
+    rng = np.random.default_rng(seed)
+    return run(rng, rng)
+
+
+def shipped(spool, seed):
+    rng = np.random.default_rng(seed)
+
+    def draw():
+        return rng.random()
+
+    spool.write_shard("cell", draw)

@@ -1,0 +1,19 @@
+"""Fixture: spawn-derived streams, exactly one consumer each."""
+
+import numpy as np
+
+
+def split(seed):
+    first, second = np.random.default_rng(seed).spawn(2)
+    return first.random() + second.random()
+
+
+def handoff(run, seed):
+    rng = np.random.default_rng(seed)
+    return run(rng)
+
+
+def rebound(run, seed):
+    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed + 1)
+    return run(rng)

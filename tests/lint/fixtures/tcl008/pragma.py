@@ -1,0 +1,9 @@
+"""Fixture: justified stream alias suppressed by pragma."""
+
+import numpy as np
+
+
+def aliased(seed):
+    rng = np.random.default_rng(seed)
+    alias = rng  # tcast-lint: disable=TCL008 -- fixture: deliberate alias for the suppression test
+    return rng.random() + alias.random()

@@ -1,0 +1,20 @@
+"""Fixture: TCL009 violations (unordered iteration)."""
+
+import os
+
+
+def list_shards(spool_dir):
+    names = []
+    for path in spool_dir.glob("*.task"):
+        names.append(path.name)
+    return names
+
+
+def listdir_rows(root):
+    entries = os.listdir(root)
+    return [name for name in entries]
+
+
+def worker_list(workers):
+    active = {worker for worker in workers}
+    return list(active)

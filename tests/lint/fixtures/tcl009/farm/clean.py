@@ -1,0 +1,23 @@
+"""Fixture: sorted scans, wildcard counting, ordered sets."""
+
+import os
+
+
+def list_shards(spool_dir):
+    names = []
+    for path in sorted(spool_dir.glob("*.task")):
+        names.append(path.name)
+    return names
+
+
+def count_shards(spool_dir):
+    return sum(1 for _ in spool_dir.glob("*.task"))
+
+
+def listdir_rows(root):
+    return [name for name in sorted(os.listdir(root))]
+
+
+def worker_list(workers):
+    active = {worker for worker in workers}
+    return sorted(active)

@@ -1,0 +1,7 @@
+"""Fixture: justified unordered iteration suppressed by pragma."""
+
+
+def any_shard(spool_dir):
+    for path in spool_dir.glob("*.task"):  # tcast-lint: disable=TCL009 -- fixture: existence probe, order-free
+        return path
+    return None

@@ -1,0 +1,18 @@
+"""Fixture: TCL010 violations (fork-unsafe module state)."""
+
+_CACHE = {}
+_TOTAL = 0
+_LOG = []
+
+
+def _run_sweep_cell(task):
+    global _TOTAL
+    _TOTAL += 1
+    _CACHE[task.cell] = task.seed
+    _LOG.append(task.cell)
+    return _helper(task)
+
+
+def _helper(task):
+    _CACHE.update({task.cell: task.seed})
+    return task.seed

@@ -1,0 +1,21 @@
+"""Fixture: worker code keeps state local and returns it."""
+
+_LIMITS = {"cells": 64}
+
+
+def _run_sweep_cell(task):
+    seen = {}
+    seen[task.cell] = task.seed
+    log = []
+    log.append(task.cell)
+    return _helper(task, seen)
+
+
+def _helper(task, seen):
+    seen.update({task.cell: task.seed})
+    return task.seed
+
+
+def submit_side_only():
+    _LIMITS["cells"] = 128
+    return _LIMITS["cells"]

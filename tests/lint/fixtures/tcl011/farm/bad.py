@@ -1,0 +1,16 @@
+"""Fixture: TCL011 violations (non-atomic durable writes)."""
+
+import os
+
+
+def publish(result_path, payload):
+    with open(result_path, "w") as fh:
+        fh.write(payload)
+
+
+def stamp(manifest_path, text):
+    manifest_path.write_text(text)
+
+
+def promote(tmp_path, final_path):
+    os.rename(tmp_path, final_path)

@@ -1,0 +1,23 @@
+"""Fixture: durable writes via atomicio; reads and appends untouched."""
+
+import os
+
+from repro.experiments.atomicio import atomic_write_text
+
+
+def publish(result_path, payload):
+    atomic_write_text(result_path, payload)
+
+
+def read_back(result_path):
+    with open(result_path) as fh:
+        return fh.read()
+
+
+def append_log(log_path, line):
+    with open(log_path, "ab") as fh:
+        fh.write(line)
+
+
+def promote(tmp_path, final_path):
+    os.replace(tmp_path, final_path)

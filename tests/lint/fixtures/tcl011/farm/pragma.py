@@ -1,0 +1,5 @@
+"""Fixture: justified in-place write suppressed by pragma."""
+
+
+def scratch(tmp_path, payload):
+    tmp_path.write_text(payload)  # tcast-lint: disable=TCL011 -- fixture: scratch file outside the durable spool

@@ -1,0 +1,18 @@
+"""Fixture: TCL012 violations (lease protocol breaches)."""
+
+from repro.experiments.atomicio import atomic_write_text
+from repro.farm.lease import grant_lease
+
+
+def steal(spool, shard_id, worker_id):
+    grant_lease(spool, shard_id, worker_id)
+
+
+def forge(spool, shard_id):
+    path = spool.lease_path(shard_id)
+    path.touch()
+
+
+def rewrite(spool, name, payload):
+    path = spool.leases_dir / name
+    atomic_write_text(path, payload)

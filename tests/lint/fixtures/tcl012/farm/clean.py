@@ -1,0 +1,13 @@
+"""Fixture: workers heartbeat and release leases, never mint them."""
+
+from repro.farm import lease as leasemod
+
+
+def heartbeat(spool, shard_id):
+    path = spool.lease_path(shard_id)
+    leasemod.touch(path)
+
+
+def release(spool, shard_id):
+    path = spool.lease_path(shard_id)
+    path.unlink(missing_ok=True)

@@ -1,0 +1,6 @@
+"""Fixture: justified lease re-mint suppressed by pragma."""
+
+
+def requeue(spool, shard_id):
+    path = spool.lease_path(shard_id)
+    path.touch()  # tcast-lint: disable=TCL012 -- fixture: recovery tool re-minting a vanished lease

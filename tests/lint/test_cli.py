@@ -65,8 +65,53 @@ def test_no_pragmas_audit_mode(capsys):
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("TCL001", "TCL002", "TCL003", "TCL004", "TCL005", "TCL006"):
+    for rule_id in (
+        "TCL001",
+        "TCL002",
+        "TCL003",
+        "TCL004",
+        "TCL005",
+        "TCL006",
+        "TCL007",
+        "TCL008",
+        "TCL009",
+        "TCL010",
+        "TCL011",
+        "TCL012",
+    ):
         assert rule_id in out
+
+
+def test_explain_prints_rule_and_examples(capsys):
+    assert main(["--explain", "TCL008"]) == 0
+    out = capsys.readouterr().out
+    assert "TCL008 rng-stream-aliasing" in out
+    assert "Bad (fires the rule):" in out
+    assert "Good (lints clean):" in out
+    assert "default_rng" in out
+
+
+def test_explain_is_case_insensitive(capsys):
+    assert main(["--explain", "tcl011"]) == 0
+    assert "TCL011 non-atomic-write" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_is_usage_error(capsys):
+    assert main(["--explain", "TCL999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_explain_examples_are_executable(capsys):
+    """What --explain prints is the same source the fixture tests lint."""
+    from repro.lint import all_rules, examples_from_docstring, lint_source
+
+    for rule in all_rules():
+        assert main(["--explain", rule.rule_id]) == 0
+        out = capsys.readouterr().out
+        bad, good = examples_from_docstring(rule)
+        assert bad.splitlines()[-1].strip() in out
+        assert good.splitlines()[-1].strip() in out
+        assert lint_source(bad, rule.example_path, rules=[rule])
 
 
 def test_syntax_error_is_usage_error(tmp_path, capsys):

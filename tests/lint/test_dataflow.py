@@ -1,0 +1,193 @@
+"""Unit tests for the flow-sensitive pass behind TCL008-TCL012.
+
+Covers the three dataflow behaviours the rules rely on: tag propagation
+through assignment (aliasing, kills, tuple unpacking), intra-module
+call-graph reachability, and closure-capture detection -- plus
+rule-level checks that the behaviours compose (a captured stream is only
+flagged when it actually crosses a worker boundary).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import CallGraph, FlowVisitor, terminal_name
+from repro.lint.engine import build_context, lint_source
+from repro.lint.rules.rng_aliasing import RngStreamAliasing
+
+
+class _TagRecorder(FlowVisitor):
+    """Tag ``make()`` results and record aliases, uses and captures."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.aliases = []
+        self.uses = []
+        self.captures = []
+
+    def classify(self, value):
+        if (
+            isinstance(value, ast.Call)
+            and terminal_name(value.func) == "make"
+        ):
+            return "thing"
+        return None
+
+    def classify_param(self, arg):
+        return "thing" if arg.arg == "thing" else None
+
+    def on_alias(self, name, source, tag, node):
+        self.aliases.append((name, source, tag.origin_id))
+
+    def on_use(self, name, tag, node):
+        self.uses.append((name, tag.origin_id, node.lineno))
+        if self.func_stack and tag.depth < self.depth:
+            self.captures.append((name, node.lineno))
+
+
+def _track(source: str) -> _TagRecorder:
+    visitor = _TagRecorder(build_context(source, "repro/x.py"))
+    visitor.visit(visitor.ctx.tree)
+    return visitor
+
+
+class TestTagPropagation:
+    def test_alias_shares_origin(self):
+        v = _track("a = make()\nb = a\nb.go()\n")
+        assert v.aliases == [("b", "a", v.uses[0][1])]
+        # the load of ``b`` on line 3 carries the same origin as ``a``
+        assert v.uses[-1][0] == "b"
+        assert v.uses[-1][1] == v.uses[0][1]
+
+    def test_distinct_values_get_distinct_origins(self):
+        v = _track("a = make()\nb = make()\na.go(); b.go()\n")
+        origins = {origin for _, origin, _ in v.uses}
+        assert len(origins) == 2
+
+    def test_reassignment_kills_tag(self):
+        v = _track("a = make()\na = None\na.go()\n")
+        assert all(line != 3 for _, _, line in v.uses)
+
+    def test_tuple_unpack_tags_each_name(self):
+        v = _track("a, b = make()\na.go(); b.go()\n")
+        origins = {origin for _, origin, _ in v.uses}
+        assert {name for name, _, _ in v.uses} == {"a", "b"}
+        # unpacked elements are independent values, not aliases
+        assert len(origins) == 2
+        assert v.aliases == []
+
+    def test_param_classification_seeds_function_scope(self):
+        v = _track("def f(thing, other):\n    return thing.go()\n")
+        assert [(n, line) for n, _, line in v.uses] == [("thing", 2)]
+
+    def test_scope_kill_is_local(self):
+        # killing inside a function leaves the module binding intact
+        v = _track(
+            "a = make()\n"
+            "def f():\n"
+            "    a = None\n"
+            "    return a\n"
+            "a.go()\n"
+        )
+        assert ("a", v.uses[0][1], 5) in v.uses
+
+
+class TestClosureCapture:
+    def test_load_at_deeper_scope_is_a_capture(self):
+        v = _track(
+            "def outer():\n"
+            "    x = make()\n"
+            "    def inner():\n"
+            "        return x.go()\n"
+            "    return inner\n"
+        )
+        assert v.captures == [("x", 4)]
+
+    def test_same_scope_load_is_not_a_capture(self):
+        v = _track("def f():\n    x = make()\n    return x.go()\n")
+        assert v.captures == []
+
+    def test_lambda_captures_too(self):
+        v = _track("def f():\n    x = make()\n    return lambda: x.go()\n")
+        assert v.captures == [("x", 3)]
+
+
+class TestCallGraph:
+    SOURCE = (
+        "def entry():\n"
+        "    middle()\n"
+        "def middle():\n"
+        "    leaf()\n"
+        "def leaf():\n"
+        "    return 1\n"
+        "def unrelated():\n"
+        "    return 2\n"
+    )
+
+    def _graph(self, source: str) -> CallGraph:
+        return CallGraph.build(ast.parse(source))
+
+    def test_transitive_reachability(self):
+        reach = self._graph(self.SOURCE).reachable(["entry"])
+        assert reach == {"entry", "middle", "leaf"}
+
+    def test_unreachable_function_excluded(self):
+        assert "unrelated" not in self._graph(self.SOURCE).reachable(["entry"])
+
+    def test_unknown_entry_is_ignored(self):
+        assert self._graph(self.SOURCE).reachable(["missing"]) == set()
+
+    def test_nested_def_reachable_from_definer(self):
+        graph = self._graph(
+            "def entry():\n"
+            "    def helper():\n"
+            "        return 1\n"
+            "    return helper\n"
+        )
+        assert graph.reachable(["entry"]) == {"entry", "helper"}
+
+    def test_methods_keyed_by_bare_name(self):
+        graph = self._graph(
+            "class W:\n"
+            "    def _serve(self):\n"
+            "        self._step()\n"
+            "    def _step(self):\n"
+            "        return 1\n"
+        )
+        assert graph.reachable(["_serve"]) == {"_serve", "_step"}
+
+
+class TestCaptureMeetsBoundary:
+    """The composed behaviour TCL008 builds on the two passes."""
+
+    def test_captured_stream_shipped_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def f(spool, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    def draw():\n"
+            "        return rng.random()\n"
+            "    spool.write_shard('c', draw)\n"
+        )
+        findings = lint_source(src, "repro/x.py", rules=[RngStreamAliasing()])
+        assert [f.line for f in findings] == [6]
+
+    def test_captured_stream_not_shipped_is_quiet(self):
+        src = (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    def draw():\n"
+            "        return rng.random()\n"
+            "    return draw()\n"
+        )
+        assert lint_source(src, "repro/x.py", rules=[RngStreamAliasing()]) == []
+
+    def test_uncaptured_stream_through_boundary_is_quiet(self):
+        src = (
+            "import numpy as np\n"
+            "def f(spool, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    spool.write_shard('c', rng)\n"
+        )
+        assert lint_source(src, "repro/x.py", rules=[RngStreamAliasing()]) == []

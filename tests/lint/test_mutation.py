@@ -1,0 +1,71 @@
+"""Seeded mutation checks: undoing a determinism fix must fire a rule.
+
+Each test takes a real source file, reverts exactly one hardening
+(a ``sorted()`` wrapper, an ``atomicio`` call), and asserts the
+corresponding rule fires at that site -- proving the rules actually
+guard the invariants the tree relies on, not just the fixture corpus.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: (relative path, hardened snippet, reverted snippet, rule that must fire)
+MUTATIONS = [
+    (
+        "src/repro/farm/lease.py",
+        'for path in sorted(spool.workers_dir.glob("*.reg")):',
+        'for path in spool.workers_dir.glob("*.reg"):',
+        "TCL009",
+    ),
+    (
+        "src/repro/farm/coordinator.py",
+        'for stale in sorted(self.spool.leases_dir.glob("*.lease")):',
+        'for stale in self.spool.leases_dir.glob("*.lease"):',
+        "TCL009",
+    ),
+    (
+        "src/repro/experiments/cache.py",
+        'for path in sorted(self._dir.glob("*.json")):',
+        'for path in self._dir.glob("*.json"):',
+        "TCL009",
+    ),
+    (
+        "src/repro/farm/spool.py",
+        "return atomic_write_bytes(self.shard_path(key), framed)",
+        "return self.shard_path(key).write_bytes(framed)",
+        "TCL011",
+    ),
+    (
+        "src/repro/experiments/cli.py",
+        "atomic_write_text(args.out, text + \"\\n\")",
+        "args.out.write_text(text + \"\\n\")",
+        "TCL011",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rel,hardened,reverted,rule_id",
+    MUTATIONS,
+    ids=[m[0].rsplit("/", 1)[-1] + ":" + m[3] for m in MUTATIONS],
+)
+def test_reverting_one_hardening_fires_the_rule(rel, hardened, reverted, rule_id):
+    source = (REPO_ROOT / rel).read_text(encoding="utf-8")
+    assert hardened in source, f"{rel}: expected hardened form {hardened!r}"
+    mutated = source.replace(hardened, reverted, 1)
+    assert mutated != source
+
+    baseline = lint_source(source, rel)
+    assert [f for f in baseline if f.rule_id == rule_id] == []
+
+    findings = lint_source(mutated, rel)
+    assert [f.rule_id for f in findings] == [rule_id], (
+        f"{rel}: reverting {hardened!r} should fire exactly {rule_id}"
+    )

@@ -1,0 +1,182 @@
+"""Tests for the mypy ratchet guard (coverage + monotonicity)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.ratchet_guard import (
+    FROZEN_RATCHET,
+    check,
+    discover_modules,
+    main,
+    pattern_matches,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+PYPROJECT_TEMPLATE = """
+[[tool.mypy.overrides]]
+module = [{ratchet}]
+ignore_errors = true
+
+[[tool.mypy.overrides]]
+module = [{core}]
+ignore_errors = false
+"""
+
+
+def _write_pyproject(root: Path, ratchet: list[str], core: list[str]) -> Path:
+    def fmt(entries: list[str]) -> str:
+        return ", ".join(f'"{e}"' for e in entries)
+
+    path = root / "pyproject.toml"
+    path.write_text(
+        PYPROJECT_TEMPLATE.format(ratchet=fmt(ratchet), core=fmt(core))
+    )
+    return path
+
+
+class TestPatternMatching:
+    def test_exact(self):
+        assert pattern_matches("repro.api", "repro.api")
+        assert not pattern_matches("repro.api", "repro.api.v2")
+
+    def test_wildcard_matches_package_and_children(self):
+        assert pattern_matches("repro.farm.*", "repro.farm")
+        assert pattern_matches("repro.farm.*", "repro.farm.lease")
+        assert pattern_matches("repro.farm.*", "repro.farm.sub.deep")
+
+    def test_wildcard_does_not_match_prefix_siblings(self):
+        assert not pattern_matches("repro.farm.*", "repro.farmhand")
+
+
+class TestDiscovery:
+    def test_packages_and_modules_enumerated(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        (src / "sim").mkdir(parents=True)
+        (src / "__init__.py").write_text("")
+        (src / "api.py").write_text("")
+        (src / "sim" / "__init__.py").write_text("")
+        (src / "sim" / "clock.py").write_text("")
+        assert discover_modules(src) == [
+            "repro",
+            "repro.api",
+            "repro.sim",
+            "repro.sim.clock",
+        ]
+
+    def test_real_tree_contains_known_modules(self):
+        modules = discover_modules(REPO_ROOT / "src" / "repro")
+        assert "repro.farm.lease" in modules
+        assert "repro.lint.ratchet_guard" in modules
+        assert "repro" in modules
+
+
+class TestCheck:
+    def test_repo_config_is_sound(self):
+        problems = check(
+            REPO_ROOT / "pyproject.toml", REPO_ROOT / "src" / "repro"
+        )
+        assert problems == []
+
+    def test_unlisted_module_rejected(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        (src / "sim").mkdir(parents=True)
+        (src / "__init__.py").write_text("")
+        (src / "sim" / "__init__.py").write_text("")
+        (src / "orphan.py").write_text("")
+        pyproject = _write_pyproject(
+            tmp_path, ["repro.viz.*"], ["repro", "repro.sim.*"]
+        )
+        problems = check(pyproject, src)
+        assert len(problems) == 1
+        assert "repro.orphan" in problems[0]
+
+    def test_grown_ratchet_rejected(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "__init__.py").write_text("")
+        assert "repro.farm.*" not in FROZEN_RATCHET
+        pyproject = _write_pyproject(
+            tmp_path, ["repro.farm.*"], ["repro"]
+        )
+        problems = check(pyproject, src)
+        assert any("ratchet grew" in p for p in problems)
+
+    def test_promotion_is_allowed(self, tmp_path):
+        """Removing a ratchet entry (promoting) never fails the guard."""
+        src = tmp_path / "src" / "repro"
+        (src / "viz").mkdir(parents=True)
+        (src / "__init__.py").write_text("")
+        (src / "viz" / "__init__.py").write_text("")
+        pyproject = _write_pyproject(
+            tmp_path, ["repro.workloads.*"], ["repro", "repro.viz.*"]
+        )
+        assert check(pyproject, src) == []
+
+
+class TestMain:
+    def test_repo_passes(self, capsys):
+        code = main(
+            [
+                "--pyproject",
+                str(REPO_ROOT / "pyproject.toml"),
+                "--src",
+                str(REPO_ROOT / "src" / "repro"),
+            ]
+        )
+        assert code == 0
+        assert "ratchet-guard: ok" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "__init__.py").write_text("")
+        (src / "orphan.py").write_text("")
+        pyproject = _write_pyproject(tmp_path, ["repro.viz.*"], ["repro"])
+        code = main(["--pyproject", str(pyproject), "--src", str(src)])
+        assert code == 1
+        assert "unlisted module" in capsys.readouterr().out
+
+    def test_missing_pyproject_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            ["--pyproject", str(tmp_path / "nope.toml"), "--src", str(tmp_path)]
+        )
+        assert code == 2
+        capsys.readouterr()
+
+    def test_malformed_pyproject_is_usage_error(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.mypy]\n")
+        code = main(["--pyproject", str(pyproject), "--src", str(tmp_path)])
+        assert code == 2
+        assert "overrides" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "promoted",
+    [
+        "repro.farm.lease",
+        "repro.farm.coordinator",
+        "repro.farm.worker",
+        "repro.farm.spool",
+        "repro.core.reliable",
+        "repro.core.result",
+        "repro.group_testing.vectorized",
+        "repro.experiments.atomicio",
+        "repro.experiments.cache",
+        "repro.experiments.resilience",
+    ],
+)
+def test_burned_down_modules_left_the_ratchet(promoted):
+    """The PR's promotions are typed-core, not ratcheted or unlisted."""
+    from repro.lint.ratchet_guard import load_override_lists, matches_any
+
+    ratchet, core = load_override_lists(REPO_ROOT / "pyproject.toml")
+    assert matches_any(core, promoted), f"{promoted} not in typed core"
+    # concrete typed-core entries shadow any wildcard ratchet pattern,
+    # but the farm/group_testing/core promotions must not even match one
+    if not promoted.startswith("repro.experiments."):
+        assert not matches_any(ratchet, promoted)

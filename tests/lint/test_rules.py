@@ -32,6 +32,11 @@ EXPECTED_BAD = [
     ("TCL005", "tcl005/bad.py", [4, 8, 12]),
     ("TCL006", "tcl006/experiments/bad.py", [8, 13, 18, 24]),
     ("TCL007", "tcl007/experiments/bad.py", [7, 16, 24]),
+    ("TCL008", "tcl008/bad.py", [8, 14, 23]),
+    ("TCL009", "tcl009/farm/bad.py", [8, 15, 20]),
+    ("TCL010", "tcl010/bad.py", [9, 11, 12, 17]),
+    ("TCL011", "tcl011/farm/bad.py", [7, 12, 16]),
+    ("TCL012", "tcl012/farm/bad.py", [8, 13, 18]),
 ]
 
 #: The clean and pragma-suppressed sibling of every bad fixture.
