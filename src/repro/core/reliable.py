@@ -60,12 +60,29 @@ class RetryPolicy(abc.ABC):
     #: the residual bound; ``None`` = unknown, no bound reported).
     assumed_p_single: Optional[float] = None
 
+    @staticmethod
+    def _require_nonempty(bin_size: int) -> None:
+        """Reject consultations about member-less bins.
+
+        Empty bins never occupy a time slot (Sec IV-C), so no caller may
+        legitimately ask how many confirmation reads one needs --
+        :meth:`ConfirmingModel.query` short-circuits them before the
+        policy is consulted.
+        """
+        if bin_size < 1:
+            raise ValueError(
+                f"retry policies are never consulted for empty bins "
+                f"(got bin_size={bin_size}); empty bins cost zero queries "
+                "per the paper's Sec IV-C rule"
+            )
+
     @abc.abstractmethod
     def confirmations(self, bin_size: int) -> int:
         """Total silent reads required for a bin of ``bin_size`` candidates.
 
         Args:
-            bin_size: Number of candidate members in the queried bin.
+            bin_size: Number of candidate members in the queried bin
+                (``>= 1``; empty bins are free and never confirmed).
 
         Returns:
             ``>= 1``; ``1`` means the first read is trusted outright.
@@ -77,6 +94,7 @@ class RetryPolicy(abc.ABC):
         ``p**r`` for ``r = confirmations(bin_size)`` under the assumed
         single-miss probability; ``None`` when no assumption is held.
         """
+        self._require_nonempty(bin_size)
         if self.assumed_p_single is None:
             return None
         return float(self.assumed_p_single ** self.confirmations(bin_size))
@@ -87,6 +105,7 @@ class NoRetry(RetryPolicy):
 
     def confirmations(self, bin_size: int) -> int:
         """Always 1."""
+        self._require_nonempty(bin_size)
         return 1
 
 
@@ -129,6 +148,7 @@ class KRepeatConfirm(RetryPolicy):
 
     def confirmations(self, bin_size: int) -> int:
         """``repeats`` for eligible bins, else 1."""
+        self._require_nonempty(bin_size)
         if self.max_bin_size is not None and bin_size > self.max_bin_size:
             return 1
         return self.repeats
@@ -238,9 +258,19 @@ class ConfirmingModel:
         return float(min(1.0, 1.0 - np.exp(self._residual_log1m)))
 
     def query(self, members: Sequence[int]) -> BinObservation:
-        """Query a bin; silent verdicts are confirmed before acceptance."""
+        """Query a bin; silent verdicts are confirmed before acceptance.
+
+        An empty bin is answered locally: per the paper's cost rule
+        (Sec IV-C) a member-less bin never occupies a time slot, so the
+        wrapper charges **zero** queries, performs zero confirmation
+        reads, and never consults the retry policy for it.  The verdict
+        is trivially silent and cannot be a missed positive, so it does
+        not count toward ``accepted_silent_bins`` or the residual bound.
+        """
+        if not members:
+            return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
         obs = self._model.query(members)
-        if obs.kind is not ObservationKind.SILENT or not members:
+        if obs.kind is not ObservationKind.SILENT:
             return obs
         needed = self._policy.confirmations(len(members))
         for _ in range(needed - 1):

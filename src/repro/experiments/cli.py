@@ -385,7 +385,26 @@ def _resume_command(args: argparse.Namespace) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Console entry point."""
+    """Console entry point.
+
+    Wraps the whole command dispatch in one ``KeyboardInterrupt``
+    boundary: a Ctrl-C anywhere outside the sweep engine's own
+    ``GracefulShutdown`` window (argument parsing, cache/journal
+    subcommands, report rendering, result printing) exits with the
+    conventional ``130`` (= 128 + SIGINT) instead of spewing a
+    traceback.  Sweep execution itself still drains in-flight shards
+    and flushes the journal via ``GracefulShutdown`` first; the
+    boundary only catches what that window does not cover.
+    """
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("\n[interrupted]", file=sys.stderr)
+        return 130
+
+
+def _main(argv: Optional[Sequence[str]]) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":

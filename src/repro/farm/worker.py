@@ -41,6 +41,7 @@ from __future__ import annotations
 import argparse
 import logging
 import os
+import signal
 import threading
 import time
 import traceback
@@ -130,11 +131,26 @@ class FarmWorker:
         self.coordinator_grace = coordinator_grace
         #: Shards this worker completed (including stolen finishes).
         self.completed = 0
+        #: Set by :meth:`request_stop` (signal handlers, tests); the
+        #: drain loop waits on it instead of an uninterruptible sleep so
+        #: shutdown latency is bounded by delivery, not ``poll_interval``.
+        self._stop_requested = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------
 
+    def request_stop(self) -> None:
+        """Ask the drain loop to exit now (safe from signal handlers).
+
+        Wakes the loop out of its idle wait immediately; without this,
+        a sleeping worker would only notice a shutdown request at the
+        next ``poll_interval`` boundary.
+        """
+        self._stop_requested.set()
+
     def _should_exit(self, now: float) -> Optional[str]:
         """A reason to exit, or ``None`` to keep draining work."""
+        if self._stop_requested.is_set():
+            return "stop requested"
         if self.spool.stop_path.exists():
             return "coordinator requested shutdown"
         if not self.spool.manifest_path.is_file():
@@ -251,7 +267,14 @@ class FarmWorker:
                     self._serve(granted, heartbeat)
                     served = True
                 if not served:
-                    time.sleep(self.poll_interval)
+                    # Re-check the exit conditions (STOP marker, lost
+                    # manifest, stale coordinator) before going idle: a
+                    # shutdown that raced the lease poll must not cost a
+                    # full poll_interval of drain latency.  The wait is
+                    # interruptible -- request_stop() ends it instantly.
+                    if self._should_exit(time.time()) is not None:
+                        continue
+                    self._stop_requested.wait(self.poll_interval)
         finally:
             heartbeat.stop()
             leasemod.deregister_worker(self.spool, self.worker_id)
@@ -295,6 +318,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         poll_interval=args.poll_interval,
         coordinator_grace=args.coordinator_grace,
     )
+
+    def _on_signal(signum: int, frame: Optional[Any]) -> None:
+        worker.request_stop()
+
+    # SIGTERM/SIGINT end the idle wait immediately, so shutdown latency
+    # is bounded by signal delivery rather than the poll interval.
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
     return worker.run()
 
 

@@ -333,9 +333,15 @@ class _Span:
         self._t0: Optional[float] = None
 
     def __enter__(self) -> "_Span":
-        """Start the span (reads the clock only when metrics are on)."""
-        if self._timer._registry.enabled:
-            self._t0 = time.perf_counter()
+        """Start the span (reads the clock only when metrics are on).
+
+        Always re-arms the start mark, so re-entering a span object
+        begins a fresh measurement and a disabled re-entry can never
+        replay a stale start time.
+        """
+        self._t0 = (
+            time.perf_counter() if self._timer._registry.enabled else None
+        )
         return self
 
     def __exit__(
@@ -344,9 +350,17 @@ class _Span:
         exc: Optional[BaseException],
         tb: Optional[TracebackType],
     ) -> None:
-        """Stop the span and record its duration."""
+        """Stop the span and record its duration exactly once.
+
+        A span that unwinds via an exception still records (timed work
+        happened either way); clearing the start mark afterwards makes a
+        stray second ``__exit__`` a no-op instead of a double-record,
+        while a full re-entry through :meth:`__enter__` starts a fresh
+        measurement.
+        """
         if self._t0 is not None:
             self._timer.add_seconds(time.perf_counter() - self._t0)
+            self._t0 = None
 
 
 class Timer:

@@ -1,0 +1,52 @@
+"""Threshold querying as a service: the long-lived ``tcast-serve`` daemon.
+
+The rest of the repository runs threshold queries as batch jobs --
+figure sweeps, the farm, the benchmark harness.  This package turns the
+same machinery into a *service*: a single asyncio process that
+multiplexes many concurrent threshold queries over simulated testbeds,
+the deployment shape the paper's Sec VII sketches for a base station
+answering operator queries on demand.
+
+The pipeline, front to back:
+
+* :mod:`repro.serve.request` -- the wire-level request model
+  (:class:`~repro.serve.request.QueryRequest`) and its validation.
+* :mod:`repro.serve.admission` -- bounded admission: per-tenant
+  token-bucket rate limits plus a global pending cap, shedding load with
+  429-style rejections counted in :mod:`repro.obs`.
+* :mod:`repro.serve.scheduler` -- the batching scheduler: admitted
+  queries with the same ``(population, model, threshold)`` family
+  coalesce into shared vectorized rounds.
+* :mod:`repro.serve.executor` -- executes a coalesced group on the
+  PR-7 vectorized kernel (scalar fallback included), bit-identical to
+  running each request alone.
+* :mod:`repro.serve.server` -- the newline-JSON-over-TCP front end with
+  graceful SIGTERM/SIGINT drain and a live ``metrics`` endpoint.
+* :mod:`repro.serve.client` -- a small synchronous client used by the
+  CLI, the tests and the benchmark harness.
+* :mod:`repro.serve.cli` -- the ``tcast-serve`` console entry point.
+
+See DESIGN.md section 16 for the design rationale.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy, TokenBucket
+from repro.serve.client import ServeClient
+from repro.serve.executor import QueryOutcome, execute_group
+from repro.serve.request import QueryRequest, RequestError
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.server import ServeConfig, ServiceHandle, ThresholdQueryService, serve_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BatchScheduler",
+    "QueryOutcome",
+    "QueryRequest",
+    "RequestError",
+    "ServeClient",
+    "ServeConfig",
+    "ServiceHandle",
+    "ThresholdQueryService",
+    "TokenBucket",
+    "execute_group",
+]

@@ -1,0 +1,82 @@
+"""A small synchronous client for the threshold-query service.
+
+Speaks the newline-JSON protocol of :mod:`repro.serve.server` over a
+plain blocking socket.  :meth:`ServeClient.request` is the simple
+round-trip; :meth:`ServeClient.send` / :meth:`ServeClient.recv` split
+the halves so callers can pipeline many requests down one connection
+(the benchmark's throughput driver does exactly that, correlating
+responses by ``id``).
+
+Deliberately dependency-free and thread-dumb: one client per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Mapping, Optional
+
+
+class ServeClient:
+    """One blocking connection to a running service.
+
+    Args:
+        host: Service host.
+        port: Service port.
+        timeout: Socket timeout in seconds (``None`` blocks forever).
+
+    Usage::
+
+        with ServeClient("127.0.0.1", port) as client:
+            reply = client.request({"op": "ping"})
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def send(self, payload: Mapping[str, Any]) -> None:
+        """Write one request line (does not wait for the response)."""
+        data = (json.dumps(dict(payload)) + "\n").encode("utf-8")
+        self._sock.sendall(data)
+
+    def recv(self) -> Dict[str, Any]:
+        """Read the next response line (whatever request it answers).
+
+        Raises:
+            ConnectionError: If the server closed the connection.
+            ValueError: If the response line is not a JSON object.
+        """
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        obj = json.loads(line)
+        if not isinstance(obj, dict):
+            raise ValueError(f"expected a JSON object response, got {obj!r}")
+        return obj
+
+    def request(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip."""
+        self.send(payload)
+        return self.recv()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager entry: the client itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()

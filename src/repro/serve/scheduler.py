@@ -1,0 +1,196 @@
+"""The batching scheduler: coalesce compatible queries into shared rounds.
+
+Admitted requests land in a single FIFO queue.  Worker coroutines pull
+the oldest request, then sweep the rest of the queue for every other
+request with the same :attr:`~repro.serve.request.QueryRequest.coalesce_key`
+(up to ``max_batch_runs`` total trials) and execute the whole group in
+one :func:`repro.serve.executor.execute_group` call on a thread-pool
+executor -- the event loop stays responsive while numpy crunches.
+
+Because every request owns a private seed-rooted stream tree, this
+opportunistic coalescing is pure mechanical sympathy: batch composition
+affects throughput, never answers (see :mod:`repro.serve.executor`).
+
+Lifecycle: :meth:`BatchScheduler.start` spawns the workers (tests may
+enqueue first and start later to force specific coalescing),
+:meth:`BatchScheduler.submit` returns a future per request, and
+:meth:`BatchScheduler.drain` finishes queued work and stops the workers.
+Latency from submit to completion is observed per request in the
+``serve.latency_ms`` histogram; batch sizes land in ``serve.batch.runs``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, List, Optional, Tuple
+
+from repro.obs import get_registry
+from repro.serve.executor import QueryOutcome, execute_group
+from repro.serve.request import QueryRequest
+
+_OBS = get_registry()
+_COMPLETED = _OBS.counter("serve.completed")
+_FAILED = _OBS.counter("serve.failed")
+_LATENCY_MS = _OBS.histogram(
+    "serve.latency_ms",
+    edges=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0),
+)
+
+#: One queued unit of work: the request, its answer future, and its
+#: submit timestamp (monotonic) for the latency histogram.
+_Item = Tuple[QueryRequest, "asyncio.Future[QueryOutcome]", float]
+
+
+class BatchScheduler:
+    """Coalesces and executes admitted requests (see module docstring).
+
+    Args:
+        max_batch_runs: Cap on total trials per coalesced group.
+        workers: Concurrent executor lanes (each drives one group at a
+            time); also sizes the underlying thread pool.
+        vectorize: Allow the vectorized kernel (``False`` forces the
+            scalar oracle everywhere -- tests, benchmarks).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_runs: int = 4096,
+        workers: int = 2,
+        vectorize: bool = True,
+    ) -> None:
+        if max_batch_runs < 1:
+            raise ValueError(f"max_batch_runs must be >= 1, got {max_batch_runs}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.max_batch_runs = max_batch_runs
+        self.vectorize = vectorize
+        self._queue: Deque[_Item] = deque()
+        self._wakeup = asyncio.Event()
+        self._workers: List["asyncio.Task[None]"] = []
+        self._worker_count = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker coroutines on the running event loop."""
+        if self._workers:
+            raise RuntimeError("scheduler already started")
+        self._stopping = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._worker_count,
+            thread_name_prefix="serve-exec",
+        )
+        self._workers = [
+            asyncio.get_running_loop().create_task(
+                self._work(), name=f"serve-worker-{i}"
+            )
+            for i in range(self._worker_count)
+        ]
+
+    async def drain(self) -> None:
+        """Finish all queued work, then stop the workers.
+
+        Safe to call more than once.  New :meth:`submit` calls after the
+        drain began fail fast (admission should already shed them).
+        """
+        self._stopping = True
+        self._wakeup.set()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+            self._workers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> "asyncio.Future[QueryOutcome]":
+        """Enqueue one admitted request; the future resolves to its answer."""
+        if self._stopping:
+            raise RuntimeError("scheduler is draining; admission should shed")
+        future: "asyncio.Future[QueryOutcome]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue.append((request, future, time.monotonic()))
+        self._wakeup.set()
+        return future
+
+    @property
+    def backlog(self) -> int:
+        """Requests enqueued but not yet claimed by a worker."""
+        return len(self._queue)
+
+    # -- workers -----------------------------------------------------------
+
+    def _claim_group(self) -> List[_Item]:
+        """Pop the oldest item plus every coalescable follower.
+
+        A single linear sweep of the queue: followers sharing the
+        leader's coalesce key are claimed (preserving order) until the
+        group's total runs would exceed ``max_batch_runs``; everything
+        else keeps its queue position.
+        """
+        if not self._queue:
+            return []
+        lead = self._queue.popleft()
+        group = [lead]
+        budget = self.max_batch_runs - lead[0].runs
+        keep: List[_Item] = []
+        while self._queue:
+            item = self._queue.popleft()
+            if (
+                item[0].coalesce_key == lead[0].coalesce_key
+                and item[0].runs <= budget
+            ):
+                group.append(item)
+                budget -= item[0].runs
+            else:
+                keep.append(item)
+        self._queue.extend(keep)
+        return group
+
+    async def _work(self) -> None:
+        """One worker lane: claim a group, execute it, deliver answers."""
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._stopping:
+                    return
+                self._wakeup.clear()
+                if self._queue or self._stopping:
+                    continue
+                await self._wakeup.wait()
+                continue
+            group = self._claim_group()
+            if not group:
+                continue
+            requests = [item[0] for item in group]
+            assert self._pool is not None
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._pool,
+                    self._execute,
+                    requests,
+                )
+            except Exception as exc:
+                _FAILED.inc(len(group))
+                for _, future, _ in group:
+                    if not future.cancelled():
+                        future.set_exception(exc)
+                continue
+            now = time.monotonic()
+            for (_, future, submitted), outcome in zip(group, outcomes):
+                _COMPLETED.inc()
+                _LATENCY_MS.observe((now - submitted) * 1e3)
+                if not future.cancelled():
+                    future.set_result(outcome)
+
+    def _execute(self, requests: List[QueryRequest]) -> List[QueryOutcome]:
+        """Thread-pool entry: run one coalesced group to completion."""
+        return execute_group(requests, vectorize=self.vectorize)

@@ -1,0 +1,421 @@
+"""The asyncio front end: newline-JSON over TCP, drained shutdown.
+
+Protocol -- one JSON object per line, in both directions.  Requests
+carry an ``op``:
+
+* ``{"op": "query", ...}`` -- a threshold query
+  (:meth:`repro.serve.request.QueryRequest.from_wire` fields).  The
+  response echoes ``id`` and carries ``decisions``/``queries``/
+  ``exact``/``batched`` on success, or ``status`` 400/429 plus an
+  ``error`` object on rejection.  Responses may arrive out of order
+  relative to pipelined requests; correlate by ``id``.
+* ``{"op": "metrics"}`` -- the live merged :mod:`repro.obs`
+  :class:`~repro.obs.MetricsSnapshot` as JSON.
+* ``{"op": "ping"}`` -- liveness probe.
+* ``{"op": "shutdown"}`` -- ask the service to drain and exit (the
+  programmatic twin of SIGTERM).
+
+Shutdown -- on SIGTERM/SIGINT (or the ``shutdown`` op) the service
+**drains**: admission sheds everything new with 429 ``draining``
+rejections, every already-admitted query runs to completion and its
+response is flushed, then connections close and the process exits 0.
+In-flight work is never dropped.
+
+:func:`serve_in_thread` runs the whole service on a background thread's
+event loop -- the harness tests and the benchmark drive a real TCP
+service in-process with it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from repro.obs import enable_metrics, snapshot_metrics
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.request import QueryRequest, RequestError
+from repro.serve.scheduler import BatchScheduler
+
+#: Cap on one request line; longer lines fail the connection (asyncio's
+#: readline raises) rather than buffering without bound.
+MAX_LINE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the service needs, in one picklable bundle.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port; ``0`` picks a free one (read it back from
+            :attr:`ThresholdQueryService.port`).
+        max_pending: Global admitted-but-unfinished cap.
+        tenant_rate: Per-tenant sustained requests/second (0 = off).
+        tenant_burst: Per-tenant burst capacity.
+        max_batch_runs: Cap on total trials per coalesced batch.
+        workers: Scheduler executor lanes.
+        vectorize: Allow the vectorized kernel.
+        metrics: Enable the :mod:`repro.obs` registry on startup so the
+            ``metrics`` endpoint reports live counters.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 1024
+    tenant_rate: float = 0.0
+    tenant_burst: float = 64.0
+    max_batch_runs: int = 4096
+    workers: int = 2
+    vectorize: bool = True
+    metrics: bool = True
+
+
+def _error_response(
+    rid: Optional[str], status: int, code: str, message: str
+) -> Dict[str, Any]:
+    """A failed-request payload (400-style parse errors, 429-style sheds)."""
+    return {
+        "id": rid,
+        "ok": False,
+        "status": status,
+        "error": {"code": code, "message": message},
+    }
+
+
+class ThresholdQueryService:
+    """The long-lived service: admission, scheduling, TCP front end.
+
+    Construct, then either :meth:`run` (binds, installs signal
+    handlers, blocks until drained shutdown -- the CLI path) or
+    :meth:`start` / :meth:`shutdown` for embedded use.
+
+    Args:
+        config: The service configuration.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.admission = AdmissionController(
+            AdmissionPolicy(
+                max_pending=config.max_pending,
+                tenant_rate=config.tenant_rate,
+                tenant_burst=config.tenant_burst,
+            )
+        )
+        self.scheduler = BatchScheduler(
+            max_batch_runs=config.max_batch_runs,
+            workers=config.workers,
+            vectorize=config.vectorize,
+        )
+        self._server: Optional[asyncio.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._inflight: Set["asyncio.Task[None]"] = set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self.port: int = config.port
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the scheduler workers."""
+        if self.config.metrics:
+            enable_metrics()
+        self._stop_event = asyncio.Event()
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = int(sock.getsockname()[1])
+            break
+
+    def request_shutdown(self) -> None:
+        """Flip the stop flag (signal handlers, the ``shutdown`` op)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until a shutdown has been requested."""
+        assert self._stop_event is not None, "service not started"
+        await self._stop_event.wait()
+
+    async def shutdown(self) -> None:
+        """Drain and stop: finish in-flight queries, flush, close.
+
+        The drain order is the correctness argument: shed new work
+        first, let every admitted query finish and write its response,
+        only then tear down connections and the listener.
+        """
+        self.admission.begin_drain()
+        if self._server is not None:
+            self._server.close()
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        await self.scheduler.drain()
+        for writer in tuple(self._connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+
+    async def run(self) -> int:
+        """CLI path: serve until SIGTERM/SIGINT, drain, exit 0."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_shutdown)
+        print(f"tcast-serve: listening on {self.config.host}:{self.port}", flush=True)
+        try:
+            await self.wait_stopped()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(signum)
+            await self.shutdown()
+        return 0
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: read lines, dispatch, write responses."""
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: Set["asyncio.Task[None]"] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._dispatch(stripped, writer, write_lock)
+                )
+                tasks.add(task)
+                self._inflight.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._inflight.discard)
+            if tasks:
+                await asyncio.gather(*tuple(tasks), return_exceptions=True)
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        payload: Dict[str, Any],
+    ) -> None:
+        """Serialise one response line under the connection's write lock."""
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        async with lock:
+            if writer.is_closing():
+                return
+            writer.write(data)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self,
+        raw: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """Parse and answer one request line."""
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            await self._write(
+                writer,
+                lock,
+                _error_response(None, 400, "bad_json", f"invalid JSON: {exc}"),
+            )
+            return
+        if not isinstance(obj, dict):
+            await self._write(
+                writer,
+                lock,
+                _error_response(None, 400, "bad_request", "expected a JSON object"),
+            )
+            return
+        op = obj.get("op", "query")
+        rid = obj.get("id") if isinstance(obj.get("id"), str) else None
+        if op == "ping":
+            await self._write(writer, lock, {"id": rid, "ok": True, "op": "ping"})
+        elif op == "metrics":
+            await self._write(
+                writer,
+                lock,
+                {
+                    "id": rid,
+                    "ok": True,
+                    "op": "metrics",
+                    "metrics": snapshot_metrics().to_dict(),
+                },
+            )
+        elif op == "shutdown":
+            await self._write(
+                writer, lock, {"id": rid, "ok": True, "op": "shutdown"}
+            )
+            self.request_shutdown()
+        elif op == "query":
+            await self._answer_query(obj, writer, lock)
+        else:
+            await self._write(
+                writer,
+                lock,
+                _error_response(rid, 400, "bad_op", f"unknown op {op!r}"),
+            )
+
+    async def _answer_query(
+        self,
+        obj: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """Admit, schedule and answer one query request."""
+        rid = obj.get("id") if isinstance(obj.get("id"), str) else None
+        try:
+            request = QueryRequest.from_wire(obj)
+        except RequestError as exc:
+            await self._write(
+                writer, lock, _error_response(rid, 400, exc.code, str(exc))
+            )
+            return
+        reason = self.admission.admit(request)
+        if reason is not None:
+            await self._write(
+                writer,
+                lock,
+                _error_response(
+                    request.id, 429, reason, f"request shed: {reason}"
+                ),
+            )
+            return
+        try:
+            outcome = await self.scheduler.submit(request)
+        except Exception as exc:
+            await self._write(
+                writer,
+                lock,
+                _error_response(request.id, 500, "internal", repr(exc)),
+            )
+            return
+        finally:
+            self.admission.release()
+        await self._write(
+            writer,
+            lock,
+            {
+                "id": request.id,
+                "ok": True,
+                "status": 200,
+                "decisions": list(outcome.decisions),
+                "queries": list(outcome.queries),
+                "exact": outcome.exact,
+                "batched": outcome.batched,
+            },
+        )
+
+
+class ServiceHandle:
+    """A service running on a background thread's event loop.
+
+    Built by :func:`serve_in_thread`; exposes the bound port and a
+    blocking :meth:`stop` that performs the full graceful drain.
+    """
+
+    def __init__(
+        self,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        service: ThresholdQueryService,
+    ) -> None:
+        self._thread = thread
+        self._loop = loop
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        """The service's bound TCP port."""
+        return self.service.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join the service thread (drains first)."""
+        self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not stop in time")
+
+    def __enter__(self) -> "ServiceHandle":
+        """Context-manager entry: the handle itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: graceful stop."""
+        self.stop()
+
+
+def serve_in_thread(config: ServeConfig) -> ServiceHandle:
+    """Start a service on a fresh background event loop; return its handle.
+
+    Blocks until the listener is bound (so :attr:`ServiceHandle.port` is
+    valid immediately), which makes it the natural harness for tests and
+    the benchmark: real TCP, real scheduler, no subprocess.
+    """
+    service = ThresholdQueryService(config)
+    started = threading.Event()
+    boot_error: Dict[str, BaseException] = {}
+    loop_box: Dict[str, asyncio.AbstractEventLoop] = {}
+
+    def _thread_main() -> None:
+        async def _amain() -> None:
+            loop_box["loop"] = asyncio.get_running_loop()
+            try:
+                await service.start()
+            except BaseException as exc:  # surface bind errors to the caller
+                boot_error["error"] = exc
+                started.set()
+                raise
+            started.set()
+            await service.wait_stopped()
+            await service.shutdown()
+
+        try:
+            asyncio.run(_amain())
+        except BaseException:
+            if not started.is_set():
+                started.set()
+
+    thread = threading.Thread(
+        target=_thread_main, name="tcast-serve", daemon=True
+    )
+    thread.start()
+    started.wait(timeout=30.0)
+    if "error" in boot_error:
+        thread.join(timeout=5.0)
+        raise RuntimeError(
+            f"service failed to start: {boot_error['error']!r}"
+        ) from boot_error["error"]
+    if "loop" not in loop_box:
+        raise RuntimeError("service thread did not start in time")
+    return ServiceHandle(thread, loop_box["loop"], service)

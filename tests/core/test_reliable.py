@@ -207,3 +207,79 @@ class TestReliableThresholdPlumbing:
         confirming.query([4, 5, 6])  # silent bin: 1 + 1 confirmation
         assert model.queries_used == 2
         assert confirming.queries_used == 2
+
+
+class _RecordingSilentModel:
+    """A stub model that records every query and always reads silent."""
+
+    def __init__(self):
+        self.calls = []
+
+    @property
+    def queries_used(self):
+        return len(self.calls)
+
+    @property
+    def population_size(self):
+        return 8
+
+    def query(self, members):
+        from repro.group_testing.model import BinObservation, ObservationKind
+
+        self.calls.append(list(members))
+        return BinObservation(kind=ObservationKind.SILENT, min_positives=0)
+
+
+class TestEmptyBinCost:
+    """Sec IV-C: empty bins never occupy a time slot.
+
+    The wrapper must answer a member-less bin locally -- zero charged
+    queries, zero confirmation reads -- and the retry policies must never
+    even be consulted about a ``bin_size == 0``.
+    """
+
+    def test_empty_bin_charges_zero_and_skips_the_model(self):
+        stub = _RecordingSilentModel()
+        confirming = ConfirmingModel(stub, KRepeatConfirm(3))
+        obs = confirming.query([])
+        assert obs.silent and obs.min_positives == 0
+        assert stub.calls == []  # the substrate never saw the bin
+        assert confirming.queries_used == 0
+        assert confirming.retries == 0
+        assert confirming.accepted_silent_bins == 0
+
+    def test_empty_bin_charges_zero_on_a_real_model(self):
+        pop = Population.from_count(8, 2)
+        model = OnePlusModel(pop, np.random.default_rng(0))
+        confirming = ConfirmingModel(model, ChernoffConfirm(0.1))
+        assert confirming.query([]).silent
+        assert model.queries_used == 0
+
+    def test_empty_bin_does_not_touch_the_residual_bound(self):
+        stub = _RecordingSilentModel()
+        confirming = ConfirmingModel(stub, ChernoffConfirm(0.1, delta=0.001))
+        confirming.query([])
+        # No accepted-silent bin was recorded, so a false decision's
+        # union bound stays the empty product (exactly zero).
+        assert confirming.residual_fn_bound(False) == 0.0
+
+    def test_nonempty_silent_bins_still_confirm(self):
+        stub = _RecordingSilentModel()
+        confirming = ConfirmingModel(stub, KRepeatConfirm(3))
+        confirming.query([1, 2])
+        assert stub.calls == [[1, 2]] * 3  # first read + 2 confirmations
+        assert confirming.retries == 2
+        assert confirming.accepted_silent_bins == 1
+
+    @pytest.mark.parametrize(
+        "policy",
+        [NoRetry(), KRepeatConfirm(2), ChernoffConfirm(0.1)],
+        ids=["no-retry", "k-repeat", "chernoff"],
+    )
+    def test_policies_reject_zero_member_consultations(self, policy):
+        with pytest.raises(ValueError, match="empty bins"):
+            policy.confirmations(0)
+        with pytest.raises(ValueError, match="empty bins"):
+            policy.residual_miss(0)
+        with pytest.raises(ValueError, match="empty bins"):
+            policy.confirmations(-1)

@@ -1,0 +1,81 @@
+"""Ctrl-C at the CLI boundary: exit 130, no traceback.
+
+Regression suite for the PR-9 bugfix: a ``KeyboardInterrupt`` raised
+anywhere inside a subcommand used to escape :func:`repro.experiments.cli.main`
+and spray a traceback; it is now caught at the ``main()`` boundary and
+converted to the conventional ``128 + SIGINT`` exit status.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import cli, report
+
+
+class TestInProcessBoundary:
+    @pytest.mark.parametrize(
+        "argv, target, attr",
+        [
+            (["list"], cli, "list_experiments"),
+            (["report"], report, "generate_report"),
+        ],
+    )
+    def test_keyboard_interrupt_becomes_130(
+        self, monkeypatch, capsys, argv, target, attr
+    ):
+        def _interrupt(*args: object, **kwargs: object) -> None:
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(target, attr, _interrupt)
+        assert cli.main(argv) == 130
+        err = capsys.readouterr().err
+        assert "[interrupted]" in err
+        assert "Traceback" not in err
+
+    def test_other_exceptions_still_propagate(self, monkeypatch):
+        def _boom(*args: object, **kwargs: object) -> None:
+            raise RuntimeError("not an interrupt")
+
+        monkeypatch.setattr(cli, "list_experiments", _boom)
+        with pytest.raises(RuntimeError, match="not an interrupt"):
+            cli.main(["list"])
+
+
+class TestSubprocessBoundary:
+    def test_interrupted_subcommand_exits_130(self, tmp_path):
+        """A real child process must exit 130 with a clean stderr."""
+        script = textwrap.dedent(
+            """
+            from repro.experiments import cli
+
+            def _interrupt(*args, **kwargs):
+                raise KeyboardInterrupt
+
+            cli.list_experiments = _interrupt
+            raise SystemExit(cli.main(["list"]))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parents[2] / "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 130, proc.stderr
+        assert "[interrupted]" in proc.stderr
+        assert "Traceback" not in proc.stderr

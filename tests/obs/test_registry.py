@@ -250,3 +250,51 @@ class TestModuleLevelHelpers:
             reset_metrics()
             registry.set_enabled(was_enabled)
         assert snapshot_metrics().counter("helper.test") == 0
+
+
+class TestSpanExceptionSemantics:
+    """A span must record exactly once however its block unwinds."""
+
+    def test_exception_unwind_records_exactly_once(self, reg):
+        timer = reg.timer("t")
+        with pytest.raises(RuntimeError):
+            with timer.time():
+                raise RuntimeError("boom")
+        assert timer.calls == 1
+        assert timer.total_seconds >= 0.0
+
+    def test_second_exit_is_a_noop(self, reg):
+        timer = reg.timer("t")
+        span = timer.time()
+        with pytest.raises(RuntimeError):
+            with span:
+                raise RuntimeError("boom")
+        span.__exit__(None, None, None)  # stray extra exit
+        assert timer.calls == 1
+
+    def test_reentering_a_span_starts_a_fresh_measurement(self, reg):
+        timer = reg.timer("t")
+        span = timer.time()
+        with span:
+            pass
+        with pytest.raises(RuntimeError):
+            with span:
+                raise RuntimeError("boom")
+        assert timer.calls == 2
+
+    def test_disabled_reentry_cannot_replay_a_stale_start(self, reg):
+        timer = reg.timer("t")
+        span = timer.time()
+        span.__enter__()  # enabled: start mark armed, never exited
+        reg.disable()
+        span.__enter__()  # disabled re-entry must clear the stale mark
+        span.__exit__(None, None, None)
+        assert timer.calls == 0
+
+    def test_exception_while_disabled_records_nothing(self, reg):
+        timer = reg.timer("t")
+        reg.disable()
+        with pytest.raises(RuntimeError):
+            with timer.time():
+                raise RuntimeError("boom")
+        assert timer.calls == 0

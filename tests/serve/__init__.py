@@ -1,0 +1,1 @@
+"""Tests for the threshold-query service (:mod:`repro.serve`)."""

@@ -1,0 +1,24 @@
+"""Shared fixtures: keep the process-wide metrics registry clean.
+
+The service enables the default :mod:`repro.obs` registry (that is the
+point of its ``metrics`` endpoint), which would otherwise leak an
+enabled, non-zero registry into unrelated tests.  Every test in this
+package runs inside a reset/disable bracket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import disable_metrics, metrics_enabled, reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics_registry():
+    """Zero and disable the default registry around each serve test."""
+    was_enabled = metrics_enabled()
+    reset_metrics()
+    yield
+    reset_metrics()
+    if not was_enabled:
+        disable_metrics()

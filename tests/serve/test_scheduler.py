@@ -1,0 +1,193 @@
+"""Scheduler behaviour: coalescing, ordering, drain, failure delivery."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import enable_metrics, get_registry
+from repro.serve.request import QueryRequest
+from repro.serve.scheduler import BatchScheduler
+
+
+def _request(rid: str, *, seed: int = 0, runs: int = 2, **overrides) -> QueryRequest:
+    fields = {
+        "id": rid,
+        "tenant": "t",
+        "n": 64,
+        "x": 20,
+        "threshold": 8,
+        "runs": runs,
+        "seed": seed,
+    }
+    fields.update(overrides)
+    return QueryRequest(**fields)
+
+
+def _run(coro):
+    """Run one scheduler scenario on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_queued_compatible_requests_share_one_batch(self):
+        """Enqueue before start: the first claim must sweep the queue."""
+        enable_metrics()
+        reg = get_registry()
+        batches_before = reg.snapshot().counter("serve.batches")
+
+        async def scenario():
+            scheduler = BatchScheduler(workers=1)
+            futures = [
+                scheduler.submit(_request(f"q{i}", seed=i)) for i in range(5)
+            ]
+            scheduler.start()
+            outcomes = await asyncio.gather(*futures)
+            await scheduler.drain()
+            return outcomes
+
+        outcomes = _run(scenario())
+        assert all(o.batched for o in outcomes)
+        assert reg.snapshot().counter("serve.batches") - batches_before == 1
+
+    def test_incompatible_requests_split_batches(self):
+        enable_metrics()
+        reg = get_registry()
+        batches_before = reg.snapshot().counter("serve.batches")
+
+        async def scenario():
+            scheduler = BatchScheduler(workers=1)
+            futures = [
+                scheduler.submit(_request("a1", seed=1)),
+                scheduler.submit(_request("b1", seed=2, threshold=9)),
+                scheduler.submit(_request("a2", seed=3)),
+            ]
+            scheduler.start()
+            outcomes = await asyncio.gather(*futures)
+            await scheduler.drain()
+            return outcomes
+
+        outcomes = _run(scenario())
+        assert len(outcomes) == 3
+        # Two distinct coalesce keys -> exactly two executed batches,
+        # with a1/a2 sharing one despite b1 sitting between them.
+        assert reg.snapshot().counter("serve.batches") - batches_before == 2
+
+    def test_max_batch_runs_caps_a_group(self):
+        enable_metrics()
+        reg = get_registry()
+        batches_before = reg.snapshot().counter("serve.batches")
+
+        async def scenario():
+            scheduler = BatchScheduler(workers=1, max_batch_runs=5)
+            futures = [
+                scheduler.submit(_request(f"q{i}", seed=i, runs=3))
+                for i in range(3)
+            ]
+            scheduler.start()
+            outcomes = await asyncio.gather(*futures)
+            await scheduler.drain()
+            return outcomes
+
+        _run(scenario())
+        # 3 + 3 + 3 runs under a 5-run cap: no single batch may hold
+        # more than one 3-run request's sibling -> at least two batches.
+        assert reg.snapshot().counter("serve.batches") - batches_before >= 2
+
+    def test_coalesced_answers_match_scalar_oracle(self):
+        async def scenario(vectorize):
+            scheduler = BatchScheduler(workers=1, vectorize=vectorize)
+            futures = [
+                scheduler.submit(_request(f"q{i}", seed=10 + i, runs=3))
+                for i in range(4)
+            ]
+            scheduler.start()
+            outcomes = await asyncio.gather(*futures)
+            await scheduler.drain()
+            return outcomes
+
+        fast = _run(scenario(True))
+        oracle = _run(scenario(False))
+        for got, want in zip(fast, oracle):
+            assert got.decisions == want.decisions
+            assert got.queries == want.queries
+
+
+class TestLifecycle:
+    def test_drain_finishes_queued_work(self):
+        async def scenario():
+            scheduler = BatchScheduler(workers=2)
+            futures = [
+                scheduler.submit(_request(f"q{i}", seed=i)) for i in range(6)
+            ]
+            scheduler.start()
+            await scheduler.drain()
+            return futures
+
+        futures = _run(scenario())
+        assert all(f.done() and f.exception() is None for f in futures)
+
+    def test_submit_after_drain_fails_fast(self):
+        async def scenario():
+            scheduler = BatchScheduler(workers=1)
+            scheduler.start()
+            await scheduler.drain()
+            with pytest.raises(RuntimeError, match="draining"):
+                scheduler.submit(_request("late"))
+
+        _run(scenario())
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            scheduler = BatchScheduler(workers=1)
+            scheduler.start()
+            try:
+                with pytest.raises(RuntimeError, match="already started"):
+                    scheduler.start()
+            finally:
+                await scheduler.drain()
+
+        _run(scenario())
+
+    def test_latency_histogram_observes_each_request(self):
+        enable_metrics()
+        reg = get_registry()
+
+        async def scenario():
+            scheduler = BatchScheduler(workers=1)
+            futures = [
+                scheduler.submit(_request(f"q{i}", seed=i)) for i in range(3)
+            ]
+            scheduler.start()
+            await asyncio.gather(*futures)
+            await scheduler.drain()
+
+        before = reg.snapshot().histograms.get("serve.latency_ms")
+        count_before = before.total if before is not None else 0
+        _run(scenario())
+        after = reg.snapshot().histograms["serve.latency_ms"]
+        assert after.total - count_before == 3
+
+
+class TestFailureDelivery:
+    def test_executor_exception_reaches_every_future(self, monkeypatch):
+        from repro.serve import scheduler as scheduler_mod
+
+        def _boom(requests, *, vectorize):
+            raise RuntimeError("executor exploded")
+
+        monkeypatch.setattr(scheduler_mod, "execute_group", _boom)
+
+        async def scenario():
+            scheduler = BatchScheduler(workers=1)
+            futures = [
+                scheduler.submit(_request(f"q{i}", seed=i)) for i in range(3)
+            ]
+            scheduler.start()
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            await scheduler.drain()
+            return results
+
+        results = _run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
