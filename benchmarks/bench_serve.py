@@ -16,11 +16,19 @@ and measures it:
    (scalar confirmation path) for the latency/throughput contrast, and
    a shed window against a tiny token bucket confirming load-shedding
    stays cheap (rejections are counted, not queued).
+4. **Fault load** -- a :class:`~repro.serve.chaos.ChaosProxy` injecting
+   ~10% connection faults between a
+   :class:`~repro.serve.client.RetryingServeClient` and the service.
+   Every query must still answer bit-identically; the leg **fails** on
+   a blown p99 ratchet (:data:`FAULT_P99_CEILING_MS`), on a wall-clock
+   hang (SIGALRM hard bound), or if the client's retry count stops
+   reconciling with the proxy's injected-fault ground truth.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--seconds 4]
         [--clients 4] [--window 64] [--out BENCH_serve.json] [--quick]
+        [--fault-only]
 
 The JSON lands at the repo root as ``BENCH_serve.json`` by default so
 CI can upload it as an artifact.
@@ -29,9 +37,11 @@ CI can upload it as an artifact.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import pathlib
+import signal
 import sys
 import threading
 import time
@@ -40,7 +50,12 @@ from datetime import datetime, timezone
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.chaos import ChaosSpec, chaos_in_thread  # noqa: E402
+from repro.serve.client import (  # noqa: E402
+    ClientRetryPolicy,
+    RetryingServeClient,
+    ServeClient,
+)
 from repro.serve.executor import execute_group  # noqa: E402
 from repro.serve.request import QueryRequest  # noqa: E402
 from repro.serve.server import ServeConfig, serve_in_thread  # noqa: E402
@@ -54,6 +69,116 @@ QUERIES_PER_SECOND_FLOOR = 500.0
 #: The benchmark population: one coalesce family so every request may
 #: share a batch.
 BENCH_QUERY = {"n": 64, "x": 20, "threshold": 8, "runs": 1}
+
+#: Per-chunk disconnect probability on each proxy pump direction.  A
+#: query round trip crosses the proxy as roughly one chunk per
+#: direction, so ~10% of queries lose their connection mid-flight.
+FAULT_DISCONNECT_RATE = 0.05
+
+#: p99 ratchet for the fault-load leg, in milliseconds: a retried query
+#: pays one reconnect plus a small jittered backoff, never a storm.
+FAULT_P99_CEILING_MS = 500.0
+
+#: Hard wall-clock bound on the whole fault-load leg (the no-hang gate).
+FAULT_WALL_CLOCK_LIMIT = 180
+
+
+@contextlib.contextmanager
+def _wall_clock_bound(seconds: int, label: str):
+    """SIGALRM hard bound: a hang fails the bench instead of wedging CI."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _blow_up(signum, frame):
+        raise AssertionError(
+            f"{label}: exceeded the {seconds}s wall-clock bound (hang)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _blow_up)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def bench_fault_load(port: int, *, queries: int, enforce_gate: bool) -> dict:
+    """Queries through ~10% connection faults: correct, bounded, reconciled."""
+    spec = ChaosSpec(p_disconnect=FAULT_DISCONNECT_RATE, seed=29)
+    latencies: list = []
+    with _wall_clock_bound(FAULT_WALL_CLOCK_LIMIT, "fault_load"):
+        with chaos_in_thread("127.0.0.1", port, spec) as chaos:
+            client = RetryingServeClient(
+                "127.0.0.1",
+                chaos.port,
+                policy=ClientRetryPolicy(
+                    max_attempts=8,
+                    base_delay=0.01,
+                    max_delay=0.1,
+                    breaker_threshold=0,  # faults are the point
+                ),
+                timeout=10.0,
+            )
+            for i in range(queries):
+                wire = {
+                    "op": "query",
+                    "id": f"fault-{i}",
+                    "tenant": "fault",
+                    "seed": i,
+                    **BENCH_QUERY,
+                    "runs": 2,
+                }
+                t0 = time.perf_counter()
+                reply = client.query(wire, deadline_ms=30_000)
+                t1 = time.perf_counter()
+                if not reply.get("ok"):
+                    raise AssertionError(f"fault-load query failed: {reply}")
+                [expected] = execute_group(
+                    [QueryRequest.from_wire(wire)], vectorize=False
+                )
+                if tuple(reply["decisions"]) != expected.decisions:
+                    raise AssertionError(
+                        f"fault-load answer diverged at seed={i}: "
+                        f"{reply} vs {expected}"
+                    )
+                latencies.append(t1 - t0)
+            attempts = client.attempts_made
+            client.close()
+            injected = chaos.injected
+    retries = attempts - queries
+    disconnects = injected["disconnects"]
+    # Ground-truth reconciliation: every injected disconnect aborts
+    # exactly one in-flight attempt, and (absent pathological timeouts)
+    # nothing else makes the client retry.
+    if retries != disconnects:
+        raise AssertionError(
+            f"fault-load retries do not reconcile with injected faults: "
+            f"{retries} retries vs {disconnects} injected disconnects"
+        )
+    lat = sorted(latencies)
+    p99_ms = _percentile(lat, 0.99) * 1e3
+    result = {
+        "queries": queries,
+        "attempts": attempts,
+        "retries": retries,
+        "injected_disconnects": disconnects,
+        "injected_connections": injected["connections"],
+        "latency_p50_ms": round(_percentile(lat, 0.50) * 1e3, 3),
+        "latency_p99_ms": round(p99_ms, 3),
+        "latency_max_ms": round((lat[-1] if lat else 0.0) * 1e3, 3),
+        "p99_ceiling_ms": FAULT_P99_CEILING_MS,
+        "gate_enforced": enforce_gate,
+        "reconciled": True,
+    }
+    if enforce_gate and p99_ms > FAULT_P99_CEILING_MS:
+        raise AssertionError(
+            f"fault_load: p99 {p99_ms:.1f}ms blew the "
+            f"{FAULT_P99_CEILING_MS:.0f}ms ratchet under "
+            f"{FAULT_DISCONNECT_RATE:.0%}/chunk injected disconnects"
+        )
+    return result
 
 
 def _percentile(sorted_values: list, q: float) -> float:
@@ -278,6 +403,11 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="shrink every leg and skip the throughput gate (CI smoke)",
     )
+    parser.add_argument(
+        "--fault-only", action="store_true",
+        help="run only the identity check and the fault-load leg "
+        "(the serve-chaos CI job)",
+    )
     args = parser.parse_args(argv)
 
     seconds = 1.0 if args.quick else args.seconds
@@ -298,64 +428,57 @@ def main(argv=None) -> int:
             "bit-identical: OK"
         )
 
-        print("[bench_serve] throughput: vectorized coalescing path ...")
-        throughput = bench_throughput(
+        throughput = None
+        reliable = None
+        if not args.fault_only:
+            throughput, reliable = _healthy_legs(
+                handle.port, args, seconds, clients
+            )
+
+        fault_queries = 40 if args.quick else 200
+        print(
+            f"[bench_serve] fault load: {FAULT_DISCONNECT_RATE:.0%}/chunk "
+            f"disconnects, {fault_queries} queries ..."
+        )
+        fault_load = bench_fault_load(
             handle.port,
-            seconds=seconds,
-            clients=clients,
-            window=args.window,
-            label="vec",
-            extra={},
+            queries=fault_queries,
             enforce_gate=not args.quick,
         )
-        gate_note = (
-            f"floor {QUERIES_PER_SECOND_FLOOR:.0f} q/s"
-            if throughput["gate_enforced"]
-            else "gate skipped: quick mode"
-        )
         print(
-            f"[bench_serve]   {throughput['queries_per_second']} q/s, "
-            f"p50 {throughput['latency_p50_ms']}ms, "
-            f"p99 {throughput['latency_p99_ms']}ms ({gate_note})"
-        )
-
-        print("[bench_serve] degradation: reliable (scalar) path ...")
-        reliable = bench_throughput(
-            handle.port,
-            seconds=seconds,
-            clients=clients,
-            window=min(args.window, 16),
-            label="rel",
-            extra={"reliable": "krepeat"},
-            enforce_gate=False,
-        )
-        print(
-            f"[bench_serve]   {reliable['queries_per_second']} q/s, "
-            f"p50 {reliable['latency_p50_ms']}ms, "
-            f"p99 {reliable['latency_p99_ms']}ms (no gate: scalar path)"
+            f"[bench_serve]   {fault_load['retries']} retries for "
+            f"{fault_load['injected_disconnects']} injected disconnects "
+            f"(reconciled), p99 {fault_load['latency_p99_ms']}ms "
+            f"(ceiling {FAULT_P99_CEILING_MS:.0f}ms"
+            f"{'' if fault_load['gate_enforced'] else ', gate skipped'})"
         )
 
         with ServeClient("127.0.0.1", handle.port) as client:
             counters = client.request({"op": "metrics"})["metrics"]["counters"]
 
-    print("[bench_serve] shedding: tiny token bucket ...")
-    shedding = bench_shedding(min(seconds, 2.0))
-    print(
-        f"[bench_serve]   {shedding['served']} served, "
-        f"{shedding['shed']} shed of {shedding['sent']} "
-        f"({shedding['shed_fraction']:.0%} shed)"
-    )
+    if args.fault_only:
+        shedding = None
+    else:
+        print("[bench_serve] shedding: tiny token bucket ...")
+        shedding = bench_shedding(min(seconds, 2.0))
+        print(
+            f"[bench_serve]   {shedding['served']} served, "
+            f"{shedding['shed']} shed of {shedding['sent']} "
+            f"({shedding['shed_fraction']:.0%} shed)"
+        )
 
     payload = {
         "benchmark": "serve",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "cpu_count": os.cpu_count(),
         "quick": args.quick,
+        "fault_only": args.fault_only,
         "queries_per_second_floor": QUERIES_PER_SECOND_FLOOR,
         "identity": identity,
         "throughput": throughput,
         "reliable": reliable,
         "shedding": shedding,
+        "fault_load": fault_load,
         "serve_counters": {
             k: v for k, v in sorted(counters.items())
             if k.startswith("serve.")
@@ -364,6 +487,47 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench_serve] wrote {args.out}")
     return 0
+
+
+def _healthy_legs(port, args, seconds, clients):
+    """The throughput and degradation sections (skipped by --fault-only)."""
+    print("[bench_serve] throughput: vectorized coalescing path ...")
+    throughput = bench_throughput(
+        port,
+        seconds=seconds,
+        clients=clients,
+        window=args.window,
+        label="vec",
+        extra={},
+        enforce_gate=not args.quick,
+    )
+    gate_note = (
+        f"floor {QUERIES_PER_SECOND_FLOOR:.0f} q/s"
+        if throughput["gate_enforced"]
+        else "gate skipped: quick mode"
+    )
+    print(
+        f"[bench_serve]   {throughput['queries_per_second']} q/s, "
+        f"p50 {throughput['latency_p50_ms']}ms, "
+        f"p99 {throughput['latency_p99_ms']}ms ({gate_note})"
+    )
+
+    print("[bench_serve] degradation: reliable (scalar) path ...")
+    reliable = bench_throughput(
+        port,
+        seconds=seconds,
+        clients=clients,
+        window=min(args.window, 16),
+        label="rel",
+        extra={"reliable": "krepeat"},
+        enforce_gate=False,
+    )
+    print(
+        f"[bench_serve]   {reliable['queries_per_second']} q/s, "
+        f"p50 {reliable['latency_p50_ms']}ms, "
+        f"p99 {reliable['latency_p99_ms']}ms (no gate: scalar path)"
+    )
+    return throughput, reliable
 
 
 if __name__ == "__main__":

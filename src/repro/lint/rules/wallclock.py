@@ -7,6 +7,14 @@ from typing import Iterator
 
 from repro.lint.engine import Finding, LintContext, Rule, SIM_SCOPE_DIRS
 
+#: TCL002 scope: the simulation packages plus the serve stack, whose
+#: deadline/CoDel/retry timing must flow through injectable clock
+#: objects (``clock: Callable[[], float] = time.monotonic`` default
+#: *references* are fine -- only calls are banned) so the resilience
+#: machinery stays deterministic under test.  Wall-clock *calls* belong
+#: only at CLI boundaries.
+_SCOPE_DIRS = SIM_SCOPE_DIRS + ("serve",)
+
 #: Wall-clock callables banned inside simulation-scoped packages.
 _BANNED_CALLS = {
     "time.time",
@@ -32,9 +40,14 @@ class WallclockInSim(Rule):
     only admissible clock is the simulator's (``sim.now``).  Reading the
     host clock there makes behaviour depend on machine load -- results
     stop being reproducible and the parallel sweep backend stops being
-    bit-identical to the serial one.  Test files are exempt (they time
-    and profile legitimately); genuinely wall-clock reporting code (the
-    CLI's elapsed-time banner) carries a justified pragma.
+    bit-identical to the serial one.  ``serve/`` is scoped for the same
+    reason one layer up: its deadline, CoDel and retry machinery takes
+    injectable clock callables (default-argument *references* to
+    ``time.monotonic`` are allowed; only calls are flagged), so the
+    resilience tests can drive time deterministically.  Test files are
+    exempt (they time and profile legitimately); genuinely wall-clock
+    reporting code (the CLI's elapsed-time banner) carries a justified
+    pragma.
 
     Bad::
 
@@ -59,13 +72,13 @@ class WallclockInSim(Rule):
     name = "wallclock-in-sim"
     summary = (
         "no time.time()/perf_counter()/datetime.now() inside sim/, "
-        "core/, group_testing/, experiments/"
+        "core/, group_testing/, experiments/, serve/"
     )
     example_path = "repro/sim/example.py"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         """Flag wall-clock calls in simulation-scoped, non-test files."""
-        if ctx.is_test_file or not ctx.in_scope(*SIM_SCOPE_DIRS):
+        if ctx.is_test_file or not ctx.in_scope(*_SCOPE_DIRS):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):

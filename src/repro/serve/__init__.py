@@ -22,15 +22,35 @@ The pipeline, front to back:
   running each request alone.
 * :mod:`repro.serve.server` -- the newline-JSON-over-TCP front end with
   graceful SIGTERM/SIGINT drain and a live ``metrics`` endpoint.
-* :mod:`repro.serve.client` -- a small synchronous client used by the
-  CLI, the tests and the benchmark harness.
+* :mod:`repro.serve.errors` -- the typed failure hierarchy
+  (:class:`~repro.serve.errors.ServeError`) the front end renders into
+  wire frames mechanically.
+* :mod:`repro.serve.client` -- synchronous clients: the plain
+  :class:`~repro.serve.client.ServeClient` and the retrying,
+  circuit-breaking :class:`~repro.serve.client.RetryingServeClient`.
+* :mod:`repro.serve.chaos` -- a seeded TCP fault-injection proxy
+  (:class:`~repro.serve.chaos.ChaosProxy`) for the resilience suite.
 * :mod:`repro.serve.cli` -- the ``tcast-serve`` console entry point.
 
-See DESIGN.md section 16 for the design rationale.
+See DESIGN.md sections 16 (service) and 17 (resilience) for the
+design rationale.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionPolicy, TokenBucket
-from repro.serve.client import ServeClient
+from repro.serve.chaos import ChaosHandle, ChaosProxy, ChaosSpec, chaos_in_thread
+from repro.serve.client import (
+    CircuitOpenError,
+    ClientRetryPolicy,
+    RetriesExhausted,
+    RetryingServeClient,
+    ServeClient,
+)
+from repro.serve.errors import (
+    CodelShed,
+    DeadlineExceeded,
+    QueryExecutionError,
+    ServeError,
+)
 from repro.serve.executor import QueryOutcome, execute_group
 from repro.serve.request import QueryRequest, RequestError
 from repro.serve.scheduler import BatchScheduler
@@ -40,13 +60,26 @@ __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "BatchScheduler",
+    "ChaosHandle",
+    "ChaosProxy",
+    "ChaosSpec",
+    "CircuitOpenError",
+    "ClientRetryPolicy",
+    "CodelShed",
+    "DeadlineExceeded",
+    "QueryExecutionError",
     "QueryOutcome",
     "QueryRequest",
     "RequestError",
+    "RetriesExhausted",
+    "RetryingServeClient",
     "ServeClient",
     "ServeConfig",
+    "ServeError",
     "ServiceHandle",
     "ThresholdQueryService",
     "TokenBucket",
+    "chaos_in_thread",
     "execute_group",
+    "serve_in_thread",
 ]

@@ -8,10 +8,12 @@ layers:
 * a **global pending cap** -- at most ``max_pending`` admitted requests
   may be queued or in flight at once, bounding memory and tail latency.
 
-Rejections are 429-style: cheap, counted per reason in :mod:`repro.obs`
+Rejections are cheap, counted per reason in :mod:`repro.obs`
 (``serve.rejected.rate_limited`` / ``serve.rejected.queue_full`` /
-``serve.rejected.draining``), and carrying a stable reason code the
-front end echoes to the client.  A draining service (shutdown signal
+``serve.rejected.draining`` / ``serve.rejected.deadline``), and carry a
+stable reason code the front end echoes to the client -- 429-style for
+load sheds, 504-style for requests whose ``deadline_ms`` budget is
+already spent on arrival.  A draining service (shutdown signal
 received) sheds everything new while in-flight work finishes.
 
 The controller is synchronous and lock-free by construction: it is only
@@ -33,11 +35,13 @@ _ADMITTED = _OBS.counter("serve.admitted")
 _REJ_RATE = _OBS.counter("serve.rejected.rate_limited")
 _REJ_FULL = _OBS.counter("serve.rejected.queue_full")
 _REJ_DRAIN = _OBS.counter("serve.rejected.draining")
+_REJ_DEADLINE = _OBS.counter("serve.rejected.deadline")
 
 #: Rejection reason codes (stable wire values).
 REASON_RATE_LIMITED = "rate_limited"
 REASON_QUEUE_FULL = "queue_full"
 REASON_DRAINING = "draining"
+REASON_DEADLINE = "deadline"
 
 
 class TokenBucket:
@@ -155,13 +159,19 @@ class AdmissionController:
 
         ``None`` means admitted: the caller owns one pending slot and
         must call :meth:`release` exactly once when the request finishes
-        (successfully or not).  A string return is a 429-style shed
-        (:data:`REASON_DRAINING` / :data:`REASON_RATE_LIMITED` /
-        :data:`REASON_QUEUE_FULL`), already counted in the metrics.
+        (successfully or not).  A string return is a shed
+        (:data:`REASON_DRAINING` / :data:`REASON_DEADLINE` /
+        :data:`REASON_RATE_LIMITED` / :data:`REASON_QUEUE_FULL`),
+        already counted in the metrics.  Deadline rejections come
+        before the token bucket so already-dead work never spends a
+        tenant's rate budget.
         """
         if self._draining:
             _REJ_DRAIN.inc()
             return REASON_DRAINING
+        if request.deadline_ms is not None and request.deadline_ms <= 0:
+            _REJ_DEADLINE.inc()
+            return REASON_DEADLINE
         if self.policy.tenant_rate > 0 and not self._bucket(
             request.tenant
         ).try_acquire():

@@ -1,0 +1,341 @@
+"""A seeded TCP chaos proxy for torturing the serve stack.
+
+:class:`ChaosProxy` sits between a client and a running
+:class:`~repro.serve.server.ThresholdQueryService`, forwarding bytes in
+both directions while injecting transport faults drawn from seeded
+random streams -- the serve-layer sibling of :mod:`repro.faults`, one
+layer down the stack (TCP bytes instead of bin verdicts):
+
+* **latency** -- every forwarded chunk is delayed by
+  ``latency_ms`` plus a uniform jitter;
+* **stalls** -- with probability ``p_stall`` a chunk is held for
+  ``stall_ms`` before forwarding (a wedged middlebox, not a dead one);
+* **truncation** -- with probability ``p_truncate`` a chunk is cut in
+  half mid-frame and the connection aborted, so the victim sees a
+  syntactically broken partial line followed by a reset;
+* **disconnects** -- with probability ``p_disconnect`` the connection
+  is aborted outright between chunks.
+
+Faults are drawn per connection from streams rooted at
+``SeedSequence((seed, connection_index))`` -- the :mod:`repro.faults`
+idiom -- with one child stream per pump direction, so a run's fault
+pattern is a function of the spec, not of scheduler interleaving.
+Injected faults are counted per kind on the proxy
+(:attr:`ChaosProxy.injected`), giving tests and the benchmark ground
+truth to reconcile server-side ``serve.*`` counters against.
+
+The proxy is deliberately protocol-blind: it never parses frames, so it
+can cut a JSON line anywhere -- exactly the damage the server's
+:class:`~repro.serve.server._FrameReader` and the retrying client must
+survive.
+
+:func:`chaos_in_thread` mirrors
+:func:`~repro.serve.server.serve_in_thread`: it runs a proxy on a
+background thread's event loop so blocking clients (the tests, the
+benchmark) can dial through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Forwarding chunk size; small enough that multi-frame pipelines span
+#: several chunks (giving per-chunk faults several chances to fire).
+_CHUNK = 1 << 14
+
+
+class _Cut(Exception):
+    """Internal: this connection was chosen for a hard abort."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Declarative fault mix for one :class:`ChaosProxy`.
+
+    Attributes:
+        latency_ms: Fixed delay added to every forwarded chunk.
+        latency_jitter_ms: Extra uniform ``[0, jitter)`` delay per chunk.
+        p_truncate: Per-chunk probability of a mid-frame cut: half the
+            chunk is forwarded, then the connection is aborted.
+        p_disconnect: Per-chunk probability of aborting the connection
+            between chunks (the chunk is dropped whole).
+        p_stall: Per-chunk probability of holding the chunk ``stall_ms``
+            before forwarding it intact.
+        stall_ms: Stall duration.
+        seed: Root seed for all fault randomness.
+    """
+
+    latency_ms: float = 0.0
+    latency_jitter_ms: float = 0.0
+    p_truncate: float = 0.0
+    p_disconnect: float = 0.0
+    p_stall: float = 0.0
+    stall_ms: float = 50.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Reject nonsensical configurations eagerly."""
+        if self.latency_ms < 0 or self.latency_jitter_ms < 0:
+            raise ValueError("latency_ms and latency_jitter_ms must be >= 0")
+        for name in ("p_truncate", "p_disconnect", "p_stall"):
+            p = float(getattr(self, name))
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.stall_ms < 0:
+            raise ValueError(f"stall_ms must be >= 0, got {self.stall_ms}")
+
+    @classmethod
+    def none(cls) -> "ChaosSpec":
+        """A fault-free spec: the proxy forwards bytes untouched."""
+        return cls()
+
+
+class ChaosProxy:
+    """The asyncio proxy itself (see the module docstring).
+
+    Args:
+        upstream_host: The real service's host.
+        upstream_port: The real service's port.
+        spec: The fault mix.
+        host: Proxy bind address.
+        port: Proxy bind port; ``0`` picks a free one (read it back
+            from :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        spec: ChaosSpec = ChaosSpec(),
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self.spec = spec
+        self._host = host
+        self.port = port
+        self._server: Optional[asyncio.Server] = None
+        self._conn_index = 0
+        self._counts: Dict[str, int] = {
+            "connections": 0,
+            "delays": 0,
+            "stalls": 0,
+            "truncations": 0,
+            "disconnects": 0,
+        }
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        """Ground-truth injected-fault counts, per kind (a copy)."""
+        return dict(self._counts)
+
+    async def start(self) -> None:
+        """Bind the proxy listener."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self.port
+        )
+        for sock in self._server.sockets or ():
+            self.port = int(sock.getsockname()[1])
+            break
+
+    async def stop(self) -> None:
+        """Close the listener (live connections die with the loop)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        """Proxy one client connection through the fault mix."""
+        index = self._conn_index
+        self._conn_index += 1
+        self._counts["connections"] += 1
+        # One stream per pump direction, both rooted at (seed, index):
+        # asyncio interleaving between the directions cannot reorder
+        # either direction's own draws.
+        children = np.random.SeedSequence((self.spec.seed, index)).spawn(2)
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self._upstream
+            )
+        except (ConnectionError, OSError):
+            client_writer.close()
+            return
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(
+                    client_reader, up_writer, np.random.default_rng(children[0])
+                )
+            ),
+            asyncio.ensure_future(
+                self._pump(
+                    up_reader, client_writer, np.random.default_rng(children[1])
+                )
+            ),
+        ]
+        try:
+            await asyncio.gather(*pumps)
+        except (_Cut, ConnectionError, OSError):
+            for pump in pumps:
+                pump.cancel()
+            for writer in (client_writer, up_writer):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+        finally:
+            await asyncio.gather(*pumps, return_exceptions=True)
+            for writer in (client_writer, up_writer):
+                writer.close()
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        rng: np.random.Generator,
+    ) -> None:
+        """Forward one direction, chunk by chunk, through the fault mix."""
+        spec = self.spec
+        while True:
+            chunk = await reader.read(_CHUNK)
+            if not chunk:
+                break
+            delay = spec.latency_ms
+            if spec.latency_jitter_ms > 0:
+                delay += float(rng.uniform(0.0, spec.latency_jitter_ms))
+            if delay > 0:
+                self._counts["delays"] += 1
+                await asyncio.sleep(delay / 1e3)
+            if spec.p_stall > 0 and float(rng.random()) < spec.p_stall:
+                self._counts["stalls"] += 1
+                await asyncio.sleep(spec.stall_ms / 1e3)
+            if spec.p_truncate > 0 and float(rng.random()) < spec.p_truncate:
+                self._counts["truncations"] += 1
+                writer.write(chunk[: len(chunk) // 2])
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                raise _Cut()
+            if spec.p_disconnect > 0 and float(rng.random()) < spec.p_disconnect:
+                self._counts["disconnects"] += 1
+                raise _Cut()
+            writer.write(chunk)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                break
+        # Clean EOF on this direction: half-close so the peer sees it,
+        # while the opposite direction keeps flowing.
+        try:
+            if writer.can_write_eof():
+                writer.write_eof()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ChaosHandle:
+    """A proxy running on a background thread's event loop.
+
+    Built by :func:`chaos_in_thread`; exposes the bound port, the live
+    injected-fault counts, and a blocking :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        proxy: ChaosProxy,
+        stop_event: "asyncio.Event",
+    ) -> None:
+        self._thread = thread
+        self._loop = loop
+        self.proxy = proxy
+        self._stop_event = stop_event
+
+    @property
+    def port(self) -> int:
+        """The proxy's bound TCP port."""
+        return self.proxy.port
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        """Ground-truth injected-fault counts so far."""
+        return self.proxy.injected
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the proxy down and join its thread."""
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("chaos proxy thread did not stop in time")
+
+    def __enter__(self) -> "ChaosHandle":
+        """Context-manager entry: the handle itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: stop the proxy."""
+        self.stop()
+
+
+def chaos_in_thread(
+    upstream_host: str, upstream_port: int, spec: ChaosSpec = ChaosSpec()
+) -> ChaosHandle:
+    """Run a :class:`ChaosProxy` on a background event loop; return its handle.
+
+    Blocks until the proxy is bound, mirroring
+    :func:`~repro.serve.server.serve_in_thread` -- point a blocking
+    client at :attr:`ChaosHandle.port` and every byte flows through the
+    fault mix.
+    """
+    proxy = ChaosProxy(upstream_host, upstream_port, spec)
+    started = threading.Event()
+    boot_error: Dict[str, BaseException] = {}
+    box: Dict[str, object] = {}
+
+    def _thread_main() -> None:
+        async def _amain() -> None:
+            box["loop"] = asyncio.get_running_loop()
+            stop_event = asyncio.Event()
+            box["stop"] = stop_event
+            try:
+                await proxy.start()
+            except BaseException as exc:
+                boot_error["error"] = exc
+                started.set()
+                raise
+            started.set()
+            await stop_event.wait()
+            await proxy.stop()
+
+        try:
+            asyncio.run(_amain())
+        except BaseException:
+            if not started.is_set():
+                started.set()
+
+    thread = threading.Thread(
+        target=_thread_main, name="tcast-chaos", daemon=True
+    )
+    thread.start()
+    started.wait(timeout=30.0)
+    if "error" in boot_error:
+        thread.join(timeout=5.0)
+        raise RuntimeError(
+            f"chaos proxy failed to start: {boot_error['error']!r}"
+        ) from boot_error["error"]
+    loop = box.get("loop")
+    stop_event = box.get("stop")
+    if not isinstance(loop, asyncio.AbstractEventLoop) or not isinstance(
+        stop_event, asyncio.Event
+    ):
+        raise RuntimeError("chaos proxy thread did not start in time")
+    return ChaosHandle(thread, loop, proxy, stop_event)

@@ -67,6 +67,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-metrics", action="store_true",
         help="leave the repro.obs registry disabled",
     )
+    run.add_argument(
+        "--max-connections", type=int, default=256,
+        help="cap on concurrently open client connections",
+    )
+    run.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="close a connection idle for this many seconds (0 disables)",
+    )
+    run.add_argument(
+        "--read-deadline", type=float, default=30.0,
+        help="max seconds to finish one started frame (0 disables)",
+    )
+    run.add_argument(
+        "--max-inflight-per-conn", type=int, default=128,
+        help="per-connection cap on pipelined in-flight requests",
+    )
+    run.add_argument(
+        "--codel-target-ms", type=float, default=0.0,
+        help="CoDel queue-wait p50 target in ms (0 disables shedding)",
+    )
+    run.add_argument(
+        "--codel-interval-ms", type=float, default=100.0,
+        help="CoDel watchdog inspection interval in ms",
+    )
 
     query = sub.add_parser("query", help="send one threshold query")
     query.add_argument("--host", default="127.0.0.1", help="service host")
@@ -92,6 +116,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--tenant", default="cli", help="rate-limiting principal"
     )
+    query.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="end-to-end budget in ms (server sheds expired work)",
+    )
 
     metrics = sub.add_parser("metrics", help="dump the live metrics snapshot")
     metrics.add_argument("--host", default="127.0.0.1", help="service host")
@@ -112,6 +140,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         vectorize=not args.no_vectorize,
         metrics=not args.no_metrics,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
+        read_deadline=args.read_deadline,
+        max_inflight_per_conn=args.max_inflight_per_conn,
+        codel_target_ms=args.codel_target_ms,
+        codel_interval_ms=args.codel_interval_ms,
     )
     return asyncio.run(ThresholdQueryService(config).run())
 
@@ -132,7 +166,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         "reliable": args.reliable,
     }
     with ServeClient(args.host, args.port) as client:
-        reply = client.request(payload)
+        reply = client.query(payload, deadline_ms=args.deadline_ms)
     print(json.dumps(reply, indent=2, sort_keys=True))
     return 0 if reply.get("ok") else 1
 

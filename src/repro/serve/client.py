@@ -1,20 +1,74 @@
-"""A small synchronous client for the threshold-query service.
+"""Clients for the threshold-query service: plain and self-healing.
 
-Speaks the newline-JSON protocol of :mod:`repro.serve.server` over a
-plain blocking socket.  :meth:`ServeClient.request` is the simple
-round-trip; :meth:`ServeClient.send` / :meth:`ServeClient.recv` split
-the halves so callers can pipeline many requests down one connection
-(the benchmark's throughput driver does exactly that, correlating
-responses by ``id``).
+:class:`ServeClient` speaks the newline-JSON protocol of
+:mod:`repro.serve.server` over a plain blocking socket.
+:meth:`ServeClient.request` is the simple round-trip;
+:meth:`ServeClient.send` / :meth:`ServeClient.recv` split the halves so
+callers can pipeline many requests down one connection (the benchmark's
+throughput driver does exactly that, correlating responses by ``id``).
+Every socket operation is bounded by a timeout -- a dead or wedged
+server raises instead of blocking forever -- and :meth:`ServeClient.query`
+threads a per-request ``deadline_ms`` through both the socket timeout
+and the wire (so the server sheds the request too if it cannot answer
+in time).
 
-Deliberately dependency-free and thread-dumb: one client per thread.
+:class:`RetryingServeClient` wraps that transport in the repo's
+reliability vocabulary (cf. :mod:`repro.core.reliable`: a declarative
+policy object owns the numbers, the wrapper owns the loop):
+
+* **jittered exponential backoff** on connect/timeout/connection
+  errors, seeded and injectable so tests are deterministic;
+* a **circuit breaker** -- after ``breaker_threshold`` consecutive
+  transport failures the circuit opens and calls fail fast with
+  :class:`CircuitOpenError` for ``breaker_cooldown`` seconds, then a
+  single half-open probe decides between closing it and re-opening;
+* **per-request deadlines** -- a ``deadline_ms`` budget caps the whole
+  retry loop, not just one attempt.
+
+Application-level rejections (400/429/504 frames) are returned to the
+caller, never retried: they are deterministic answers, and retrying a
+rate-limit shed would only feed the stampede.  Only transport failures
+-- the errors the paper's lossy-channel primitives exist for -- are
+retried.
+
+Deliberately thread-dumb: one client per thread.  Clocks and sleeps are
+injectable; the defaults reference the host's wall clock, which is the
+CLI-boundary place for it.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, Mapping, Optional
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+
+class CircuitOpenError(ConnectionError):
+    """The client's circuit breaker is open: failing fast, not calling.
+
+    Attributes:
+        retry_after: Seconds until the next half-open probe is allowed.
+    """
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RetriesExhausted(ConnectionError):
+    """Every attempt the policy allowed failed at the transport level.
+
+    Attributes:
+        attempts: Transport attempts made before giving up.
+    """
+
+    def __init__(self, message: str, *, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class ServeClient:
@@ -23,7 +77,10 @@ class ServeClient:
     Args:
         host: Service host.
         port: Service port.
-        timeout: Socket timeout in seconds (``None`` blocks forever).
+        timeout: Socket timeout in seconds applied to connect and every
+            read/write.  Defaults to 30 s -- a dead server must raise,
+            never block a caller forever.  ``None`` disables the bound
+            (only sensible inside tests that own both ends).
 
     Usage::
 
@@ -36,22 +93,41 @@ class ServeClient:
     ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
+        self._timeout = timeout
 
     def send(self, payload: Mapping[str, Any]) -> None:
         """Write one request line (does not wait for the response)."""
         data = (json.dumps(dict(payload)) + "\n").encode("utf-8")
         self._sock.sendall(data)
 
-    def recv(self) -> Dict[str, Any]:
+    def recv(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Read the next response line (whatever request it answers).
+
+        Args:
+            timeout: Optional per-call override of the connection's
+                socket timeout; the connection default is restored
+                afterwards.  After a timeout fires the stream position
+                is indeterminate -- reconnect rather than reuse.
 
         Raises:
             ConnectionError: If the server closed the connection.
+            TimeoutError: If no line arrived within the timeout.
             ValueError: If the response line is not a JSON object.
         """
-        line = self._reader.readline()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            line = self._reader.readline()
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(self._timeout)
         if not line:
             raise ConnectionError("server closed the connection")
+        if not line.endswith(b"\n"):
+            # A partial final line means the connection died mid-response
+            # (e.g. a mid-frame cut): surface it as the transport failure
+            # it is, never as a JSON parse error.
+            raise ConnectionError("connection closed mid-response")
         obj = json.loads(line)
         if not isinstance(obj, dict):
             raise ValueError(f"expected a JSON object response, got {obj!r}")
@@ -61,6 +137,28 @@ class ServeClient:
         """One request/response round trip."""
         self.send(payload)
         return self.recv()
+
+    def query(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One query round trip with an optional end-to-end deadline.
+
+        The ``deadline_ms`` budget travels on the wire (the server
+        rejects or expires work it cannot finish in time, DESIGN.md
+        section 17) *and* bounds the local wait for the response, so a
+        wedged server cannot hold the caller past the budget either.
+        """
+        wire = dict(payload)
+        wire.setdefault("op", "query")
+        if deadline_ms is not None:
+            wire["deadline_ms"] = deadline_ms
+        self.send(wire)
+        return self.recv(
+            timeout=None if deadline_ms is None else max(deadline_ms, 1) / 1e3
+        )
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -74,6 +172,235 @@ class ServeClient:
             pass
 
     def __enter__(self) -> "ServeClient":
+        """Context-manager entry: the client itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """Declarative retry/breaker configuration (cf. ``core/reliable.py``).
+
+    Attributes:
+        max_attempts: Transport attempts per query (``>= 1``).
+        base_delay: First backoff delay in seconds; attempt ``k`` waits
+            ``base_delay * 2**k``, capped at ``max_delay``.
+        max_delay: Backoff ceiling in seconds.
+        jitter: Fractional jitter: each delay is scaled by a uniform
+            factor in ``[1 - jitter, 1 + jitter]`` so synchronized
+            clients do not retry in lockstep.
+        breaker_threshold: Consecutive transport failures that open the
+            circuit (``0`` disables the breaker).
+        breaker_cooldown: Seconds the circuit stays open before one
+            half-open probe is allowed.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 5.0
+
+    def __post_init__(self) -> None:
+        """Reject nonsensical configurations eagerly."""
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}"
+            )
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """The jittered backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if self.jitter == 0:
+            return raw
+        return raw * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0)))
+
+
+class RetryingServeClient:
+    """A self-healing client: reconnects, backs off, breaks circuits.
+
+    Owns (and replaces, on failure) an underlying :class:`ServeClient`
+    connection.  See the module docstring for the semantics; see
+    :class:`ClientRetryPolicy` for the knobs.
+
+    Args:
+        host: Service host.
+        port: Service port.
+        policy: Retry/breaker configuration.
+        timeout: Per-attempt socket timeout (connect and response).
+        rng: Jitter stream; seeded by default (pass a spawned child of
+            your own seeded generator to decorrelate many clients).
+        clock: Monotonic time source (injected by tests).
+        sleep: Backoff sleeper (injected by tests).
+
+    Usage::
+
+        client = RetryingServeClient("127.0.0.1", port)
+        reply = client.query(
+            {"id": "q1", "n": 64, "x": 20, "threshold": 8},
+            deadline_ms=2000,
+        )
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        policy: ClientRetryPolicy = ClientRetryPolicy(),
+        timeout: float = 10.0,
+        rng: Optional[np.random.Generator] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.policy = policy
+        self._timeout = timeout
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._clock = clock
+        self._sleep = sleep
+        self._conn: Optional[ServeClient] = None
+        self._consecutive_failures = 0
+        self._open_until: Optional[float] = None
+        self.attempts_made = 0
+        self.breaker_trips = 0
+
+    # -- breaker state -----------------------------------------------------
+
+    @property
+    def circuit_open(self) -> bool:
+        """Whether calls currently fail fast (cooldown not yet elapsed)."""
+        return (
+            self._open_until is not None
+            and self._clock() < self._open_until
+        )
+
+    def _check_breaker(self) -> None:
+        if self._open_until is None:
+            return
+        remaining = self._open_until - self._clock()
+        if remaining > 0:
+            raise CircuitOpenError(
+                f"circuit open for another {remaining:.2f}s after "
+                f"{self._consecutive_failures} consecutive failures",
+                retry_after=remaining,
+            )
+        # Cooldown elapsed: half-open.  The next attempt is the probe;
+        # _record_failure re-opens on a miss, _record_success closes.
+
+    def _record_failure(self) -> None:
+        self._consecutive_failures += 1
+        threshold = self.policy.breaker_threshold
+        if threshold > 0 and self._consecutive_failures >= threshold:
+            if self._open_until is None:
+                self.breaker_trips += 1
+            self._open_until = self._clock() + self.policy.breaker_cooldown
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._open_until = None
+
+    # -- transport ---------------------------------------------------------
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _connection(self) -> ServeClient:
+        if self._conn is None:
+            self._conn = ServeClient(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._conn
+
+    def query(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One query, retried across transport failures.
+
+        Args:
+            payload: Query fields (``op`` defaults to ``"query"``).
+            deadline_ms: End-to-end budget across *all* attempts; also
+                forwarded on the wire so the server can shed expired
+                work.  ``None`` leaves only ``max_attempts`` bounding
+                the loop.
+
+        Returns:
+            The response frame -- including 4xx/5xx error frames, which
+            are answers, not transport failures.
+
+        Raises:
+            CircuitOpenError: Failing fast while the breaker is open.
+            RetriesExhausted: After ``max_attempts`` transport failures
+                or an exhausted deadline.
+        """
+        start = self._clock()
+        budget = None if deadline_ms is None else deadline_ms / 1e3
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.policy.max_attempts):
+            self._check_breaker()
+            remaining_ms: Optional[int] = None
+            if budget is not None:
+                remaining = budget - (self._clock() - start)
+                if remaining <= 0:
+                    break
+                remaining_ms = max(1, int(remaining * 1e3))
+            try:
+                self.attempts_made += 1
+                reply = self._connection().query(
+                    payload, deadline_ms=remaining_ms
+                )
+            except (TimeoutError, ConnectionError, OSError) as exc:
+                last_error = exc
+                self._record_failure()
+                self._drop_connection()
+                if attempt + 1 >= self.policy.max_attempts:
+                    break
+                delay = self.policy.delay(attempt, self._rng)
+                if budget is not None:
+                    remaining = budget - (self._clock() - start)
+                    if remaining <= delay:
+                        break
+                if delay > 0:
+                    self._sleep(delay)
+                continue
+            self._record_success()
+            return reply
+        raise RetriesExhausted(
+            f"query {payload.get('id')!r} failed after "
+            f"{self.attempts_made} attempt(s): {last_error!r}",
+            attempts=self.attempts_made,
+        )
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "RetryingServeClient":
         """Context-manager entry: the client itself."""
         return self
 

@@ -41,6 +41,7 @@ from repro.group_testing.vectorized import (
     UnsupportedBatch,
 )
 from repro.obs import get_registry
+from repro.serve.errors import QueryExecutionError
 from repro.serve.request import QueryRequest
 
 _OBS = get_registry()
@@ -138,7 +139,24 @@ def _run_scalar(request: QueryRequest) -> QueryOutcome:
     Mirrors :func:`repro.api.threshold_query_batch`'s fallback loop over
     the same spawned streams, so scalar answers match vectorized ones
     bit for bit for batch-capable configurations.
+
+    Raises:
+        QueryExecutionError: Wrapping any unexpected failure, with
+            :attr:`~repro.serve.errors.QueryExecutionError.request_id`
+            naming this request -- a coalesced sibling must never
+            inherit an anonymous error.
     """
+    try:
+        return _run_scalar_inner(request)
+    except Exception as exc:
+        raise QueryExecutionError(
+            f"scalar execution of request {request.id!r} failed: {exc!r}",
+            request_id=request.id,
+        ) from exc
+
+
+def _run_scalar_inner(request: QueryRequest) -> QueryOutcome:
+    """The unwrapped scalar loop behind :func:`_run_scalar`."""
     algo = make_algorithm(request.algorithm, reliable=request.reliable)
     assert isinstance(algo, ThresholdDecider)
     batch = _spawned_batch(request)
@@ -207,6 +225,15 @@ def execute_group(
                 decision = algo.decide_batch(combined)
             except UnsupportedBatch:
                 _SCALAR_FALLBACKS.inc()
+            except Exception as exc:
+                # A vectorized batch fails as a unit; blame the lead
+                # (the request whose claim formed the group) so the
+                # error still carries a concrete request id.
+                raise QueryExecutionError(
+                    f"vectorized execution of a {len(requests)}-request "
+                    f"group led by {lead.id!r} failed: {exc!r}",
+                    request_id=lead.id,
+                ) from exc
             else:
                 _BATCHED_REQUESTS.inc(len(requests))
                 return _split(requests, decision)

@@ -85,6 +85,13 @@ class QueryRequest:
         seed: Root seed of the request's private spawn tree.
         reliable: Optional reliability shortcut (``"krepeat"`` /
             ``"chernoff"``); forces the scalar path.
+        deadline_ms: Optional end-to-end latency budget in milliseconds,
+            measured from admission.  ``None`` means no deadline.  A
+            non-positive budget is *valid on the wire* but already
+            expired: admission rejects it with a 504-style frame
+            (``serve.rejected.deadline``) instead of a 400, so clients
+            forwarding a nearly-exhausted budget get deadline semantics,
+            not a validation error.
     """
 
     id: str
@@ -97,6 +104,7 @@ class QueryRequest:
     collision_model: str = "1+"
     seed: int = 0
     reliable: Optional[str] = None
+    deadline_ms: Optional[int] = None
 
     @property
     def coalesce_key(self) -> Tuple[int, int, int, str, str, Optional[str]]:
@@ -157,6 +165,14 @@ class QueryRequest:
                 f"field 'reliable' must be a string or null, got {reliable_raw!r}"
             )
         reliable = reliable_raw.lower() if reliable_raw else None
+        deadline_raw = obj.get("deadline_ms", None)
+        if deadline_raw is not None and (
+            isinstance(deadline_raw, bool) or not isinstance(deadline_raw, int)
+        ):
+            raise RequestError(
+                f"field 'deadline_ms' must be an integer or null, "
+                f"got {deadline_raw!r}"
+            )
 
         if not 1 <= n <= MAX_POPULATION:
             raise RequestError(f"n must be in [1, {MAX_POPULATION}], got {n}")
@@ -199,4 +215,5 @@ class QueryRequest:
             collision_model=collision_model,
             seed=seed,
             reliable=reliable,
+            deadline_ms=deadline_raw,
         )

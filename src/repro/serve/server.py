@@ -6,8 +6,8 @@ carry an ``op``:
 * ``{"op": "query", ...}`` -- a threshold query
   (:meth:`repro.serve.request.QueryRequest.from_wire` fields).  The
   response echoes ``id`` and carries ``decisions``/``queries``/
-  ``exact``/``batched`` on success, or ``status`` 400/429 plus an
-  ``error`` object on rejection.  Responses may arrive out of order
+  ``exact``/``batched`` on success, or ``status`` 400/429/500/504 plus
+  an ``error`` object on rejection.  Responses may arrive out of order
   relative to pipelined requests; correlate by ``id``.
 * ``{"op": "metrics"}`` -- the live merged :mod:`repro.obs`
   :class:`~repro.obs.MetricsSnapshot` as JSON.
@@ -15,11 +15,32 @@ carry an ``op``:
 * ``{"op": "shutdown"}`` -- ask the service to drain and exit (the
   programmatic twin of SIGTERM).
 
+Connection hardening (DESIGN.md section 17) -- the read loop survives
+hostile or broken clients:
+
+* an **idle timeout** closes connections that stop sending
+  (``serve.conn_idle_closed``), so a slow-loris client cannot pin a
+  connection slot forever;
+* a **max-connections cap** refuses new connections with an explicit
+  503-style frame (``serve.rejected.conn_limit``) instead of letting
+  accept backlogs grow unboundedly;
+* an **oversized line** is discarded up to its terminating newline and
+  answered with a 400 frame (``serve.rejected.oversized``) -- the
+  connection lives on; a partial final frame at disconnect is simply
+  dropped (there is no one left to answer);
+* a **per-connection in-flight cap** applies backpressure: once a
+  client has ``max_inflight_per_conn`` queries outstanding the read
+  loop stops consuming its socket until one finishes
+  (``serve.conn_throttled``), so a single pipelining client cannot
+  monopolise the scheduler queue.
+
 Shutdown -- on SIGTERM/SIGINT (or the ``shutdown`` op) the service
 **drains**: admission sheds everything new with 429 ``draining``
 rejections, every already-admitted query runs to completion and its
 response is flushed, then connections close and the process exits 0.
-In-flight work is never dropped.
+In-flight work is never dropped -- though a request that exceeds its
+``deadline_ms`` mid-drain still gets its 504 frame rather than an
+answer.
 
 :func:`serve_in_thread` runs the whole service on a background thread's
 event loop -- the harness tests and the benchmark drive a real TCP
@@ -35,14 +56,122 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set
 
-from repro.obs import enable_metrics, snapshot_metrics
-from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.obs import enable_metrics, get_registry, snapshot_metrics
+from repro.serve.admission import (
+    REASON_DEADLINE,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.serve.errors import ServeError
 from repro.serve.request import QueryRequest, RequestError
 from repro.serve.scheduler import BatchScheduler
 
-#: Cap on one request line; longer lines fail the connection (asyncio's
-#: readline raises) rather than buffering without bound.
+_OBS = get_registry()
+_REJ_CONN_LIMIT = _OBS.counter("serve.rejected.conn_limit")
+_REJ_OVERSIZED = _OBS.counter("serve.rejected.oversized")
+_CONN_IDLE_CLOSED = _OBS.counter("serve.conn_idle_closed")
+_CONN_THROTTLED = _OBS.counter("serve.conn_throttled")
+
+#: Default cap on one request line; longer lines get a 400 frame and are
+#: discarded up to their newline (the connection survives).
 MAX_LINE_BYTES = 1 << 20
+
+#: Statuses per admission rejection reason: deadline rejections are
+#: 504-style (the request died of old age, not of load), all other
+#: sheds are 429-style.
+_REASON_STATUS = {REASON_DEADLINE: 504}
+
+#: Sentinel returned by the frame reader for an oversized-but-recovered
+#: line (distinct from EOF, which is ``None``).
+_OVERSIZED = object()
+
+
+class _FrameReader:
+    """Newline framing over a stream, hardened against hostile input.
+
+    Owns its buffer (instead of leaning on ``StreamReader.readuntil``)
+    so an oversized line can be discarded up to its newline and the
+    connection kept alive, and so pipelined frames arriving in one TCP
+    segment are split correctly.
+
+    Frames of up to ``max_line_bytes`` *content* bytes (the newline not
+    counted) are accepted -- a line at exactly the cap is valid, one
+    byte more is oversized.
+
+    Args:
+        reader: The connection's stream reader.
+        max_line_bytes: Frame content cap.
+        idle_timeout: Seconds with no bytes at all between frames
+            before :class:`TimeoutError`; ``0`` disables.
+        read_deadline: Seconds a started frame may take to complete
+            before :class:`TimeoutError`; ``0`` disables.
+    """
+
+    _CHUNK = 1 << 16
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        *,
+        max_line_bytes: int,
+        idle_timeout: float,
+        read_deadline: float,
+    ) -> None:
+        self._reader = reader
+        self._max = max_line_bytes
+        self._idle = idle_timeout
+        self._deadline = read_deadline
+        self._buf = bytearray()
+        self._discarding = False
+
+    async def next_frame(self) -> object:
+        """The next complete frame.
+
+        Returns:
+            Frame bytes, ``None`` at EOF (a partial final frame at
+            disconnect is dropped -- there is nobody left to answer),
+            or :data:`_OVERSIZED` after a too-long line was discarded
+            up to its newline (the caller answers with a 400 frame and
+            the connection lives on).
+
+        Raises:
+            TimeoutError: On idle timeout or a blown frame deadline.
+        """
+        loop = asyncio.get_running_loop()
+        frame_start = loop.time() if self._buf else None
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline != -1:
+                if self._discarding:
+                    del self._buf[: newline + 1]
+                    self._discarding = False
+                    return _OVERSIZED
+                if newline > self._max:
+                    # The whole oversized line arrived buffered at once.
+                    del self._buf[: newline + 1]
+                    return _OVERSIZED
+                frame = bytes(self._buf[:newline])
+                del self._buf[: newline + 1]
+                return frame
+            if self._discarding:
+                self._buf.clear()
+            elif len(self._buf) > self._max:
+                self._discarding = True
+                self._buf.clear()
+            timeout: Optional[float] = self._idle or None
+            if frame_start is not None and self._deadline > 0:
+                remaining = self._deadline - (loop.time() - frame_start)
+                if remaining <= 0:
+                    raise TimeoutError("frame read deadline exceeded")
+                timeout = min(timeout, remaining) if timeout else remaining
+            chunk = await asyncio.wait_for(
+                self._reader.read(self._CHUNK), timeout=timeout
+            )
+            if not chunk:
+                return None
+            if frame_start is None:
+                frame_start = loop.time()
+            self._buf.extend(chunk)
 
 
 @dataclass(frozen=True)
@@ -61,6 +190,21 @@ class ServeConfig:
         vectorize: Allow the vectorized kernel.
         metrics: Enable the :mod:`repro.obs` registry on startup so the
             ``metrics`` endpoint reports live counters.
+        max_connections: Cap on concurrently served connections;
+            connections beyond it are refused with a 503-style frame.
+        max_line_bytes: Cap on one request line (see module docstring).
+        idle_timeout: Seconds a connection may sit between request
+            lines before the service closes it; ``0`` disables.
+        read_deadline: Seconds a *started* frame may take to reach its
+            newline before the connection is closed -- the slow-loris
+            bound (trickling bytes resets an idle timer but not this
+            one); ``0`` disables.
+        max_inflight_per_conn: Outstanding queries one connection may
+            hold before its read loop is backpressured.
+        codel_target_ms: Scheduler watchdog queue-wait p50 target;
+            ``0`` disables CoDel shedding (see
+            :class:`repro.serve.scheduler.BatchScheduler`).
+        codel_interval_ms: Scheduler watchdog sampling period.
     """
 
     host: str = "127.0.0.1"
@@ -72,6 +216,13 @@ class ServeConfig:
     workers: int = 2
     vectorize: bool = True
     metrics: bool = True
+    max_connections: int = 256
+    max_line_bytes: int = MAX_LINE_BYTES
+    idle_timeout: float = 300.0
+    read_deadline: float = 30.0
+    max_inflight_per_conn: int = 128
+    codel_target_ms: float = 0.0
+    codel_interval_ms: float = 100.0
 
 
 def _error_response(
@@ -110,6 +261,8 @@ class ThresholdQueryService:
             max_batch_runs=config.max_batch_runs,
             workers=config.workers,
             vectorize=config.vectorize,
+            codel_target_ms=config.codel_target_ms,
+            codel_interval_ms=config.codel_interval_ms,
         )
         self._server: Optional[asyncio.Server] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -129,7 +282,7 @@ class ThresholdQueryService:
             self._handle_connection,
             host=self.config.host,
             port=self.config.port,
-            limit=MAX_LINE_BYTES,
+            limit=self.config.max_line_bytes,
         )
         sockets = self._server.sockets or ()
         for sock in sockets:
@@ -186,18 +339,70 @@ class ThresholdQueryService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One client connection: read lines, dispatch, write responses."""
-        self._connections.add(writer)
         write_lock = asyncio.Lock()
+        if len(self._connections) >= self.config.max_connections:
+            _REJ_CONN_LIMIT.inc()
+            await self._write(
+                writer,
+                write_lock,
+                _error_response(
+                    None,
+                    503,
+                    "conn_limit",
+                    f"connection refused: {self.config.max_connections} "
+                    "connections already open",
+                ),
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
+        self._connections.add(writer)
+        frames = _FrameReader(
+            reader,
+            max_line_bytes=self.config.max_line_bytes,
+            idle_timeout=self.config.idle_timeout,
+            read_deadline=self.config.read_deadline,
+        )
         tasks: Set["asyncio.Task[None]"] = set()
         try:
             while True:
+                if len(tasks) >= self.config.max_inflight_per_conn:
+                    # Backpressure: stop reading this socket until one
+                    # outstanding query finishes.  The client's own send
+                    # buffer fills; the scheduler queue does not.
+                    _CONN_THROTTLED.inc()
+                    await asyncio.wait(
+                        tasks, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    continue
                 try:
-                    line = await reader.readline()
-                except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                    frame = await frames.next_frame()
+                except (asyncio.TimeoutError, TimeoutError):
+                    _CONN_IDLE_CLOSED.inc()
                     break
-                if not line:
+                except (ConnectionError, OSError, ValueError):
                     break
-                stripped = line.strip()
+                if frame is None:
+                    break
+                if frame is _OVERSIZED:
+                    _REJ_OVERSIZED.inc()
+                    await self._write(
+                        writer,
+                        write_lock,
+                        _error_response(
+                            None,
+                            400,
+                            "line_too_long",
+                            f"request line exceeded "
+                            f"{self.config.max_line_bytes} bytes",
+                        ),
+                    )
+                    continue
+                assert isinstance(frame, bytes)
+                stripped = frame.strip()
                 if not stripped:
                     continue
                 task = asyncio.get_running_loop().create_task(
@@ -307,12 +512,22 @@ class ThresholdQueryService:
                 writer,
                 lock,
                 _error_response(
-                    request.id, 429, reason, f"request shed: {reason}"
+                    request.id,
+                    _REASON_STATUS.get(reason, 429),
+                    reason,
+                    f"request shed: {reason}",
                 ),
             )
             return
         try:
             outcome = await self.scheduler.submit(request)
+        except ServeError as exc:
+            await self._write(
+                writer,
+                lock,
+                _error_response(request.id, exc.status, exc.code, str(exc)),
+            )
+            return
         except Exception as exc:
             await self._write(
                 writer,

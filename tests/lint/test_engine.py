@@ -127,6 +127,21 @@ class TestScoping:
         src = "import time\nx = time.time()\n"
         assert lint_source(src, "tests/sim/test_clock.py") == []
 
+    def test_wallclock_flagged_in_serve_scope(self):
+        src = "import time\nx = time.monotonic()\n"
+        findings = lint_source(src, "repro/serve/clockwork.py")
+        assert [f.rule_id for f in findings] == ["TCL002"]
+
+    def test_wallclock_default_reference_allowed_in_serve_scope(self):
+        # Injectable-clock idiom: referencing time.monotonic as a default
+        # argument is fine; only *calls* read the wall clock.
+        src = (
+            "import time\n"
+            "def f(clock=time.monotonic):\n"
+            "    return clock()\n"
+        )
+        assert lint_source(src, "repro/serve/clockwork.py") == []
+
     def test_rng_rule_exempts_stream_factory(self):
         src = "import numpy as np\nrng = np.random.default_rng()\n"
         assert lint_source(src, "repro/sim/rng.py") == []

@@ -1,0 +1,194 @@
+"""Wire-protocol edge cases: hostile lines, hardened connections."""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.obs import enable_metrics, get_registry
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, serve_in_thread
+
+#: A small line cap so oversized-line tests stay cheap.
+CAP = 256
+
+
+def _query(rid: str, *, seed: int = 0, **overrides) -> dict:
+    payload = {
+        "op": "query",
+        "id": rid,
+        "tenant": "t",
+        "n": 64,
+        "x": 20,
+        "threshold": 8,
+        "runs": 1,
+        "seed": seed,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _padded_line(content_bytes: int) -> bytes:
+    """A valid ping line whose content is exactly ``content_bytes`` long."""
+    skeleton = json.dumps({"op": "ping", "id": "edge", "pad": ""})
+    filler = content_bytes - len(skeleton)
+    assert filler >= 0, "content_bytes too small for the skeleton"
+    line = json.dumps({"op": "ping", "id": "edge", "pad": "a" * filler})
+    assert len(line) == content_bytes
+    return line.encode("utf-8") + b"\n"
+
+
+@pytest.fixture
+def service():
+    """A hardened service: tiny line cap, small connection budget."""
+    config = ServeConfig(
+        port=0,
+        workers=1,
+        max_line_bytes=CAP,
+        max_connections=2,
+        idle_timeout=30.0,
+        read_deadline=30.0,
+    )
+    with serve_in_thread(config) as handle:
+        yield handle
+
+
+class TestLineCap:
+    def test_line_at_exactly_the_cap_is_served(self, service):
+        with ServeClient("127.0.0.1", service.port) as client:
+            client._sock.sendall(_padded_line(CAP))
+            reply = client.recv()
+        assert reply["ok"] and reply["op"] == "ping"
+
+    def test_one_byte_over_the_cap_gets_400_and_connection_survives(
+        self, service
+    ):
+        enable_metrics()
+        reg = get_registry()
+        with ServeClient("127.0.0.1", service.port) as client:
+            client._sock.sendall(_padded_line(CAP + 1))
+            reply = client.recv()
+            assert not reply["ok"]
+            assert reply["status"] == 400
+            assert reply["error"]["code"] == "line_too_long"
+            # The same connection keeps working after the bad line.
+            follow_up = client.request({"op": "ping", "id": "after"})
+        assert follow_up["ok"] and follow_up["id"] == "after"
+        assert reg.snapshot().counter("serve.rejected.oversized") == 1
+
+    def test_grossly_oversized_line_is_discarded_across_chunks(self, service):
+        # Many read chunks of garbage, one newline at the end: exactly
+        # one 400 frame, then business as usual.
+        with ServeClient("127.0.0.1", service.port) as client:
+            client._sock.sendall(b"x" * (CAP * 50) + b"\n")
+            reply = client.recv()
+            assert reply["error"]["code"] == "line_too_long"
+            assert client.request({"op": "ping", "id": "ok"})["ok"]
+
+
+class TestDegenerateFrames:
+    def test_empty_and_whitespace_lines_are_ignored(self, service):
+        with ServeClient("127.0.0.1", service.port) as client:
+            client._sock.sendall(b"\n\n   \n\t\n")
+            reply = client.request({"op": "ping", "id": "p1"})
+        # The only response on the wire answers the ping: blank lines
+        # produced neither an answer nor an error.
+        assert reply == {"id": "p1", "ok": True, "op": "ping"}
+
+    def test_partial_final_frame_at_disconnect_is_dropped(self, service):
+        sock = socket.create_connection(("127.0.0.1", service.port))
+        sock.sendall(b'{"op": "ping", "id": "half')  # no newline, ever
+        sock.close()
+        # The service neither crashes nor answers the ghost: a fresh
+        # connection is served normally.
+        with ServeClient("127.0.0.1", service.port) as client:
+            assert client.request({"op": "ping", "id": "p2"})["ok"]
+
+    def test_interleaved_pipelined_requests_all_answered(self, service):
+        # Two logical request streams with different coalesce keys,
+        # interleaved with pings on one pipelined connection.
+        wires = []
+        for i in range(4):
+            wires.append(_query(f"a{i}", seed=i))
+            wires.append({"op": "ping", "id": f"p{i}"})
+            wires.append(_query(f"b{i}", seed=i, threshold=9))
+        with ServeClient("127.0.0.1", service.port) as client:
+            for wire in wires:
+                client.send(wire)
+            replies = {}
+            for _ in wires:
+                reply = client.recv()
+                replies[reply["id"]] = reply
+        assert set(replies) == {w["id"] for w in wires}
+        assert all(r["ok"] for r in replies.values())
+
+
+class TestConnectionHardening:
+    def test_connection_limit_refused_with_503(self, service):
+        enable_metrics()
+        reg = get_registry()
+        with ServeClient("127.0.0.1", service.port) as a:
+            assert a.request({"op": "ping", "id": "a"})["ok"]
+            with ServeClient("127.0.0.1", service.port) as b:
+                assert b.request({"op": "ping", "id": "b"})["ok"]
+                # Third concurrent connection: over the cap of 2.
+                with ServeClient("127.0.0.1", service.port) as c:
+                    reply = c.recv()
+                    assert not reply["ok"]
+                    assert reply["status"] == 503
+                    assert reply["error"]["code"] == "conn_limit"
+                    with pytest.raises(ConnectionError):
+                        c.request({"op": "ping", "id": "c"})
+        assert reg.snapshot().counter("serve.rejected.conn_limit") == 1
+
+    def test_idle_connection_is_closed(self):
+        enable_metrics()
+        reg = get_registry()
+        config = ServeConfig(port=0, workers=1, idle_timeout=0.2)
+        with serve_in_thread(config) as handle:
+            with ServeClient("127.0.0.1", handle.port, timeout=10.0) as client:
+                assert client.request({"op": "ping", "id": "p"})["ok"]
+                with pytest.raises(ConnectionError):
+                    client.recv()  # the server hangs up on the idler
+        assert reg.snapshot().counter("serve.conn_idle_closed") == 1
+
+    def test_slow_loris_frame_hits_read_deadline(self):
+        # Trickling bytes keeps beating a pure idle timeout; the frame
+        # read deadline bounds the whole frame regardless.
+        enable_metrics()
+        reg = get_registry()
+        config = ServeConfig(
+            port=0, workers=1, idle_timeout=30.0, read_deadline=0.3
+        )
+        with serve_in_thread(config) as handle:
+            sock = socket.create_connection(("127.0.0.1", handle.port))
+            sock.settimeout(10.0)
+            reader = sock.makefile("rb")
+            start = time.monotonic()
+            closed_at = None
+            try:
+                for _ in range(50):
+                    sock.sendall(b"{")
+                    time.sleep(0.1)
+            except (ConnectionError, OSError):
+                closed_at = time.monotonic()
+            if closed_at is None:
+                assert reader.readline() == b""
+                closed_at = time.monotonic()
+            sock.close()
+            # Closed well before the 5s the trickle would have taken.
+            assert closed_at - start < 4.0
+        assert reg.snapshot().counter("serve.conn_idle_closed") == 1
+
+    def test_inflight_cap_backpressures_without_deadlock(self):
+        config = ServeConfig(port=0, workers=1, max_inflight_per_conn=2)
+        with serve_in_thread(config) as handle:
+            wires = [_query(f"q{i}", seed=i, runs=4) for i in range(12)]
+            with ServeClient("127.0.0.1", handle.port) as client:
+                for wire in wires:
+                    client.send(wire)
+                replies = {client.recv()["id"] for _ in wires}
+        assert replies == {w["id"] for w in wires}
